@@ -1,0 +1,44 @@
+"""Benchmark-session infrastructure.
+
+Every benchmark registers the paper-style table(s) it regenerates via
+:func:`register_report`; a session-finish hook prints them all (after
+pytest's capture has ended, so they land in ``bench_output.txt``) and
+writes them to ``bench_results/report.txt`` alongside the per-experiment
+JSON/CSV records.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+_REPORTS: List[Tuple[str, str]] = []
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+
+def register_report(title: str, text: str) -> None:
+    """Queue a rendered table for end-of-session output."""
+    _REPORTS.append((title, text))
+
+
+def results_path(name: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return os.path.join(RESULTS_DIR, name)
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001
+    if not _REPORTS:
+        return
+    lines = ["", "=" * 78, "REGENERATED PAPER TABLES AND FIGURES", "=" * 78]
+    for title, text in _REPORTS:
+        lines.append("")
+        lines.append(f"--- {title} ---")
+        lines.append(text)
+    out = "\n".join(lines)
+    print(out)
+    try:
+        with open(results_path("report.txt"), "w", encoding="utf-8") as fh:
+            fh.write(out + "\n")
+    except OSError:
+        pass

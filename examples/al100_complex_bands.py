@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Complex band structure of bulk Al(100) from the real-space DFT substrate.
+
+The full paper pipeline at laptop scale (paper §4.1's first test system):
+
+1. build fcc Al(100), 4 atoms/cell, on a real-space grid;
+2. assemble the Kohn-Sham block triple (9-point stencil, pseudopotentials);
+3. estimate the Fermi energy by band filling;
+4. run the Sakurai-Sugiura solver at energies around E_F;
+5. cross-check the |λ| = 1 modes against the conventional band structure
+   (the paper's Figure 6 check).
+
+Run:  python examples/al100_complex_bands.py [--spacing 0.45]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.cbs.bands import band_structure
+from repro.cbs.scan import CBSCalculator
+from repro.dft.builders import bulk_al100, grid_for_structure
+from repro.dft.fermi import estimate_fermi
+from repro.dft.hamiltonian import build_blocks
+from repro.ss.solver import SSConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spacing", type=float, default=0.45,
+                        help="grid spacing in Angstrom (paper: 0.2)")
+    parser.add_argument("--energies", type=int, default=7,
+                        help="number of energy slices around E_F")
+    args = parser.parse_args()
+
+    structure = bulk_al100()
+    grid = grid_for_structure(structure, spacing_angstrom=args.spacing)
+    print(f"system: {structure}")
+    print(f"grid:   {grid}")
+
+    blocks, info = build_blocks(structure, grid)
+    print(f"assembled in {info.assembly_seconds:.2f} s: N = {info.n}, "
+          f"nnz(H0) = {info.nnz_h0}, projectors = {info.n_projectors}")
+
+    fermi = estimate_fermi(blocks, structure.n_valence_electrons())
+    print(f"Fermi estimate: E_F = {fermi.fermi:+.4f} Ha "
+          f"(gap = {fermi.gap:.4f} Ha → {'metal' if fermi.is_metallic else 'insulator'})")
+
+    config = SSConfig(n_int=24, n_mm=8, n_rh=8, seed=7, linear_solver="auto")
+    calc = CBSCalculator(blocks, config)
+    energies = np.linspace(fermi.fermi - 0.15, fermi.fermi + 0.15, args.energies)
+    result = calc.scan(energies)
+
+    print("\nCBS around the Fermi energy (λ = exp(ik a)):")
+    print(f"  {'E-E_F [Ha]':>11s}  {'modes':>5s}  {'prop.':>5s}  "
+          f"{'Re k·a/π (propagating)':<30s}")
+    for s in result.slices:
+        ks = ", ".join(
+            f"{abs(m.k.real) * blocks.cell_length / np.pi:.4f}"
+            for m in s.propagating()
+        )
+        print(f"  {s.energy - fermi.fermi:+11.4f}  {s.count:5d}  "
+              f"{len(s.propagating()):5d}  {ks:<30s}")
+
+    # Figure-6 check: propagating modes vs conventional bands.
+    bs = band_structure(blocks, n_k=801, dense_threshold=2000)
+    worst = 0.0
+    n_checked = 0
+    for e, k in result.propagating_points():
+        d = bs.distance_to_bands(e, abs(k))
+        worst = max(worst, d)
+        n_checked += 1
+    print(f"\nband-structure cross-check: {n_checked} propagating modes, "
+          f"max |Δk| = {worst:.2e} (paper quotes ~1e-5 agreement)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Paper Figure 11: what bundling does to a nanotube's complex bands.
+
+Compares three systems (π-tight-binding substrate):
+
+    (a) isolated (8,0) CNT          — semiconducting, branch point mid-gap
+    (b) 7-tube bundle               — inter-tube coupling broadens bands
+    (c) crystalline (periodic) bundle — gap collapses (insulator → metal)
+
+and reports the three observables the paper discusses: the band gap, the
+number of propagating channels at the Fermi level, and the position/depth
+of the gap's branch point.
+
+Run:  python examples/bundle_metallization.py
+"""
+
+import numpy as np
+
+from repro.cbs.bands import band_structure
+from repro.cbs.scan import CBSCalculator
+from repro.io.tables import ascii_table
+from repro.models.tightbinding import (
+    TightBindingCNT,
+    tb_bundle7,
+    tb_crystalline_bundle,
+)
+from repro.ss.solver import SSConfig
+
+
+def analyze(name, blocks, n_energies=9):
+    # Gap from the conventional bands (half filling → E_F = 0).
+    bs = band_structure(blocks, n_k=101, dense_threshold=512)
+    e = bs.energies.ravel()
+    below = e[e < -1e-9]
+    above = e[e > 1e-9]
+    gap = float(above.min() - below.max()) if below.size and above.size else 0.0
+
+    # λ_min = 0.4 keeps the whole in-gap loop inside the ring (the (8,0)
+    # branch-point mode decays a full e-fold per 8-Bohr cell, λ ≈ 0.5).
+    # Wide rings need the subspace grown via N_rh, not N_mm: moments carry
+    # z^k up to k = 2 N_mm - 1, so a large N_mm on a wide ring spreads the
+    # Hankel matrix over a huge dynamic range ((1/0.4)^15 ≈ 1e6 per side)
+    # and the δ-truncation destroys it.  N_rh x N_mm = 128 covers the
+    # 7-bundle's 56 ring modes.
+    cfg = SSConfig(n_int=24, n_mm=4, n_rh=32, seed=5, linear_solver="auto",
+                   lambda_min=0.4, residual_tol=1e-5)
+    calc = CBSCalculator(blocks, cfg)
+    window = max(gap, 0.08)
+    result = calc.scan_window(-0.6 * window, 0.6 * window, n_energies)
+    fermi_slice = result.slices[n_energies // 2]
+    channels = len(fermi_slice.propagating())
+    kim = result.min_imag_k()
+    finite = kim[np.isfinite(kim)]
+    max_decay = float(np.nanmax(finite)) if finite.size else 0.0
+    return {
+        "system": name,
+        "atoms/cell": blocks.n,
+        "gap [|t|]": round(gap, 4),
+        "channels@EF": channels,
+        "max |Im k| in gap": round(max_decay, 4),
+    }
+
+
+def main() -> None:
+    rows = []
+    iso = TightBindingCNT(8, 0).blocks()
+    rows.append(analyze("isolated (8,0)", iso))
+
+    b7, _s7 = tb_bundle7(8, 0)
+    rows.append(analyze("7-tube bundle", b7))
+
+    cb, _sc = tb_crystalline_bundle(8, 0)
+    rows.append(analyze("crystalline bundle", cb))
+
+    headers = list(rows[0].keys())
+    print(ascii_table(headers, [[r[h] for h in headers] for r in rows],
+                      title="Bundling effects on the (8,0) CNT (paper Fig. 11)"))
+    print(
+        "\nreading: bundling reduces the gap (crystalline packing closes it\n"
+        "→ insulator-metal transition) and reshapes the in-gap evanescent\n"
+        "loop — the branch point is pushed out of the shrinking gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

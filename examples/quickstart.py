@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: complex band structure of textbook models in ~30 lines.
+
+Demonstrates the core API loop:
+
+    blocks (H-, H0, H+)  →  SSHankelSolver  →  ring eigenvalues λ(E)
+    λ = exp(i k a)       →  complex k       →  propagating/evanescent modes
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.cbs.scan import CBSCalculator
+from repro.models.chain import DiatomicChain, MonatomicChain
+from repro.ss.solver import SSConfig, SSHankelSolver
+
+
+def single_energy_demo() -> None:
+    """One energy slice of the monatomic chain, against the exact answer."""
+    chain = MonatomicChain(onsite=0.0, hopping=-1.0)  # band: [-2, 2]
+    config = SSConfig(n_int=16, n_mm=2, n_rh=2, seed=1, linear_solver="direct")
+    solver = SSHankelSolver(chain.blocks(), config)
+
+    print("Monatomic chain, E inside the band (E = 0.7):")
+    result = solver.solve(energy=0.7)
+    exact = chain.analytic_lambdas(0.7)
+    for lam in result.eigenvalues:
+        err = np.min(np.abs(exact - lam))
+        print(f"  λ = {lam:+.6f}   |λ| = {abs(lam):.6f}   error vs analytic: {err:.2e}")
+    print("  → |λ| = 1: two counter-propagating Bloch waves.\n")
+
+    print("Same chain, E above the band (E = 2.2):")
+    result = solver.solve(energy=2.2)
+    for lam in result.eigenvalues:
+        print(f"  λ = {lam:+.6f}   |λ| = {abs(lam):.6f}")
+    print("  → |λ| ≠ 1: a decaying/growing evanescent pair.\n")
+
+
+def gap_scan_demo() -> None:
+    """Scan the SSH chain through its gap: the evanescent loop + branch point."""
+    ssh = DiatomicChain(t1=-1.0, t2=-0.6)  # gap of 0.8 centered at 0
+    lo, hi = ssh.gap_edges()
+    config = SSConfig(n_int=24, n_mm=2, n_rh=2, seed=1, linear_solver="direct")
+    calc = CBSCalculator(ssh.blocks(), config)
+    result = calc.scan_window(lo - 0.3, hi + 0.3, 13)
+
+    print(f"SSH chain (gap [{lo:+.2f}, {hi:+.2f}]): dominant |Im k| per energy")
+    print(f"  {'E':>7s}  {'modes':>5s}  {'propagating':>11s}  {'|Im k|':>8s}")
+    for s, kim in zip(result.slices, result.min_imag_k()):
+        kim_txt = f"{kim:8.4f}" if np.isfinite(kim) else "      --"
+        print(f"  {s.energy:+7.3f}  {s.count:5d}  {len(s.propagating()):11d}  {kim_txt}")
+    print("  → |Im k| rises into the gap and peaks at the branch point (E = 0).")
+
+
+if __name__ == "__main__":
+    single_energy_demo()
+    gap_scan_demo()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` on environments whose
+setuptools lacks PEP-660 wheel support (no `wheel` package offline)."""
+from setuptools import setup
+
+setup()

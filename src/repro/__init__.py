@@ -1,0 +1,37 @@
+"""repro — Complex band structure via the Sakurai-Sugiura method.
+
+A from-scratch Python reproduction of
+
+    Iwase, Futamura, Imakura, Sakurai, Ono,
+    "Efficient and Scalable Calculation of Complex Band Structure using
+    Sakurai-Sugiura Method", SC'17 (DOI 10.1145/3126908.3126942).
+
+Top-level quick start::
+
+    from repro.models import TransverseLadder
+    from repro.ss import SSHankelSolver, SSConfig
+
+    ladder = TransverseLadder(width=4)
+    solver = SSHankelSolver(ladder.blocks(), SSConfig(n_int=16, n_mm=4, n_rh=4))
+    result = solver.solve(energy=-0.5)
+    print(result.eigenvalues)        # CBS factors λ in 0.5 < |λ| < 2
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+from repro.qep import BlockTriple, QuadraticPencil, solve_qep_dense
+from repro.ss import SSConfig, SSHankelSolver, SSResult, AnnulusContour
+
+__all__ = [
+    "__version__",
+    "BlockTriple",
+    "QuadraticPencil",
+    "solve_qep_dense",
+    "SSConfig",
+    "SSHankelSolver",
+    "SSResult",
+    "AnnulusContour",
+]

@@ -1,0 +1,23 @@
+"""Baseline CBS methods the paper compares against.
+
+* :mod:`repro.baselines.obm` — the overbridging boundary-matching
+  method (Fujimoto & Hirose, PRB 67, 195315 (2003)), "the best known
+  algorithm of the real-space grid approach" per the paper, used as the
+  Figure-4 comparison target.
+* :mod:`repro.baselines.dense_qep` — brute-force dense linearization
+  (``O((2N)^3)``), the correctness reference.
+* :mod:`repro.baselines.transfer_matrix` — the classical transfer-matrix
+  method, included to demonstrate the conditioning pathology that
+  motivated OBM-style reformulations.
+"""
+
+from repro.baselines.obm import OBMSolver, OBMResult
+from repro.baselines.dense_qep import DenseQEPBaseline
+from repro.baselines.transfer_matrix import transfer_matrix_eigenvalues
+
+__all__ = [
+    "OBMSolver",
+    "OBMResult",
+    "DenseQEPBaseline",
+    "transfer_matrix_eigenvalues",
+]

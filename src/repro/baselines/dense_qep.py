@@ -1,0 +1,77 @@
+"""Brute-force dense QEP baseline (timed wrapper around the linearization).
+
+Solves the full ``2N``-dimensional companion problem with LAPACK — the
+"just diagonalize everything" approach whose ``O(N^3)`` time and
+``O(N^2)`` memory wall is the reason contour methods exist.  Used as the
+correctness reference in tests and as a second point of comparison in
+the serial benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qep.blocks import BlockTriple
+from repro.qep.linearization import solve_qep_dense
+from repro.qep.pencil import QuadraticPencil
+from repro.utils.memory import MemoryReport
+from repro.utils.timing import PhaseTimes
+
+
+@dataclass
+class DenseQEPResult:
+    energy: float
+    eigenvalues: np.ndarray
+    vectors: np.ndarray
+    residuals: np.ndarray
+    phase_times: PhaseTimes
+    memory: MemoryReport
+
+    @property
+    def count(self) -> int:
+        return int(self.eigenvalues.shape[0])
+
+
+class DenseQEPBaseline:
+    """Dense linearization baseline with ring filtering.
+
+    Parameters mirror the SS solver's acceptance window so the result
+    sets are directly comparable.
+    """
+
+    def __init__(
+        self,
+        blocks: BlockTriple,
+        *,
+        rmin: float = 0.5,
+        rmax: float = 2.0,
+        residual_tol: float = 1e-6,
+    ) -> None:
+        self.blocks = blocks.as_complex()
+        self.rmin = rmin
+        self.rmax = rmax
+        self.residual_tol = residual_tol
+
+    def solve(self, energy: float) -> DenseQEPResult:
+        times = PhaseTimes()
+        memory = MemoryReport()
+        n = self.blocks.n
+        with times.phase("solve eigenvalue problem"):
+            sol = solve_qep_dense(self.blocks, energy)
+            mags = np.abs(sol.eigenvalues)
+            keep = (mags > self.rmin) & (mags < self.rmax)
+            lam = sol.eigenvalues[keep]
+            vecs = sol.vectors[:, keep]
+            pencil = QuadraticPencil(self.blocks, energy)
+            res = pencil.residuals(lam, vecs)
+            ok = res <= self.residual_tol
+            lam, vecs, res = lam[ok], vecs[:, ok], res[ok]
+            order = np.argsort(np.abs(lam))
+        # Companion pair + eig workspace: ~5 dense (2N)² complexes.
+        memory.add("companion pencil + workspace", 5 * (2 * n) ** 2 * 16)
+        return DenseQEPResult(
+            float(energy), lam[order], vecs[:, order], res[order],
+            times, memory,
+        )

@@ -1,0 +1,84 @@
+"""Classical transfer-matrix method — the unstable strawman.
+
+For an invertible coupling block the cell recursion
+
+.. math::
+    \\begin{bmatrix} ψ_{n+1} \\\\ ψ_n \\end{bmatrix}
+    = \\underbrace{\\begin{bmatrix}
+        H_+^{-1}(E - H_0) & -H_+^{-1} H_- \\\\ I & 0
+      \\end{bmatrix}}_{T(E)}
+    \\begin{bmatrix} ψ_n \\\\ ψ_{n-1} \\end{bmatrix}
+
+gives the CBS as the spectrum of ``T(E)``.  The catch — well known since
+Lee & Joannopoulos (1981), and the reason the paper's second approach
+"diagonalizing T_{2m}(E)" needs the boundary-matching reformulation —
+is that ``H_+`` is severely ill-conditioned for high-order stencils
+(its W-plane block is triangular with tiny corner entries), so ``T``
+mixes modes growing like ``|λ|^{N}`` and loses the physical ring
+eigenvalues in rounding error for all but tiny problems.
+
+This module exists (a) as a third baseline for small models, (b) to
+*demonstrate* the conditioning failure in tests and the ablation bench.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Tuple
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+
+from repro.errors import SingularPencilError
+from repro.qep.blocks import BlockTriple
+
+#: Condition-number threshold above which results are flagged unreliable.
+CONDITION_WARNING = 1e12
+
+
+def transfer_matrix(blocks: BlockTriple, energy: float) -> Tuple[np.ndarray, float]:
+    """The ``2N × 2N`` transfer matrix and the condition number of ``H+``.
+
+    Raises :class:`SingularPencilError` when ``H+`` is numerically
+    singular (common: grid couplings make ``H+`` nilpotent-like); callers
+    should fall back to OBM or the QEP/SS path — which is the point.
+    """
+    dense = blocks.as_dense().as_complex()
+    n = dense.n
+    hp = np.asarray(dense.hp)
+    cond = float(np.linalg.cond(hp)) if n <= 2000 else np.inf
+    if not np.isfinite(cond) or cond > 1e15:
+        raise SingularPencilError(
+            f"H+ is numerically singular (cond={cond:.2e}); the transfer "
+            "matrix does not exist — use OBM or QEP/SS"
+        )
+    if cond > CONDITION_WARNING:
+        warnings.warn(
+            f"transfer matrix built from H+ with cond={cond:.2e}; "
+            "eigenvalues in the ring are likely inaccurate",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    e_h0 = energy * np.eye(n, dtype=np.complex128) - np.asarray(dense.h0)
+    hp_inv_eh0 = np.linalg.solve(hp, e_h0)
+    hp_inv_hm = np.linalg.solve(hp, np.asarray(dense.hm))
+    t = np.zeros((2 * n, 2 * n), dtype=np.complex128)
+    t[:n, :n] = hp_inv_eh0
+    t[:n, n:] = -hp_inv_hm
+    t[n:, :n] = np.eye(n)
+    return t, cond
+
+
+def transfer_matrix_eigenvalues(
+    blocks: BlockTriple,
+    energy: float,
+    *,
+    rmin: float = 0.0,
+    rmax: float = np.inf,
+) -> np.ndarray:
+    """CBS factors from the transfer-matrix spectrum, ring-filtered."""
+    t, _cond = transfer_matrix(blocks, energy)
+    lam = sla.eigvals(t)
+    mags = np.abs(lam)
+    return lam[(mags > rmin) & (mags < rmax)]

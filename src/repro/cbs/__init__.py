@@ -1,0 +1,20 @@
+"""Complex band structure drivers: energy scans, classification, bands."""
+
+from repro.cbs.classify import ModeType, CBSMode, classify_modes
+from repro.cbs.scan import CBSCalculator, CBSResult, EnergySlice
+from repro.cbs.bands import band_structure, BandStructure
+from repro.cbs.branch import track_branches, find_branch_points, BranchPoint
+
+__all__ = [
+    "ModeType",
+    "CBSMode",
+    "classify_modes",
+    "CBSCalculator",
+    "CBSResult",
+    "EnergySlice",
+    "band_structure",
+    "BandStructure",
+    "track_branches",
+    "find_branch_points",
+    "BranchPoint",
+]

@@ -1,0 +1,71 @@
+"""Physical constants and unit conversions.
+
+The library works in Hartree atomic units internally:
+
+* length  — Bohr radius ``a0``
+* energy  — Hartree ``Ha``
+* hbar = m_e = e = 1
+
+Public entry points (builders, CBS scans) accept/report eV and Angstrom,
+matching the paper's presentation (energies in eV around the Fermi level,
+grid spacings in Angstrom).
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# CODATA-2018 values (truncated; more digits than we will ever resolve).
+# ---------------------------------------------------------------------------
+
+#: Hartree energy in electronvolt.
+HARTREE_EV: float = 27.211386245988
+
+#: Bohr radius in Angstrom.
+BOHR_ANGSTROM: float = 0.529177210903
+
+#: Rydberg in eV (= Ha / 2).
+RYDBERG_EV: float = HARTREE_EV / 2.0
+
+#: pi, re-exported for convenience in quadrature code.
+PI: float = math.pi
+
+#: 2*pi*i appears in every contour integral; keep a named constant.
+TWO_PI: float = 2.0 * math.pi
+
+
+def ev_to_hartree(e_ev: float) -> float:
+    """Convert an energy from eV to Hartree."""
+    return e_ev / HARTREE_EV
+
+
+def hartree_to_ev(e_ha: float) -> float:
+    """Convert an energy from Hartree to eV."""
+    return e_ha * HARTREE_EV
+
+
+def angstrom_to_bohr(x_ang: float) -> float:
+    """Convert a length from Angstrom to Bohr."""
+    return x_ang / BOHR_ANGSTROM
+
+
+def bohr_to_angstrom(x_bohr: float) -> float:
+    """Convert a length from Bohr to Angstrom."""
+    return x_bohr * BOHR_ANGSTROM
+
+
+#: Default grid spacing used by the paper (0.2 Angstrom), in Bohr.
+DEFAULT_SPACING_BOHR: float = angstrom_to_bohr(0.2)
+
+#: Bytes per complex128 scalar; used by the memory accounting utilities.
+BYTES_COMPLEX128: int = 16
+
+#: Bytes per float64 scalar.
+BYTES_FLOAT64: int = 8
+
+#: Bytes per int32 index (CSR indices).
+BYTES_INT32: int = 4
+
+#: Bytes per int64 index (CSR indptr).
+BYTES_INT64: int = 8

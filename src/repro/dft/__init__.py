@@ -1,0 +1,57 @@
+"""Real-space pseudopotential DFT substrate.
+
+This package replaces the paper's RSPACE inputs (atomic coordinates +
+self-consistent local potential) with a self-contained generator of
+Kohn-Sham Hamiltonians on real-space grids:
+
+* :mod:`repro.dft.elements` / :mod:`repro.dft.pseudopotential` —
+  norm-conserving-style local potentials and Kleinman-Bylander separable
+  nonlocal projectors (Gaussian-screened; see DESIGN.md substitution
+  table);
+* :mod:`repro.dft.structure` / :mod:`repro.dft.builders` — bulk Al(100),
+  (n,m) carbon nanotubes, BN doping, tube bundles, z-supercells;
+* :mod:`repro.dft.hamiltonian` — assembly of the unit-cell block triple
+  ``(H-, H0, H+)`` with high-order finite differences (the paper's
+  9-point stencil) plus the projector cross-boundary pieces;
+* :mod:`repro.dft.scf` — a compact LDA self-consistency loop (FFT
+  Hartree + Perdew-Zunger XC) for small systems, playing RSPACE's role
+  of producing an effective potential.
+"""
+
+from repro.dft.elements import Element, get_element, PERIODIC
+from repro.dft.structure import Atom, CrystalStructure
+from repro.dft.builders import (
+    bulk_al100,
+    nanotube,
+    bn_doped_nanotube,
+    bundle7,
+    crystalline_bundle,
+    grid_for_structure,
+)
+from repro.dft.hamiltonian import KSHamiltonianBuilder, HamiltonianInfo
+from repro.dft.pseudopotential import (
+    LocalPseudopotential,
+    KBProjector,
+    SpeciesPseudopotential,
+    pseudopotential_for,
+)
+
+__all__ = [
+    "Element",
+    "get_element",
+    "PERIODIC",
+    "Atom",
+    "CrystalStructure",
+    "bulk_al100",
+    "nanotube",
+    "bn_doped_nanotube",
+    "bundle7",
+    "crystalline_bundle",
+    "grid_for_structure",
+    "KSHamiltonianBuilder",
+    "HamiltonianInfo",
+    "LocalPseudopotential",
+    "KBProjector",
+    "SpeciesPseudopotential",
+    "pseudopotential_for",
+]

@@ -1,0 +1,317 @@
+"""Builders for the paper's systems.
+
+* bulk Al(100) — fcc aluminum stacked along ⟨100⟩ (4 atoms / cell);
+* (n, m) single-wall carbon nanotubes via the rolled-graphene
+  construction (generic chirality; the paper uses (6,6) and (8,0));
+* BN-doped CNTs — random B/N substitution into a z-supercell
+  (32 → 1024 → 10240 atoms);
+* 7-tube and crystalline (periodic) bundles of (8,0) CNTs (Figure 11).
+
+Geometry is exact; grids are chosen by :func:`grid_for_structure` at a
+requested spacing, defaulting to bench-scale resolution (the paper's
+0.2 Å spacing is available by passing ``spacing_angstrom=0.2``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import angstrom_to_bohr
+from repro.dft.structure import Atom, CrystalStructure
+from repro.errors import ConfigurationError, StructureError
+from repro.grid.grid import RealSpaceGrid
+from repro.utils.rng import default_rng
+
+#: fcc lattice constant of aluminum (Angstrom → Bohr).
+AL_LATTICE_ANGSTROM = 4.05
+
+#: Graphene C-C bond length (Angstrom).
+CC_BOND_ANGSTROM = 1.42
+
+#: Van-der-Waals wall-to-wall gap between bundled tubes (Angstrom).
+TUBE_GAP_ANGSTROM = 3.2
+
+
+# ---------------------------------------------------------------------------
+# bulk Al(100)
+# ---------------------------------------------------------------------------
+
+def bulk_al100(repeats_z: int = 1, lateral: int = 1) -> CrystalStructure:
+    """fcc Al with the conventional cubic cell, z ∥ ⟨100⟩.
+
+    One conventional cell holds 4 atoms (the paper's Al(100) example);
+    ``lateral`` replicates in x and y, ``repeats_z`` along z.
+    """
+    a = angstrom_to_bohr(AL_LATTICE_ANGSTROM)
+    basis = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    ) * a
+    atoms: List[Atom] = []
+    for ix in range(lateral):
+        for iy in range(lateral):
+            for b in basis:
+                atoms.append(
+                    Atom("Al", (b[0] + ix * a, b[1] + iy * a, b[2]))
+                )
+    s = CrystalStructure(
+        (a * lateral, a * lateral, a), atoms, name=f"Al(100) {4*lateral*lateral} at/cell"
+    )
+    return s.supercell_z(repeats_z) if repeats_z > 1 else s
+
+
+# ---------------------------------------------------------------------------
+# carbon nanotubes
+# ---------------------------------------------------------------------------
+
+def _nanotube_frame(n: int, m: int) -> Tuple[np.ndarray, np.ndarray, float, float, int]:
+    """Chiral/translation vectors of an (n, m) tube in graphene Cartesian
+    coordinates; returns (C, T, |C|, |T|, atoms_per_cell)."""
+    if n < 1 or m < 0 or m > n:
+        raise ConfigurationError(f"bad chirality ({n},{m})")
+    a = angstrom_to_bohr(CC_BOND_ANGSTROM) * math.sqrt(3.0)  # graphene a
+    a1 = np.array([a, 0.0])
+    a2 = np.array([a / 2.0, a * math.sqrt(3.0) / 2.0])
+    c_vec = n * a1 + m * a2
+    d_r = math.gcd(2 * n + m, 2 * m + n)
+    t1 = (2 * m + n) // d_r
+    t2 = -(2 * n + m) // d_r
+    t_vec = t1 * a1 + t2 * a2
+    natoms = 4 * (n * n + m * m + n * m) // d_r
+    return c_vec, t_vec, float(np.linalg.norm(c_vec)), float(np.linalg.norm(t_vec)), natoms
+
+
+def nanotube(
+    n: int,
+    m: int = 0,
+    *,
+    vacuum_angstrom: float = 3.0,
+    species: str = "C",
+    center: Optional[Tuple[float, float]] = None,
+    cell_xy: Optional[Tuple[float, float]] = None,
+) -> CrystalStructure:
+    """A single-wall (n, m) nanotube along z in a vacuum box.
+
+    The rolled-graphene construction: enumerate graphene lattice sites,
+    keep one translational cell in the (C, T) frame, map the C-coordinate
+    to the tube circumference.  ``(8,0)`` gives 32 atoms/cell, ``(6,6)``
+    24 atoms/cell, matching the paper.
+
+    Parameters
+    ----------
+    vacuum_angstrom:
+        Wall-to-boundary vacuum padding (the lateral box is
+        ``2R + 2*vacuum``).
+    species:
+        Atom type (``"C"``; doping is applied separately).
+    center:
+        Tube axis position in the cell (defaults to the box center).
+    cell_xy:
+        Override the lateral cell (used by the bundle builders).
+    """
+    c_vec, t_vec, c_len, t_len, natoms_expected = _nanotube_frame(n, m)
+    radius = c_len / (2.0 * math.pi)
+    c_hat = c_vec / c_len
+    t_hat = t_vec / t_len
+
+    a = angstrom_to_bohr(CC_BOND_ANGSTROM) * math.sqrt(3.0)
+    a1 = np.array([a, 0.0])
+    a2 = np.array([a / 2.0, a * math.sqrt(3.0) / 2.0])
+    basis = [np.array([0.0, 0.0]), (a1 + a2) / 3.0]
+
+    # Enumerate enough lattice cells to cover the (C, T) rectangle.
+    span = int(math.ceil((c_len + t_len) / a)) + 2
+    eps = 1e-9
+    found = []
+    for i in range(-span, span + 1):
+        for j in range(-span, span + 1):
+            for b in basis:
+                p = i * a1 + j * a2 + b
+                u = float(p @ c_hat)
+                v = float(p @ t_hat)
+                # Fold into [0, |C|) x [0, |T|).
+                u_f = u - c_len * math.floor(u / c_len + eps)
+                v_f = v - t_len * math.floor(v / t_len + eps)
+                if -eps <= u_f < c_len - eps and -eps <= v_f < t_len - eps:
+                    found.append((u_f, v_f))
+    # Unique within tolerance (rolled duplicates from the enumeration).
+    uniq: List[Tuple[float, float]] = []
+    for u, v in found:
+        dup = any(
+            (abs(u - u2) < 1e-6 or abs(abs(u - u2) - c_len) < 1e-6)
+            and (abs(v - v2) < 1e-6 or abs(abs(v - v2) - t_len) < 1e-6)
+            for u2, v2 in uniq
+        )
+        if not dup:
+            uniq.append((u, v))
+    if len(uniq) != natoms_expected:
+        raise StructureError(
+            f"({n},{m}) tube construction found {len(uniq)} atoms, "
+            f"expected {natoms_expected}"
+        )
+
+    vac = angstrom_to_bohr(vacuum_angstrom)
+    if cell_xy is None:
+        lx = ly = 2.0 * radius + 2.0 * vac
+    else:
+        lx, ly = cell_xy
+    cx, cy = center if center is not None else (lx / 2.0, ly / 2.0)
+
+    atoms = []
+    for u, v in uniq:
+        theta = 2.0 * math.pi * u / c_len
+        atoms.append(
+            Atom(
+                species,
+                (
+                    cx + radius * math.cos(theta),
+                    cy + radius * math.sin(theta),
+                    v,
+                ),
+            )
+        )
+    s = CrystalStructure((lx, ly, t_len), atoms, name=f"({n},{m}) CNT")
+    s.validate(min_allowed=1.8)
+    return s
+
+
+def tube_radius(n: int, m: int = 0) -> float:
+    """Radius of an (n, m) tube in Bohr."""
+    _, _, c_len, _, _ = _nanotube_frame(n, m)
+    return c_len / (2.0 * math.pi)
+
+
+# ---------------------------------------------------------------------------
+# BN doping
+# ---------------------------------------------------------------------------
+
+def bn_doped_nanotube(
+    base: CrystalStructure,
+    repeats_z: int,
+    doping_fraction: float = 0.1,
+    seed=None,
+) -> CrystalStructure:
+    """Random B/N substitution into a z-supercell of ``base``.
+
+    The paper's BN-doped (8,0) CNTs "were made by randomly inserting
+    boron and nitrogen into pristine (8,0) CNT"; we substitute an even
+    number of randomly chosen carbon sites, half B and half N (keeping
+    the electron count neutral: B donates one fewer, N one more).
+    """
+    if not 0.0 <= doping_fraction < 1.0:
+        raise ConfigurationError(
+            f"doping_fraction must be in [0,1), got {doping_fraction}"
+        )
+    cell = base.supercell_z(repeats_z)
+    n_dope = int(round(doping_fraction * cell.natoms / 2.0)) * 2
+    if n_dope == 0:
+        return cell
+    rng = default_rng(seed)
+    sites = rng.choice(cell.natoms, size=n_dope, replace=False)
+    atoms = list(cell.atoms)
+    for idx, site in enumerate(sites):
+        old = atoms[site]
+        atoms[site] = Atom("B" if idx % 2 == 0 else "N", old.position)
+    return cell.with_atoms(
+        atoms, name=f"BN-doped {base.name} x{repeats_z} ({cell.natoms} atoms)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# bundles (Figure 11)
+# ---------------------------------------------------------------------------
+
+def bundle7(
+    n: int = 8,
+    m: int = 0,
+    *,
+    vacuum_angstrom: float = 3.0,
+    gap_angstrom: float = TUBE_GAP_ANGSTROM,
+) -> CrystalStructure:
+    """Seven (n, m) tubes in hexagonal arrangement (one center + 6 ring).
+
+    The paper's "7 bundle" of (8,0) CNTs: 7 × 32 = 224 atoms (the paper
+    prints 234, an apparent typo for the 224 of seven 32-atom tubes).
+    """
+    r = tube_radius(n, m)
+    d = 2.0 * r + angstrom_to_bohr(gap_angstrom)  # axis-to-axis distance
+    vac = angstrom_to_bohr(vacuum_angstrom)
+    # Bounding hexagonal star: ring tubes at distance d.
+    half_extent = d + r + vac
+    lx = ly = 2.0 * half_extent
+    centers = [(0.0, 0.0)]
+    for i in range(6):
+        ang = math.pi / 3.0 * i
+        centers.append((d * math.cos(ang), d * math.sin(ang)))
+
+    atoms: List[Atom] = []
+    t_len = None
+    for cx, cy in centers:
+        tube = nanotube(
+            n, m,
+            center=(lx / 2.0 + cx, ly / 2.0 + cy),
+            cell_xy=(lx, ly),
+        )
+        t_len = tube.lz
+        atoms.extend(tube.atoms)
+    s = CrystalStructure((lx, ly, t_len), atoms, name=f"7-bundle ({n},{m})")
+    s.validate(min_allowed=1.8)
+    return s
+
+
+def crystalline_bundle(
+    n: int = 8,
+    m: int = 0,
+    *,
+    gap_angstrom: float = TUBE_GAP_ANGSTROM,
+) -> CrystalStructure:
+    """Close-packed periodic bundle: 2 tubes per rectangular cell.
+
+    Triangular tube packing mapped to an orthorhombic cell (one tube at
+    the corner, one at the center, ``Ly/Lx = √3``) — 64 atoms/cell for
+    (8,0), matching the paper's crystalline bundle.
+    """
+    r = tube_radius(n, m)
+    d = 2.0 * r + angstrom_to_bohr(gap_angstrom)
+    lx = d
+    ly = d * math.sqrt(3.0)
+    corner = nanotube(n, m, center=(0.0, 0.0), cell_xy=(lx, ly))
+    center = nanotube(n, m, center=(lx / 2.0, ly / 2.0), cell_xy=(lx, ly))
+    s = CrystalStructure(
+        (lx, ly, corner.lz),
+        list(corner.atoms) + list(center.atoms),
+        name=f"crystalline bundle ({n},{m})",
+    )
+    s.validate(min_allowed=1.8)
+    return s
+
+
+# ---------------------------------------------------------------------------
+# grids
+# ---------------------------------------------------------------------------
+
+def grid_for_structure(
+    structure: CrystalStructure,
+    spacing_angstrom: float = 0.35,
+    *,
+    multiple_of: int = 2,
+) -> RealSpaceGrid:
+    """A grid matching the cell at roughly the requested spacing.
+
+    Point counts are rounded to multiples of ``multiple_of`` (FFT- and
+    decomposition-friendly); the actual spacing absorbs the rounding.
+    The paper's production spacing is 0.2 Å; the default 0.35 Å is the
+    bench-scale setting (DESIGN.md).
+    """
+    if spacing_angstrom <= 0:
+        raise ConfigurationError("spacing must be positive")
+    h = angstrom_to_bohr(spacing_angstrom)
+    shape = []
+    spacing = []
+    for length in structure.cell:
+        npts = max(multiple_of, int(round(length / h / multiple_of)) * multiple_of)
+        shape.append(npts)
+        spacing.append(length / npts)
+    return RealSpaceGrid(tuple(shape), tuple(spacing))

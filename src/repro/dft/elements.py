@@ -1,0 +1,82 @@
+"""Element data and pseudopotential parameters.
+
+The paper uses Troullier-Martins norm-conserving pseudopotentials from
+RSPACE's library (not public).  We substitute Gaussian-screened model
+pseudopotentials with the same *structure* — a short-ranged local part
+representing the self-consistently screened effective potential of a
+neutral atom, plus Kleinman-Bylander separable s/p nonlocal channels —
+parametrized per species so that chemistry trends survive (N binds more
+strongly than C, C than B; Al is shallow and nearly-free-electron-like).
+Energies in Hartree, lengths in Bohr.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.constants import angstrom_to_bohr
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Element:
+    """Per-species constants.
+
+    Attributes
+    ----------
+    symbol:
+        Chemical symbol.
+    z_valence:
+        Valence electron count (pseudopotential charge).
+    covalent_radius:
+        Covalent radius in Bohr (geometry sanity checks).
+    local_depth / local_width:
+        Gaussian local-potential well ``v(r) = -depth * exp(-r²/2w²)``.
+    projectors:
+        Tuple of ``(l, energy, width)`` Kleinman-Bylander channels:
+        ``l = 0`` (s, one projector) or ``l = 1`` (p, three projectors).
+    """
+
+    symbol: str
+    z_valence: int
+    covalent_radius: float
+    local_depth: float
+    local_width: float
+    projectors: Tuple[Tuple[int, float, float], ...]
+
+
+def _ang(x: float) -> float:
+    return angstrom_to_bohr(x)
+
+
+#: The species used by the paper's systems (plus H for tests).
+PERIODIC: Dict[str, Element] = {
+    "H": Element("H", 1, _ang(0.31), 0.90, 0.60,
+                 ((0, 0.40, 0.50),)),
+    "B": Element("B", 3, _ang(0.84), 1.60, 0.80,
+                 ((0, 0.70, 0.58), (1, -0.30, 0.68))),
+    "C": Element("C", 4, _ang(0.76), 1.90, 0.75,
+                 ((0, 0.80, 0.55), (1, -0.35, 0.65))),
+    "N": Element("N", 5, _ang(0.71), 2.20, 0.70,
+                 ((0, 0.90, 0.52), (1, -0.40, 0.62))),
+    "Al": Element("Al", 3, _ang(1.21), 1.10, 1.10,
+                  ((0, 0.50, 0.90), (1, -0.20, 1.00))),
+}
+
+
+def get_element(symbol: str) -> Element:
+    """Look up an element; raises for species without parameters."""
+    try:
+        return PERIODIC[symbol]
+    except KeyError:
+        raise ConfigurationError(
+            f"no pseudopotential parameters for element {symbol!r}; "
+            f"available: {sorted(PERIODIC)}"
+        ) from None
+
+
+def projector_count(symbol: str) -> int:
+    """Number of KB projector functions for a species (s→1, p→3)."""
+    elem = get_element(symbol)
+    return sum(1 if l == 0 else 3 for (l, _e, _w) in elem.projectors)

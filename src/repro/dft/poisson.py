@@ -1,0 +1,54 @@
+"""FFT Poisson solver for the Hartree potential (periodic cells).
+
+Solves ``∇² v_H = -4π ρ`` on the periodic grid by dividing by ``-|G|²``
+in reciprocal space.  The ``G = 0`` component is set to zero — the usual
+jellium convention: the cell must be charge-neutral (valence density
+compensated by the pseudo-ion charge) for the Hartree energy to be
+meaningful, and the SCF driver ensures this by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.grid import RealSpaceGrid
+
+
+def _g_squared(grid: RealSpaceGrid) -> np.ndarray:
+    """``|G|²`` on the FFT frequency grid, field shape (Nz, Ny, Nx)."""
+    lx, ly, lz = grid.lengths
+    gx = 2.0 * np.pi * np.fft.fftfreq(grid.nx, d=1.0 / grid.nx) / lx
+    gy = 2.0 * np.pi * np.fft.fftfreq(grid.ny, d=1.0 / grid.ny) / ly
+    gz = 2.0 * np.pi * np.fft.fftfreq(grid.nz, d=1.0 / grid.nz) / lz
+    GZ, GY, GX = np.meshgrid(gz, gy, gx, indexing="ij")
+    return GX**2 + GY**2 + GZ**2
+
+
+def hartree_potential(grid: RealSpaceGrid, density: np.ndarray) -> np.ndarray:
+    """Hartree potential of a (flat, length-N) density; returns flat v_H.
+
+    The mean (G=0) component of the density is removed — equivalent to a
+    neutralizing background; see module docstring.
+    """
+    rho = grid.field(np.asarray(density, dtype=np.float64))
+    rho_g = np.fft.fftn(rho)
+    g2 = _g_squared(grid)
+    v_g = np.zeros_like(rho_g)
+    nonzero = g2 > 0.0
+    v_g[nonzero] = 4.0 * np.pi * rho_g[nonzero] / g2[nonzero]
+    v = np.fft.ifftn(v_g).real
+    return grid.flat(v)
+
+
+def hartree_energy(grid: RealSpaceGrid, density: np.ndarray) -> float:
+    """``E_H = ½ ∫ ρ v_H`` on the grid."""
+    v = hartree_potential(grid, density)
+    rho = np.asarray(density, dtype=np.float64)
+    return float(0.5 * np.sum(rho * v) * grid.volume_element)
+
+
+def laplacian_fft(grid: RealSpaceGrid, field_flat: np.ndarray) -> np.ndarray:
+    """Spectral Laplacian (diagnostics: verifies the Poisson solve)."""
+    f = grid.field(np.asarray(field_flat, dtype=np.float64))
+    out = np.fft.ifftn(-_g_squared(grid) * np.fft.fftn(f)).real
+    return grid.flat(out)

@@ -1,0 +1,148 @@
+"""Model pseudopotentials: local wells + Kleinman-Bylander projectors.
+
+Substitution note (DESIGN.md): the paper uses Troullier-Martins
+norm-conserving pseudopotentials with the self-consistent screening
+computed by RSPACE.  We model the **screened effective potential**
+directly:
+
+* the local part is a Gaussian well per atom,
+  ``v_loc(r) = -A exp(-r² / 2σ²)`` — short-ranged like a screened
+  neutral-atom potential, so no Ewald sums are needed and the Hamiltonian
+  keeps exactly the paper's sparsity;
+* the nonlocal part is the standard KB separable form
+  ``V_nl = Σ_lm ε_l |χ_lm⟩⟨χ_lm| / ⟨χ_lm|χ_lm⟩`` with solid-Gaussian
+  radial functions (s: ``e^{-r²/2σ²}``; p: ``(x,y,z) e^{-r²/2σ²}``).
+
+Everything the solvers exercise — diagonal local term, low-rank
+separable nonlocal term with cross-cell tails, Hermiticity, bandwidth —
+is identical in structure to the production setup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dft.elements import Element, get_element
+from repro.errors import ConfigurationError
+
+#: Local-potential cutoff in units of the Gaussian width (amplitude
+#: ~4e-5 of peak at 4.5σ; the potential is diagonal so the wide support
+#: costs only O(points) work).
+LOCAL_CUTOFF_SIGMAS = 4.5
+
+#: Projector cutoff in Gaussian widths.  Projectors enter the assembled
+#: blocks as |χ⟩⟨χ| outer products (support² nonzeros per projector), so
+#: their support is truncated harder — 3σ keeps ~99% of the norm and the
+#: operator stays exactly Hermitian (symmetric truncation).
+PROJECTOR_CUTOFF_SIGMAS = 3.0
+
+
+@dataclass(frozen=True)
+class LocalPseudopotential:
+    """Gaussian local well ``v(r) = -depth exp(-r²/2 width²)``."""
+
+    depth: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0 or self.width <= 0:
+            raise ConfigurationError("depth and width must be positive")
+
+    @property
+    def cutoff(self) -> float:
+        return LOCAL_CUTOFF_SIGMAS * self.width
+
+    def evaluate(self, r: np.ndarray) -> np.ndarray:
+        """Potential at distances ``r`` (vectorized, Hartree)."""
+        r = np.asarray(r, dtype=np.float64)
+        return -self.depth * np.exp(-0.5 * (r / self.width) ** 2)
+
+
+@dataclass(frozen=True)
+class KBProjector:
+    """One Kleinman-Bylander channel: ``ε |χ⟩⟨χ| / ⟨χ|χ⟩``.
+
+    ``l = 0`` is a single s projector; ``l = 1`` expands into three
+    Cartesian p projectors (x, y, z).  The normalization ``⟨χ|χ⟩`` is
+    evaluated on the grid at assembly time, which keeps the discrete
+    operator exactly Hermitian.
+    """
+
+    l: int
+    energy: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.l not in (0, 1):
+            raise ConfigurationError(f"only s/p channels supported, got l={self.l}")
+        if self.width <= 0:
+            raise ConfigurationError("width must be positive")
+        if self.energy == 0.0:
+            raise ConfigurationError("projector energy must be nonzero")
+
+    @property
+    def cutoff(self) -> float:
+        return PROJECTOR_CUTOFF_SIGMAS * self.width
+
+    @property
+    def n_functions(self) -> int:
+        return 1 if self.l == 0 else 3
+
+    def evaluate(
+        self, dx: np.ndarray, dy: np.ndarray, dz: np.ndarray
+    ) -> List[np.ndarray]:
+        """Projector values at displacements from the atom.
+
+        Returns one array per m-component (1 for s, 3 for p).
+        """
+        r2 = dx * dx + dy * dy + dz * dz
+        gauss = np.exp(-0.5 * r2 / self.width**2)
+        if self.l == 0:
+            return [gauss]
+        return [dx * gauss, dy * gauss, dz * gauss]
+
+
+@dataclass(frozen=True)
+class SpeciesPseudopotential:
+    """All pseudopotential pieces of one species."""
+
+    element: Element
+    local: LocalPseudopotential
+    projectors: Tuple[KBProjector, ...]
+
+    @property
+    def max_cutoff(self) -> float:
+        cuts = [self.local.cutoff] + [p.cutoff for p in self.projectors]
+        return max(cuts)
+
+    @property
+    def n_projector_functions(self) -> int:
+        return sum(p.n_functions for p in self.projectors)
+
+
+def pseudopotential_for(symbol: str) -> SpeciesPseudopotential:
+    """The library pseudopotential of a species (from the element table)."""
+    elem = get_element(symbol)
+    local = LocalPseudopotential(elem.local_depth, elem.local_width)
+    projs = tuple(
+        KBProjector(l, e, w) for (l, e, w) in elem.projectors
+    )
+    return SpeciesPseudopotential(elem, local, projs)
+
+
+def gaussian_norm_analytic(width: float, l: int) -> float:
+    """Analytic ⟨χ|χ⟩ of the solid-Gaussian projectors (tests only).
+
+    s: ``(π^{3/2}) σ³``;  p (per component): ``(π^{3/2}/2) σ⁵``.
+    The assembly uses grid sums instead; this closed form anchors the
+    quadrature-accuracy tests.
+    """
+    if l == 0:
+        return math.pi ** 1.5 * width**3
+    if l == 1:
+        return 0.5 * math.pi ** 1.5 * width**5
+    raise ConfigurationError(f"unsupported l={l}")

@@ -1,0 +1,159 @@
+"""Atomic structures in orthorhombic periodic cells.
+
+The stacking/transport axis is z; the unit cell repeats along z with
+period ``Lz`` (and along x, y with ``Lx``, ``Ly`` — lateral supercells
+with vacuum for isolated tubes).  All lengths in Bohr.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.dft.elements import get_element, projector_count
+from repro.errors import StructureError
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One atom: chemical symbol + Cartesian position (Bohr)."""
+
+    symbol: str
+    position: Tuple[float, float, float]
+
+    def shifted(self, dx: float, dy: float, dz: float) -> "Atom":
+        x, y, z = self.position
+        return Atom(self.symbol, (x + dx, y + dy, z + dz))
+
+
+@dataclass
+class CrystalStructure:
+    """Atoms in an orthorhombic cell, periodic along x, y, z.
+
+    Parameters
+    ----------
+    cell:
+        Cell lengths ``(Lx, Ly, Lz)`` in Bohr.
+    atoms:
+        Atom list; positions are wrapped into the cell on construction.
+    name:
+        Human-readable label for reports.
+    """
+
+    cell: Tuple[float, float, float]
+    atoms: List[Atom] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.cell) != 3 or any(c <= 0 for c in self.cell):
+            raise StructureError(f"bad cell {self.cell!r}")
+        self.cell = tuple(float(c) for c in self.cell)
+        self.atoms = [self._wrap(a) for a in self.atoms]
+
+    def _wrap(self, atom: Atom) -> Atom:
+        pos = tuple(
+            float(np.mod(p, c)) for p, c in zip(atom.position, self.cell)
+        )
+        get_element(atom.symbol)  # validates the species
+        return Atom(atom.symbol, pos)
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def natoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def lz(self) -> float:
+        """The stacking period ``a``."""
+        return self.cell[2]
+
+    def positions(self) -> np.ndarray:
+        """``(natoms, 3)`` position array."""
+        return np.array([a.position for a in self.atoms], dtype=np.float64)
+
+    def species_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for a in self.atoms:
+            out[a.symbol] = out.get(a.symbol, 0) + 1
+        return out
+
+    def n_valence_electrons(self) -> int:
+        return sum(get_element(a.symbol).z_valence for a in self.atoms)
+
+    def n_projectors(self) -> int:
+        """Total KB projector functions (the nonlocal-comm volume)."""
+        return sum(projector_count(a.symbol) for a in self.atoms)
+
+    # -- geometry ---------------------------------------------------------------
+
+    def min_distance(self) -> float:
+        """Smallest interatomic distance under periodic boundary conditions.
+
+        O(natoms²) with minimum-image convention — fine for the cell
+        sizes we validate explicitly (use spot checks for 10k atoms).
+        """
+        if self.natoms < 2:
+            return np.inf
+        pos = self.positions()
+        cell = np.asarray(self.cell)
+        dmin = np.inf
+        for i in range(self.natoms - 1):
+            d = pos[i + 1:] - pos[i]
+            d -= cell * np.round(d / cell)
+            dist = np.sqrt((d * d).sum(axis=1))
+            dmin = min(dmin, float(dist.min()))
+        return dmin
+
+    def validate(self, min_allowed: float = 1.5) -> None:
+        """Raise when atoms are unphysically close (default 1.5 Bohr)."""
+        d = self.min_distance()
+        if d < min_allowed:
+            raise StructureError(
+                f"atoms closer than {min_allowed} Bohr (found {d:.3f}) in "
+                f"{self.name or 'structure'}"
+            )
+
+    def neighbor_pairs(self, cutoff: float) -> List[Tuple[int, int, float]]:
+        """All periodic pairs within ``cutoff`` (i < j, minimum image)."""
+        pos = self.positions()
+        cell = np.asarray(self.cell)
+        pairs: List[Tuple[int, int, float]] = []
+        for i in range(self.natoms - 1):
+            d = pos[i + 1:] - pos[i]
+            d -= cell * np.round(d / cell)
+            dist = np.sqrt((d * d).sum(axis=1))
+            for off in np.nonzero(dist <= cutoff)[0]:
+                pairs.append((i, i + 1 + int(off), float(dist[off])))
+        return pairs
+
+    # -- construction helpers ------------------------------------------------------
+
+    def supercell_z(self, repeats: int) -> "CrystalStructure":
+        """Replicate the cell ``repeats`` times along z (BN-doped CNT
+        supercells: 32 atoms × 32 → 1024, × 320 → 10240)."""
+        if repeats < 1:
+            raise StructureError(f"repeats must be >= 1, got {repeats}")
+        lx, ly, lz = self.cell
+        atoms: List[Atom] = []
+        for r in range(repeats):
+            atoms.extend(a.shifted(0.0, 0.0, r * lz) for a in self.atoms)
+        return CrystalStructure(
+            (lx, ly, lz * repeats), atoms,
+            name=f"{self.name} x{repeats}z" if self.name else "",
+        )
+
+    def with_atoms(self, atoms: Iterable[Atom],
+                   name: str | None = None) -> "CrystalStructure":
+        return CrystalStructure(
+            self.cell, list(atoms), name=self.name if name is None else name
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        counts = ", ".join(f"{k}{v}" for k, v in sorted(self.species_counts().items()))
+        return (
+            f"CrystalStructure({self.name or 'unnamed'}: {counts}, "
+            f"cell=({self.cell[0]:.2f},{self.cell[1]:.2f},{self.cell[2]:.2f}) Bohr)"
+        )

@@ -1,0 +1,105 @@
+"""LDA exchange-correlation: Slater exchange + Perdew-Zunger correlation.
+
+The paper treats exchange-correlation "by the local density
+approximation (LDA) [Perdew & Zunger 1981]".  Implemented for the
+spin-unpolarized case; inputs/outputs in Hartree atomic units.
+
+PZ81 parametrization of the correlation energy per electron:
+
+* ``r_s >= 1``:  ``ε_c = γ / (1 + β1 √r_s + β2 r_s)``
+* ``r_s < 1``:   ``ε_c = A ln r_s + B + C r_s ln r_s + D r_s``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Slater exchange constant: ε_x = -Cx * n^(1/3),  Cx = (3/4)(3/π)^(1/3).
+_CX = 0.75 * (3.0 / np.pi) ** (1.0 / 3.0)
+
+# PZ81 unpolarized constants.
+_GAMMA = -0.1423
+_BETA1 = 1.0529
+_BETA2 = 0.3334
+_A = 0.0311
+_B = -0.048
+_C = 0.0020
+_D = -0.0116
+
+#: Density floor: below this the XC terms are set to zero (vacuum).
+DENSITY_FLOOR = 1e-20
+
+
+def _rs(n: np.ndarray) -> np.ndarray:
+    """Wigner-Seitz radius ``r_s = (3 / 4πn)^{1/3}``."""
+    return (3.0 / (4.0 * np.pi * n)) ** (1.0 / 3.0)
+
+
+def exchange_energy_density(n: np.ndarray) -> np.ndarray:
+    """ε_x(n): exchange energy per electron."""
+    n = np.maximum(np.asarray(n, dtype=np.float64), 0.0)
+    out = np.zeros_like(n)
+    mask = n > DENSITY_FLOOR
+    out[mask] = -_CX * n[mask] ** (1.0 / 3.0)
+    return out
+
+
+def exchange_potential(n: np.ndarray) -> np.ndarray:
+    """v_x(n) = d(n ε_x)/dn = (4/3) ε_x."""
+    return (4.0 / 3.0) * exchange_energy_density(n)
+
+
+def correlation_energy_density(n: np.ndarray) -> np.ndarray:
+    """ε_c(n) in the PZ81 parametrization."""
+    n = np.maximum(np.asarray(n, dtype=np.float64), 0.0)
+    out = np.zeros_like(n)
+    mask = n > DENSITY_FLOOR
+    rs = _rs(n[mask])
+    high = rs >= 1.0
+    low = ~high
+    ec = np.empty_like(rs)
+    sq = np.sqrt(rs[high])
+    ec[high] = _GAMMA / (1.0 + _BETA1 * sq + _BETA2 * rs[high])
+    lr = np.log(rs[low])
+    ec[low] = _A * lr + _B + _C * rs[low] * lr + _D * rs[low]
+    out[mask] = ec
+    return out
+
+
+def correlation_potential(n: np.ndarray) -> np.ndarray:
+    """v_c(n) = d(n ε_c)/dn = ε_c - (r_s/3) dε_c/dr_s."""
+    n = np.maximum(np.asarray(n, dtype=np.float64), 0.0)
+    out = np.zeros_like(n)
+    mask = n > DENSITY_FLOOR
+    rs = _rs(n[mask])
+    high = rs >= 1.0
+    low = ~high
+    vc = np.empty_like(rs)
+    # rs >= 1:  v_c = ε_c (1 + 7/6 β1 √rs + 4/3 β2 rs) / (1 + β1 √rs + β2 rs)
+    sq = np.sqrt(rs[high])
+    denom = 1.0 + _BETA1 * sq + _BETA2 * rs[high]
+    ec_h = _GAMMA / denom
+    vc[high] = ec_h * (1.0 + (7.0 / 6.0) * _BETA1 * sq
+                       + (4.0 / 3.0) * _BETA2 * rs[high]) / denom
+    # rs < 1:  v_c = A ln rs + (B - A/3) + 2/3 C rs ln rs + (2D - C)/3 rs
+    lr = np.log(rs[low])
+    vc[low] = (
+        _A * lr
+        + (_B - _A / 3.0)
+        + (2.0 / 3.0) * _C * rs[low] * lr
+        + ((2.0 * _D - _C) / 3.0) * rs[low]
+    )
+    out[mask] = vc
+    return out
+
+
+def xc_potential(n: np.ndarray) -> np.ndarray:
+    """Total LDA XC potential ``v_xc = v_x + v_c``."""
+    return exchange_potential(n) + correlation_potential(n)
+
+
+def xc_energy(n: np.ndarray, volume_element: float) -> float:
+    """Total XC energy ``∫ n ε_xc`` on the grid."""
+    n = np.asarray(n, dtype=np.float64)
+    exc = exchange_energy_density(n) + correlation_energy_density(n)
+    return float(np.sum(n * exc) * volume_element)

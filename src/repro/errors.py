@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination was supplied."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach its stopping criterion.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final relative residual norm.
+    """
+
+    def __init__(self, message: str, *, iterations: int = -1,
+                 residual: float = float("nan")) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SingularPencilError(ReproError, RuntimeError):
+    """``P(z)`` (or ``E - H0``) was numerically singular at a shift.
+
+    Raised by direct solvers when an LU factorization breaks down; the
+    energy scan treats this by nudging ``E`` by a tiny imaginary amount.
+    """
+
+
+class DecompositionError(ReproError, ValueError):
+    """A domain decomposition request cannot be realized on the grid."""
+
+
+class StructureError(ReproError, ValueError):
+    """An atomic structure is inconsistent (bad cell, overlapping atoms)."""
+
+
+class ExtractionError(ReproError, RuntimeError):
+    """Sakurai-Sugiura eigenpair extraction failed (e.g. rank collapse)."""

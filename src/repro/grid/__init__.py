@@ -1,0 +1,18 @@
+"""Real-space grids, finite-difference stencils, domain decomposition."""
+
+from repro.grid.stencil import (
+    central_second_derivative_coefficients,
+    laplacian_stencil,
+    NINE_POINT_ORDER,
+)
+from repro.grid.grid import RealSpaceGrid
+from repro.grid.domain import DomainDecomposition, suggest_decomposition
+
+__all__ = [
+    "central_second_derivative_coefficients",
+    "laplacian_stencil",
+    "NINE_POINT_ORDER",
+    "RealSpaceGrid",
+    "DomainDecomposition",
+    "suggest_decomposition",
+]

@@ -1,0 +1,221 @@
+"""Domain decomposition of the real-space grid (the paper's bottom layer).
+
+The BiCG bottom-layer parallelism splits the grid into ``nx × ny × nz``
+box domains, one per MPI process.  Each BiCG iteration then needs
+
+* a **halo exchange** of ``Nf`` planes with every face neighbor (the
+  finite-difference stencil reach), and
+* **allreduce** operations for the five inner products of the iteration,
+* a small **global reduction** for the nonlocal-projector coefficients.
+
+This module does the geometry bookkeeping: local extents, neighbor
+topology, and exchanged byte counts.  The actual timing model lives in
+:mod:`repro.parallel.costmodel`; a real in-process exchange lives in
+:mod:`repro.parallel.halo`.
+
+The paper decomposes along z for the long CNT systems ("the domain
+decomposition was performed at the grid points along the z direction to
+minimize communications"); :func:`suggest_decomposition` implements the
+same preference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import DecompositionError
+from repro.grid.grid import RealSpaceGrid
+
+
+def _split_extents(n: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``parts`` contiguous chunks, sizes differing
+    by at most one (the larger chunks first, matching block distribution)."""
+    if parts < 1 or parts > n:
+        raise DecompositionError(
+            f"cannot split {n} points into {parts} non-empty parts"
+        )
+    base, extra = divmod(n, parts)
+    extents = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        extents.append((start, start + size))
+        start += size
+    return extents
+
+
+@dataclass(frozen=True)
+class DomainDecomposition:
+    """A ``px × py × pz`` box decomposition of a :class:`RealSpaceGrid`.
+
+    ``ndomains = px * py * pz`` equals the paper's ``N_dm``.
+    """
+
+    grid: RealSpaceGrid
+    parts: Tuple[int, int, int]
+    stencil_width: int = 4  # Nf; the 9-point stencil of the paper
+
+    def __post_init__(self) -> None:
+        px, py, pz = self.parts
+        nx, ny, nz = self.grid.shape
+        if px < 1 or py < 1 or pz < 1:
+            raise DecompositionError(f"bad parts {self.parts!r}")
+        if px > nx or py > ny or pz > nz:
+            raise DecompositionError(
+                f"parts {self.parts!r} exceed grid shape {self.grid.shape!r}"
+            )
+        for n, p, axis in ((nx, px, "x"), (ny, py, "y"), (nz, pz, "z")):
+            min_size = n // p
+            if min_size < self.stencil_width and p > 1:
+                raise DecompositionError(
+                    f"{axis}-domains of {min_size} points are thinner than the "
+                    f"stencil width Nf={self.stencil_width}; halo exchange "
+                    "would need multi-hop neighbors"
+                )
+
+    # -- sizes --------------------------------------------------------------
+
+    @property
+    def ndomains(self) -> int:
+        """Total number of domains (the paper's ``N_dm``)."""
+        px, py, pz = self.parts
+        return px * py * pz
+
+    def domain_extents(self, rank: int) -> Dict[str, Tuple[int, int]]:
+        """Half-open index ranges ``{x: (lo,hi), y: ..., z: ...}`` of a rank.
+
+        Ranks are ordered z-major (z slowest), consistent with the flat
+        field layout.
+        """
+        px, py, pz = self.parts
+        if not 0 <= rank < self.ndomains:
+            raise DecompositionError(f"rank {rank} out of range")
+        rz = rank // (px * py)
+        ry = (rank // px) % py
+        rx = rank % px
+        ex = _split_extents(self.grid.nx, px)[rx]
+        ey = _split_extents(self.grid.ny, py)[ry]
+        ez = _split_extents(self.grid.nz, pz)[rz]
+        return {"x": ex, "y": ey, "z": ez}
+
+    def local_npoints(self, rank: int) -> int:
+        """Grid points owned by ``rank``."""
+        e = self.domain_extents(rank)
+        return (
+            (e["x"][1] - e["x"][0])
+            * (e["y"][1] - e["y"][0])
+            * (e["z"][1] - e["z"][0])
+        )
+
+    def max_local_npoints(self) -> int:
+        """Largest domain (determines the load-imbalanced compute time)."""
+        return max(self.local_npoints(r) for r in range(self.ndomains))
+
+    # -- topology -----------------------------------------------------------
+
+    def coords_of(self, rank: int) -> Tuple[int, int, int]:
+        px, py, pz = self.parts
+        return (rank % px, (rank // px) % py, rank // (px * py))
+
+    def rank_of(self, cx: int, cy: int, cz: int) -> int:
+        px, py, pz = self.parts
+        return (cz % pz) * px * py + (cy % py) * px + (cx % px)
+
+    def neighbors(self, rank: int) -> Dict[str, int]:
+        """Face neighbors (periodic) of ``rank``: keys like ``x-``, ``z+``.
+
+        Axes with a single domain have no neighbors (self-exchange folds
+        into the local stencil wrap, costing no communication).
+        """
+        cx, cy, cz = self.coords_of(rank)
+        px, py, pz = self.parts
+        out: Dict[str, int] = {}
+        if px > 1:
+            out["x-"] = self.rank_of(cx - 1, cy, cz)
+            out["x+"] = self.rank_of(cx + 1, cy, cz)
+        if py > 1:
+            out["y-"] = self.rank_of(cx, cy - 1, cz)
+            out["y+"] = self.rank_of(cx, cy + 1, cz)
+        if pz > 1:
+            out["z-"] = self.rank_of(cx, cy, cz - 1)
+            out["z+"] = self.rank_of(cx, cy, cz + 1)
+        return out
+
+    # -- communication volumes ----------------------------------------------
+
+    def halo_points_per_exchange(self, rank: int) -> int:
+        """Points received per halo exchange by ``rank`` (both directions,
+        all split axes): ``Nf`` planes per face."""
+        e = self.domain_extents(rank)
+        sx = e["x"][1] - e["x"][0]
+        sy = e["y"][1] - e["y"][0]
+        sz = e["z"][1] - e["z"][0]
+        px, py, pz = self.parts
+        w = self.stencil_width
+        total = 0
+        if px > 1:
+            total += 2 * w * sy * sz
+        if py > 1:
+            total += 2 * w * sx * sz
+        if pz > 1:
+            total += 2 * w * sx * sy
+        return total
+
+    def halo_bytes_per_exchange(self, rank: int, itemsize: int = 16) -> int:
+        """Bytes received per halo exchange (complex128 by default)."""
+        return self.halo_points_per_exchange(rank) * itemsize
+
+    def messages_per_exchange(self, rank: int) -> int:
+        """Point-to-point messages per halo exchange (2 per split axis)."""
+        return len(self.neighbors(rank))
+
+    def surface_to_volume(self, rank: int = 0) -> float:
+        """Halo points / owned points — the communication intensity metric
+        that explains why the bottom layer scales poorly for small systems
+        and improves as the system grows (paper §4.2.2)."""
+        return self.halo_points_per_exchange(rank) / self.local_npoints(rank)
+
+
+def suggest_decomposition(
+    grid: RealSpaceGrid, ndomains: int, stencil_width: int = 4
+) -> DomainDecomposition:
+    """Pick a ``px × py × pz`` factorization of ``ndomains`` for ``grid``.
+
+    Preference order (matching the paper's choices):
+
+    1. pure z-splits when the z extent allows (long CNT supercells);
+    2. otherwise the factorization minimizing total halo volume.
+
+    Raises :class:`DecompositionError` when no feasible factorization
+    exists (e.g. more domains than grid points).
+    """
+    nx, ny, nz = grid.shape
+    if nz // ndomains >= stencil_width:
+        return DomainDecomposition(grid, (1, 1, ndomains), stencil_width)
+
+    best = None
+    best_halo = None
+    for px in range(1, ndomains + 1):
+        if ndomains % px:
+            continue
+        rest = ndomains // px
+        for py in range(1, rest + 1):
+            if rest % py:
+                continue
+            pz = rest // py
+            try:
+                cand = DomainDecomposition(grid, (px, py, pz), stencil_width)
+            except DecompositionError:
+                continue
+            halo = cand.halo_points_per_exchange(0)
+            if best_halo is None or halo < best_halo:
+                best, best_halo = cand, halo
+    if best is None:
+        raise DecompositionError(
+            f"no feasible {ndomains}-way decomposition of grid {grid.shape} "
+            f"with stencil width {stencil_width}"
+        )
+    return best

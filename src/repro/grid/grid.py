@@ -1,0 +1,224 @@
+"""Uniform real-space grid over one unit cell.
+
+Conventions
+-----------
+* The transport / periodic-stacking axis is **z** (the paper's nanotube
+  axis or the Al ⟨100⟩ direction).  The unit cell repeats along z with
+  period ``Lz = Nz * hz``.
+* x and y are periodic *within* the cell (lateral supercell).
+* Field arrays have shape ``(Nz, Ny, Nx)`` in C order, so the flattened
+  index is ``i = (iz * Ny + iy) * Nx + ix`` and **a z-plane is one
+  contiguous block** of ``Ny * Nx`` entries.  The unit-cell coupling
+  blocks ``H±`` and the OBM boundary extraction rely on this layout.
+
+All lengths are in Bohr.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RealSpaceGrid:
+    """A uniform orthorhombic grid: ``shape = (Nx, Ny, Nz)``, spacings in Bohr.
+
+    Parameters
+    ----------
+    shape:
+        Number of grid points along (x, y, z).
+    spacing:
+        Grid spacings ``(hx, hy, hz)`` in Bohr.
+    """
+
+    shape: Tuple[int, int, int]
+    spacing: Tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or any(int(n) < 1 for n in self.shape):
+            raise ConfigurationError(f"bad grid shape {self.shape!r}")
+        if len(self.spacing) != 3 or any(h <= 0 for h in self.spacing):
+            raise ConfigurationError(f"bad grid spacing {self.spacing!r}")
+        object.__setattr__(self, "shape", tuple(int(n) for n in self.shape))
+        object.__setattr__(self, "spacing", tuple(float(h) for h in self.spacing))
+
+    # -- basic sizes -------------------------------------------------------
+
+    @property
+    def nx(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ny(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nz(self) -> int:
+        return self.shape[2]
+
+    @property
+    def npoints(self) -> int:
+        """Total grid points ``N = Nx * Ny * Nz`` (the matrix dimension)."""
+        return self.nx * self.ny * self.nz
+
+    @property
+    def plane_size(self) -> int:
+        """Points per z-plane (``Nx * Ny``), the OBM boundary block width."""
+        return self.nx * self.ny
+
+    @property
+    def lengths(self) -> Tuple[float, float, float]:
+        """Periodic cell lengths ``(Lx, Ly, Lz)`` in Bohr."""
+        return (
+            self.nx * self.spacing[0],
+            self.ny * self.spacing[1],
+            self.nz * self.spacing[2],
+        )
+
+    @property
+    def cell_length(self) -> float:
+        """The stacking period ``a = Lz`` entering ``λ = exp(i k a)``."""
+        return self.nz * self.spacing[2]
+
+    @property
+    def volume_element(self) -> float:
+        """``hx * hy * hz`` — quadrature weight for grid inner products."""
+        return self.spacing[0] * self.spacing[1] * self.spacing[2]
+
+    # -- coordinates -------------------------------------------------------
+
+    def axis_coordinates(self, axis: int) -> np.ndarray:
+        """Grid coordinates along one axis (0=x, 1=y, 2=z), starting at 0."""
+        n = self.shape[axis]
+        return np.arange(n, dtype=np.float64) * self.spacing[axis]
+
+    def meshgrid(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Coordinate fields ``(X, Y, Z)``, each of field shape (Nz,Ny,Nx)."""
+        x = self.axis_coordinates(0)
+        y = self.axis_coordinates(1)
+        z = self.axis_coordinates(2)
+        Z, Y, X = np.meshgrid(z, y, x, indexing="ij")
+        return X, Y, Z
+
+    # -- index mapping ------------------------------------------------------
+
+    def ravel_index(self, ix, iy, iz):
+        """Flattened index of point(s) ``(ix, iy, iz)`` (no wrapping)."""
+        return (np.asarray(iz) * self.ny + np.asarray(iy)) * self.nx + np.asarray(ix)
+
+    def unravel_index(self, i):
+        """Inverse of :meth:`ravel_index`; returns ``(ix, iy, iz)``."""
+        i = np.asarray(i)
+        ix = i % self.nx
+        iy = (i // self.nx) % self.ny
+        iz = i // (self.nx * self.ny)
+        return ix, iy, iz
+
+    def field(self, flat: np.ndarray) -> np.ndarray:
+        """View a flat length-N vector as a ``(Nz, Ny, Nx)`` field."""
+        return np.asarray(flat).reshape(self.nz, self.ny, self.nx)
+
+    def flat(self, field: np.ndarray) -> np.ndarray:
+        """Flatten a ``(Nz, Ny, Nx)`` field to a length-N vector."""
+        return np.asarray(field).reshape(self.npoints)
+
+    def plane_indices(self, iz: int) -> slice:
+        """Flat-index slice covering z-plane ``iz`` (contiguous)."""
+        if not 0 <= iz < self.nz:
+            raise IndexError(f"z-plane {iz} out of range [0, {self.nz})")
+        return slice(iz * self.plane_size, (iz + 1) * self.plane_size)
+
+    def first_planes(self, count: int) -> slice:
+        """Flat slice of the first ``count`` z-planes (OBM 'u' block)."""
+        self._check_plane_count(count)
+        return slice(0, count * self.plane_size)
+
+    def last_planes(self, count: int) -> slice:
+        """Flat slice of the last ``count`` z-planes (OBM 'w' block)."""
+        self._check_plane_count(count)
+        return slice((self.nz - count) * self.plane_size, self.npoints)
+
+    def _check_plane_count(self, count: int) -> None:
+        if not 1 <= count <= self.nz:
+            raise ConfigurationError(
+                f"plane count {count} out of range [1, {self.nz}]"
+            )
+
+    # -- neighborhoods (pseudopotential assembly) ---------------------------
+
+    def points_near(
+        self, center: np.ndarray, cutoff: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+               np.ndarray, np.ndarray, np.ndarray]:
+        """Grid points within ``cutoff`` of ``center`` (minimum image in x, y;
+        **unwrapped** in z).
+
+        Returns ``(ix, iy, iz_raw, dx, dy, dz)``: index arrays and the
+        displacement components ``r_point - center`` (minimum image in x,
+        y).  ``iz_raw`` may be negative or ``>= Nz``; the Hamiltonian
+        assembly maps it to the owning cell offset ``iz_raw // Nz``
+        ∈ {-1, 0, +1} to place projector tails into the ``H±`` coupling
+        blocks.  A cutoff larger than ``Lz`` is rejected — the
+        block-tridiagonal form assumes nearest-cell reach.
+        """
+        cx, cy, cz = (float(c) for c in np.asarray(center, dtype=np.float64))
+        hx, hy, hz = self.spacing
+        Lx, Ly, Lz = self.lengths
+        if cutoff >= Lz:
+            raise ConfigurationError(
+                f"cutoff {cutoff:.3f} exceeds the cell length {Lz:.3f}; "
+                "coupling would reach beyond nearest-neighbor cells"
+            )
+        # Candidate index windows (inclusive) around the center.
+        ix_lo = int(np.floor((cx - cutoff) / hx))
+        ix_hi = int(np.ceil((cx + cutoff) / hx))
+        iy_lo = int(np.floor((cy - cutoff) / hy))
+        iy_hi = int(np.ceil((cy + cutoff) / hy))
+        iz_lo = int(np.floor((cz - cutoff) / hz))
+        iz_hi = int(np.ceil((cz + cutoff) / hz))
+        # Clip the lateral windows to one period to avoid double counting.
+        ix_cand = np.arange(ix_lo, ix_hi + 1)
+        iy_cand = np.arange(iy_lo, iy_hi + 1)
+        iz_cand = np.arange(iz_lo, iz_hi + 1)
+        if ix_cand.size > self.nx:
+            ix_cand = np.arange(self.nx)
+        if iy_cand.size > self.ny:
+            iy_cand = np.arange(self.ny)
+        dx = ix_cand * hx - cx
+        dy = iy_cand * hy - cy
+        dz = iz_cand * hz - cz
+        if ix_cand.size == self.nx:  # whole period: fold to minimum image
+            dx = dx - Lx * np.round(dx / Lx)
+        if iy_cand.size == self.ny:
+            dy = dy - Ly * np.round(dy / Ly)
+        DZ, DY, DX = np.meshgrid(dz, dy, dx, indexing="ij")
+        R2 = DX**2 + DY**2 + DZ**2
+        mask = R2 <= cutoff * cutoff
+        kz, ky, kx = np.nonzero(mask)
+        ix = np.mod(ix_cand[kx], self.nx)
+        iy = np.mod(iy_cand[ky], self.ny)
+        iz_raw = iz_cand[kz]
+        return ix, iy, iz_raw, DX[mask], DY[mask], DZ[mask]
+
+    # -- misc ---------------------------------------------------------------
+
+    def iter_planes(self) -> Iterator[slice]:
+        """Iterate over the flat slices of all z-planes, in order."""
+        for iz in range(self.nz):
+            yield self.plane_indices(iz)
+
+    def with_nz(self, nz: int) -> "RealSpaceGrid":
+        """A copy of this grid with a different z extent (supercells)."""
+        return RealSpaceGrid((self.nx, self.ny, int(nz)), self.spacing)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RealSpaceGrid({self.nx}x{self.ny}x{self.nz}, "
+            f"h=({self.spacing[0]:.3f},{self.spacing[1]:.3f},{self.spacing[2]:.3f}) Bohr, "
+            f"N={self.npoints})"
+        )

@@ -1,0 +1,94 @@
+"""Central finite-difference stencils for the Laplacian.
+
+The paper uses the *nine-point* finite-difference approximation for the
+Laplacian (per axis), i.e. the central second-derivative stencil with
+``Nf = 4`` neighbors on each side, which is accurate to order ``2*Nf = 8``
+(Chelikowsky, Troullier, Wu & Saad, PRB 50, 11355 (1994)).
+
+``Nf`` also fixes the coupling bandwidth between neighboring unit cells
+along the transport axis: ``H_{n,n+1}`` receives exactly the stencil taps
+that cross the cell boundary, so its nonzero block spans the last/first
+``Nf`` grid planes.  The OBM baseline's reduced problem dimension
+``2 * Nx * Ny * Nf`` comes from the same number.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+#: The paper's "nine-point" stencil half-width.
+NINE_POINT_ORDER: int = 4
+
+
+@lru_cache(maxsize=32)
+def central_second_derivative_coefficients(nf: int) -> np.ndarray:
+    """Coefficients ``c[-nf..nf]`` of the central 2nd-derivative stencil.
+
+    Returns an array ``c`` of length ``2*nf + 1`` such that
+
+    .. math::  f''(x) \\approx \\frac{1}{h^2} \\sum_{m=-nf}^{nf} c_{m} f(x + m h)
+
+    with truncation error ``O(h^{2 nf})``.
+
+    The coefficients solve the moment conditions
+    ``sum_m c_m m^k = 2! * delta_{k,2}`` for ``k = 0, 2, 4, ..., 2*nf``
+    (odd moments vanish by symmetry).  For ``nf <= 8`` the Vandermonde
+    system is tiny and solving it in float64 reproduces the published
+    rational coefficients to ~1e-14.
+
+    Parameters
+    ----------
+    nf:
+        Stencil half-width (``>= 1``).  The paper uses ``nf = 4``.
+    """
+    if nf < 1:
+        raise ValueError(f"stencil half-width must be >= 1, got {nf}")
+    # Even-moment Vandermonde for the one-sided coefficients c_1..c_nf;
+    # c_0 follows from the k=0 condition, c_{-m} = c_{m} by symmetry.
+    m = np.arange(1, nf + 1, dtype=np.float64)
+    k = np.arange(1, nf + 1, dtype=np.float64)  # even orders 2k
+    # A[i, j] = 2 * m_j^(2 k_i)  (factor 2 from the +-m pair)
+    A = 2.0 * m[None, :] ** (2.0 * k[:, None])
+    rhs = np.zeros(nf)
+    rhs[0] = 2.0  # matches f'' of x^2: 2!
+    side = np.linalg.solve(A, rhs)
+    c = np.empty(2 * nf + 1, dtype=np.float64)
+    c[nf + 1:] = side
+    c[:nf] = side[::-1]
+    c[nf] = -2.0 * side.sum()
+    return c
+
+
+def laplacian_stencil(nf: int, spacing: float) -> np.ndarray:
+    """Second-derivative stencil divided by ``spacing**2``.
+
+    Convenience wrapper used by the Hamiltonian assembly: the returned
+    array can be added directly as matrix elements of ``d^2/dx^2``.
+    """
+    if spacing <= 0:
+        raise ValueError(f"grid spacing must be positive, got {spacing}")
+    return central_second_derivative_coefficients(nf) / float(spacing) ** 2
+
+
+def stencil_truncation_order(nf: int) -> int:
+    """Formal order of accuracy of the ``nf`` stencil (``2*nf``)."""
+    return 2 * nf
+
+
+#: Published 9-point (nf=4) coefficients, kept as a regression anchor.
+#: c0 = -205/72, c1 = 8/5, c2 = -1/5, c3 = 8/315, c4 = -1/560.
+REFERENCE_NF4 = np.array(
+    [
+        -1.0 / 560.0,
+        8.0 / 315.0,
+        -1.0 / 5.0,
+        8.0 / 5.0,
+        -205.0 / 72.0,
+        8.0 / 5.0,
+        -1.0 / 5.0,
+        8.0 / 315.0,
+        -1.0 / 560.0,
+    ]
+)

@@ -1,0 +1,14 @@
+"""I/O: block-triple files, experiment records, paper-style tables."""
+
+from repro.io.matio import save_blocks, load_blocks
+from repro.io.results import ExperimentRecord, write_json, write_csv
+from repro.io.tables import ascii_table
+
+__all__ = [
+    "save_blocks",
+    "load_blocks",
+    "ExperimentRecord",
+    "write_json",
+    "write_csv",
+    "ascii_table",
+]

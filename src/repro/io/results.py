@@ -1,0 +1,80 @@
+"""Experiment result records written by the benchmark harness.
+
+Each benchmark emits one :class:`ExperimentRecord` per measured
+configuration, serialized as JSON (full fidelity) and CSV (easy
+plotting) under ``bench_results/``.  EXPERIMENTS.md is written against
+these files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured (or modeled) data point of a paper experiment.
+
+    Attributes
+    ----------
+    experiment:
+        Paper anchor, e.g. ``"fig4a"``, ``"table2"``.
+    system:
+        Workload label, e.g. ``"Al(100) 12x12x12"``.
+    method:
+        ``"qep_ss"``, ``"obm"``, ``"model"``, ...
+    metrics:
+        Measured values (seconds, bytes, counts, ratios).
+    parameters:
+        The configuration that produced them.
+    """
+
+    experiment: str
+    system: str
+    method: str
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    timestamp: float = field(default_factory=time.time)
+
+    def flat(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "experiment": self.experiment,
+            "system": self.system,
+            "method": self.method,
+        }
+        for k, v in self.parameters.items():
+            row[f"param:{k}"] = v
+        for k, v in self.metrics.items():
+            row[f"metric:{k}"] = v
+        return row
+
+
+def write_json(path: PathLike, records: Sequence[ExperimentRecord]) -> None:
+    """Write records as a JSON list (creates parent directories)."""
+    path = os.fspath(path)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump([r.__dict__ for r in records], fh, indent=2, default=str)
+
+
+def write_csv(path: PathLike, records: Sequence[ExperimentRecord]) -> None:
+    """Write flattened records as CSV (union of all columns)."""
+    path = os.fspath(path)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    rows = [r.flat() for r in records]
+    columns: List[str] = []
+    for row in rows:
+        for k in row:
+            if k not in columns:
+                columns.append(k)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)

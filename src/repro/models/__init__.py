@@ -1,0 +1,19 @@
+"""Model problems with known complex band structure.
+
+These tight-binding style block triples have closed-form (or cheaply
+enumerable) CBS solutions and are the validation bedrock of the test
+suite: every iterative path (Sakurai-Sugiura, OBM, BiCG) is checked
+against them before being trusted on the real-space DFT Hamiltonians.
+"""
+
+from repro.models.chain import MonatomicChain, DiatomicChain
+from repro.models.ladder import TransverseLadder
+from repro.models.random_blocks import random_bulk_triple, commuting_bulk_triple
+
+__all__ = [
+    "MonatomicChain",
+    "DiatomicChain",
+    "TransverseLadder",
+    "random_bulk_triple",
+    "commuting_bulk_triple",
+]

@@ -1,0 +1,179 @@
+"""One-dimensional tight-binding chains with closed-form CBS.
+
+For the monatomic chain (one orbital per cell, onsite ``ε``, hopping
+``t``) the Bloch relation is
+
+.. math::  E = ε + t λ + t λ^{-1}
+           \\quad\\Longleftrightarrow\\quad
+           λ^2 - \\frac{E - ε}{t} λ + 1 = 0 ,
+
+so at every energy there are exactly two CBS solutions
+``λ_± = x ± sqrt(x² - 1)`` with ``x = (E - ε) / (2t)``, satisfying
+``λ_+ λ_- = 1``: inside the band (|x| ≤ 1) they are a propagating pair
+on the unit circle; outside they are a growing/decaying evanescent pair.
+This is the textbook picture of Figure 1 of the paper, and the exact
+reference used throughout the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigurationError
+from repro.qep.blocks import BlockTriple
+
+
+@dataclass(frozen=True)
+class MonatomicChain:
+    """Nearest-neighbor chain, optionally folded into an ``ncell``-site cell.
+
+    Parameters
+    ----------
+    onsite:
+        Site energy ``ε``.
+    hopping:
+        Hopping ``t`` (real, nonzero).
+    ncell:
+        Sites per unit cell.  Folding a primitive chain into a larger
+        cell leaves the physics unchanged but makes the QEP nontrivial
+        (N×N blocks with a single corner coupling) — the same structure
+        as the real-space grid problem along z.
+    cell_length:
+        Physical length of the *folded* cell (default ``ncell`` so the
+        primitive spacing is 1).
+    """
+
+    onsite: float = 0.0
+    hopping: float = -1.0
+    ncell: int = 1
+    cell_length: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.hopping == 0.0:
+            raise ConfigurationError("hopping must be nonzero")
+        if self.ncell < 1:
+            raise ConfigurationError(f"ncell must be >= 1, got {self.ncell}")
+
+    @property
+    def a(self) -> float:
+        return float(self.cell_length if self.cell_length is not None else self.ncell)
+
+    def blocks(self, sparse: bool = True) -> BlockTriple:
+        """The folded block triple ``(H-, H0, H+)``."""
+        n, t, e = self.ncell, self.hopping, self.onsite
+        h0 = sp.diags(
+            [np.full(n - 1, t), np.full(n, e), np.full(n - 1, t)],
+            offsets=[-1, 0, 1], format="csr", dtype=np.float64,
+        )
+        hp = sp.csr_matrix(
+            (np.array([t]), (np.array([n - 1]), np.array([0]))),
+            shape=(n, n), dtype=np.float64,
+        )
+        hm = hp.conj().T.tocsr()
+        if not sparse:
+            return BlockTriple(hm.toarray(), h0.toarray(), hp.toarray(), self.a)
+        return BlockTriple(hm, h0, hp, self.a)
+
+    # -- analytic reference ---------------------------------------------------
+
+    def analytic_lambdas_primitive(self, energy: float) -> np.ndarray:
+        """The two primitive-cell CBS factors ``λ_±`` at ``energy``."""
+        x = (energy - self.onsite) / (2.0 * self.hopping)
+        x = complex(x)
+        root = np.sqrt(x * x - 1.0)
+        return np.array([x + root, x - root], dtype=np.complex128)
+
+    def analytic_lambdas(self, energy: float) -> np.ndarray:
+        """CBS factors of the **folded** cell at ``energy``.
+
+        Folding an ``ncell``-site cell maps each primitive factor μ to the
+        folded factor ``λ = μ^ncell``; both primitive solutions give the
+        same pair because ``μ_+ μ_- = 1``.
+        """
+        mu = self.analytic_lambdas_primitive(energy)
+        return mu ** self.ncell
+
+    def band_edges(self) -> tuple[float, float]:
+        """Bottom and top of the single cosine band."""
+        lo = self.onsite - 2.0 * abs(self.hopping)
+        hi = self.onsite + 2.0 * abs(self.hopping)
+        return lo, hi
+
+    def dispersion(self, k: np.ndarray) -> np.ndarray:
+        """Conventional band ``E(k) = ε + 2 t cos(k a0)`` (primitive)."""
+        a0 = self.a / self.ncell
+        return self.onsite + 2.0 * self.hopping * np.cos(np.asarray(k) * a0)
+
+
+@dataclass(frozen=True)
+class DiatomicChain:
+    """Two-site (SSH-like) chain: alternating hoppings ``t1`` (intra-cell)
+    and ``t2`` (inter-cell), onsites ``eps_a/eps_b``.
+
+    Opens a gap of ``2|t1 - t2|`` (for equal onsites) around the band
+    center — the minimal model with a **band gap**, i.e. with an energy
+    window where *all* CBS solutions are evanescent, including the branch
+    point where the two decaying solutions coalesce (paper Fig. 11(a)'s
+    red dot).  Analytic CBS from the 2×2 transfer relation:
+
+    ``t1 t2 (λ + 1/λ) = (E - ε_a)(E - ε_b) - t1² - t2²``.
+    """
+
+    eps_a: float = 0.0
+    eps_b: float = 0.0
+    t1: float = -1.0
+    t2: float = -0.6
+    cell_length: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.t1 == 0.0 or self.t2 == 0.0:
+            raise ConfigurationError("hoppings must be nonzero")
+        if self.cell_length <= 0:
+            raise ConfigurationError("cell_length must be positive")
+
+    def blocks(self, sparse: bool = True) -> BlockTriple:
+        h0 = np.array([[self.eps_a, self.t1], [self.t1, self.eps_b]])
+        hp = np.array([[0.0, 0.0], [self.t2, 0.0]])
+        hm = hp.T.copy()
+        if sparse:
+            return BlockTriple(
+                sp.csr_matrix(hm), sp.csr_matrix(h0), sp.csr_matrix(hp),
+                self.cell_length,
+            )
+        return BlockTriple(hm, h0, hp, self.cell_length)
+
+    def analytic_lambdas(self, energy: float) -> np.ndarray:
+        """The two CBS factors ``λ_±`` at ``energy`` (product = 1)."""
+        rhs = (
+            (energy - self.eps_a) * (energy - self.eps_b)
+            - self.t1**2 - self.t2**2
+        ) / (self.t1 * self.t2)
+        x = complex(rhs) / 2.0
+        root = np.sqrt(x * x - 1.0)
+        return np.array([x + root, x - root], dtype=np.complex128)
+
+    def gap_edges(self) -> tuple[float, float]:
+        """Valence-band top and conduction-band bottom (equal onsites)."""
+        if self.eps_a != self.eps_b:
+            raise ConfigurationError(
+                "gap_edges() implemented for equal onsites only"
+            )
+        center = self.eps_a
+        half_gap = abs(abs(self.t1) - abs(self.t2))
+        return center - half_gap, center + half_gap
+
+    def branch_point_energy(self) -> float:
+        """Energy of the mid-gap branch point (equal onsites): gap center.
+
+        At this energy the two evanescent solutions coalesce at
+        ``|λ| = |t1/t2|^{∓1}``; used to validate
+        :mod:`repro.cbs.branch`.
+        """
+        if self.eps_a != self.eps_b:
+            raise ConfigurationError(
+                "branch_point_energy() implemented for equal onsites only"
+            )
+        return self.eps_a

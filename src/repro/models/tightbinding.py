@@ -1,0 +1,219 @@
+"""π-orbital tight-binding nanotubes and bundles.
+
+One π orbital per carbon atom, nearest-neighbor hopping ``t`` — the
+textbook CNT model (and exactly what earlier CBS work was limited to;
+paper §5: "calculations of the CBS for carbon nano-materials have been
+limited within the empirical tight-binding approximation").  Included as
+
+* a *fast physics reference*: (8,0) is semiconducting, (n,n) metallic,
+  the gap scales like 1/R — verified by tests against zone folding;
+* the light-weight path for Figure-11-style bundle physics: inter-tube
+  coupling uses the standard distance-exponential π-π hopping, so
+  bundling broadens bands and moves branch points without the cost of
+  the real-space-grid Hamiltonian;
+* a source of realistic mid-sized QEP blocks for solver tests.
+
+Energies are in units of ``|t|`` (≈ 2.7 eV for carbon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.constants import angstrom_to_bohr
+from repro.dft.builders import (
+    CC_BOND_ANGSTROM,
+    bundle7,
+    crystalline_bundle,
+    nanotube,
+)
+from repro.dft.structure import CrystalStructure
+from repro.errors import ConfigurationError
+from repro.qep.blocks import BlockTriple
+
+#: Nearest-neighbor window around the C-C bond length (Bohr).
+_NN_TOL = 0.15
+
+#: Default onsite shifts for substitutional dopants, in units of |t|.
+DEFAULT_ONSITES: Dict[str, float] = {"C": 0.0, "B": +0.8, "N": -0.8}
+
+#: Inter-tube π-π hopping:  t_pp(d) = -gamma * exp(-(d - d0) / delta).
+INTER_GAMMA = 0.36          # |t| units (≈ 1 eV for carbon)
+INTER_D0_ANGSTROM = 3.34    # graphite interlayer distance
+INTER_DELTA_ANGSTROM = 0.45
+INTER_CUTOFF_ANGSTROM = 5.0
+
+
+@dataclass(frozen=True)
+class TBModel:
+    """Tight-binding parameters."""
+
+    hopping: float = -1.0
+    onsites: Tuple[Tuple[str, float], ...] = tuple(DEFAULT_ONSITES.items())
+    inter_gamma: float = INTER_GAMMA
+    inter_d0: float = angstrom_to_bohr(INTER_D0_ANGSTROM)
+    inter_delta: float = angstrom_to_bohr(INTER_DELTA_ANGSTROM)
+    inter_cutoff: float = angstrom_to_bohr(INTER_CUTOFF_ANGSTROM)
+
+    def onsite_of(self, symbol: str) -> float:
+        for s, e in self.onsites:
+            if s == symbol:
+                return e
+        raise ConfigurationError(f"no TB onsite for species {symbol!r}")
+
+
+def _pair_hoppings(
+    pos_i: np.ndarray,
+    pos_j: np.ndarray,
+    tube_i: np.ndarray,
+    tube_j: np.ndarray,
+    cell_xy: Tuple[float, float],
+    model: TBModel,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Hopping matrix entries between two position sets (min-image x, y).
+
+    Returns COO ``(rows, cols, vals)``.  Nearest-neighbor hops apply only
+    within a tube; the exponential π-π term only *between* tubes.
+    """
+    a_cc = angstrom_to_bohr(CC_BOND_ANGSTROM)
+    lx, ly = cell_xy
+    d = pos_j[None, :, :] - pos_i[:, None, :]
+    d[..., 0] -= lx * np.round(d[..., 0] / lx)
+    d[..., 1] -= ly * np.round(d[..., 1] / ly)
+    dist = np.sqrt((d**2).sum(axis=-1))
+    same_tube = tube_i[:, None] == tube_j[None, :]
+
+    rows_list: List[np.ndarray] = []
+    cols_list: List[np.ndarray] = []
+    vals_list: List[np.ndarray] = []
+
+    nn = same_tube & (np.abs(dist - a_cc) < _NN_TOL)
+    r, c = np.nonzero(nn)
+    rows_list.append(r)
+    cols_list.append(c)
+    vals_list.append(np.full(r.size, model.hopping))
+
+    if model.inter_gamma != 0.0:
+        inter = (~same_tube) & (dist < model.inter_cutoff) & (dist > 1e-6)
+        r, c = np.nonzero(inter)
+        if r.size:
+            t = -model.inter_gamma * np.exp(
+                -(dist[inter] - model.inter_d0) / model.inter_delta
+            )
+            rows_list.append(r)
+            cols_list.append(c)
+            vals_list.append(t)
+
+    return (
+        np.concatenate(rows_list),
+        np.concatenate(cols_list),
+        np.concatenate(vals_list),
+    )
+
+
+def tb_blocks(
+    structure: CrystalStructure,
+    tube_index: Optional[Sequence[int]] = None,
+    model: TBModel | None = None,
+) -> BlockTriple:
+    """Block triple of the π-TB Hamiltonian of ``structure``.
+
+    Parameters
+    ----------
+    structure:
+        Atom positions + cell (one orbital per atom; any of C/B/N).
+    tube_index:
+        Tube id per atom (inter-tube hops use the π-π law).  Defaults to
+        all atoms on one tube.
+    model:
+        TB parameters.
+    """
+    model = model or TBModel()
+    pos = structure.positions()
+    na = structure.natoms
+    tube = (
+        np.zeros(na, dtype=np.int64)
+        if tube_index is None
+        else np.asarray(tube_index, dtype=np.int64)
+    )
+    if tube.shape != (na,):
+        raise ConfigurationError("tube_index must have one entry per atom")
+    lx, ly, lz = structure.cell
+
+    # In-cell couplings (z displacement 0) → H0.
+    r0, c0, v0 = _pair_hoppings(pos, pos, tube, tube, (lx, ly), model)
+    keep = r0 != c0  # onsites handled separately
+    h0 = sp.coo_matrix((v0[keep], (r0[keep], c0[keep])), shape=(na, na))
+    onsite = np.array(
+        [model.onsite_of(a.symbol) for a in structure.atoms], dtype=np.float64
+    )
+    h0 = (h0 + sp.diags(onsite)).tocsr()
+    # Symmetrize guard: pair search is symmetric by construction; enforce
+    # exact Hermiticity against rounding in the distance filter.
+    h0 = ((h0 + h0.T) / 2.0).tocsr()
+
+    # Cross-boundary couplings: atoms here ↔ atoms shifted by +Lz → H+.
+    pos_up = pos + np.array([0.0, 0.0, lz])
+    rp, cp, vp = _pair_hoppings(pos, pos_up, tube, tube, (lx, ly), model)
+    hp = sp.coo_matrix((vp, (rp, cp)), shape=(na, na)).tocsr()
+    hm = hp.T.conj().tocsr()
+    return BlockTriple(hm, h0, hp, cell_length=lz)
+
+
+# ---------------------------------------------------------------------------
+# ready-made systems
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TightBindingCNT:
+    """π-TB single (n, m) nanotube."""
+
+    n: int = 8
+    m: int = 0
+    model: TBModel = field(default_factory=TBModel)
+
+    def structure(self) -> CrystalStructure:
+        return nanotube(self.n, self.m)
+
+    def blocks(self) -> BlockTriple:
+        return tb_blocks(self.structure(), model=self.model)
+
+    def zone_folding_gap(self) -> float:
+        """Zone-folding band gap in |t| units (zigzag tubes).
+
+        ``(n, 0)`` with ``n % 3 != 0`` is semiconducting with
+        ``E_g ≈ 2|t| a_cc / R`` to leading order; metallic otherwise.
+        Used as the physics sanity anchor in tests.
+        """
+        if self.m == self.n:
+            return 0.0  # armchair: always metallic
+        if self.m != 0:
+            raise ConfigurationError("gap formula implemented for (n,0)/(n,n)")
+        if self.n % 3 == 0:
+            return 0.0
+        a_cc = angstrom_to_bohr(CC_BOND_ANGSTROM)
+        from repro.dft.builders import tube_radius
+
+        return 2.0 * abs(self.model.hopping) * a_cc / (2.0 * tube_radius(self.n, 0))
+
+
+def tb_bundle7(n: int = 8, m: int = 0,
+               model: TBModel | None = None) -> tuple[BlockTriple, CrystalStructure]:
+    """π-TB blocks of the 7-tube bundle (paper Fig. 11(b), light path)."""
+    s = bundle7(n, m)
+    per_tube = s.natoms // 7
+    tube = np.repeat(np.arange(7), per_tube)
+    return tb_blocks(s, tube, model or TBModel()), s
+
+
+def tb_crystalline_bundle(n: int = 8, m: int = 0,
+                          model: TBModel | None = None) -> tuple[BlockTriple, CrystalStructure]:
+    """π-TB blocks of the crystalline bundle (paper Fig. 11(c), light path)."""
+    s = crystalline_bundle(n, m)
+    per_tube = s.natoms // 2
+    tube = np.repeat(np.arange(2), per_tube)
+    return tb_blocks(s, tube, model or TBModel()), s

@@ -1,0 +1,39 @@
+"""Hierarchical parallelism: real executors, machine models, simulators.
+
+The paper's Step 1 exposes three nested layers of parallelism
+(Figure 3): right-hand sides (top), quadrature points (middle), and
+grid-domain decomposition inside each BiCG solve (bottom).  This package
+provides
+
+* **real concurrency** for the top/middle layers on the local machine
+  (:mod:`repro.parallel.executor`) and an in-process domain-decomposed
+  BiCG with halo exchanges (:mod:`repro.parallel.vcomm`,
+  :mod:`repro.parallel.halo`);
+* a **machine model** of Oakforest-PACS-class systems
+  (:mod:`repro.parallel.machine`, :mod:`repro.parallel.costmodel`) and a
+  **discrete-event simulator** (:mod:`repro.parallel.simulator`) that
+  reproduce the paper's scaling figures from measured per-task iteration
+  counts — the substitution for the 139,264-core testbed documented in
+  DESIGN.md.
+"""
+
+from repro.parallel.executor import SerialExecutor, ThreadExecutor, make_executor
+from repro.parallel.machine import MachineSpec, OAKFOREST_PACS, XEON_E5_2683V4
+from repro.parallel.hierarchy import LayerAssignment, HierarchicalLayout
+from repro.parallel.costmodel import BiCGIterationCost, IterationCostModel
+from repro.parallel.simulator import ScalingSimulator, StrongScalingResult
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "make_executor",
+    "MachineSpec",
+    "OAKFOREST_PACS",
+    "XEON_E5_2683V4",
+    "LayerAssignment",
+    "HierarchicalLayout",
+    "BiCGIterationCost",
+    "IterationCostModel",
+    "ScalingSimulator",
+    "StrongScalingResult",
+]

@@ -1,0 +1,195 @@
+"""Analytic cost of one BiCG iteration under a (threads × N_dm) split.
+
+One BiCG iteration of the CBS pencil performs, per grid point:
+
+* two pencil matvecs (one with ``P(z)``, one with ``P(z)^†``): the
+  finite-difference stencil (``3 × 2 Nf + 1`` taps per point), the
+  diagonal local potential, and the separable nonlocal projectors;
+* ~10 vector operations (axpys and inner products over 6 work vectors);
+
+and, when the grid is split over ``N_dm`` domains:
+
+* two halo exchanges (``Nf`` planes per face, both matvecs),
+* ``allreduce_per_iteration`` scalar allreduces (ρ, σ, residual norms),
+* one nonlocal-projector coefficient exchange (allgather whose volume
+  scales with the number of projectors → the large-system bottleneck of
+  paper Figure 10).
+
+The model combines a roofline-style compute term (max of flop time and
+memory-bandwidth time over the cores of one node) with Hockney-model
+communication terms from :class:`repro.parallel.machine.MachineSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.grid.domain import DomainDecomposition, suggest_decomposition
+from repro.grid.grid import RealSpaceGrid
+from repro.parallel.machine import MachineSpec
+
+#: Flops per grid point per pencil matvec: stencil taps (25 for Nf=4,
+#: complex MACs ≈ 8 flops each) + diagonal + Bloch phase arithmetic.
+FLOPS_PER_POINT_MATVEC = 220.0
+
+#: Extra flops per point for the separable nonlocal projector terms.
+FLOPS_PER_POINT_NONLOCAL = 60.0
+
+#: Flops per grid point for the BiCG vector updates and inner products.
+FLOPS_PER_POINT_VECTOR = 80.0
+
+#: Bytes moved per grid point per iteration (complex128 vectors streaming
+#: through cache-unfriendly stencil access patterns; effective value).
+BYTES_PER_POINT = 640.0
+
+#: Bytes per nonlocal projector coefficient (complex128).
+BYTES_PER_PROJECTOR = 16.0
+
+
+@dataclass(frozen=True)
+class BiCGIterationCost:
+    """Itemized seconds for one BiCG iteration (per domain group)."""
+
+    compute: float
+    omp_overhead: float
+    halo: float
+    allreduce: float
+    nonlocal_comm: float
+    mpi_rank_overhead: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.compute
+            + self.omp_overhead
+            + self.halo
+            + self.allreduce
+            + self.nonlocal_comm
+            + self.mpi_rank_overhead
+        )
+
+
+@dataclass(frozen=True)
+class IterationCostModel:
+    """Cost model for one system (grid + projector count) on one machine.
+
+    Parameters
+    ----------
+    machine:
+        Node/network parameters.
+    grid:
+        The real-space grid of the unit cell.
+    n_projectors:
+        Total nonlocal projector channels (≈ 4 × atoms for s+p).
+    stencil_width:
+        ``Nf`` (4 for the paper's 9-point stencil).
+    ranks_per_node:
+        **Active** MPI ranks co-resident per node (paper: 1, 4, or 16
+        depending on the experiment; 64-way intranode studies place all
+        domains on one node).  Determines the bandwidth share of each
+        rank, intra- vs inter-node link selection, and the intranode
+        contention overhead.  The model assumes a fully packed machine.
+    mpi_rank_overhead:
+        Fixed per-iteration software overhead per domain rank (progress
+        engine, request bookkeeping); the term that penalizes very fine
+        intranode decompositions in Table 2.
+    """
+
+    machine: MachineSpec
+    grid: RealSpaceGrid
+    n_projectors: int
+    stencil_width: int = 4
+    ranks_per_node: int = 1
+    mpi_rank_overhead: float = 5.0e-5
+
+    def __post_init__(self) -> None:
+        if self.n_projectors < 0:
+            raise ConfigurationError("n_projectors must be >= 0")
+        if self.ranks_per_node < 1:
+            raise ConfigurationError("ranks_per_node must be >= 1")
+
+    # ------------------------------------------------------------------
+
+    def decomposition(self, n_dm: int) -> DomainDecomposition:
+        return suggest_decomposition(self.grid, n_dm, self.stencil_width)
+
+    def iteration_cost(
+        self, n_dm: int = 1, threads: int = 1
+    ) -> BiCGIterationCost:
+        """Cost of one BiCG iteration with ``n_dm`` domains × ``threads``.
+
+        The compute term is evaluated for the *largest* domain (the
+        others wait at the allreduce), with the roofline over the cores
+        a single node contributes to that domain.
+        """
+        if threads < 1:
+            raise ConfigurationError("threads must be >= 1")
+        m = self.machine
+        dd = self.decomposition(n_dm) if n_dm > 1 else None
+        n_local = dd.max_local_npoints() if dd else self.grid.npoints
+
+        # --- compute (roofline over this rank's thread team) -------------
+        flops_pp = (
+            2.0 * (FLOPS_PER_POINT_MATVEC + FLOPS_PER_POINT_NONLOCAL)
+            + FLOPS_PER_POINT_VECTOR
+        )
+        flops = n_local * flops_pp
+        bytes_moved = n_local * BYTES_PER_POINT
+        # The machine runs fully packed: every node hosts
+        # ``ranks_per_node`` *active* ranks (from this or sibling process
+        # groups), which share its bandwidth.  A wide flat-OpenMP team
+        # additionally loses bandwidth efficiency.
+        rpn = self.ranks_per_node
+        node_cores_active = min(m.cores_per_node, rpn * threads)
+        bw_share = (
+            m.mem_bw(node_cores_active)
+            / rpn
+            * m.thread_bw_efficiency(threads)
+        )
+        t_flops = flops / m.flops(threads)
+        t_bytes = bytes_moved / bw_share
+        compute = max(t_flops, t_bytes)
+        omp = m.omp_overhead(threads)
+
+        if n_dm <= 1:
+            return BiCGIterationCost(compute, omp, 0.0, 0.0, 0.0, 0.0)
+
+        # --- communication ------------------------------------------------
+        intra = n_dm <= self.ranks_per_node  # all domains within one node
+        halo_bytes = dd.halo_bytes_per_exchange(0)
+        n_msgs = dd.messages_per_exchange(0)
+        # Two exchanges per iteration (P(z) and P(z)† matvecs).
+        halo = 2.0 * (
+            n_msgs * (m.latency_intra if intra else m.latency_inter)
+            + halo_bytes / (m.bandwidth_intra if intra else m.bandwidth_inter)
+        )
+        allreduce = m.allreduce_per_iteration * m.allreduce_time(
+            16, n_dm, intra
+        )
+        # Nonlocal projector coefficients: the paper's implementation uses
+        # a *global* exchange over the domain communicator ("which can be
+        # reduced by replacing it to local communication", §4.2.3) — model
+        # it as a naive allgather whose every step moves the full
+        # coefficient vector.  Its cost grows with both the system size
+        # (vector volume) and the domain count (steps) — the Fig. 10
+        # bottom-layer rolloff.
+        nl_bytes = self.n_projectors * BYTES_PER_PROJECTOR
+        lat = m.latency_intra if intra else m.latency_inter
+        bw = m.bandwidth_intra if intra else m.bandwidth_inter
+        nonlocal_comm = (n_dm - 1) * (lat + nl_bytes / bw)
+        # Intranode rank contention: grows with the ranks sharing a node.
+        rank_overhead = self.mpi_rank_overhead * min(n_dm, self.ranks_per_node)
+        return BiCGIterationCost(
+            compute, omp, halo, allreduce, nonlocal_comm, rank_overhead
+        )
+
+    def iteration_time(self, n_dm: int = 1, threads: int = 1) -> float:
+        """Total seconds per BiCG iteration."""
+        return self.iteration_cost(n_dm, threads).total
+
+    def time_for_iterations(
+        self, iterations: int, n_dm: int = 1, threads: int = 1
+    ) -> float:
+        """Elapsed time of ``iterations`` BiCG iterations (Table 2 rows)."""
+        return iterations * self.iteration_time(n_dm, threads)

@@ -1,0 +1,159 @@
+"""The three-layer process hierarchy of the Sakurai-Sugiura Step 1.
+
+Paper Figure 3: the total parallelism is
+
+.. math::  N_{total} = N_{dm} \\times N_{int}^{(grp)} \\times N_{rh}^{(grp)}
+
+— domain decomposition (bottom) inside each linear solve, quadrature
+points (middle), right-hand sides (top).  Layers are filled **top first**
+("if the number of processors we can use is less than N_int × N_rh, we
+use top layer parallelism first, because upper layer is expected to show
+better scalability than lower layers").
+
+:class:`LayerAssignment` is one concrete split; :class:`HierarchicalLayout`
+partitions the actual work items (quadrature-point indices, RHS column
+indices) among the groups, round-robin, which is also how the simulator
+assigns task queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LayerAssignment:
+    """Process counts per layer.
+
+    Attributes
+    ----------
+    top:
+        Process groups across right-hand sides (≤ ``N_rh``).
+    middle:
+        Process groups across quadrature points (≤ ``N_int``).
+    bottom:
+        Domains per linear solve (``N_dm``).
+    threads:
+        OpenMP threads inside each process.
+    """
+
+    top: int = 1
+    middle: int = 1
+    bottom: int = 1
+    threads: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("top", "middle", "bottom", "threads"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+
+    @property
+    def processes(self) -> int:
+        """MPI process count ``N_total``."""
+        return self.top * self.middle * self.bottom
+
+    @property
+    def cores(self) -> int:
+        """Total cores = processes × threads."""
+        return self.processes * self.threads
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.top}(rhs) x {self.middle}(quad) x {self.bottom}(dm) "
+            f"x {self.threads}(omp) = {self.cores} cores"
+        )
+
+
+def partition_round_robin(n_items: int, n_groups: int) -> List[List[int]]:
+    """Distribute ``range(n_items)`` across ``n_groups`` round-robin.
+
+    Round-robin (not block) assignment is what gives the middle layer its
+    good load balance despite per-point iteration-count differences: each
+    group gets a representative mix of fast and slow quadrature points.
+    """
+    if n_groups < 1:
+        raise ConfigurationError(f"n_groups must be >= 1, got {n_groups}")
+    groups: List[List[int]] = [[] for _ in range(n_groups)]
+    for i in range(n_items):
+        groups[i % n_groups].append(i)
+    return groups
+
+
+@dataclass(frozen=True)
+class HierarchicalLayout:
+    """Work partition for a given assignment.
+
+    Parameters
+    ----------
+    n_rh:
+        Total right-hand sides.
+    n_int:
+        Total quadrature points (outer-circle count; the inner circle
+        rides along via the dual trick).
+    assignment:
+        The layer split.  ``top`` may not exceed ``n_rh`` nor ``middle``
+        exceed ``n_int`` — extra groups would idle.
+    """
+
+    n_rh: int
+    n_int: int
+    assignment: LayerAssignment
+
+    def __post_init__(self) -> None:
+        if self.assignment.top > self.n_rh:
+            raise ConfigurationError(
+                f"top layer ({self.assignment.top}) exceeds N_rh ({self.n_rh})"
+            )
+        if self.assignment.middle > self.n_int:
+            raise ConfigurationError(
+                f"middle layer ({self.assignment.middle}) exceeds "
+                f"N_int ({self.n_int})"
+            )
+
+    def rhs_groups(self) -> List[List[int]]:
+        return partition_round_robin(self.n_rh, self.assignment.top)
+
+    def point_groups(self) -> List[List[int]]:
+        return partition_round_robin(self.n_int, self.assignment.middle)
+
+    def group_tasks(self) -> List[List[Tuple[int, int]]]:
+        """Task queues, one per (top × middle) process group.
+
+        Each queue holds the ``(point, rhs)`` solves executed serially by
+        that group (its ``bottom × threads`` cores work *inside* each
+        solve).
+        """
+        queues: List[List[Tuple[int, int]]] = []
+        for rhs_grp in self.rhs_groups():
+            for pt_grp in self.point_groups():
+                queues.append([(j, c) for j in pt_grp for c in rhs_grp])
+        return queues
+
+
+def fill_layers(
+    processes: int, n_rh: int, n_int: int, max_bottom: int = 1_000_000
+) -> LayerAssignment:
+    """The paper's layer-filling policy for a given process budget.
+
+    Fill the top layer first (up to ``n_rh``), then the middle (up to
+    ``n_int``), then the bottom.  ``processes`` must factor accordingly;
+    remainders go to the bottom layer.
+    """
+    if processes < 1:
+        raise ConfigurationError("processes must be >= 1")
+    top = min(processes, n_rh)
+    while top > 1 and processes % top:
+        top -= 1
+    rest = processes // top
+    middle = min(rest, n_int)
+    while middle > 1 and rest % middle:
+        middle -= 1
+    bottom = rest // middle
+    if bottom > max_bottom:
+        raise ConfigurationError(
+            f"layer fill would need bottom={bottom} > max_bottom={max_bottom}"
+        )
+    return LayerAssignment(top=top, middle=middle, bottom=bottom)

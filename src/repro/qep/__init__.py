@@ -1,0 +1,15 @@
+"""Quadratic eigenvalue problem (QEP) representation of the CBS equation."""
+
+from repro.qep.blocks import BlockTriple
+from repro.qep.pencil import QuadraticPencil
+from repro.qep.linearization import solve_qep_dense, companion_pencil, filter_eigenpairs
+from repro.qep.matrixfree import MatrixFreeHamiltonian
+
+__all__ = [
+    "BlockTriple",
+    "QuadraticPencil",
+    "solve_qep_dense",
+    "companion_pencil",
+    "filter_eigenpairs",
+    "MatrixFreeHamiltonian",
+]

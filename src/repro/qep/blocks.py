@@ -1,0 +1,184 @@
+"""Unit-cell block triple ``(H_{n,n-1}, H_{n,n}, H_{n,n+1})``.
+
+For a bulk system whose Hamiltonian couples only nearest-neighbor unit
+cells along the stacking axis, the KS equation in cell ``n`` reads
+(paper Eq. (2))
+
+.. math::
+    -H_{n,n-1} |ψ_{n-1}⟩ + (E - H_{n,n}) |ψ_n⟩ - H_{n,n+1} |ψ_{n+1}⟩ = 0 ,
+
+and in the bulk ``H_{n,n-1} = H_{n,n+1}^†`` with Hermitian ``H_{n,n}``.
+This module holds that triple and the derived objects every solver needs:
+the Bloch Hamiltonian ``H(λ) = H0 + λ H+ + λ^{-1} H-`` and structural
+validation (Hermiticity pair), on which the paper's dual-system trick
+``P(z)^† = P(1/z̄)`` rests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigurationError
+from repro.utils.memory import nbytes_of
+
+Matrix = Union[np.ndarray, sp.spmatrix]
+
+
+def _as_operator(m: Matrix) -> Matrix:
+    if sp.issparse(m):
+        return m.tocsr()
+    a = np.asarray(m)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ConfigurationError(f"block must be square, got shape {a.shape}")
+    return a
+
+
+def _adjoint(m: Matrix) -> Matrix:
+    if sp.issparse(m):
+        return m.conj().T.tocsr()
+    return m.conj().T
+
+
+def _max_abs(m: Matrix) -> float:
+    if sp.issparse(m):
+        return float(np.max(np.abs(m.data))) if m.nnz else 0.0
+    return float(np.max(np.abs(m))) if m.size else 0.0
+
+
+@dataclass(frozen=True)
+class BlockTriple:
+    """Container for ``(H-, H0, H+)`` = ``(H_{n,n-1}, H_{n,n}, H_{n,n+1})``.
+
+    Blocks may be dense ndarrays or scipy sparse matrices; sparse blocks
+    are converted to CSR.  ``cell_length`` is the stacking period ``a``
+    (Bohr) used to convert ``λ ↔ k``; it defaults to 1 so model problems
+    can quote ``k`` directly in units of ``1/a``.
+    """
+
+    hm: Matrix
+    h0: Matrix
+    hp: Matrix
+    cell_length: float = 1.0
+
+    def __post_init__(self) -> None:
+        hm = _as_operator(self.hm)
+        h0 = _as_operator(self.h0)
+        hp = _as_operator(self.hp)
+        n = h0.shape[0]
+        if hm.shape != (n, n) or hp.shape != (n, n):
+            raise ConfigurationError(
+                f"block shapes differ: H-={hm.shape}, H0={h0.shape}, H+={hp.shape}"
+            )
+        if self.cell_length <= 0:
+            raise ConfigurationError(
+                f"cell_length must be positive, got {self.cell_length}"
+            )
+        object.__setattr__(self, "hm", hm)
+        object.__setattr__(self, "h0", h0)
+        object.__setattr__(self, "hp", hp)
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension ``N`` (grid points × components)."""
+        return self.h0.shape[0]
+
+    @property
+    def is_sparse(self) -> bool:
+        return sp.issparse(self.h0)
+
+    @property
+    def nbytes(self) -> int:
+        """Stored bytes of the three blocks."""
+        return nbytes_of(self.hm) + nbytes_of(self.h0) + nbytes_of(self.hp)
+
+    @property
+    def nnz(self) -> int:
+        """Total stored nonzeros (dense blocks count every entry)."""
+        total = 0
+        for m in (self.hm, self.h0, self.hp):
+            total += m.nnz if sp.issparse(m) else m.size
+        return int(total)
+
+    # -- structure checks ------------------------------------------------------
+
+    def hermiticity_defect(self) -> float:
+        """``max(|H0 - H0†|, |H- - H+†|)`` — zero for a valid bulk triple."""
+        d0 = self.h0 - _adjoint(self.h0)
+        dp = self.hm - _adjoint(self.hp)
+        return max(_max_abs(d0), _max_abs(dp))
+
+    def validate_bulk(self, tol: float = 1e-10) -> None:
+        """Raise unless the triple has the bulk symmetry within ``tol``.
+
+        The Sakurai-Sugiura dual-system shortcut (solving the inner-circle
+        systems as adjoints of the outer-circle systems) is only valid for
+        triples that pass this check.
+        """
+        scale = max(_max_abs(self.h0), _max_abs(self.hp), 1.0)
+        defect = self.hermiticity_defect()
+        if defect > tol * scale:
+            raise ConfigurationError(
+                f"block triple violates bulk symmetry: defect {defect:.3e} "
+                f"(tolerance {tol:.1e} x scale {scale:.3e})"
+            )
+
+    # -- assembly ----------------------------------------------------------------
+
+    def bloch_hamiltonian(self, lam: complex) -> Matrix:
+        """``H(λ) = H0 + λ H+ + λ^{-1} H-`` (sparse if blocks are sparse).
+
+        For ``|λ| = 1`` and a valid bulk triple this is Hermitian and its
+        eigenvalues are the conventional band energies at ``k = arg(λ)/a``.
+        """
+        lam = complex(lam)
+        if lam == 0:
+            raise ConfigurationError("λ = 0 has no Bloch Hamiltonian")
+        h = self.h0 + lam * self.hp + (1.0 / lam) * self.hm
+        return h.tocsr() if sp.issparse(h) else h
+
+    def bloch_hamiltonian_k(self, k: float) -> Matrix:
+        """``H(k)`` for a real wave number ``k`` (uses ``λ = exp(i k a)``)."""
+        return self.bloch_hamiltonian(np.exp(1j * k * self.cell_length))
+
+    def as_dense(self) -> "BlockTriple":
+        """Densified copy (for the dense reference solvers)."""
+        def dense(m):
+            return m.toarray() if sp.issparse(m) else np.array(m)
+        return BlockTriple(
+            dense(self.hm), dense(self.h0), dense(self.hp), self.cell_length
+        )
+
+    def as_complex(self) -> "BlockTriple":
+        """Copy with complex128 blocks (solvers work in complex arithmetic)."""
+        def conv(m):
+            if sp.issparse(m):
+                return m.astype(np.complex128)
+            return np.asarray(m, dtype=np.complex128)
+        return BlockTriple(
+            conv(self.hm), conv(self.h0), conv(self.hp), self.cell_length
+        )
+
+    # -- λ <-> k conversion -----------------------------------------------------
+
+    def lam_to_k(self, lam: np.ndarray) -> np.ndarray:
+        """Complex wave number ``k = -i ln(λ) / a`` (principal branch).
+
+        ``Re k`` is the crystal momentum; ``Im k`` the inverse decay length
+        of the evanescent mode.
+        """
+        lam = np.asarray(lam, dtype=np.complex128)
+        return -1j * np.log(lam) / self.cell_length
+
+    def k_to_lam(self, k: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`lam_to_k`: ``λ = exp(i k a)``."""
+        return np.exp(1j * np.asarray(k, dtype=np.complex128) * self.cell_length)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "sparse" if self.is_sparse else "dense"
+        return f"BlockTriple(N={self.n}, {kind}, nnz={self.nnz}, a={self.cell_length:.3f})"

@@ -1,0 +1,99 @@
+"""Conjugate gradient — used by the OBM baseline exactly as in the paper.
+
+The paper's OBM implementation computes the boundary columns of
+``(E - H_{n,n})^{-1}`` "using the CG method".  ``E - H0`` is Hermitian
+but *indefinite* at mid-spectrum energies, where plain CG is not
+guaranteed to converge; we reproduce the paper's choice but expose the
+iteration so callers can fall back to the sparse-LU path (the default in
+:mod:`repro.baselines.obm`) when CG stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.solvers.stopping import ResidualRule, StopReason
+
+Apply = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class CGResult:
+    """Outcome of :func:`conjugate_gradient`."""
+
+    x: np.ndarray
+    iterations: int
+    reason: StopReason
+    residual: float
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        return self.reason == StopReason.CONVERGED
+
+
+def conjugate_gradient(
+    apply_a: Apply,
+    b: np.ndarray,
+    *,
+    rule: ResidualRule | None = None,
+    x0: Optional[np.ndarray] = None,
+    record_history: bool = False,
+) -> CGResult:
+    """Solve the Hermitian system ``A x = b`` with (unpreconditioned) CG.
+
+    Stops on the relative-residual rule or on loss of positivity of the
+    search-direction curvature ``⟨p, A p⟩`` (returned as ``BREAKDOWN``) —
+    the indefinite-matrix failure mode the paper's OBM baseline risks.
+    """
+    if callable(apply_a) and not hasattr(apply_a, "__matmul__"):
+        mv = apply_a
+    else:
+        mv = lambda v, _a=apply_a: _a @ v
+    rule = rule or ResidualRule()
+    b = np.asarray(b, dtype=np.complex128)
+    n = b.shape[0]
+    maxiter = rule.maxiter if rule.maxiter is not None else max(10 * n, 100)
+
+    norm_b = float(np.linalg.norm(b))
+    if norm_b == 0.0:
+        return CGResult(np.zeros(n, np.complex128), 0, StopReason.CONVERGED, 0.0)
+
+    if x0 is None:
+        x = np.zeros(n, dtype=np.complex128)
+        r = b.copy()
+    else:
+        x = np.asarray(x0, dtype=np.complex128).copy()
+        r = b - mv(x)
+    p = r.copy()
+    rs = np.vdot(r, r).real
+    rel = np.sqrt(rs) / norm_b
+    history: List[float] = []
+    reason = StopReason.MAXITER
+    it = 0
+    if rule.satisfied(rel):
+        return CGResult(x, 0, StopReason.CONVERGED, float(rel))
+
+    for it in range(1, maxiter + 1):
+        q = mv(p)
+        curv = np.vdot(p, q).real
+        if curv == 0.0 or not np.isfinite(curv):
+            reason = StopReason.BREAKDOWN
+            break
+        alpha = rs / curv
+        x += alpha * p
+        r -= alpha * q
+        rs_new = np.vdot(r, r).real
+        rel = np.sqrt(rs_new) / norm_b
+        if record_history:
+            history.append(float(rel))
+        if rule.satisfied(rel):
+            reason = StopReason.CONVERGED
+            break
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+
+    return CGResult(x, it, reason, float(rel), history)

@@ -1,0 +1,66 @@
+"""Sparse direct solver for the shifted systems.
+
+For validation-scale problems a sparse LU of ``P(z_j)`` beats BiCG by a
+wide margin, and one factorization serves **both** the primal systems
+``P(z) Y = V`` and the dual systems ``P(z)^† Ỹ = V`` (SuperLU solves
+with ``A``, ``A^T`` or ``A^H`` from the same factors) — the direct-solver
+counterpart of the paper's remark that "(sparse) direct solvers and the
+BiCG method efficiently solve the linear systems (9) and its dual
+systems (11)".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import SingularPencilError
+from repro.utils.memory import MemoryReport
+
+
+class SparseLUSolver:
+    """LU-factorize a (sparse) matrix once, then solve primal/dual systems.
+
+    Parameters
+    ----------
+    matrix:
+        The assembled ``P(z)`` (sparse or dense; dense is converted).
+
+    Raises
+    ------
+    SingularPencilError
+        If the factorization encounters an exactly singular pencil —
+        the energy scan catches this and retries with a nudged energy.
+    """
+
+    def __init__(self, matrix) -> None:
+        if not sp.issparse(matrix):
+            matrix = sp.csc_matrix(np.asarray(matrix, dtype=np.complex128))
+        self._n = matrix.shape[0]
+        try:
+            self._lu = spla.splu(matrix.tocsc().astype(np.complex128))
+        except RuntimeError as exc:  # SuperLU signals singularity this way
+            raise SingularPencilError(
+                f"sparse LU factorization failed: {exc}"
+            ) from exc
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``P(z) y = b`` (b may be a block of columns)."""
+        return self._lu.solve(np.asarray(b, dtype=np.complex128))
+
+    def solve_adjoint(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``P(z)^† y = b`` from the same factorization."""
+        return self._lu.solve(np.asarray(b, dtype=np.complex128), trans="H")
+
+    def memory_report(self) -> MemoryReport:
+        """Approximate factor storage (L and U nonzeros)."""
+        rep = MemoryReport()
+        # SuperLU does not expose its factors cheaply; estimate from nnz.
+        nnz = self._lu.nnz if hasattr(self._lu, "nnz") else 0
+        rep.add("LU factors (est.)", int(nnz) * 16 + int(nnz) * 4)
+        return rep

@@ -1,0 +1,104 @@
+"""Stopping rules for the Step-1 linear solves.
+
+The paper uses two stopping conditions for BiCG at the quadrature points
+(§3.3, middle layer):
+
+1. the standard rule — relative residual 2-norm below a tolerance;
+2. the **quorum rule** — once *more than half* of the quadrature points
+   have converged, the stragglers are stopped where they are.
+
+Figure 5 justifies rule 2: convergence is uniform across quadrature
+points, so when half the systems reach 1e-10 the slowest is already at
+~1e-8, and the extraction accuracy is preserved while the middle-layer
+load imbalance is capped.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Set
+
+
+class StopReason(enum.Enum):
+    """Why an iterative solve returned."""
+
+    CONVERGED = "converged"          #: residual rule satisfied
+    QUORUM = "quorum"                #: stopped by the quorum rule
+    MAXITER = "maxiter"              #: iteration budget exhausted
+    BREAKDOWN = "breakdown"          #: Krylov breakdown (ρ or σ ≈ 0)
+
+
+@dataclass(frozen=True)
+class ResidualRule:
+    """Plain relative-residual stopping rule.
+
+    Parameters
+    ----------
+    tol:
+        Target for ``||r|| / ||b||`` (the paper uses 1e-10).
+    maxiter:
+        Iteration cap; ``None`` → ``10 * n`` chosen by the solver.
+    """
+
+    tol: float = 1e-10
+    maxiter: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.tol < 1:
+            raise ValueError(f"tol must be in (0, 1), got {self.tol}")
+        if self.maxiter is not None and self.maxiter < 1:
+            raise ValueError(f"maxiter must be >= 1, got {self.maxiter}")
+
+    def satisfied(self, rel_residual: float) -> bool:
+        return rel_residual <= self.tol
+
+
+@dataclass
+class QuorumController:
+    """Shared state implementing the paper's quorum stopping rule.
+
+    One controller is shared by all solves of a quadrature batch
+    (``total`` = number of quadrature points ``N_int``).  Each solve calls
+    :meth:`mark_converged` with its point index when its residual rule is
+    satisfied; unconverged solves poll :meth:`should_stop` every iteration
+    and abandon the iteration once **strictly more than** ``fraction`` of
+    the points have converged.
+
+    Thread-safe: the middle layer may run solves concurrently.
+    """
+
+    total: int
+    fraction: float = 0.5
+    _converged: Set = field(default_factory=set)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.total < 1:
+            raise ValueError(f"total must be >= 1, got {self.total}")
+        if not 0 < self.fraction < 1:
+            raise ValueError(f"fraction must be in (0,1), got {self.fraction}")
+
+    def mark_converged(self, system_key) -> None:
+        """Record that the system identified by ``system_key`` converged.
+
+        Keys may be plain point indices or (point, rhs) tuples — anything
+        hashable and unique within the batch.
+        """
+        with self._lock:
+            self._converged.add(system_key)
+
+    @property
+    def converged_count(self) -> int:
+        with self._lock:
+            return len(self._converged)
+
+    def should_stop(self) -> bool:
+        """True once more than ``fraction`` of the points have converged."""
+        with self._lock:
+            return len(self._converged) > self.fraction * self.total
+
+    def reset(self) -> None:
+        with self._lock:
+            self._converged.clear()

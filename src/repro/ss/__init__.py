@@ -1,0 +1,20 @@
+"""The Sakurai-Sugiura complex-moment eigensolver for the CBS QEP."""
+
+from repro.ss.contour import CircleContour, AnnulusContour, QuadraturePoint
+from repro.ss.moments import MomentAccumulator
+from repro.ss.hankel import HankelExtraction, extract_eigenpairs
+from repro.ss.solver import SSConfig, SSHankelSolver, SSResult
+from repro.ss.rayleigh_ritz import ss_rayleigh_ritz
+
+__all__ = [
+    "CircleContour",
+    "AnnulusContour",
+    "QuadraturePoint",
+    "MomentAccumulator",
+    "HankelExtraction",
+    "extract_eigenpairs",
+    "SSConfig",
+    "SSHankelSolver",
+    "SSResult",
+    "ss_rayleigh_ritz",
+]

@@ -1,0 +1,91 @@
+"""Complex moment accumulation (Step 2 of the Sakurai-Sugiura method).
+
+From the per-node solutions ``Y_j = P(z_j)^{-1} V`` the method needs
+
+* the **projected moments** ``µ̂_k = V^† Ŝ_k`` for ``k = 0 … 2 N_mm - 1``
+  (they fill the two block Hankel matrices), and
+* the **tall moments** ``Ŝ_k`` for ``k = 0 … N_mm - 1`` only (they enter
+  the eigenvector recovery ``ψ = [Ŝ_0 … Ŝ_{N_mm-1}] W_1 Σ_1^{-1} φ``).
+
+Keeping only the first ``N_mm`` tall moments is what gives the paper's
+``O(M N)`` memory bound with ``M = N_rh × N_mm``: the accumulator stores
+``N × N_rh × N_mm`` complex entries plus ``2 N_mm`` small ``N_rh × N_rh``
+blocks, and each solution ``Y_j`` is folded in streaming fashion and can
+be discarded immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.memory import MemoryReport
+
+
+class MomentAccumulator:
+    """Streaming accumulator for ``Ŝ_k`` and ``µ̂_k``.
+
+    Parameters
+    ----------
+    v:
+        The source block ``V`` (``N × N_rh``), kept by reference for the
+        projections.
+    n_mm:
+        Number of moment degrees ``N_mm``; Hankel matrices need moments
+        up to degree ``2 N_mm - 1``.
+    """
+
+    def __init__(self, v: np.ndarray, n_mm: int) -> None:
+        v = np.asarray(v, dtype=np.complex128)
+        if v.ndim != 2:
+            raise ConfigurationError(f"V must be 2-D, got shape {v.shape}")
+        if n_mm < 1:
+            raise ConfigurationError(f"n_mm must be >= 1, got {n_mm}")
+        self.v = v
+        self.n, self.n_rh = v.shape
+        self.n_mm = int(n_mm)
+        self.s = np.zeros((self.n_mm, self.n, self.n_rh), dtype=np.complex128)
+        self.mu = np.zeros(
+            (2 * self.n_mm, self.n_rh, self.n_rh), dtype=np.complex128
+        )
+        self._points_added = 0
+
+    def add(self, z: complex, weight: complex, y: np.ndarray,
+            sign: float = 1.0) -> None:
+        """Fold one node's solution block into the moments.
+
+        Implements ``Ŝ_k += sign * ω z^k Y`` and ``µ̂_k += sign * ω z^k (V†Y)``.
+        ``sign`` is +1 on the outer circle, −1 on the inner circle
+        (annulus = outer minus inner).
+        """
+        y = np.asarray(y, dtype=np.complex128)
+        if y.shape != (self.n, self.n_rh):
+            raise ConfigurationError(
+                f"solution block shape {y.shape} != {(self.n, self.n_rh)}"
+            )
+        z = complex(z)
+        coeff = sign * complex(weight)
+        vhy = self.v.conj().T @ y  # N_rh × N_rh, computed once per node
+        zk = 1.0 + 0.0j
+        for k in range(2 * self.n_mm):
+            c = coeff * zk
+            self.mu[k] += c * vhy
+            if k < self.n_mm:
+                self.s[k] += c * y
+            zk *= z
+        self._points_added += 1
+
+    @property
+    def points_added(self) -> int:
+        return self._points_added
+
+    def stacked_s(self) -> np.ndarray:
+        """``Ŝ = [Ŝ_0, Ŝ_1, …, Ŝ_{N_mm-1}]`` as an ``N × (N_rh N_mm)`` matrix."""
+        return np.concatenate(list(self.s), axis=1)
+
+    def memory_report(self) -> MemoryReport:
+        rep = MemoryReport()
+        rep.add("moments S_k (N x Nrh x Nmm)", self.s)
+        rep.add("projected moments mu_k", self.mu)
+        rep.add("source block V", self.v)
+        return rep

@@ -1,0 +1,102 @@
+"""Sakurai-Sugiura with Rayleigh-Ritz extraction (SS-RR variant).
+
+The paper uses the Hankel extraction [Asakura et al. 2009]; the SS-RR
+variant (Ikegami & Sakurai 2010) instead orthonormalizes the moment
+subspace ``span[Ŝ_0 … Ŝ_{N_mm-1}]`` and projects the *original* QEP onto
+it:
+
+.. math::
+    Q^† P(λ) Q \\, y = 0, \\qquad ψ = Q y ,
+
+solving the small projected QEP by dense linearization.  SS-RR is often
+more accurate for interior eigenvalues (it re-touches the true operator
+instead of relying on moment arithmetic), at the cost of three small
+projected blocks.  It is included as the ablation cross-check of the
+Hankel extraction (DESIGN.md ablation #3): both must agree on the model
+problems to solver tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.errors import ExtractionError
+from repro.qep.blocks import BlockTriple
+from repro.qep.linearization import solve_qep_dense
+from repro.ss.solver import SSConfig, SSHankelSolver
+from repro.utils.timing import PhaseTimes
+
+
+@dataclass
+class SSRRResult:
+    """Accepted eigenpairs from the Rayleigh-Ritz extraction."""
+
+    energy: float
+    eigenvalues: np.ndarray
+    vectors: np.ndarray
+    residuals: np.ndarray
+    rank: int
+    phase_times: PhaseTimes
+
+    @property
+    def count(self) -> int:
+        return int(self.eigenvalues.shape[0])
+
+
+def ss_rayleigh_ritz(
+    blocks: BlockTriple,
+    energy: float,
+    config: SSConfig | None = None,
+    v: Optional[np.ndarray] = None,
+) -> SSRRResult:
+    """Solve the ring QEP with the SS-RR (projection) extraction.
+
+    Steps 1-2 (contour solves, moments) are identical to the Hankel
+    path — including the dual-system shortcut — so the cost difference
+    is extraction only.
+    """
+    solver = SSHankelSolver(blocks, config)
+    cfg = solver.config
+    pencil, contour, acc, _stats, times, _kind = solver.compute_moments(
+        energy, v
+    )
+
+    with times.phase("extract eigenpairs"):
+        s = acc.stacked_s()
+        # Orthonormal basis of the moment subspace, truncated at δ.
+        u, sing, _ = sla.svd(s, full_matrices=False)
+        if sing.size == 0 or sing[0] == 0.0:
+            raise ExtractionError("moment subspace is zero — empty contour?")
+        rank = int(np.count_nonzero(sing > cfg.delta * sing[0]))
+        if rank == 0:
+            raise ExtractionError("moment subspace rank is zero at this δ")
+        q = u[:, :rank]
+
+        # Project the QEP blocks (small dense triple, bulk symmetry kept).
+        b = solver.blocks
+        h0_r = q.conj().T @ (b.h0 @ q)
+        hp_r = q.conj().T @ (b.hp @ q)
+        hm_r = q.conj().T @ (b.hm @ q)
+        # Restore exact structure lost to roundoff (validation requires it).
+        h0_r = (h0_r + h0_r.conj().T) / 2.0
+        hm_r = hp_r.conj().T.copy()
+        projected = BlockTriple(hm_r, h0_r, hp_r, b.cell_length)
+        small = solve_qep_dense(projected, energy)
+
+        lam = small.eigenvalues
+        vecs = q @ small.vectors
+        norms = np.linalg.norm(vecs, axis=0)
+        norms[norms == 0.0] = 1.0
+        vecs = vecs / norms[None, :]
+        res = pencil.residuals(lam, vecs)
+        keep = contour.contains_many(lam, cfg.annulus_margin)
+        keep &= res <= cfg.residual_tol
+        lam, vecs, res = lam[keep], vecs[:, keep], res[keep]
+        order = np.argsort(np.abs(lam))
+        lam, vecs, res = lam[order], vecs[:, order], res[order]
+
+    return SSRRResult(float(energy), lam, vecs, res, rank, times)

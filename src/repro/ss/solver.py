@@ -1,0 +1,536 @@
+"""The Sakurai-Sugiura Hankel solver for the CBS quadratic eigenproblem.
+
+Implements paper Algorithm 1 with the §3.2 ring-contour specialization
+and the §3.3 execution structure:
+
+* **Step 1** — solve the ``N_int`` outer-circle systems
+  ``P(z^{(1)}_j) Y^{(1)}_j = V``; the inner-circle systems come for free
+  as the duals ``P(z^{(1)}_j)^† Y^{(2)}_j = V`` (one BiCG run or one LU
+  factorization yields both).
+* **Step 2** — stream the solutions into the complex moments.
+* **Step 3** — block-Hankel extraction of the eigenpairs, followed by a
+  residual/region filter.
+
+Step 1 supports two linear-solver strategies (``direct`` = sparse LU,
+``bicg`` = the paper's matrix-free path) and two execution modes: serial
+**lockstep rounds** (exactly emulating the concurrent middle layer,
+including the quorum stopping rule) or a thread-pool executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.qep.blocks import BlockTriple
+from repro.qep.pencil import QuadraticPencil
+from repro.parallel.executor import SerialExecutor, make_executor
+from repro.solvers.bicg import BiCGResult, BiCGStepper
+from repro.solvers.direct import SparseLUSolver
+from repro.solvers.preconditioners import jacobi_preconditioner
+from repro.solvers.stopping import QuorumController, ResidualRule, StopReason
+from repro.ss.contour import AnnulusContour
+from repro.ss.hankel import extract_eigenpairs
+from repro.ss.moments import MomentAccumulator
+from repro.utils.memory import MemoryReport
+from repro.utils.rng import complex_gaussian, default_rng
+from repro.utils.timing import PhaseTimes
+
+
+@dataclass(frozen=True)
+class SSConfig:
+    """Input parameters of the Sakurai-Sugiura method (paper Algorithm 1).
+
+    Defaults are the paper's serial-test settings
+    (``N_int=32, N_mm=8, N_rh=16, δ=1e-10, λ_min=0.5``, BiCG tol 1e-10).
+
+    Attributes
+    ----------
+    n_int:
+        Quadrature points per circle (``N_int``).
+    n_mm:
+        Moment degrees (``N_mm``); Hankel capacity is ``n_rh * n_mm``.
+    n_rh:
+        Right-hand sides / source-block width (``N_rh``).
+    delta:
+        Relative SVD truncation threshold ``δ``.
+    lambda_min:
+        Ring radius parameter: the target annulus is
+        ``λ_min < |λ| < 1/λ_min``.
+    linear_solver:
+        ``"direct"`` (sparse LU), ``"bicg"`` (the paper's iterative
+        path), or ``"auto"`` (direct for ``N <= direct_threshold``).
+    direct_threshold:
+        Crossover size for ``"auto"``.
+    bicg_tol / bicg_maxiter:
+        BiCG stopping rule (the paper uses 1e-10).
+    use_dual_trick:
+        Reuse each outer solve's dual solution as the paired inner-circle
+        solution (paper §3.2).  Requires real energy and a bulk triple;
+        the solver falls back to explicit inner solves otherwise.
+    quorum_fraction:
+        Enable the quorum stopping rule at this fraction (``None`` = off;
+        paper: 0.5).  Only meaningful for the BiCG path.
+    jacobi:
+        Apply Jacobi preconditioning to BiCG (extension; off = paper).
+    residual_tol:
+        Acceptance threshold on the relative QEP residual of extracted
+        eigenpairs.
+    annulus_margin:
+        Relative margin shrinking the acceptance ring (drops boundary
+        modes whose filter convergence is slow).
+    executor:
+        ``None``/``"serial"``, ``"threads"``, or an int worker count —
+        parallelism over (quadrature point × RHS) tasks.
+    seed:
+        RNG seed for the random source block ``V``.
+    record_history:
+        Keep per-iteration BiCG residual histories (Figure 5).
+    """
+
+    n_int: int = 32
+    n_mm: int = 8
+    n_rh: int = 16
+    delta: float = 1e-10
+    lambda_min: float = 0.5
+    linear_solver: str = "auto"
+    direct_threshold: int = 6000
+    bicg_tol: float = 1e-10
+    bicg_maxiter: Optional[int] = None
+    use_dual_trick: bool = True
+    quorum_fraction: Optional[float] = 0.5
+    jacobi: bool = False
+    residual_tol: float = 1e-6
+    annulus_margin: float = 0.0
+    executor: object = None
+    seed: Optional[int] = None
+    record_history: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_int < 2:
+            raise ConfigurationError(f"n_int must be >= 2, got {self.n_int}")
+        if self.n_mm < 1:
+            raise ConfigurationError(f"n_mm must be >= 1, got {self.n_mm}")
+        if self.n_rh < 1:
+            raise ConfigurationError(f"n_rh must be >= 1, got {self.n_rh}")
+        if not 0 < self.delta < 1:
+            raise ConfigurationError(f"delta must be in (0,1), got {self.delta}")
+        if not 0 < self.lambda_min < 1:
+            raise ConfigurationError(
+                f"lambda_min must be in (0,1), got {self.lambda_min}"
+            )
+        if self.linear_solver not in ("auto", "direct", "bicg"):
+            raise ConfigurationError(
+                f"unknown linear_solver {self.linear_solver!r}"
+            )
+        if self.quorum_fraction is not None and not 0 < self.quorum_fraction < 1:
+            raise ConfigurationError(
+                f"quorum_fraction must be in (0,1) or None, "
+                f"got {self.quorum_fraction}"
+            )
+
+    @property
+    def subspace_capacity(self) -> int:
+        """Maximum extractable eigenpair count ``N_rh × N_mm``."""
+        return self.n_rh * self.n_mm
+
+
+@dataclass
+class PointStats:
+    """Per-quadrature-point solve statistics (Fig. 5 / Table 1 data)."""
+
+    z: complex
+    circle: int
+    iterations: int = 0
+    final_residual: float = 0.0
+    final_residual_dual: float = 0.0
+    reason: str = ""
+    histories: List[List[float]] = field(default_factory=list)
+
+
+@dataclass
+class SSResult:
+    """Output of :meth:`SSHankelSolver.solve`.
+
+    ``eigenvalues``/``vectors``/``residuals`` are the accepted pairs
+    (inside the ring, residual below tolerance); the ``raw_*`` fields
+    keep everything the Hankel step produced, for diagnostics.
+    """
+
+    energy: float
+    eigenvalues: np.ndarray
+    vectors: np.ndarray
+    residuals: np.ndarray
+    raw_eigenvalues: np.ndarray
+    raw_residuals: np.ndarray
+    rank: int
+    singular_values: np.ndarray
+    point_stats: List[PointStats]
+    phase_times: PhaseTimes
+    memory: MemoryReport
+    linear_solver: str
+
+    @property
+    def count(self) -> int:
+        return int(self.eigenvalues.shape[0])
+
+    def total_iterations(self) -> int:
+        """Sum of BiCG iterations over all quadrature points/RHS."""
+        return sum(p.iterations for p in self.point_stats)
+
+    def complex_k(self, cell_length: float) -> np.ndarray:
+        """Accepted eigenvalues as complex wave numbers ``k = -i ln λ / a``."""
+        return -1j * np.log(self.eigenvalues) / cell_length
+
+
+class SSHankelSolver:
+    """Sakurai-Sugiura method with block Hankel matrices for the CBS QEP.
+
+    Parameters
+    ----------
+    blocks:
+        The unit-cell :class:`BlockTriple`; validated for bulk symmetry
+        unless ``validate=False``.
+    config:
+        An :class:`SSConfig` (paper defaults when omitted).
+
+    Examples
+    --------
+    >>> from repro.models import TransverseLadder
+    >>> from repro.ss import SSHankelSolver, SSConfig
+    >>> ladder = TransverseLadder(width=4)
+    >>> solver = SSHankelSolver(ladder.blocks(),
+    ...                         SSConfig(n_int=16, n_mm=4, n_rh=4, seed=7))
+    >>> result = solver.solve(energy=-0.5)
+    >>> result.count == ladder.count_in_annulus(-0.5, 0.5, 2.0)
+    True
+    """
+
+    def __init__(self, blocks: BlockTriple, config: SSConfig | None = None,
+                 *, validate: bool = True) -> None:
+        self.blocks = blocks.as_complex()
+        self.config = config or SSConfig()
+        if validate:
+            self.blocks.validate_bulk(tol=1e-8)
+        self._executor = make_executor(self.config.executor)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def compute_moments(
+        self, energy: float, v: Optional[np.ndarray] = None
+    ) -> tuple[QuadraticPencil, AnnulusContour, MomentAccumulator,
+               List["PointStats"], PhaseTimes, str]:
+        """Run Steps 1-2 only: solve the shifted systems, fold moments.
+
+        Shared by the Hankel extraction (:meth:`solve`) and the
+        Rayleigh-Ritz variant (:func:`repro.ss.rayleigh_ritz.ss_rayleigh_ritz`).
+        """
+        cfg = self.config
+        times = PhaseTimes()
+        pencil = QuadraticPencil(self.blocks, energy)
+        contour = AnnulusContour.from_lambda_min(cfg.lambda_min, cfg.n_int)
+
+        if v is None:
+            rng = default_rng(cfg.seed)
+            v = complex_gaussian(rng, (self.blocks.n, cfg.n_rh))
+        else:
+            v = np.asarray(v, dtype=np.complex128)
+            if v.shape != (self.blocks.n, cfg.n_rh):
+                raise ConfigurationError(
+                    f"V must have shape {(self.blocks.n, cfg.n_rh)}, "
+                    f"got {v.shape}"
+                )
+
+        acc = MomentAccumulator(v, cfg.n_mm)
+        solver_kind = self._pick_solver()
+
+        with times.phase("solve linear equations"):
+            point_stats = self._step1(pencil, contour, v, acc, solver_kind)
+        return pencil, contour, acc, point_stats, times, solver_kind
+
+    def solve(self, energy: float, v: Optional[np.ndarray] = None) -> SSResult:
+        """Compute the QEP eigenpairs in the ring at real ``energy``.
+
+        Parameters
+        ----------
+        energy:
+            The real energy ``E`` of the CBS slice.
+        v:
+            Optional explicit source block (``N × N_rh``); random complex
+            Gaussian by default.
+        """
+        cfg = self.config
+        pencil, contour, acc, point_stats, times, solver_kind = (
+            self.compute_moments(energy, v)
+        )
+
+        with times.phase("extract eigenpairs"):
+            extraction = extract_eigenpairs(
+                acc.mu, acc.stacked_s(), cfg.n_mm, cfg.delta
+            )
+            raw_lam = extraction.eigenvalues
+            raw_res = pencil.residuals(raw_lam, extraction.vectors)
+            inside = contour.contains_many(raw_lam, cfg.annulus_margin)
+            keep = inside & (raw_res <= cfg.residual_tol)
+            lam = raw_lam[keep]
+            vecs = extraction.vectors[:, keep]
+            res = raw_res[keep]
+            order = np.argsort(np.abs(lam))
+            lam, vecs, res = lam[order], vecs[:, order], res[order]
+
+        memory = self._memory_report(acc, extraction.singular_values.size)
+
+        return SSResult(
+            energy=float(energy),
+            eigenvalues=lam,
+            vectors=vecs,
+            residuals=res,
+            raw_eigenvalues=raw_lam,
+            raw_residuals=raw_res,
+            rank=extraction.rank,
+            singular_values=extraction.singular_values,
+            point_stats=point_stats,
+            phase_times=times,
+            memory=memory,
+            linear_solver=solver_kind,
+        )
+
+    # ------------------------------------------------------------------
+    # Step 1: the linear solves
+    # ------------------------------------------------------------------
+
+    def _pick_solver(self) -> str:
+        cfg = self.config
+        if cfg.linear_solver != "auto":
+            return cfg.linear_solver
+        return "direct" if self.blocks.n <= cfg.direct_threshold else "bicg"
+
+    def _use_dual(self, pencil: QuadraticPencil, contour: AnnulusContour) -> bool:
+        return (
+            self.config.use_dual_trick
+            and pencil.is_dual_symmetric
+            and contour.is_reciprocal
+        )
+
+    def _step1(
+        self,
+        pencil: QuadraticPencil,
+        contour: AnnulusContour,
+        v: np.ndarray,
+        acc: MomentAccumulator,
+        solver_kind: str,
+    ) -> List[PointStats]:
+        if solver_kind == "direct":
+            return self._step1_direct(pencil, contour, v, acc)
+        return self._step1_bicg(pencil, contour, v, acc)
+
+    # -- direct (sparse LU) path -------------------------------------------
+
+    def _step1_direct(
+        self,
+        pencil: QuadraticPencil,
+        contour: AnnulusContour,
+        v: np.ndarray,
+        acc: MomentAccumulator,
+    ) -> List[PointStats]:
+        stats: List[PointStats] = []
+        if self._use_dual(pencil, contour):
+            pairs = contour.dual_pairs()
+
+            def task(pair):
+                po, pi = pair
+                lu = SparseLUSolver(pencil.assemble(po.z))
+                y_out = lu.solve(v)
+                y_in = lu.solve_adjoint(v)  # = P(z_in)^{-1} V via duality
+                return po, pi, y_out, y_in
+
+            for po, pi, y_out, y_in in self._executor.map(task, pairs):
+                acc.add(po.z, po.weight, y_out, po.sign)
+                acc.add(pi.z, pi.weight, y_in, pi.sign)
+                stats.append(PointStats(po.z, po.circle, 0, 0.0, 0.0, "direct"))
+        else:
+            points = contour.points()
+
+            def task(pt):
+                lu = SparseLUSolver(pencil.assemble(pt.z))
+                return pt, lu.solve(v)
+
+            for pt, y in self._executor.map(task, points):
+                acc.add(pt.z, pt.weight, y, pt.sign)
+                stats.append(PointStats(pt.z, pt.circle, 0, 0.0, 0.0, "direct"))
+        return stats
+
+    # -- BiCG path ------------------------------------------------------------
+
+    def _step1_bicg(
+        self,
+        pencil: QuadraticPencil,
+        contour: AnnulusContour,
+        v: np.ndarray,
+        acc: MomentAccumulator,
+    ) -> List[PointStats]:
+        cfg = self.config
+        rule = ResidualRule(cfg.bicg_tol, cfg.bicg_maxiter)
+        use_dual = self._use_dual(pencil, contour)
+        n_rh = v.shape[1]
+
+        if use_dual:
+            pairs = contour.dual_pairs()
+            shifts = [po.z for po, _ in pairs]
+        else:
+            points = contour.points()
+            shifts = [pt.z for pt in points]
+
+        # One task per (shift, rhs column).
+        tasks = [(i, c) for i in range(len(shifts)) for c in range(n_rh)]
+        maxiter = rule.maxiter or max(10 * self.blocks.n, 100)
+
+        def make_stepper(i: int, c: int) -> BiCGStepper:
+            z = shifts[i]
+            precond = jacobi_preconditioner(pencil, z) if cfg.jacobi else None
+            return BiCGStepper(
+                lambda x, z=z: pencil.apply(z, x),
+                lambda x, z=z: pencil.apply_adjoint(z, x),
+                v[:, c],
+                v[:, c] if use_dual else None,
+                precond=precond,
+                record_history=cfg.record_history,
+            )
+
+        steppers: Dict[tuple, BiCGStepper] = {
+            (i, c): make_stepper(i, c) for (i, c) in tasks
+        }
+
+        quorum = (
+            QuorumController(len(tasks), cfg.quorum_fraction)
+            if cfg.quorum_fraction is not None and len(tasks) > 1
+            else None
+        )
+
+        if isinstance(self._executor, SerialExecutor):
+            self._run_lockstep(steppers, rule, quorum, maxiter)
+        else:
+            self._run_threaded(steppers, rule, quorum, maxiter)
+
+        # Fold solutions into the moments and collect statistics.
+        stats: List[PointStats] = []
+        for i, z in enumerate(shifts):
+            y = np.empty((self.blocks.n, n_rh), dtype=np.complex128)
+            yd = np.empty_like(y) if use_dual else None
+            iters = 0
+            worst = 0.0
+            worst_d = 0.0
+            reason = "converged"
+            histories: List[List[float]] = []
+            for c in range(n_rh):
+                st = steppers[(i, c)]
+                y[:, c] = st.x
+                if use_dual:
+                    yd[:, c] = st.xd
+                iters += st.iterations
+                worst = max(worst, st.rel)
+                worst_d = max(worst_d, st.rel_dual)
+                if st.reason not in (StopReason.CONVERGED, None):
+                    reason = st.reason.value
+                if cfg.record_history:
+                    histories.append(st.history)
+            if use_dual:
+                po, pi = pairs[i]
+                acc.add(po.z, po.weight, y, po.sign)
+                acc.add(pi.z, pi.weight, yd, pi.sign)
+                stats.append(
+                    PointStats(po.z, po.circle, iters, worst, worst_d,
+                               reason, histories)
+                )
+            else:
+                pt = points[i]
+                acc.add(pt.z, pt.weight, y, pt.sign)
+                stats.append(
+                    PointStats(pt.z, pt.circle, iters, worst, 0.0,
+                               reason, histories)
+                )
+        return stats
+
+    def _run_lockstep(
+        self,
+        steppers: Dict[tuple, BiCGStepper],
+        rule: ResidualRule,
+        quorum: Optional[QuorumController],
+        maxiter: int,
+    ) -> None:
+        """Serial emulation of the concurrent middle layer.
+
+        All systems advance one iteration per round — exactly the
+        behaviour of ``N_int × N_rh`` simultaneous BiCG instances — so
+        the quorum rule stops stragglers at the same iteration count a
+        parallel run would.
+        """
+        active = dict(steppers)
+        for _round in range(maxiter):
+            if not active:
+                break
+            finished = []
+            for key, st in active.items():
+                st.step()
+                if st.done:  # breakdown
+                    finished.append(key)
+                elif st.meets(rule):
+                    st.stop(StopReason.CONVERGED)
+                    if quorum is not None:
+                        quorum.mark_converged(key)
+                    finished.append(key)
+            for key in finished:
+                active.pop(key)
+            if quorum is not None and active and quorum.should_stop():
+                for st in active.values():
+                    st.stop(StopReason.QUORUM)
+                active.clear()
+        for st in active.values():
+            st.stop(StopReason.MAXITER)
+
+    def _run_threaded(
+        self,
+        steppers: Dict[tuple, BiCGStepper],
+        rule: ResidualRule,
+        quorum: Optional[QuorumController],
+        maxiter: int,
+    ) -> None:
+        """Concurrent execution; the quorum controller is shared across
+        threads and polled inside each solve."""
+        def run(item):
+            key, st = item
+            while st.iterations < maxiter and not st.done:
+                st.step()
+                if st.done:
+                    break
+                if st.meets(rule):
+                    st.stop(StopReason.CONVERGED)
+                    if quorum is not None:
+                        quorum.mark_converged(key)
+                    break
+                if quorum is not None and quorum.should_stop():
+                    st.stop(StopReason.QUORUM)
+                    break
+            if not st.done:
+                st.stop(StopReason.MAXITER)
+
+        self._executor.map(run, list(steppers.items()))
+
+    # ------------------------------------------------------------------
+    # memory accounting (Figure 4(b))
+    # ------------------------------------------------------------------
+
+    def _memory_report(self, acc: MomentAccumulator, hankel_dim: int) -> MemoryReport:
+        rep = MemoryReport()
+        rep.add("Hamiltonian blocks (sparse)", self.blocks.nbytes)
+        rep.merge(acc.memory_report())
+        # Hankel pair + SVD factors, all (n_rh*n_mm)^2 complex.
+        rep.add("Hankel matrices + SVD", 4 * hankel_dim * hankel_dim * 16)
+        # BiCG work vectors: x, xd, r, rt, p, pt, q, qt per concurrent solve.
+        rep.add("BiCG work vectors", 8 * self.blocks.n * 16)
+        return rep

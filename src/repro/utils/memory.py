@@ -1,0 +1,89 @@
+"""Memory accounting for solver data structures.
+
+Figure 4(b) of the paper compares the *memory usage* of the OBM baseline
+(dense Green's-function blocks, ``O(N^2)``) against QEP/SS (sparse blocks
+plus a handful of work vectors, ``O(MN)``).  Rather than sampling the
+process RSS (noisy, allocator-dependent), each solver builds an explicit
+:class:`MemoryReport` that sums the ``nbytes`` of every array it holds —
+the same bookkeeping the paper's Fortran code reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def nbytes_of(obj) -> int:
+    """Best-effort deep byte count of an array-like object.
+
+    Supports numpy arrays, scipy sparse matrices (CSR/CSC/COO), lists and
+    tuples of the above, and dicts with array values.  Unknown objects
+    count as zero — callers should register their arrays explicitly.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if sp.issparse(obj):
+        total = 0
+        for attr in ("data", "indices", "indptr", "row", "col", "offsets"):
+            arr = getattr(obj, attr, None)
+            if isinstance(arr, np.ndarray):
+                total += int(arr.nbytes)
+        return total
+    if isinstance(obj, (list, tuple)):
+        return sum(nbytes_of(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(nbytes_of(v) for v in obj.values())
+    return 0
+
+
+def format_bytes(n: int | float) -> str:
+    """Human-readable byte count (``1.23 GB`` style, powers of 1024)."""
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(n) < 1024.0:
+            return f"{n:.3f} {unit}"
+        n /= 1024.0
+    return f"{n:.3f} EB"
+
+
+@dataclass
+class MemoryReport:
+    """Itemized memory ledger for a solver run.
+
+    Entries are named so benchmark output can show *where* the memory
+    goes (Green's function block vs. moment matrices vs. BiCG vectors).
+    """
+
+    items: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, obj_or_bytes) -> None:
+        """Record an item; accepts an int byte count or an array-like."""
+        if isinstance(obj_or_bytes, (int, np.integer)):
+            n = int(obj_or_bytes)
+        else:
+            n = nbytes_of(obj_or_bytes)
+        self.items[name] = self.items.get(name, 0) + n
+
+    @property
+    def total(self) -> int:
+        return sum(self.items.values())
+
+    def merge(self, other: "MemoryReport", prefix: str = "") -> None:
+        for k, v in other.items.items():
+            self.items[prefix + k] = self.items.get(prefix + k, 0) + v
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.items)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rows = [
+            f"  {k:<36s} {format_bytes(v):>12s}" for k, v in self.items.items()
+        ]
+        rows.append(f"  {'TOTAL':<36s} {format_bytes(self.total):>12s}")
+        return "\n".join(rows)

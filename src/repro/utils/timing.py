@@ -1,0 +1,105 @@
+"""Wall-clock timing helpers used by solvers and benchmarks.
+
+The paper reports per-phase breakdowns (Table 1: "read matrix data",
+"solve linear equations", "extract eigenpairs"); :class:`PhaseTimes`
+accumulates named phases the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+class Stopwatch:
+    """A resettable cumulative stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._t0: float | None = None
+
+    def start(self) -> None:
+        if self._t0 is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("Stopwatch not running")
+        dt = time.perf_counter() - self._t0
+        self.elapsed += dt
+        self._t0 = None
+        return dt
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class Timer:
+    """One-shot timer: ``with Timer() as t: ...; t.elapsed``."""
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._t0: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+
+
+@dataclass
+class PhaseTimes:
+    """Named cumulative phase timings (seconds).
+
+    Used by :class:`repro.ss.solver.SSHankelSolver` to reproduce the
+    Table-1 style breakdown.
+    """
+
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = self.phases.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        return self.phases.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.phases)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rows = [f"  {k:<28s} {v:10.3f} s" for k, v in self.phases.items()]
+        return "\n".join(rows)

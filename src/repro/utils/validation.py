@@ -1,0 +1,37 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value) -> None:
+    """Raise :class:`ConfigurationError` unless ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(name: str, value, lo, hi, *, inclusive: bool = False) -> None:
+    """Raise unless ``lo < value < hi`` (or ``<=`` if inclusive)."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ConfigurationError(
+            f"{name} must lie in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
+        )
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise unless ``value`` is a positive power of two."""
+    if value < 1 or (value & (value - 1)) != 0:
+        raise ConfigurationError(f"{name} must be a power of two, got {value!r}")
+
+
+def check_square(name: str, a: np.ndarray) -> None:
+    """Raise unless ``a`` is a square 2-D array."""
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ConfigurationError(
+            f"{name} must be a square matrix, got shape {getattr(a, 'shape', None)!r}"
+        )

@@ -1,0 +1,61 @@
+"""Shared fixtures: small physical systems reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dft.builders import bulk_al100, grid_for_structure
+from repro.dft.hamiltonian import build_blocks
+from repro.models.chain import DiatomicChain, MonatomicChain
+from repro.models.ladder import TransverseLadder
+
+
+def match_error(found: np.ndarray, expected: np.ndarray) -> float:
+    """Max over ``found`` of the distance to the nearest ``expected``.
+
+    Order-insensitive eigenvalue comparison (degenerate conjugate pairs
+    make sorted elementwise comparison unreliable).
+    """
+    found = np.atleast_1d(found)
+    expected = np.atleast_1d(expected)
+    if found.size == 0:
+        return 0.0
+    if expected.size == 0:
+        return np.inf
+    return float(
+        max(np.min(np.abs(expected - f)) for f in found)
+    )
+
+
+@pytest.fixture(scope="session")
+def al_small():
+    """Bulk Al(100) on an 8x8x8 grid: blocks, grid, info (N = 512)."""
+    structure = bulk_al100()
+    grid = grid_for_structure(structure, spacing_angstrom=0.45)
+    blocks, info = build_blocks(structure, grid)
+    return {"structure": structure, "grid": grid, "blocks": blocks, "info": info}
+
+
+@pytest.fixture(scope="session")
+def al_kinetic():
+    """Al(100) without nonlocal projectors (kinetic+local only), 2 cells."""
+    structure = bulk_al100(repeats_z=2)
+    grid = grid_for_structure(structure, spacing_angstrom=0.5)
+    blocks, info = build_blocks(structure, grid, include_nonlocal=False)
+    return {"structure": structure, "grid": grid, "blocks": blocks, "info": info}
+
+
+@pytest.fixture()
+def ladder4() -> TransverseLadder:
+    return TransverseLadder(width=4)
+
+
+@pytest.fixture()
+def chain() -> MonatomicChain:
+    return MonatomicChain(onsite=0.0, hopping=-1.0)
+
+
+@pytest.fixture()
+def ssh() -> DiatomicChain:
+    return DiatomicChain(t1=-1.0, t2=-0.6)

@@ -1,0 +1,125 @@
+"""Baselines: OBM, dense QEP, transfer matrix — all must agree with SS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dense_qep import DenseQEPBaseline
+from repro.baselines.obm import OBMSolver
+from repro.baselines.transfer_matrix import (
+    transfer_matrix,
+    transfer_matrix_eigenvalues,
+)
+from repro.errors import ConfigurationError, SingularPencilError
+from repro.models.chain import MonatomicChain
+from repro.models.ladder import TransverseLadder
+from repro.ss.solver import SSConfig, SSHankelSolver
+
+from tests.conftest import match_error
+
+
+# -- OBM ---------------------------------------------------------------------
+
+def test_obm_matches_ss_on_al(al_small):
+    blocks, grid = al_small["blocks"], al_small["grid"]
+    e = 0.05
+    obm = OBMSolver(blocks, grid).solve(e)
+    ss = SSHankelSolver(
+        blocks, SSConfig(n_int=24, n_mm=8, n_rh=8, seed=11,
+                         linear_solver="direct")
+    ).solve(e)
+    assert obm.count == ss.count
+    assert match_error(obm.eigenvalues, ss.eigenvalues) < 1e-6
+    assert obm.residuals.max() < 1e-8
+
+
+def test_obm_boundary_width(al_small):
+    obm = OBMSolver(al_small["blocks"], al_small["grid"])
+    w = obm.boundary_width()
+    # Projector tails may extend the coupling beyond the Nf=4 stencil.
+    assert 4 <= w <= al_small["grid"].nz // 2
+    assert obm.memory_estimate() > 0
+
+
+def test_obm_phase_breakdown(al_small):
+    r = OBMSolver(al_small["blocks"], al_small["grid"]).solve(0.05)
+    phases = r.phase_times.as_dict()
+    assert "matrix inversion" in phases
+    assert "solve eigenvalue problem" in phases
+    assert r.reduced_dim == 2 * r.boundary_width * al_small["grid"].plane_size
+    assert r.memory.total > 0
+
+
+def test_obm_cg_inversion_matches_lu(al_kinetic):
+    """The paper computes the Green's columns with CG; both inversion
+    paths must agree (kinetic-only system keeps CG iteration counts sane)."""
+    blocks, grid = al_kinetic["blocks"], al_kinetic["grid"]
+    e = -0.35  # below the band bottom: E - H0 is definite → CG safe
+    lu = OBMSolver(blocks, grid, invert_method="lu").solve(e)
+    cg = OBMSolver(blocks, grid, invert_method="cg", cg_tol=1e-12).solve(e)
+    assert cg.cg_iterations > 0
+    assert lu.count == cg.count
+    if lu.count:
+        assert match_error(cg.eigenvalues, lu.eigenvalues) < 1e-6
+
+
+def test_obm_validation(al_small):
+    with pytest.raises(ConfigurationError):
+        OBMSolver(al_small["blocks"], al_small["grid"], invert_method="qr")
+    grid = al_small["grid"]
+    wrong = grid.with_nz(grid.nz + 2)
+    with pytest.raises(ConfigurationError):
+        OBMSolver(al_small["blocks"], wrong)
+
+
+# -- dense QEP -------------------------------------------------------------------
+
+def test_dense_baseline_matches_analytic():
+    lad = TransverseLadder(width=4)
+    base = DenseQEPBaseline(lad.blocks())
+    r = base.solve(-0.5)
+    exact = lad.analytic_lambdas(-0.5)
+    mags = np.abs(exact)
+    inside = exact[(mags > 0.5) & (mags < 2.0)]
+    assert r.count == inside.size
+    assert match_error(r.eigenvalues, inside) < 1e-9
+    assert r.memory.total >= 5 * (2 * 4) ** 2 * 16
+
+
+# -- transfer matrix ---------------------------------------------------------------
+
+def test_transfer_matrix_on_chain():
+    """Single-orbital chain: H+ = [t] is perfectly conditioned, so the
+    classical method works and matches the analytic CBS."""
+    chain = MonatomicChain(hopping=-1.0)
+    lam = transfer_matrix_eigenvalues(chain.blocks(), 0.7, rmin=0.4, rmax=2.5)
+    exact = chain.analytic_lambdas(0.7)
+    assert match_error(np.sort_complex(lam), exact) < 1e-9
+
+
+def test_transfer_matrix_condition_reported():
+    chain = MonatomicChain(hopping=-1.0)
+    t, cond = transfer_matrix(chain.blocks(), 0.3)
+    assert t.shape == (2, 2)
+    assert cond == pytest.approx(1.0)
+
+
+def test_transfer_matrix_fails_on_grid_hamiltonian(al_small):
+    """The pedagogical point: H+ of a high-order-stencil grid problem is
+    numerically singular, so the transfer matrix doesn't exist — the
+    motivation for OBM and the QEP/SS approach."""
+    with pytest.raises(SingularPencilError):
+        transfer_matrix(al_small["blocks"], 0.05)
+
+
+def test_transfer_matrix_warns_when_ill_conditioned():
+    """A nearly-singular H+ must at least warn."""
+    lad = TransverseLadder(width=3)
+    b = lad.blocks(sparse=False)
+    import numpy as np
+    from repro.qep.blocks import BlockTriple
+
+    hp = np.array(b.hp, dtype=float)
+    hp[0, 0] = 1e-13  # break one leg almost completely
+    bad = BlockTriple(hp.T.copy(), np.array(b.h0, dtype=float), hp)
+    with pytest.warns(RuntimeWarning):
+        transfer_matrix(bad, 0.1)

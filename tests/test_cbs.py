@@ -1,0 +1,183 @@
+"""CBS layer: classification, energy scans, bands, branch points."""
+
+import numpy as np
+import pytest
+
+from repro.cbs.bands import band_structure
+from repro.cbs.branch import find_branch_points, max_gap_decay, track_branches
+from repro.cbs.classify import ModeType, classify_modes
+from repro.cbs.scan import CBSCalculator
+from repro.models.chain import DiatomicChain, MonatomicChain
+from repro.models.ladder import TransverseLadder
+from repro.ss.solver import SSConfig
+
+
+FAST = dict(n_int=16, n_mm=4, n_rh=4, seed=3, linear_solver="direct")
+
+
+# -- classification ---------------------------------------------------------------
+
+def test_classify_three_kinds():
+    lams = np.array([np.exp(0.4j), 0.7, 1.5])
+    modes = classify_modes(0.0, lams, np.zeros(3), cell_length=2.0)
+    kinds = [m.mode_type for m in modes]
+    assert kinds == [
+        ModeType.PROPAGATING,
+        ModeType.EVANESCENT_DECAYING,
+        ModeType.EVANESCENT_GROWING,
+    ]
+    assert modes[0].decay_length == np.inf
+    assert modes[1].decay_length == pytest.approx(2.0 / abs(np.log(0.7)))
+    assert modes[1].k.imag > 0
+    assert modes[2].k.imag < 0
+
+
+def test_classify_k_consistency():
+    a = 3.0
+    lam = 0.8 * np.exp(0.5j)
+    (m,) = classify_modes(1.0, np.array([lam]), np.array([0.0]), a)
+    assert np.exp(1j * m.k * a) == pytest.approx(lam)
+
+
+def test_classify_validates_lengths():
+    with pytest.raises(ValueError):
+        classify_modes(0.0, np.ones(2), np.zeros(3), 1.0)
+
+
+# -- scan ------------------------------------------------------------------------
+
+def test_chain_scan_inside_band():
+    chain = MonatomicChain(hopping=-1.0)
+    calc = CBSCalculator(chain.blocks(), SSConfig(n_int=16, n_mm=2, n_rh=2,
+                                                  seed=3, linear_solver="direct"))
+    result = calc.scan([-1.0, 0.0, 1.0])
+    for s in result.slices:
+        assert s.count == 2
+        assert len(s.propagating()) == 2  # inside the band: |λ|=1 pair
+
+
+def test_chain_scan_outside_band():
+    chain = MonatomicChain(hopping=-1.0)
+    calc = CBSCalculator(chain.blocks(), SSConfig(n_int=16, n_mm=2, n_rh=2,
+                                                  seed=3, linear_solver="direct"))
+    result = calc.scan([2.2])  # above the band top (E=2)
+    s = result.slices[0]
+    assert len(s.propagating()) == 0
+    assert 1 <= s.count <= 2  # evanescent pair (may clip at ring edge)
+
+
+def test_scan_window_and_accessors():
+    lad = TransverseLadder(width=3)
+    calc = CBSCalculator(lad.blocks(), SSConfig(**FAST))
+    result = calc.scan_window(-1.0, 1.0, 5)
+    assert result.energies.shape == (5,)
+    assert np.all(np.diff(result.energies) > 0)
+    pts = result.propagating_points()
+    assert pts.ndim == 2 and pts.shape[1] == 2
+    ev = result.evanescent_points()
+    assert ev.ndim == 2 and ev.shape[1] == 3
+    assert result.mode_counts().shape == (5,)
+    assert result.total_iterations() >= 0
+
+
+def test_scan_threaded_matches_serial():
+    lad = TransverseLadder(width=3)
+    cfg = SSConfig(**FAST)
+    serial = CBSCalculator(lad.blocks(), cfg).scan([-0.5, 0.0, 0.5])
+    threaded = CBSCalculator(
+        lad.blocks(), cfg, energy_executor=2
+    ).scan([-0.5, 0.0, 0.5])
+    for a, b in zip(serial.slices, threaded.slices):
+        assert a.count == b.count
+        assert np.allclose(
+            np.sort_complex(a.lambdas()), np.sort_complex(b.lambdas())
+        )
+
+
+# -- bands --------------------------------------------------------------------------
+
+def test_band_structure_matches_dispersion():
+    lad = TransverseLadder(width=3)
+    bs = band_structure(lad.blocks(), n_k=21)
+    exact = lad.dispersion(bs.k)  # (W, nk)
+    assert bs.energies.shape == (21, 3)
+    assert np.allclose(np.sort(bs.energies, axis=1),
+                       np.sort(exact.T, axis=1), atol=1e-10)
+
+
+def test_band_crossings():
+    chain = MonatomicChain(hopping=-1.0)  # E(k) = -2 cos k
+    bs = band_structure(chain.blocks(), n_k=201)
+    ks = bs.crossings(0.0)  # -2cos(k)=0 → k=π/2
+    assert ks.size == 1
+    assert ks[0] == pytest.approx(np.pi / 2, abs=1e-3)
+    assert bs.distance_to_bands(0.0, np.pi / 2) < 1e-3
+    assert bs.distance_to_bands(5.0, 1.0) == np.inf  # above all bands
+
+
+def test_band_structure_sparse_path():
+    lad = TransverseLadder(width=4)
+    bs = band_structure(
+        lad.blocks(), n_k=5, n_bands=2, dense_threshold=2
+    )
+    dense = band_structure(lad.blocks(), n_k=5)
+    assert np.allclose(bs.energies, dense.energies[:, :2], atol=1e-8)
+
+
+def test_band_structure_requires_nbands_for_sparse():
+    lad = TransverseLadder(width=4)
+    with pytest.raises(ValueError):
+        band_structure(lad.blocks(), n_k=3, dense_threshold=2)
+
+
+# -- CBS vs bands (the Figure-6 invariant) ---------------------------------------------
+
+def test_propagating_modes_lie_on_bands():
+    """Paper Fig. 6: |λ|=1 CBS modes agree with the bands to 1e-5.  The
+    reference path is sampled densely enough (2001 points) that linear
+    interpolation of the crossings resolves below that threshold."""
+    lad = TransverseLadder(width=4)
+    calc = CBSCalculator(lad.blocks(), SSConfig(**FAST))
+    bs = band_structure(lad.blocks(), n_k=2001)
+    result = calc.scan(np.linspace(-1.4, 1.4, 7))
+    checked = 0
+    for e, k in result.propagating_points():
+        d = bs.distance_to_bands(e, abs(k))
+        assert d < 1e-5, f"CBS mode at E={e}, k={k} is {d} off the bands"
+        checked += 1
+    assert checked > 0
+
+
+# -- branch points ----------------------------------------------------------------------
+
+def test_ssh_branch_point_at_gap_center():
+    ssh = DiatomicChain(t1=-1.0, t2=-0.6)
+    calc = CBSCalculator(ssh.blocks(), SSConfig(n_int=24, n_mm=2, n_rh=2,
+                                                seed=3, linear_solver="direct"))
+    lo, hi = ssh.gap_edges()
+    result = calc.scan_window(lo + 0.02, hi - 0.02, 21)
+    pts = find_branch_points(result, energy_window=(lo, hi))
+    assert pts, "no branch point found in the gap"
+    best = min(pts, key=lambda p: abs(p.energy - ssh.branch_point_energy()))
+    de = (hi - lo) / 20
+    assert abs(best.energy - ssh.branch_point_energy()) <= de + 1e-12
+
+
+def test_branch_tracking_continuity():
+    ssh = DiatomicChain(t1=-1.0, t2=-0.6)
+    calc = CBSCalculator(ssh.blocks(), SSConfig(n_int=24, n_mm=2, n_rh=2,
+                                                seed=3, linear_solver="direct"))
+    lo, hi = ssh.gap_edges()
+    result = calc.scan_window(lo + 0.02, hi - 0.02, 11)
+    branches = track_branches(result)
+    assert branches
+    assert max(b.length for b in branches) >= 8  # a long continuous branch
+
+
+def test_max_gap_decay_positive_in_gap():
+    ssh = DiatomicChain(t1=-1.0, t2=-0.6)
+    calc = CBSCalculator(ssh.blocks(), SSConfig(n_int=24, n_mm=2, n_rh=2,
+                                                seed=3, linear_solver="direct"))
+    lo, hi = ssh.gap_edges()
+    result = calc.scan_window(lo + 0.02, hi - 0.02, 7)
+    assert max_gap_decay(result, (lo, hi)) > 0.0

@@ -1,0 +1,190 @@
+"""Structures, elements, builders: geometry correctness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import angstrom_to_bohr
+from repro.dft.builders import (
+    bn_doped_nanotube,
+    bulk_al100,
+    bundle7,
+    crystalline_bundle,
+    grid_for_structure,
+    nanotube,
+    tube_radius,
+)
+from repro.dft.elements import get_element, projector_count
+from repro.dft.structure import Atom, CrystalStructure
+from repro.errors import ConfigurationError, StructureError
+
+
+# -- elements ----------------------------------------------------------------
+
+def test_element_lookup():
+    c = get_element("C")
+    assert c.z_valence == 4
+    with pytest.raises(ConfigurationError):
+        get_element("Xx")
+
+
+def test_projector_counts():
+    assert projector_count("H") == 1        # s only
+    assert projector_count("C") == 4        # s + 3p
+    assert projector_count("Al") == 4
+
+
+def test_chemistry_trends():
+    """N binds stronger than C than B (doping must be perturbative but
+    directional)."""
+    b, c, n = get_element("B"), get_element("C"), get_element("N")
+    assert b.local_depth < c.local_depth < n.local_depth
+
+
+# -- structures -----------------------------------------------------------------
+
+def test_structure_wraps_positions():
+    s = CrystalStructure((4.0, 4.0, 4.0), [Atom("C", (5.0, -1.0, 2.0))])
+    x, y, z = s.atoms[0].position
+    assert (x, y, z) == pytest.approx((1.0, 3.0, 2.0))
+
+
+def test_structure_counts():
+    s = bulk_al100()
+    assert s.natoms == 4
+    assert s.species_counts() == {"Al": 4}
+    assert s.n_valence_electrons() == 12
+    assert s.n_projectors() == 16
+
+
+def test_min_distance_fcc():
+    s = bulk_al100()
+    a = angstrom_to_bohr(4.05)
+    assert s.min_distance() == pytest.approx(a / math.sqrt(2), rel=1e-9)
+
+
+def test_validate_rejects_overlap():
+    s = CrystalStructure(
+        (5.0, 5.0, 5.0),
+        [Atom("C", (1.0, 1.0, 1.0)), Atom("C", (1.2, 1.0, 1.0))],
+    )
+    with pytest.raises(StructureError):
+        s.validate()
+
+
+def test_supercell_z():
+    s = bulk_al100()
+    s4 = s.supercell_z(4)
+    assert s4.natoms == 16
+    assert s4.lz == pytest.approx(4 * s.lz)
+    # min distance unchanged by replication
+    assert s4.min_distance() == pytest.approx(s.min_distance())
+
+
+def test_neighbor_pairs():
+    s = bulk_al100()
+    nn = angstrom_to_bohr(4.05) / math.sqrt(2)
+    pairs = s.neighbor_pairs(nn * 1.01)
+    assert len(pairs) > 0
+    assert all(abs(d - nn) < 0.1 for (_, _, d) in pairs)
+
+
+# -- nanotubes ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("n,m,natoms", [(8, 0, 32), (6, 6, 24), (4, 2, 56)])
+def test_nanotube_atom_counts(n, m, natoms):
+    assert nanotube(n, m).natoms == natoms
+
+
+def test_nanotube_periods():
+    a_cc = angstrom_to_bohr(1.42)
+    zig = nanotube(8, 0)
+    assert zig.lz == pytest.approx(3 * a_cc, rel=1e-6)
+    arm = nanotube(6, 6)
+    assert arm.lz == pytest.approx(math.sqrt(3) * a_cc, rel=1e-6)
+
+
+def test_nanotube_radius_and_bonds():
+    s = nanotube(8, 0)
+    r = tube_radius(8, 0)
+    center = np.array([s.cell[0] / 2, s.cell[1] / 2])
+    pos = s.positions()
+    radii = np.sqrt((pos[:, 0] - center[0]) ** 2 + (pos[:, 1] - center[1]) ** 2)
+    assert np.allclose(radii, r, rtol=1e-6)
+    # Every atom has exactly 3 bonds at ~a_cc (z-periodic neighbor search;
+    # flat-graphene bond lengths are slightly compressed by curvature).
+    a_cc = angstrom_to_bohr(1.42)
+    pairs = s.neighbor_pairs(a_cc * 1.02)
+    counts = np.zeros(s.natoms, dtype=int)
+    for i, j, _ in pairs:
+        counts[i] += 1
+        counts[j] += 1
+    # In-cell pairs only; boundary atoms have their 3rd bond in the next
+    # cell image, so counts are 2 or 3 with the right total.
+    assert counts.min() >= 1 and counts.max() <= 3
+
+
+def test_nanotube_chirality_validation():
+    with pytest.raises(ConfigurationError):
+        nanotube(0, 0)
+    with pytest.raises(ConfigurationError):
+        nanotube(4, 5)
+
+
+# -- doping ------------------------------------------------------------------------
+
+def test_bn_doping_counts_and_neutrality():
+    base = nanotube(8, 0)
+    doped = bn_doped_nanotube(base, repeats_z=4, doping_fraction=0.1, seed=7)
+    counts = doped.species_counts()
+    assert doped.natoms == 128
+    assert counts["B"] == counts["N"]            # charge-neutral doping
+    assert counts["B"] + counts["N"] == pytest.approx(0.1 * 128, abs=1)
+    assert doped.n_valence_electrons() == 4 * 128  # B(-1) + N(+1) cancel
+
+
+def test_bn_doping_deterministic():
+    base = nanotube(8, 0)
+    d1 = bn_doped_nanotube(base, 2, 0.2, seed=9)
+    d2 = bn_doped_nanotube(base, 2, 0.2, seed=9)
+    assert [a.symbol for a in d1.atoms] == [a.symbol for a in d2.atoms]
+    d3 = bn_doped_nanotube(base, 2, 0.2, seed=10)
+    assert [a.symbol for a in d1.atoms] != [a.symbol for a in d3.atoms]
+
+
+def test_bn_doping_zero_fraction():
+    base = nanotube(8, 0)
+    d = bn_doped_nanotube(base, 2, 0.0)
+    assert d.species_counts() == {"C": 64}
+
+
+# -- bundles ---------------------------------------------------------------------------
+
+def test_bundle7_geometry():
+    b = bundle7(8, 0)
+    assert b.natoms == 7 * 32
+    assert b.min_distance() > angstrom_to_bohr(1.3)
+
+
+def test_crystalline_bundle_geometry():
+    c = crystalline_bundle(8, 0)
+    assert c.natoms == 64           # 2 tubes x 32 (paper's crystalline cell)
+    lx, ly, _ = c.cell
+    assert ly / lx == pytest.approx(math.sqrt(3), rel=1e-9)
+
+
+# -- grids -------------------------------------------------------------------------------
+
+def test_grid_for_structure_spacing():
+    s = bulk_al100()
+    g = grid_for_structure(s, spacing_angstrom=0.4)
+    assert g.lengths == pytest.approx(s.cell)
+    for h in g.spacing:
+        assert abs(h - angstrom_to_bohr(0.4)) < 0.25 * angstrom_to_bohr(0.4)
+
+
+def test_grid_for_structure_multiple():
+    s = bulk_al100()
+    g = grid_for_structure(s, spacing_angstrom=0.45, multiple_of=4)
+    assert all(n % 4 == 0 for n in g.shape)

@@ -1,0 +1,107 @@
+"""Domain decomposition geometry and communication accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecompositionError
+from repro.grid.domain import DomainDecomposition, suggest_decomposition
+from repro.grid.grid import RealSpaceGrid
+
+
+@pytest.fixture()
+def grid():
+    return RealSpaceGrid((16, 16, 32), (0.5, 0.5, 0.5))
+
+
+def test_extents_cover_grid(grid):
+    dd = DomainDecomposition(grid, (2, 2, 4))
+    assert dd.ndomains == 16
+    total = sum(dd.local_npoints(r) for r in range(dd.ndomains))
+    assert total == grid.npoints
+
+
+def test_extents_balanced(grid):
+    dd = DomainDecomposition(grid, (1, 1, 4))
+    sizes = [dd.local_npoints(r) for r in range(4)]
+    assert max(sizes) - min(sizes) == 0  # 32 planes / 4 exactly
+    assert dd.max_local_npoints() == max(sizes)
+
+
+def test_uneven_split():
+    g = RealSpaceGrid((6, 6, 13), (0.5, 0.5, 0.5))
+    dd = DomainDecomposition(g, (1, 1, 3), stencil_width=4)
+    sizes = [dd.local_npoints(r) // g.plane_size for r in range(3)]
+    assert sorted(sizes) == [4, 4, 5]
+
+
+def test_rejects_thin_domains(grid):
+    with pytest.raises(DecompositionError):
+        DomainDecomposition(grid, (8, 1, 1), stencil_width=4)  # 2-wide x
+
+
+def test_rejects_too_many_parts(grid):
+    with pytest.raises(DecompositionError):
+        DomainDecomposition(grid, (32, 1, 1))
+
+
+def test_neighbors_periodic(grid):
+    dd = DomainDecomposition(grid, (1, 1, 4))
+    nb = dd.neighbors(0)
+    assert nb == {"z-": 3, "z+": 1}
+    nb3 = dd.neighbors(3)
+    assert nb3 == {"z-": 2, "z+": 0}
+
+
+def test_single_axis_has_no_neighbors(grid):
+    dd = DomainDecomposition(grid, (1, 1, 4))
+    assert "x-" not in dd.neighbors(0)
+
+
+def test_coords_rank_roundtrip(grid):
+    dd = DomainDecomposition(grid, (2, 2, 4))
+    for r in range(dd.ndomains):
+        assert dd.rank_of(*dd.coords_of(r)) == r
+
+
+def test_halo_volume_z_slab(grid):
+    dd = DomainDecomposition(grid, (1, 1, 4), stencil_width=4)
+    # 2 faces x Nf planes x 16x16 points.
+    assert dd.halo_points_per_exchange(0) == 2 * 4 * 16 * 16
+    assert dd.halo_bytes_per_exchange(0) == 2 * 4 * 16 * 16 * 16
+    assert dd.messages_per_exchange(0) == 2
+
+
+def test_surface_to_volume_shrinks_with_system():
+    """The paper's observation: the bottom layer gets *more* efficient as
+    the system grows (communications per point decrease)."""
+    small = RealSpaceGrid((16, 16, 32), (0.5, 0.5, 0.5))
+    large = RealSpaceGrid((16, 16, 320), (0.5, 0.5, 0.5))
+    dd_s = DomainDecomposition(small, (1, 1, 4))
+    dd_l = DomainDecomposition(large, (1, 1, 4))
+    assert dd_l.surface_to_volume() < dd_s.surface_to_volume()
+
+
+def test_suggest_prefers_z(grid):
+    dd = suggest_decomposition(grid, 4)
+    assert dd.parts == (1, 1, 4)
+
+
+def test_suggest_falls_back_to_3d():
+    g = RealSpaceGrid((32, 32, 8), (0.5, 0.5, 0.5))
+    dd = suggest_decomposition(g, 16, stencil_width=4)
+    assert dd.ndomains == 16
+    assert dd.parts[2] <= 2  # z too thin for a 16-way z-split
+
+
+def test_suggest_impossible():
+    g = RealSpaceGrid((4, 4, 4), (0.5, 0.5, 0.5))
+    with pytest.raises(DecompositionError):
+        suggest_decomposition(g, 4096)
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_any_feasible_split_covers_grid(nz_parts):
+    g = RealSpaceGrid((8, 8, 64), (0.5, 0.5, 0.5))
+    dd = DomainDecomposition(g, (1, 1, nz_parts))
+    assert sum(dd.local_npoints(r) for r in range(dd.ndomains)) == g.npoints

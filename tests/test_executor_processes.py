@@ -1,0 +1,54 @@
+"""Process executor + executor factory extensions."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+
+
+def _square(x):  # must be module-level for pickling
+    return x * x
+
+
+def test_process_executor_order():
+    ex = ProcessExecutor(2)
+    assert ex.map(_square, list(range(8))) == [x * x for x in range(8)]
+
+
+def test_process_executor_single_worker_inline():
+    ex = ProcessExecutor(1)
+    assert ex.map(_square, [3]) == [9]
+
+
+def test_process_executor_validation():
+    with pytest.raises(ValueError):
+        ProcessExecutor(0)
+
+
+def test_make_executor_processes():
+    assert isinstance(make_executor("processes"), ProcessExecutor)
+    assert isinstance(make_executor(("processes", 3)), ProcessExecutor)
+    assert isinstance(make_executor(("processes", 1)), SerialExecutor)
+
+
+def test_cbs_scan_with_processes():
+    """The energy-scan parallel axis end to end (pickled solver state)."""
+    from repro.cbs.scan import CBSCalculator
+    from repro.models.ladder import TransverseLadder
+    from repro.ss.solver import SSConfig
+
+    lad = TransverseLadder(width=3)
+    cfg = SSConfig(n_int=12, n_mm=4, n_rh=3, seed=5, linear_solver="direct")
+    serial = CBSCalculator(lad.blocks(), cfg).scan([-0.4, 0.0, 0.4])
+    parallel = CBSCalculator(
+        lad.blocks(), cfg, energy_executor=("processes", 2)
+    ).scan([-0.4, 0.0, 0.4])
+    for a, b in zip(serial.slices, parallel.slices):
+        assert a.count == b.count
+        assert np.allclose(
+            np.sort_complex(a.lambdas()), np.sort_complex(b.lambdas())
+        )

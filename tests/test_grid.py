@@ -1,0 +1,130 @@
+"""RealSpaceGrid: layout, index maps, neighborhoods."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.grid.grid import RealSpaceGrid
+
+
+@pytest.fixture()
+def grid():
+    return RealSpaceGrid((4, 5, 6), (0.5, 0.4, 0.3))
+
+
+def test_basic_sizes(grid):
+    assert grid.npoints == 4 * 5 * 6
+    assert grid.plane_size == 20
+    assert grid.cell_length == pytest.approx(6 * 0.3)
+    assert grid.lengths == pytest.approx((2.0, 2.0, 1.8))
+    assert grid.volume_element == pytest.approx(0.5 * 0.4 * 0.3)
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigurationError):
+        RealSpaceGrid((0, 4, 4), (0.5, 0.5, 0.5))
+    with pytest.raises(ConfigurationError):
+        RealSpaceGrid((4, 4, 4), (0.5, -0.5, 0.5))
+
+
+def test_ravel_unravel_roundtrip(grid):
+    idx = np.arange(grid.npoints)
+    ix, iy, iz = grid.unravel_index(idx)
+    assert np.array_equal(grid.ravel_index(ix, iy, iz), idx)
+
+
+def test_z_planes_are_contiguous(grid):
+    """The OBM extraction depends on contiguous z-plane blocks."""
+    for iz in range(grid.nz):
+        sl = grid.plane_indices(iz)
+        _, _, izs = grid.unravel_index(np.arange(sl.start, sl.stop))
+        assert np.all(izs == iz)
+        assert sl.stop - sl.start == grid.plane_size
+
+
+def test_first_last_planes(grid):
+    f = grid.first_planes(2)
+    l = grid.last_planes(2)
+    assert f == slice(0, 2 * grid.plane_size)
+    assert l == slice((grid.nz - 2) * grid.plane_size, grid.npoints)
+    with pytest.raises(ConfigurationError):
+        grid.first_planes(0)
+    with pytest.raises(ConfigurationError):
+        grid.last_planes(grid.nz + 1)
+
+
+def test_field_flat_roundtrip(grid):
+    v = np.arange(grid.npoints, dtype=float)
+    assert np.array_equal(grid.flat(grid.field(v)), v)
+    assert grid.field(v).shape == (grid.nz, grid.ny, grid.nx)
+
+
+def test_meshgrid_layout(grid):
+    X, Y, Z = grid.meshgrid()
+    assert X.shape == (grid.nz, grid.ny, grid.nx)
+    # z varies along axis 0, x along the last axis.
+    assert Z[1, 0, 0] - Z[0, 0, 0] == pytest.approx(grid.spacing[2])
+    assert X[0, 0, 1] - X[0, 0, 0] == pytest.approx(grid.spacing[0])
+
+
+def test_points_near_counts_and_distances():
+    g = RealSpaceGrid((10, 10, 10), (0.5, 0.5, 0.5))
+    center = np.array([2.5, 2.5, 2.5])
+    ix, iy, iz, dx, dy, dz = g.points_near(center, 1.01)
+    r = np.sqrt(dx**2 + dy**2 + dz**2)
+    assert np.all(r <= 1.01)
+    # 0.5-spaced grid: within radius 1.01 there are 1+6+12+8+6=...
+    # count by brute force instead:
+    X, Y, Z = g.meshgrid()
+    brute = 0
+    for sx in (-5.0, 0.0, 5.0):
+        for sy in (-5.0, 0.0, 5.0):
+            d = np.sqrt(
+                (X - center[0] + sx) ** 2
+                + (Y - center[1] + sy) ** 2
+                + (Z - center[2]) ** 2
+            )
+            brute += int((d <= 1.01).sum())
+    assert ix.size == brute
+
+
+def test_points_near_unwraps_z():
+    g = RealSpaceGrid((6, 6, 8), (0.5, 0.5, 0.5))
+    # Atom near the top boundary: some neighbors are in the next cell.
+    center = np.array([1.5, 1.5, 3.8])
+    _, _, iz_raw, _, _, dz = g.points_near(center, 0.6)
+    assert iz_raw.max() >= g.nz  # reaches into the next cell
+    # Raw plane index must encode the unwrapped position.
+    assert np.allclose(iz_raw * 0.5 - center[2], dz)
+
+
+def test_points_near_wraps_xy():
+    g = RealSpaceGrid((6, 6, 8), (0.5, 0.5, 0.5))
+    center = np.array([0.1, 0.1, 2.0])  # near the x/y corner
+    ix, iy, _, dx, dy, _ = g.points_near(center, 0.6)
+    assert ix.min() >= 0 and ix.max() < g.nx
+    assert np.all(np.abs(dx) <= 0.6 + 1e-12)
+
+
+def test_points_near_rejects_huge_cutoff():
+    g = RealSpaceGrid((6, 6, 4), (0.5, 0.5, 0.5))
+    with pytest.raises(ConfigurationError):
+        g.points_near(np.zeros(3), cutoff=2.5)  # >= Lz = 2.0
+
+
+def test_with_nz(grid):
+    g2 = grid.with_nz(12)
+    assert g2.nz == 12
+    assert g2.nx == grid.nx and g2.spacing == grid.spacing
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+def test_ravel_bijective(nx, ny, nz):
+    g = RealSpaceGrid((nx, ny, nz), (0.3, 0.3, 0.3))
+    idx = np.arange(g.npoints)
+    assert np.array_equal(g.ravel_index(*g.unravel_index(idx)), idx)

@@ -1,0 +1,101 @@
+"""I/O: block serialization, experiment records, tables."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io.matio import load_blocks, save_blocks
+from repro.io.results import ExperimentRecord, write_csv, write_json
+from repro.io.tables import ascii_table
+from repro.models.ladder import TransverseLadder
+
+
+def test_blocks_roundtrip(tmp_path):
+    blocks = TransverseLadder(width=4, cell_length=2.5).blocks()
+    path = tmp_path / "blocks.npz"
+    save_blocks(path, blocks)
+    loaded = load_blocks(path)
+    assert loaded.n == blocks.n
+    assert loaded.cell_length == pytest.approx(2.5)
+    assert np.allclose((loaded.h0 - blocks.h0).toarray(), 0.0)
+    assert np.allclose((loaded.hp - blocks.hp).toarray(), 0.0)
+    assert np.allclose((loaded.hm - blocks.hm).toarray(), 0.0)
+    loaded.validate_bulk()
+
+
+def test_blocks_roundtrip_dense_input(tmp_path):
+    blocks = TransverseLadder(width=3).blocks(sparse=False)
+    path = tmp_path / "dense.npz"
+    save_blocks(path, blocks)
+    loaded = load_blocks(path)
+    assert loaded.is_sparse  # stored canonically as CSR
+    assert np.allclose(loaded.h0.toarray(), blocks.h0)
+
+
+def test_blocks_version_check(tmp_path):
+    blocks = TransverseLadder(width=2).blocks()
+    path = tmp_path / "blocks.npz"
+    save_blocks(path, blocks)
+    data = dict(np.load(path))
+    data["version"] = np.int64(99)
+    np.savez(path, **data)
+    with pytest.raises(ConfigurationError):
+        load_blocks(path)
+
+
+def test_solution_equivalence_after_reload(tmp_path):
+    """Table 1's workflow: save → load → solve must equal direct solve."""
+    from repro.ss.solver import SSConfig, SSHankelSolver
+
+    lad = TransverseLadder(width=3)
+    blocks = lad.blocks()
+    path = tmp_path / "b.npz"
+    save_blocks(path, blocks)
+    cfg = SSConfig(n_int=12, n_mm=4, n_rh=3, seed=5, linear_solver="direct")
+    direct = SSHankelSolver(blocks, cfg).solve(-0.3)
+    reloaded = SSHankelSolver(load_blocks(path), cfg).solve(-0.3)
+    assert np.allclose(
+        np.sort_complex(direct.eigenvalues),
+        np.sort_complex(reloaded.eigenvalues),
+    )
+
+
+def test_experiment_records(tmp_path):
+    recs = [
+        ExperimentRecord("fig4a", "Al", "obm",
+                         metrics={"runtime_s": 1.5},
+                         parameters={"n": 512}),
+        ExperimentRecord("fig4a", "Al", "qep_ss",
+                         metrics={"runtime_s": 0.2, "memory_b": 1000},
+                         parameters={"n": 512, "n_int": 16}),
+    ]
+    jpath = tmp_path / "out" / "fig4a.json"
+    cpath = tmp_path / "out" / "fig4a.csv"
+    write_json(jpath, recs)
+    write_csv(cpath, recs)
+    loaded = json.loads(jpath.read_text())
+    assert len(loaded) == 2
+    assert loaded[0]["metrics"]["runtime_s"] == 1.5
+    lines = cpath.read_text().strip().splitlines()
+    assert len(lines) == 3
+    assert "metric:memory_b" in lines[0]
+    flat = recs[1].flat()
+    assert flat["param:n_int"] == 16
+
+
+def test_ascii_table():
+    out = ascii_table(
+        ["system", "time [s]"],
+        [["Al(100)", 1.2345], ["CNT", 115.331]],
+        title="Fig 4",
+    )
+    assert "Fig 4" in out
+    assert "Al(100)" in out
+    assert "1.234" in out
+    lines = out.splitlines()
+    assert len(lines) == 5
+    # aligned columns
+    assert len(set(len(l) for l in lines[1:])) <= 2

@@ -1,0 +1,146 @@
+"""Model problems: chains, ladders, random triples, analytic identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.chain import DiatomicChain, MonatomicChain
+from repro.models.ladder import TransverseLadder
+from repro.models.random_blocks import commuting_bulk_triple, random_bulk_triple
+from repro.qep.blocks import BlockTriple
+from repro.qep.linearization import solve_qep_dense
+
+from tests.conftest import match_error
+
+
+# -- monatomic chain ------------------------------------------------------------
+
+def test_chain_lambda_product_is_one():
+    chain = MonatomicChain(hopping=-0.7)
+    for e in (-2.0, -0.3, 0.9, 3.0):
+        l1, l2 = chain.analytic_lambdas_primitive(e)
+        assert abs(l1 * l2 - 1.0) < 1e-12
+
+
+def test_chain_band_edges_and_propagation():
+    chain = MonatomicChain(onsite=0.2, hopping=-1.0)
+    lo, hi = chain.band_edges()
+    assert (lo, hi) == (-1.8, 2.2)
+    inside = chain.analytic_lambdas_primitive(0.2)
+    assert np.allclose(np.abs(inside), 1.0)
+    outside = chain.analytic_lambdas_primitive(3.0)
+    assert not np.any(np.isclose(np.abs(outside), 1.0))
+
+
+def test_chain_dispersion_consistency():
+    chain = MonatomicChain(hopping=-1.0)
+    k = np.linspace(0, np.pi, 7)
+    e = chain.dispersion(k)
+    for ki, ei in zip(k, e):
+        lams = chain.analytic_lambdas_primitive(ei)
+        assert min(abs(lams - np.exp(1j * ki))) < 1e-9
+
+
+def test_folded_chain_blocks_match_dense_qep():
+    chain = MonatomicChain(hopping=-1.0, ncell=4)
+    sol = solve_qep_dense(chain.blocks(), 0.41)
+    exact = chain.analytic_lambdas(0.41)
+    assert match_error(exact, sol.eigenvalues) < 1e-9
+
+
+def test_chain_validation():
+    with pytest.raises(ConfigurationError):
+        MonatomicChain(hopping=0.0)
+    with pytest.raises(ConfigurationError):
+        MonatomicChain(ncell=0)
+
+
+# -- diatomic (SSH) chain -----------------------------------------------------------
+
+def test_ssh_gap():
+    ssh = DiatomicChain(t1=-1.0, t2=-0.6)
+    lo, hi = ssh.gap_edges()
+    assert hi - lo == pytest.approx(2 * 0.4)
+    mid = ssh.analytic_lambdas(0.0)
+    assert np.all(np.abs(np.abs(mid) - 1.0) > 1e-6)  # gapped: evanescent
+    band = ssh.analytic_lambdas(1.0)  # inside a band
+    assert np.any(np.isclose(np.abs(band), 1.0, atol=1e-9))
+
+
+def test_ssh_blocks_match_analytic():
+    ssh = DiatomicChain(t1=-0.9, t2=-0.5)
+    for e in (0.0, 0.3, 1.2):
+        sol = solve_qep_dense(ssh.blocks(), e)
+        assert match_error(ssh.analytic_lambdas(e), sol.eigenvalues) < 1e-9
+
+
+def test_ssh_equal_hopping_closes_gap():
+    ssh = DiatomicChain(t1=-0.8, t2=-0.8)
+    lo, hi = ssh.gap_edges()
+    assert hi - lo == pytest.approx(0.0, abs=1e-12)
+
+
+# -- ladder -------------------------------------------------------------------------
+
+def test_ladder_modes_are_rung_eigenvalues():
+    lad = TransverseLadder(width=5, rung_hopping=-0.3)
+    mu = lad.transverse_modes()
+    t = lad.rung_matrix()
+    assert np.allclose(np.linalg.eigvalsh(t), mu)
+
+
+def test_ladder_periodic_rung():
+    lad = TransverseLadder(width=6, periodic_rung=True)
+    t = lad.rung_matrix()
+    assert t[0, 5] == t[5, 0] == lad.rung_hopping
+
+
+def test_ladder_counts():
+    lad = TransverseLadder(width=4)
+    e = -0.5
+    assert lad.count_in_annulus(e, 0.5, 2.0) + 0 >= lad.propagating_count(e)
+    assert len(lad.analytic_lambdas(e)) == 8
+
+
+def test_ladder_dispersion_shape():
+    lad = TransverseLadder(width=3)
+    k = np.linspace(0, np.pi, 5)
+    assert lad.dispersion(k).shape == (3, 5)
+    assert lad.dispersion(k, mode=1).shape == (5,)
+
+
+# -- random triples -------------------------------------------------------------------
+
+def test_random_triple_is_bulk_symmetric():
+    t = random_bulk_triple(12, seed=51)
+    t.validate_bulk()
+
+
+def test_random_triple_sparse_density():
+    t = random_bulk_triple(30, density=0.2, sparse=True, seed=52)
+    assert t.is_sparse
+    assert t.h0.nnz < 0.5 * 30 * 30
+
+
+def test_commuting_triple_analytic_matches_dense():
+    blocks, analytic = commuting_bulk_triple(7, seed=53)
+    blocks.validate_bulk()
+    e = 0.37
+    sol = solve_qep_dense(blocks, e)
+    exact = analytic(e)
+    assert sol.count == 14
+    assert match_error(sol.eigenvalues, exact) < 1e-8
+    assert match_error(exact, sol.eigenvalues) < 1e-8
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=6),
+       st.floats(min_value=-1.0, max_value=1.0))
+def test_commuting_triple_spectrum_pairs(n, energy):
+    _, analytic = commuting_bulk_triple(n, seed=54)
+    lam = analytic(energy)
+    # Bulk symmetry: the set must be closed under λ → 1/λ̄.
+    partners = 1.0 / np.conj(lam)
+    for p in partners:
+        assert np.min(np.abs(lam - p)) < 1e-8 * max(1.0, abs(p))

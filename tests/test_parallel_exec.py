@@ -1,0 +1,168 @@
+"""Executors, virtual cluster, halo exchange, distributed BiCG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.executor import SerialExecutor, ThreadExecutor, make_executor
+from repro.parallel.halo import SlabLayout, SlabPencil, distributed_bicg
+from repro.parallel.vcomm import VirtualCluster
+from repro.qep.pencil import QuadraticPencil
+
+
+# -- executors -----------------------------------------------------------------
+
+def test_serial_executor_order():
+    ex = SerialExecutor()
+    assert ex.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+
+def test_thread_executor_order_preserved():
+    ex = ThreadExecutor(4)
+    items = list(range(50))
+    assert ex.map(lambda x: x * x, items) == [x * x for x in items]
+
+
+def test_thread_executor_validation():
+    with pytest.raises(ValueError):
+        ThreadExecutor(0)
+
+
+def test_make_executor():
+    assert isinstance(make_executor(None), SerialExecutor)
+    assert isinstance(make_executor("serial"), SerialExecutor)
+    assert isinstance(make_executor("threads"), ThreadExecutor)
+    assert isinstance(make_executor(3), ThreadExecutor)
+    assert isinstance(make_executor(1), SerialExecutor)
+    with pytest.raises(ValueError):
+        make_executor("gpu")
+
+
+# -- virtual cluster ----------------------------------------------------------------
+
+def test_allreduce_scalar():
+    results = VirtualCluster(4).run(lambda comm: comm.allreduce(comm.rank))
+    assert results == [6, 6, 6, 6]
+
+
+def test_allreduce_array():
+    def fn(comm):
+        return comm.allreduce(np.full(3, float(comm.rank)))
+
+    results = VirtualCluster(3).run(fn)
+    for r in results:
+        assert np.allclose(r, 3.0)
+
+
+def test_repeated_allreduce_no_corruption():
+    def fn(comm):
+        total = 0.0
+        for i in range(20):
+            total += comm.allreduce(float(comm.rank + i))
+        return total
+
+    results = VirtualCluster(3).run(fn)
+    assert len(set(results)) == 1
+
+
+def test_sendrecv_ring():
+    def fn(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        got = comm.sendrecv(comm.rank, dest=right, source=left)
+        return got
+
+    results = VirtualCluster(4).run(fn)
+    assert results == [3, 0, 1, 2]
+
+
+def test_traffic_counters():
+    cluster = VirtualCluster(2)
+
+    def fn(comm):
+        comm.sendrecv(np.zeros(10), dest=1 - comm.rank, source=1 - comm.rank)
+        return None
+
+    cluster.run(fn)
+    assert cluster.last_traffic.total_bytes() == 2 * 80
+    assert cluster.last_traffic.total_messages() == 2
+
+
+def test_rank_exception_propagates():
+    def fn(comm):
+        if comm.rank == 1:
+            raise ValueError("boom")
+        comm.barrier()
+
+    with pytest.raises(ValueError, match="boom"):
+        VirtualCluster(2).run(fn)
+
+
+def test_cluster_validation():
+    with pytest.raises(ConfigurationError):
+        VirtualCluster(0)
+
+
+# -- halo / distributed pencil ---------------------------------------------------------
+
+def test_slab_layout(al_kinetic):
+    grid = al_kinetic["grid"]
+    lay = SlabLayout(grid, nranks=2, rank=0, nf=4)
+    assert lay.n_owned_planes == grid.nz // 2
+    with pytest.raises(ConfigurationError):
+        SlabLayout(grid, nranks=grid.nz, rank=0, nf=4)
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_distributed_apply_matches_serial(al_kinetic, nranks):
+    blocks, grid = al_kinetic["blocks"], al_kinetic["grid"]
+    e = 0.05
+    pen = QuadraticPencil(blocks.as_complex(), e)
+    slab = SlabPencil(grid, blocks.h0.diagonal().real, e, nf=4)
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal(grid.npoints) + 1j * rng.standard_normal(grid.npoints)
+    z = 2.0 * np.exp(0.7j)
+
+    def fn(comm):
+        lay = SlabLayout(grid, comm.size, comm.rank, 4)
+        return slab.apply_distributed(comm, lay, x[lay.owned_slice()], z)
+
+    parts = VirtualCluster(nranks).run(fn)
+    y = np.concatenate(parts)
+    assert np.allclose(y, pen.apply(z, x), atol=1e-12 * np.abs(x).max() * 100)
+
+
+def test_distributed_bicg_solves(al_kinetic):
+    blocks, grid = al_kinetic["blocks"], al_kinetic["grid"]
+    e = 0.05
+    pen = QuadraticPencil(blocks.as_complex(), e)
+    slab = SlabPencil(grid, blocks.h0.diagonal().real, e, nf=4)
+    rng = np.random.default_rng(6)
+    b = rng.standard_normal(grid.npoints) + 1j * rng.standard_normal(grid.npoints)
+    z = 2.0 * np.exp(0.7j)
+    x, iters = distributed_bicg(slab, z, b, nranks=4, tol=1e-10, maxiter=3000)
+    res = np.linalg.norm(pen.apply(z, x) - b) / np.linalg.norm(b)
+    assert res < 1e-9
+    assert iters > 0
+
+
+def test_distributed_halo_traffic_matches_bookkeeping(al_kinetic):
+    """Measured halo bytes = DomainDecomposition's prediction."""
+    from repro.grid.domain import DomainDecomposition
+
+    blocks, grid = al_kinetic["blocks"], al_kinetic["grid"]
+    slab = SlabPencil(grid, blocks.h0.diagonal().real, 0.0, nf=4)
+    nranks = 2
+    x = np.ones(grid.npoints, dtype=np.complex128)
+    cluster = VirtualCluster(nranks)
+
+    def fn(comm):
+        lay = SlabLayout(grid, comm.size, comm.rank, 4)
+        slab.apply_distributed(comm, lay, x[lay.owned_slice()], 1.5)
+        return None
+
+    cluster.run(fn)
+    dd = DomainDecomposition(grid, (1, 1, nranks), stencil_width=4)
+    # One apply = one halo exchange: every rank receives halo_bytes.
+    expected = nranks * dd.halo_bytes_per_exchange(0)
+    assert cluster.last_traffic.total_bytes() == expected

@@ -1,0 +1,262 @@
+"""Machine model, hierarchy, cost model, scaling simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid.grid import RealSpaceGrid
+from repro.parallel.costmodel import IterationCostModel
+from repro.parallel.hierarchy import (
+    HierarchicalLayout,
+    LayerAssignment,
+    fill_layers,
+    partition_round_robin,
+)
+from repro.parallel.machine import OAKFOREST_PACS, XEON_E5_2683V4, MachineSpec
+from repro.parallel.simulator import (
+    IterationCountModel,
+    ScalingSimulator,
+    apply_quorum,
+)
+
+
+SMALL_GRID = RealSpaceGrid((72, 72, 20), (0.38, 0.38, 0.40))
+LARGE_GRID = RealSpaceGrid((72, 72, 6400), (0.38, 0.38, 0.40))
+
+
+# -- machine ------------------------------------------------------------------
+
+def test_presets_sane():
+    for m in (OAKFOREST_PACS, XEON_E5_2683V4):
+        assert m.cores_per_node > 0
+        assert m.mem_bw(1) == m.mem_bw_core
+        assert m.mem_bw(10**6) == m.mem_bw_node
+        assert m.omp_overhead(1) == 0.0
+        assert m.omp_overhead(64) > m.omp_overhead(4)
+        assert m.thread_bw_efficiency(1) == 1.0
+        assert m.thread_bw_efficiency(64) < m.thread_bw_efficiency(4)
+
+
+def test_message_and_allreduce_models():
+    m = OAKFOREST_PACS
+    assert m.message_time(0, intra=True) == m.latency_intra
+    assert m.allreduce_time(16, 1, True) == 0.0
+    t2 = m.allreduce_time(16, 2, True)
+    t16 = m.allreduce_time(16, 16, True)
+    assert t16 == pytest.approx(4 * t2)  # log-tree rounds
+    # Allgather grows with rank count (the Fig-10 bottleneck term).
+    assert m.allgather_time(1 << 20, 64, False) > m.allgather_time(1 << 20, 8, False)
+
+
+def test_machine_validation():
+    with pytest.raises(ConfigurationError):
+        MachineSpec("bad", 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1)
+
+
+# -- hierarchy --------------------------------------------------------------------
+
+def test_assignment_products():
+    a = LayerAssignment(top=4, middle=8, bottom=2, threads=4)
+    assert a.processes == 64
+    assert a.cores == 256
+    with pytest.raises(ConfigurationError):
+        LayerAssignment(top=0)
+
+
+def test_round_robin_balance():
+    groups = partition_round_robin(10, 3)
+    sizes = sorted(len(g) for g in groups)
+    assert sizes == [3, 3, 4]
+    assert sorted(sum(groups, [])) == list(range(10))
+
+
+def test_layout_tasks_cover_everything():
+    layout = HierarchicalLayout(
+        n_rh=4, n_int=8, assignment=LayerAssignment(top=2, middle=4)
+    )
+    queues = layout.group_tasks()
+    assert len(queues) == 8
+    all_tasks = sorted(t for q in queues for t in q)
+    assert all_tasks == sorted((j, c) for j in range(8) for c in range(4))
+
+
+def test_layout_rejects_oversubscription():
+    with pytest.raises(ConfigurationError):
+        HierarchicalLayout(4, 8, LayerAssignment(top=5))
+    with pytest.raises(ConfigurationError):
+        HierarchicalLayout(4, 8, LayerAssignment(middle=9))
+
+
+def test_fill_layers_top_first():
+    a = fill_layers(8, n_rh=16, n_int=32)
+    assert (a.top, a.middle, a.bottom) == (8, 1, 1)
+    b = fill_layers(64, n_rh=16, n_int=32)
+    assert (b.top, b.middle, b.bottom) == (16, 4, 1)
+    c = fill_layers(4096, n_rh=16, n_int=32)
+    assert (c.top, c.middle) == (16, 32)
+    assert c.bottom == 8
+
+
+# -- cost model ---------------------------------------------------------------------
+
+@pytest.fixture()
+def small_cost():
+    return IterationCostModel(OAKFOREST_PACS, SMALL_GRID, n_projectors=128,
+                              ranks_per_node=64)
+
+
+def test_iteration_cost_components(small_cost):
+    c = small_cost.iteration_cost(n_dm=4, threads=16)
+    assert c.compute > 0
+    assert c.halo > 0
+    assert c.allreduce > 0
+    assert c.total == pytest.approx(
+        c.compute + c.omp_overhead + c.halo + c.allreduce
+        + c.nonlocal_comm + c.mpi_rank_overhead
+    )
+    serial = small_cost.iteration_cost()
+    assert serial.halo == serial.allreduce == 0.0
+
+
+def _intranode_time(grid, nproj, threads, n_dm):
+    """One Table-2 cell: all n_dm ranks co-resident on the 64-core node."""
+    return IterationCostModel(
+        OAKFOREST_PACS, grid, nproj, ranks_per_node=n_dm
+    ).time_for_iterations(1000, n_dm=n_dm, threads=threads)
+
+
+def test_table2_u_shape():
+    """Fixed 64 cores: the optimum is a mixed threadsxdomains split."""
+    splits = [(1, 64), (2, 32), (4, 16), (8, 8), (16, 4), (32, 2), (64, 1)]
+    times = [_intranode_time(SMALL_GRID, 128, t, d) for (t, d) in splits]
+    best = int(np.argmin(times))
+    assert 0 < best < len(splits) - 1            # interior optimum (U shape)
+    assert times[0] > times[best]
+    assert times[-1] > times[best]
+
+
+def test_table2_magnitudes_match_paper():
+    """Calibration guard: modeled 1000-iteration times within 2x of the
+    paper's Table 2 for the 32-atom CNT."""
+    paper = {(1, 64): 7.77, (16, 4): 3.98, (64, 1): 6.16}
+    for (t, d), ref in paper.items():
+        model = _intranode_time(SMALL_GRID, 128, t, d)
+        assert 0.5 * ref < model < 2.0 * ref
+
+
+def test_time_scales_linearly_with_atoms():
+    """Paper: 'computational time of 1000 BiCG iterations increases almost
+    linearly relative to the number of atoms'.  Note the paper's own
+    optima give 774.75/3.98 ≈ 195x for a 320x system — i.e. 'almost
+    linearly' means a ratio of 0.5-1.0x the size ratio; the model must
+    land in the same window."""
+    small = IterationCostModel(OAKFOREST_PACS, SMALL_GRID, 128,
+                               ranks_per_node=64)
+    large = IterationCostModel(OAKFOREST_PACS, LARGE_GRID, 40960,
+                               ranks_per_node=64)
+    r = (large.time_for_iterations(1000, 16, 4)
+         / small.time_for_iterations(1000, 16, 4))
+    size_ratio = LARGE_GRID.npoints / SMALL_GRID.npoints  # 320
+    assert 0.4 * size_ratio < r < 1.1 * size_ratio
+
+
+def test_nonlocal_comm_grows_with_system():
+    """Fig. 10's rolloff source: projector allreduce volume (320x more
+    projectors; the latency floor keeps the time growth milder)."""
+    small = IterationCostModel(OAKFOREST_PACS, SMALL_GRID, 128,
+                               ranks_per_node=16)
+    large = IterationCostModel(OAKFOREST_PACS, LARGE_GRID, 40960,
+                               ranks_per_node=16)
+    c_s = small.iteration_cost(n_dm=64, threads=4).nonlocal_comm
+    c_l = large.iteration_cost(n_dm=64, threads=4).nonlocal_comm
+    assert c_l > 2 * c_s
+    # The volume share (bytes term) grows exactly with the projector count.
+    lat_part = 63 * OAKFOREST_PACS.latency_inter
+    assert (c_l - lat_part) / (c_s - lat_part) == pytest.approx(320, rel=1e-6)
+
+
+# -- simulator -----------------------------------------------------------------------
+
+def test_iteration_count_model_shapes():
+    m = IterationCountModel(base_iterations=1000, point_spread=0.15, seed=1)
+    counts = m.sample(32, 16)
+    assert counts.shape == (32, 16)
+    assert counts.min() >= 1
+    spread = counts.max() / counts.min()
+    assert 1.05 < spread < 1.6
+
+
+def test_iteration_counts_grow_with_n():
+    small = IterationCountModel(n=100_000, reference_n=100_000, seed=1)
+    big = IterationCountModel(n=800_000, reference_n=100_000, seed=1)
+    r = big.sample(4, 4).mean() / small.sample(4, 4).mean()
+    assert r == pytest.approx(8**0.34, rel=0.05)
+
+
+def test_apply_quorum_caps_stragglers():
+    counts = np.array([[100, 100], [100, 100], [100, 500]])
+    capped = apply_quorum(counts, 0.5)
+    assert capped.max() < 500
+    assert capped.min() == 100
+
+
+def test_simulator_top_layer_ideal(small_cost):
+    """Top layer: near-ideal strong scaling (no communication)."""
+    counts = IterationCountModel(base_iterations=500, seed=2,
+                                 point_spread=0.1).sample(32, 64)
+    sim = ScalingSimulator(small_cost, counts, extraction_time=1.0)
+    res = sim.sweep_layer(
+        "top", [1, 2, 4, 8, 16, 32, 64],
+        fixed=LayerAssignment(middle=2, bottom=1, threads=1),
+    )
+    eff = res.efficiencies()
+    assert eff[-1] > 0.9
+    sp = res.speedups()
+    assert sp[-1] > 55  # ~64x at 64 groups
+
+
+def test_simulator_middle_layer_slightly_worse(small_cost):
+    """Middle layer: iteration-count imbalance degrades efficiency a bit
+    (paper: ~21x at 32 groups = 65%; quorum keeps it above ~60%)."""
+    counts = IterationCountModel(base_iterations=500, seed=3,
+                                 point_spread=0.15).sample(32, 4)
+    sim = ScalingSimulator(small_cost, counts)
+    res = sim.sweep_layer(
+        "middle", [1, 2, 4, 8, 16, 32],
+        fixed=LayerAssignment(top=2, bottom=1, threads=1),
+    )
+    eff = res.efficiencies()
+    assert 0.55 < eff[-1] < 1.0
+    assert eff[-1] < res.efficiencies()[0] + 1e-9
+
+
+def test_simulator_bottom_layer_worst(small_cost):
+    """Bottom layer: communication makes it the least efficient layer."""
+    counts = IterationCountModel(base_iterations=500, seed=4).sample(8, 4)
+    sim = ScalingSimulator(small_cost, counts)
+    top = sim.sweep_layer("top", [1, 4],
+                          fixed=LayerAssignment(middle=2, bottom=1, threads=1))
+    bottom = sim.sweep_layer("bottom", [1, 4],
+                             fixed=LayerAssignment(top=2, middle=2, threads=1))
+    assert bottom.efficiencies()[-1] < top.efficiencies()[-1]
+
+
+def test_simulator_rows_structure(small_cost):
+    counts = IterationCountModel(seed=5).sample(8, 4)
+    sim = ScalingSimulator(small_cost, counts)
+    res = sim.sweep_layer("top", [1, 2, 4],
+                          fixed=LayerAssignment(middle=1, bottom=1, threads=1))
+    rows = res.rows()
+    assert len(rows) == 3
+    assert rows[0]["speedup"] == pytest.approx(1.0)
+    assert {"layer_count", "processes", "cores", "solve_time_s",
+            "remaining_s", "speedup", "efficiency"} <= set(rows[0])
+
+
+def test_simulator_validation(small_cost):
+    with pytest.raises(ConfigurationError):
+        ScalingSimulator(small_cost, np.zeros(5))
+    counts = IterationCountModel(seed=6).sample(4, 2)
+    sim = ScalingSimulator(small_cost, counts)
+    with pytest.raises(ConfigurationError):
+        sim.sweep_layer("sideways", [1], fixed=LayerAssignment())

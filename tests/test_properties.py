@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.stencil import central_second_derivative_coefficients
+from repro.models.chain import MonatomicChain
+from repro.models.ladder import TransverseLadder
+from repro.models.random_blocks import random_bulk_triple
+from repro.qep.pencil import QuadraticPencil
+from repro.solvers.bicg import bicg_dual
+from repro.solvers.stopping import ResidualRule
+from repro.ss.contour import AnnulusContour, CircleContour
+from repro.ss.solver import SSConfig, SSHankelSolver
+from repro.utils.rng import complex_gaussian, default_rng
+
+from tests.conftest import match_error
+
+finite_floats = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(finite_floats, st.floats(min_value=0.1, max_value=2.0))
+def test_chain_lambda_pair_product_one(energy, t):
+    """λ+·λ- = 1 for the chain at any energy/hopping."""
+    chain = MonatomicChain(hopping=-t)
+    l1, l2 = chain.analytic_lambdas_primitive(energy)
+    assert abs(l1 * l2 - 1.0) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(finite_floats)
+def test_chain_propagating_iff_in_band(energy):
+    chain = MonatomicChain(hopping=-1.0)
+    lams = chain.analytic_lambdas_primitive(energy)
+    lo, hi = chain.band_edges()
+    on_circle = np.all(np.isclose(np.abs(lams), 1.0, atol=1e-9))
+    assert on_circle == (lo <= energy <= hi)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=3, max_value=10), st.integers(min_value=0, max_value=10**6))
+def test_dual_identity_random_triples(n, seed):
+    """P(z)† = P(1/z̄) for arbitrary bulk-symmetric triples and shifts."""
+    blocks = random_bulk_triple(n, seed=seed)
+    pencil = QuadraticPencil(blocks, energy=0.17)
+    rng = default_rng(seed + 1)
+    z = complex(rng.uniform(0.3, 3.0) * np.exp(1j * rng.uniform(0, 2 * np.pi)))
+    assert pencil.dual_identity_defect(z, probes=2, rng=rng) < 1e-11
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=10**6))
+def test_bloch_hermitian_property(n, seed):
+    blocks = random_bulk_triple(n, seed=seed)
+    rng = default_rng(seed)
+    k = rng.uniform(-np.pi, np.pi)
+    h = blocks.bloch_hamiltonian(np.exp(1j * k))
+    assert np.max(np.abs(h - h.conj().T)) < 1e-10
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=4, max_value=32))
+def test_contour_filter_partition(n_points):
+    """Outer filter = ring filter + inner filter (linearity of the
+    contour integral over nested regions)."""
+    ring = AnnulusContour(0.5, 2.0, n_points)
+    lam = np.array([0.2, 1.0 + 0.4j, 3.3])
+    total = ring.outer.spectral_filter(lam)
+    assert np.allclose(
+        total, ring.spectral_filter(lam) + ring.inner.spectral_filter(lam)
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=8, max_value=24), st.floats(min_value=0.2, max_value=0.7))
+def test_annulus_nodes_on_radii(n_points, lambda_min):
+    ring = AnnulusContour.from_lambda_min(lambda_min, n_points)
+    for p in ring.outer_points():
+        assert abs(abs(p.z) - 1.0 / lambda_min) < 1e-12
+    for p in ring.inner_points():
+        assert abs(abs(p.z) - lambda_min) < 1e-12
+    # weights sum: Σω over a closed circle is zero (∮ dz = 0).
+    w = sum(p.weight for p in ring.outer_points())
+    assert abs(w) < 1e-12
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=2, max_value=5),
+       st.floats(min_value=-1.2, max_value=1.2))
+def test_ss_finds_ladder_spectrum(width, energy):
+    """The headline invariant, randomized: SS-Hankel recovers exactly the
+    analytic ring eigenvalues of any ladder at any energy (skipping
+    energies that park an eigenvalue on the contour)."""
+    lad = TransverseLadder(width=width)
+    exact = lad.analytic_lambdas(energy)
+    mags = np.abs(exact)
+    if np.any(np.abs(mags - 0.5) < 0.05) or np.any(np.abs(mags - 2.0) < 0.2):
+        return  # boundary-straddling: contour methods legitimately degrade
+    inside = exact[(mags > 0.5) & (mags < 2.0)]
+    cfg = SSConfig(n_int=24, n_mm=4, n_rh=max(2, width), seed=3,
+                   linear_solver="direct", residual_tol=1e-7)
+    res = SSHankelSolver(lad.blocks(), cfg).solve(energy)
+    assert res.count == inside.size
+    if inside.size:
+        assert match_error(res.eigenvalues, inside) < 1e-7
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=5, max_value=20), st.integers(min_value=0, max_value=10**6))
+def test_bicg_dual_invariant_random_systems(n, seed):
+    """BiCG dual solutions solve the adjoint system for random pencils."""
+    blocks = random_bulk_triple(n, coupling_scale=0.3, seed=seed)
+    pencil = QuadraticPencil(blocks, 0.1)
+    z = 1.7 * np.exp(0.4j)
+    rng = default_rng(seed)
+    b = complex_gaussian(rng, n)
+    res = bicg_dual(
+        lambda x: pencil.apply(z, x),
+        lambda x: pencil.apply_adjoint(z, x),
+        b, b_dual=b, rule=ResidualRule(1e-11, maxiter=50 * n),
+    )
+    if not res.converged:
+        return  # rare hard systems: BiCG may stagnate; not the property
+    a = pencil.assemble(z)
+    assert np.linalg.norm(a @ res.x - b) / np.linalg.norm(b) < 1e-9
+    assert (
+        np.linalg.norm(a.conj().T @ res.x_dual - b) / np.linalg.norm(b) < 1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=8))
+def test_stencil_annihilates_polynomials(nf):
+    """The order-2nf stencil is exact on polynomials up to degree 2nf-1
+    ... and on x² gives exactly 2."""
+    c = central_second_derivative_coefficients(nf)
+    m = np.arange(-nf, nf + 1).astype(float)
+    rng = default_rng(nf)
+    coeffs = rng.standard_normal(2)  # a + b x: second derivative = 0
+    vals = coeffs[0] + coeffs[1] * m
+    assert abs((c * vals).sum()) < 1e-9

@@ -1,0 +1,99 @@
+"""BlockTriple: validation, Bloch assembly, λ↔k conversion."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ConfigurationError
+from repro.models.random_blocks import random_bulk_triple
+from repro.qep.blocks import BlockTriple
+
+
+def test_shapes_must_match():
+    with pytest.raises(ConfigurationError):
+        BlockTriple(np.eye(2), np.eye(3), np.eye(3))
+
+
+def test_cell_length_positive():
+    with pytest.raises(ConfigurationError):
+        BlockTriple(np.eye(2), np.eye(2), np.eye(2), cell_length=0.0)
+
+
+def test_validate_bulk_accepts_valid():
+    t = random_bulk_triple(6, seed=1)
+    t.validate_bulk()
+
+
+def test_validate_bulk_rejects_broken():
+    t = random_bulk_triple(6, seed=1)
+    bad = BlockTriple(t.hm + 0.1 * np.eye(6), t.h0, t.hp)
+    with pytest.raises(ConfigurationError):
+        bad.validate_bulk()
+    assert bad.hermiticity_defect() > 0.05
+
+
+def test_bloch_hermitian_on_unit_circle():
+    t = random_bulk_triple(8, seed=2)
+    for k in (0.0, 0.7, np.pi):
+        h = t.bloch_hamiltonian(np.exp(1j * k))
+        assert np.allclose(h, h.conj().T, atol=1e-12)
+
+
+def test_bloch_not_hermitian_off_circle():
+    t = random_bulk_triple(8, seed=3)
+    h = t.bloch_hamiltonian(1.7)
+    assert not np.allclose(h, h.conj().T, atol=1e-8)
+
+
+def test_bloch_rejects_zero():
+    t = random_bulk_triple(4, seed=4)
+    with pytest.raises(ConfigurationError):
+        t.bloch_hamiltonian(0.0)
+
+
+def test_sparse_dense_agree():
+    t = random_bulk_triple(6, sparse=True, seed=5)
+    td = t.as_dense()
+    lam = 0.9 * np.exp(0.3j)
+    hs = t.bloch_hamiltonian(lam)
+    hd = td.bloch_hamiltonian(lam)
+    assert np.allclose(hs.toarray(), hd)
+    assert t.is_sparse and not td.is_sparse
+
+
+def test_lam_k_roundtrip():
+    t = random_bulk_triple(4, seed=6)
+    t2 = BlockTriple(t.hm, t.h0, t.hp, cell_length=2.5)
+    lam = np.array([0.8 * np.exp(0.4j), 1.0, np.exp(1j * np.pi / 2.5)])
+    back = t2.k_to_lam(t2.lam_to_k(lam))
+    assert np.allclose(back, lam)
+
+
+def test_lam_to_k_propagating_real():
+    t = BlockTriple(np.eye(2), np.eye(2), np.eye(2), cell_length=1.5)
+    k = t.lam_to_k(np.exp(1j * 0.9))
+    assert k.imag == pytest.approx(0.0, abs=1e-14)
+    assert k.real == pytest.approx(0.9 / 1.5)
+
+
+def test_lam_to_k_decaying_positive_imag():
+    t = BlockTriple(np.eye(2), np.eye(2), np.eye(2))
+    k = t.lam_to_k(0.5)  # |λ|<1: decays toward +z
+    assert k.imag > 0
+
+
+def test_nbytes_and_nnz():
+    t = random_bulk_triple(5, sparse=True, seed=7)
+    assert t.nbytes > 0
+    assert t.nnz == t.hm.nnz + t.h0.nnz + t.hp.nnz
+    dense = t.as_dense()
+    assert dense.nnz == 3 * 25
+
+
+def test_as_complex():
+    t = BlockTriple(
+        sp.csr_matrix(np.eye(3)), sp.csr_matrix(np.eye(3)),
+        sp.csr_matrix(np.eye(3)),
+    )
+    tc = t.as_complex()
+    assert tc.h0.dtype == np.complex128

@@ -1,0 +1,96 @@
+"""Dense companion linearization: the correctness reference itself."""
+
+import numpy as np
+import pytest
+
+from repro.models.chain import MonatomicChain
+from repro.models.ladder import TransverseLadder
+from repro.models.random_blocks import random_bulk_triple
+from repro.qep.linearization import (
+    companion_pencil,
+    count_in_annulus,
+    filter_eigenpairs,
+    solve_qep_dense,
+    spectral_pairing_defect,
+)
+from repro.qep.pencil import QuadraticPencil
+
+from tests.conftest import match_error
+
+
+def test_chain_analytic():
+    chain = MonatomicChain(onsite=0.1, hopping=-0.8)
+    for e in (-1.2, 0.1, 0.9, 2.0):
+        sol = solve_qep_dense(chain.blocks(), e)
+        exact = chain.analytic_lambdas(e)
+        assert sol.count == 2
+        assert match_error(sol.eigenvalues, exact) < 1e-10
+
+
+def test_folded_chain_analytic():
+    chain = MonatomicChain(hopping=-1.0, ncell=5)
+    e = 0.33
+    sol = solve_qep_dense(chain.blocks(), e)
+    exact = chain.analytic_lambdas(e)
+    # The folded problem has 2 physical + spurious-at-0/inf solutions;
+    # the physical pair must be present.
+    assert match_error(exact, sol.eigenvalues) < 1e-9
+
+
+def test_ladder_analytic():
+    lad = TransverseLadder(width=3, rung_hopping=-0.4)
+    e = -0.7
+    sol = solve_qep_dense(lad.blocks(), e)
+    exact = lad.analytic_lambdas(e)
+    assert sol.count == 6
+    assert match_error(sol.eigenvalues, exact) < 1e-9
+
+
+def test_eigenvectors_satisfy_qep():
+    blocks = random_bulk_triple(9, seed=11)
+    e = 0.15
+    sol = solve_qep_dense(blocks, e)
+    pencil = QuadraticPencil(blocks, e)
+    res = pencil.residuals(sol.eigenvalues, sol.vectors)
+    assert np.max(res) < 1e-7
+
+
+def test_spectral_pairing():
+    """Bulk symmetry at real E ⇒ eigenvalues pair as (λ, 1/λ̄)."""
+    blocks = random_bulk_triple(8, seed=12)
+    sol = solve_qep_dense(blocks, 0.4)
+    assert spectral_pairing_defect(sol) < 1e-7
+
+
+def test_filter_eigenpairs():
+    blocks = random_bulk_triple(8, seed=13)
+    sol = solve_qep_dense(blocks, 0.0)
+    ring = filter_eigenpairs(sol, rmin=0.5, rmax=2.0)
+    mags = np.abs(ring.eigenvalues)
+    assert np.all((mags > 0.5) & (mags < 2.0))
+    pencil = QuadraticPencil(blocks, 0.0)
+    strict = filter_eigenpairs(
+        sol, rmin=0.5, rmax=2.0,
+        residual_fn=pencil.residual, residual_tol=1e-8,
+    )
+    assert strict.count <= ring.count
+
+
+def test_count_in_annulus_matches_ladder():
+    lad = TransverseLadder(width=4)
+    e = -0.5
+    expected = lad.count_in_annulus(e, 0.5, 2.0)
+    assert count_in_annulus(lad.blocks(), e, 0.5, 2.0) == expected
+
+
+def test_companion_dimensions():
+    blocks = random_bulk_triple(5, seed=14)
+    A, B = companion_pencil(blocks, 0.1)
+    assert A.shape == B.shape == (10, 10)
+
+
+def test_sorted_by_abs():
+    blocks = random_bulk_triple(6, seed=15)
+    sol = solve_qep_dense(blocks, 0.2).sorted_by_abs()
+    mags = np.abs(sol.eigenvalues)
+    assert np.all(np.diff(mags) >= -1e-12)

@@ -1,0 +1,107 @@
+"""QuadraticPencil: application, adjoints, the dual identity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.random_blocks import random_bulk_triple
+from repro.qep.pencil import QuadraticPencil
+from repro.utils.rng import complex_gaussian, default_rng
+
+
+@pytest.fixture()
+def pencil():
+    return QuadraticPencil(random_bulk_triple(10, seed=1), energy=0.3)
+
+
+def test_apply_matches_assembled(pencil):
+    rng = default_rng(2)
+    x = complex_gaussian(rng, 10)
+    for z in (0.7, 1.8 * np.exp(0.5j), 0.5 - 0.2j):
+        assert np.allclose(pencil.apply(z, x), pencil.assemble(z) @ x)
+
+
+def test_apply_block(pencil):
+    rng = default_rng(3)
+    X = complex_gaussian(rng, (10, 4))
+    z = 1.2 * np.exp(0.9j)
+    Y = pencil.apply(z, X)
+    for c in range(4):
+        assert np.allclose(Y[:, c], pencil.apply(z, X[:, c]))
+
+
+def test_apply_rejects_zero(pencil):
+    with pytest.raises(ConfigurationError):
+        pencil.apply(0.0, np.zeros(10))
+    with pytest.raises(ConfigurationError):
+        pencil.assemble(0.0)
+
+
+def test_adjoint_matches_matrix(pencil):
+    rng = default_rng(4)
+    x = complex_gaussian(rng, 10)
+    z = 1.5 * np.exp(0.7j)
+    explicit = pencil.assemble(z).conj().T @ x
+    assert np.allclose(pencil.apply_adjoint(z, x), explicit)
+
+
+def test_dual_identity_at_real_energy(pencil):
+    """P(z)† = P(1/z̄) — the foundation of the paper's §3.2 shortcut."""
+    assert pencil.is_dual_symmetric
+    for z in (2.0 * np.exp(0.3j), 0.5 * np.exp(-1.1j)):
+        assert pencil.dual_identity_defect(z) < 1e-12
+
+
+def test_dual_shift():
+    z = 2.0 * np.exp(0.3j)
+    w = QuadraticPencil.dual_shift(z)
+    assert abs(w - 1.0 / np.conj(z)) < 1e-15
+    assert abs(abs(w) - 1.0 / abs(z)) < 1e-15
+    with pytest.raises(ConfigurationError):
+        QuadraticPencil.dual_shift(0.0)
+
+
+def test_complex_energy_disables_dual():
+    pencil = QuadraticPencil(random_bulk_triple(6, seed=5), energy=0.3 + 0.1j)
+    assert not pencil.is_dual_symmetric
+    # Adjoint still correct via the explicit branch.
+    rng = default_rng(6)
+    x = complex_gaussian(rng, 6)
+    z = 1.3 * np.exp(0.4j)
+    explicit = pencil.assemble(z).conj().T @ x
+    assert np.allclose(pencil.apply_adjoint(z, x), explicit)
+
+
+def test_diagonal(pencil):
+    z = 0.8 * np.exp(0.2j)
+    assert np.allclose(pencil.diagonal(z), np.diagonal(pencil.assemble(z)))
+
+
+def test_residual_zero_for_true_eigenpair():
+    from repro.qep.linearization import solve_qep_dense
+
+    blocks = random_bulk_triple(8, seed=7)
+    sol = solve_qep_dense(blocks, 0.2)
+    pencil = QuadraticPencil(blocks, 0.2)
+    i = int(np.argmin(np.abs(np.abs(sol.eigenvalues) - 1.0)))
+    assert pencil.residual(sol.eigenvalues[i], sol.vectors[:, i]) < 1e-8
+
+
+def test_residual_large_for_random_vector(pencil):
+    rng = default_rng(8)
+    x = complex_gaussian(rng, 10)
+    assert pencil.residual(1.1, x) > 1e-3
+
+
+def test_residual_of_zero_vector_is_inf(pencil):
+    assert pencil.residual(1.0, np.zeros(10)) == np.inf
+
+
+def test_linear_operator_interface(pencil):
+    op = pencil.as_linear_operator(1.4 * np.exp(0.5j))
+    rng = default_rng(9)
+    x = complex_gaussian(rng, 10)
+    assert np.allclose(op @ x, pencil.apply(1.4 * np.exp(0.5j), x))
+    assert np.allclose(
+        op.rmatvec(x), pencil.apply_adjoint(1.4 * np.exp(0.5j), x)
+    )

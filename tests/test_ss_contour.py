@@ -1,0 +1,124 @@
+"""Contours and quadrature: nodes, weights, the dual pairing, filters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ss.contour import AnnulusContour, CircleContour
+
+
+def test_circle_nodes_on_circle():
+    c = CircleContour(0.5 + 0.1j, 2.0, 16)
+    z = c.nodes()
+    assert np.allclose(np.abs(z - (0.5 + 0.1j)), 2.0)
+    assert z.shape == (16,)
+
+
+def test_circle_nodes_avoid_real_axis():
+    """The half-step offset keeps nodes off the real axis where CBS
+    eigenvalues cluster."""
+    c = CircleContour(0.0, 1.0, 32)
+    assert np.min(np.abs(c.nodes().imag)) > 1e-3
+
+
+def test_circle_weights_integrate_cauchy():
+    """Σ w_j/(z_j - λ) ≈ 1 inside, 0 outside; the transition error decays
+    like ρ^N_int (ρ = radius ratio), so the tolerances follow theory:
+    (1/1.8)^32 ≈ 7e-9 outside, (0.36)^32 inside."""
+    c = CircleContour(0.0, 1.0, 32)
+    inside = c.spectral_filter(np.array([0.3 + 0.2j]))[0]
+    outside = c.spectral_filter(np.array([1.8]))[0]
+    assert abs(inside - 1.0) < 1e-10
+    assert abs(outside) < 1e-7
+    # Convergence in N_int: doubling the nodes squares the error.
+    c2 = CircleContour(0.0, 1.0, 64)
+    outside2 = c2.spectral_filter(np.array([1.8]))[0]
+    assert abs(outside2) < abs(outside) ** 1.8
+
+
+def test_circle_moment_exactness():
+    """Σ w_j z_j^k /(z_j-λ) ≈ λ^k for λ inside — the moment identity the
+    Hankel method is built on."""
+    c = CircleContour(0.0, 2.0, 48)
+    lam = 0.9 * np.exp(0.7j)
+    z = c.nodes()
+    w = c.weights()
+    for k in range(6):
+        approx = np.sum(w * z**k / (z - lam))
+        assert abs(approx - lam**k) < 1e-9 * max(1.0, abs(lam) ** k)
+
+
+def test_circle_validation():
+    with pytest.raises(ConfigurationError):
+        CircleContour(0.0, -1.0)
+    with pytest.raises(ConfigurationError):
+        CircleContour(0.0, 1.0, 1)
+
+
+def test_annulus_from_lambda_min():
+    ring = AnnulusContour.from_lambda_min(0.5, 16)
+    assert ring.r_in == 0.5
+    assert ring.r_out == 2.0
+    assert ring.is_reciprocal
+    with pytest.raises(ConfigurationError):
+        AnnulusContour.from_lambda_min(1.5)
+
+
+def test_annulus_validation():
+    with pytest.raises(ConfigurationError):
+        AnnulusContour(2.0, 0.5)
+    with pytest.raises(ConfigurationError):
+        AnnulusContour(0.5, 2.0, n_points=1)
+
+
+def test_annulus_point_sets():
+    ring = AnnulusContour(0.5, 2.0, 8)
+    pts = ring.points()
+    assert len(pts) == 16
+    outer = [p for p in pts if p.circle == 0]
+    inner = [p for p in pts if p.circle == 1]
+    assert all(p.sign == +1 for p in outer)
+    assert all(p.sign == -1 for p in inner)
+    assert np.allclose([abs(p.z) for p in outer], 2.0)
+    assert np.allclose([abs(p.z) for p in inner], 0.5)
+
+
+def test_dual_pairs_relation():
+    """z_inner = 1/conj(z_outer) — the enabling identity of §3.2."""
+    ring = AnnulusContour.from_lambda_min(0.5, 12)
+    for po, pi in ring.dual_pairs():
+        assert abs(pi.z - 1.0 / np.conj(po.z)) < 1e-14
+
+
+def test_dual_pairs_require_reciprocal():
+    ring = AnnulusContour(0.4, 2.0, 8)  # 0.4 * 2.0 != 1
+    assert not ring.is_reciprocal
+    with pytest.raises(ConfigurationError):
+        ring.dual_pairs()
+
+
+def test_annulus_membership():
+    ring = AnnulusContour(0.5, 2.0, 8)
+    assert ring.contains(1.0)
+    assert ring.contains(-1.5j)
+    assert not ring.contains(0.3)
+    assert not ring.contains(2.5)
+    lam = np.array([0.3, 0.7, 1.0, 1.9, 2.5])
+    assert np.array_equal(
+        ring.contains_many(lam), [False, True, True, True, False]
+    )
+
+
+def test_annulus_margin():
+    ring = AnnulusContour(0.5, 2.0, 8)
+    lam = np.array([0.51, 1.98])
+    assert np.all(ring.contains_many(lam, margin=0.0))
+    assert not np.any(ring.contains_many(lam, margin=0.05))
+
+
+def test_annulus_filter_indicator():
+    ring = AnnulusContour(0.5, 2.0, 48)
+    vals = ring.spectral_filter(np.array([1.0 + 0.3j, 0.2, 3.0]))
+    assert abs(vals[0] - 1.0) < 1e-8   # in the ring
+    assert abs(vals[1]) < 1e-8         # inside the hole
+    assert abs(vals[2]) < 1e-8         # outside

@@ -1,0 +1,250 @@
+"""SSHankelSolver end-to-end: eigenpairs vs analytic/dense references."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.chain import DiatomicChain, MonatomicChain
+from repro.models.ladder import TransverseLadder
+from repro.models.random_blocks import commuting_bulk_triple, random_bulk_triple
+from repro.qep.linearization import solve_qep_dense
+from repro.ss.hankel import build_hankel_pair, extract_eigenpairs
+from repro.ss.solver import SSConfig, SSHankelSolver
+from repro.solvers.stopping import StopReason
+
+from tests.conftest import match_error
+
+
+def ladder_reference(lad: TransverseLadder, e: float):
+    exact = lad.analytic_lambdas(e)
+    mags = np.abs(exact)
+    return exact[(mags > 0.5) & (mags < 2.0)]
+
+
+# -- configuration -------------------------------------------------------------
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SSConfig(n_int=1)
+    with pytest.raises(ConfigurationError):
+        SSConfig(lambda_min=1.2)
+    with pytest.raises(ConfigurationError):
+        SSConfig(delta=0.0)
+    with pytest.raises(ConfigurationError):
+        SSConfig(linear_solver="qr")
+    with pytest.raises(ConfigurationError):
+        SSConfig(quorum_fraction=1.5)
+    assert SSConfig(n_rh=4, n_mm=8).subspace_capacity == 32
+
+
+def test_paper_defaults():
+    cfg = SSConfig()
+    assert (cfg.n_int, cfg.n_mm, cfg.n_rh) == (32, 8, 16)
+    assert cfg.delta == 1e-10
+    assert cfg.lambda_min == 0.5
+    assert cfg.bicg_tol == 1e-10
+
+
+# -- correctness, direct path ------------------------------------------------------
+
+@pytest.mark.parametrize("energy", [-1.2, -0.5, 0.0, 0.8])
+def test_ladder_all_energies_direct(energy):
+    lad = TransverseLadder(width=4)
+    cfg = SSConfig(n_int=16, n_mm=4, n_rh=4, seed=3, linear_solver="direct")
+    res = SSHankelSolver(lad.blocks(), cfg).solve(energy)
+    exact = ladder_reference(lad, energy)
+    assert res.count == exact.size
+    if exact.size:
+        assert match_error(res.eigenvalues, exact) < 1e-9
+        assert res.residuals.max() < 1e-9
+
+
+def test_chain_in_gapless_band():
+    chain = MonatomicChain(hopping=-1.0)
+    cfg = SSConfig(n_int=16, n_mm=2, n_rh=2, seed=5, linear_solver="direct")
+    res = SSHankelSolver(chain.blocks(), cfg).solve(0.7)
+    assert match_error(res.eigenvalues, chain.analytic_lambdas(0.7)) < 1e-10
+
+
+def test_ssh_gap_evanescent_pair():
+    ssh = DiatomicChain(t1=-1.0, t2=-0.6)
+    e = ssh.branch_point_energy()
+    cfg = SSConfig(n_int=24, n_mm=2, n_rh=2, seed=7, linear_solver="direct")
+    res = SSHankelSolver(ssh.blocks(), cfg).solve(e)
+    exact = ssh.analytic_lambdas(e)
+    assert res.count == 2
+    assert match_error(res.eigenvalues, exact) < 1e-9
+    assert np.all(np.abs(np.abs(res.eigenvalues) - 1.0) > 1e-3)  # evanescent
+
+
+def test_eigenvectors_satisfy_qep():
+    """Random-looking triple with analytic spectrum: SS must find exactly
+    the ring eigenvalues.  (A fully random triple is unusable here —
+    its eigenvalues straddle the contour, where no contour method
+    converges; see test_contour_straddling_degrades_gracefully.)"""
+    blocks, analytic = commuting_bulk_triple(10, seed=8)
+    e = 0.1
+    exact = analytic(e)
+    mags = np.abs(exact)
+    inside = exact[(mags > 0.5) & (mags < 2.0)]
+    # This seed keeps eigenvalues comfortably off the ring boundary.
+    boundary_gap = min(np.min(np.abs(mags - 0.5)), np.min(np.abs(mags - 2.0)))
+    assert boundary_gap > 0.02
+    cfg = SSConfig(n_int=32, n_mm=6, n_rh=6, seed=9, linear_solver="direct",
+                   residual_tol=1e-6)
+    res = SSHankelSolver(blocks, cfg).solve(e)
+    assert res.count == inside.size
+    assert match_error(res.eigenvalues, inside) < 1e-6
+    dense = solve_qep_dense(blocks, e)
+    m2 = np.abs(dense.eigenvalues)
+    assert match_error(
+        res.eigenvalues, dense.eigenvalues[(m2 > 0.5) & (m2 < 2.0)]
+    ) < 1e-6
+
+
+def test_contour_straddling_degrades_gracefully():
+    """Eigenvalues sitting ON the ring boundary poison the quadrature
+    filter; the solver must respond by *rejecting* unconverged pairs via
+    the residual filter, not by returning garbage."""
+    blocks = random_bulk_triple(20, coupling_scale=0.5, seed=8)
+    cfg = SSConfig(n_int=16, n_mm=6, n_rh=6, seed=9, linear_solver="direct",
+                   residual_tol=1e-8)
+    res = SSHankelSolver(blocks, cfg).solve(0.1)
+    # Whatever survived the filter genuinely satisfies the QEP.
+    assert np.all(res.residuals <= 1e-8)
+
+
+def test_random_source_reproducible():
+    lad = TransverseLadder(width=3)
+    cfg = SSConfig(n_int=12, n_mm=4, n_rh=4, seed=17, linear_solver="direct")
+    r1 = SSHankelSolver(lad.blocks(), cfg).solve(-0.3)
+    r2 = SSHankelSolver(lad.blocks(), cfg).solve(-0.3)
+    assert np.allclose(r1.eigenvalues, r2.eigenvalues)
+
+
+def test_explicit_source_block():
+    lad = TransverseLadder(width=3)
+    cfg = SSConfig(n_int=12, n_mm=4, n_rh=4, linear_solver="direct")
+    solver = SSHankelSolver(lad.blocks(), cfg)
+    rng = np.random.default_rng(1)
+    v = rng.standard_normal((3, 4)) + 1j * rng.standard_normal((3, 4))
+    res = solver.solve(-0.3, v=v)
+    assert res.count == len(ladder_reference(lad, -0.3))
+    with pytest.raises(ConfigurationError):
+        solver.solve(-0.3, v=v[:, :2])
+
+
+# -- BiCG path -----------------------------------------------------------------
+
+def test_bicg_matches_direct():
+    lad = TransverseLadder(width=4)
+    e = -0.5
+    base = SSConfig(n_int=16, n_mm=4, n_rh=4, seed=3)
+    direct = SSHankelSolver(
+        lad.blocks(),
+        SSConfig(**{**base.__dict__, "linear_solver": "direct"}),
+    ).solve(e)
+    bicg = SSHankelSolver(
+        lad.blocks(),
+        SSConfig(**{**base.__dict__, "linear_solver": "bicg",
+                    "bicg_tol": 1e-12}),
+    ).solve(e)
+    assert bicg.count == direct.count
+    assert match_error(bicg.eigenvalues, direct.eigenvalues) < 1e-8
+
+
+def test_dual_trick_halves_iterations():
+    """Figure-4-adjacent claim: the dual reuse halves Step-1 work."""
+    lad = TransverseLadder(width=4)
+    common = dict(n_int=12, n_mm=4, n_rh=4, seed=3, linear_solver="bicg",
+                  bicg_tol=1e-11, quorum_fraction=None)
+    with_dual = SSHankelSolver(
+        lad.blocks(), SSConfig(use_dual_trick=True, **common)
+    ).solve(-0.5)
+    without = SSHankelSolver(
+        lad.blocks(), SSConfig(use_dual_trick=False, **common)
+    ).solve(-0.5)
+    assert match_error(with_dual.eigenvalues, without.eigenvalues) < 1e-8
+    assert with_dual.total_iterations() <= 0.6 * without.total_iterations()
+
+
+def test_quorum_stops_stragglers():
+    blocks = random_bulk_triple(30, coupling_scale=0.6, seed=10, sparse=True)
+    common = dict(n_int=8, n_mm=4, n_rh=4, seed=3, linear_solver="bicg",
+                  bicg_tol=1e-12)
+    with_q = SSHankelSolver(
+        blocks, SSConfig(quorum_fraction=0.5, **common)
+    ).solve(0.05)
+    without_q = SSHankelSolver(
+        blocks, SSConfig(quorum_fraction=None, **common)
+    ).solve(0.05)
+    assert with_q.total_iterations() <= without_q.total_iterations()
+    # Eigenvalues must survive the early stopping (Fig. 5's argument).
+    if with_q.count and without_q.count:
+        assert match_error(with_q.eigenvalues, without_q.eigenvalues) < 1e-6
+
+
+def test_bicg_histories_recorded():
+    lad = TransverseLadder(width=4)
+    cfg = SSConfig(n_int=8, n_mm=4, n_rh=2, seed=3, linear_solver="bicg",
+                   record_history=True)
+    res = SSHankelSolver(lad.blocks(), cfg).solve(-0.5)
+    assert all(len(p.histories) == 2 for p in res.point_stats)
+    assert all(
+        h[-1] <= 1e-10 for p in res.point_stats for h in p.histories if h
+    )
+
+
+def test_threaded_executor_matches_serial():
+    lad = TransverseLadder(width=4)
+    base = dict(n_int=12, n_mm=4, n_rh=4, seed=3, linear_solver="bicg",
+                bicg_tol=1e-12, quorum_fraction=None)
+    serial = SSHankelSolver(lad.blocks(), SSConfig(**base)).solve(-0.5)
+    threaded = SSHankelSolver(
+        lad.blocks(), SSConfig(executor=4, **base)
+    ).solve(-0.5)
+    assert threaded.count == serial.count
+    assert match_error(threaded.eigenvalues, serial.eigenvalues) < 1e-8
+
+
+def test_jacobi_option():
+    lad = TransverseLadder(width=4)
+    cfg = SSConfig(n_int=12, n_mm=4, n_rh=4, seed=3, linear_solver="bicg",
+                   jacobi=True, bicg_tol=1e-12)
+    res = SSHankelSolver(lad.blocks(), cfg).solve(-0.5)
+    exact = ladder_reference(TransverseLadder(width=4), -0.5)
+    assert match_error(res.eigenvalues, exact) < 1e-8
+
+
+# -- result object ----------------------------------------------------------------
+
+def test_result_metadata():
+    lad = TransverseLadder(width=4)
+    cfg = SSConfig(n_int=12, n_mm=4, n_rh=4, seed=3, linear_solver="direct")
+    res = SSHankelSolver(lad.blocks(), cfg).solve(-0.5)
+    assert res.linear_solver == "direct"
+    assert "solve linear equations" in res.phase_times.as_dict()
+    assert "extract eigenpairs" in res.phase_times.as_dict()
+    assert res.memory.total > 0
+    assert res.rank >= res.count
+    ks = res.complex_k(lad.cell_length)
+    assert np.allclose(np.exp(1j * ks * lad.cell_length), res.eigenvalues)
+
+
+def test_hankel_pair_structure():
+    rng = np.random.default_rng(2)
+    mu = rng.standard_normal((6, 2, 2)) + 1j * rng.standard_normal((6, 2, 2))
+    t_lt, t = build_hankel_pair(mu, n_mm=3)
+    assert t.shape == (6, 6)
+    assert np.allclose(t[0:2, 2:4], mu[1])
+    assert np.allclose(t_lt[0:2, 2:4], mu[2])
+    assert np.allclose(t[4:6, 4:6], mu[4])
+
+
+def test_extraction_raises_on_zero_moments():
+    from repro.errors import ExtractionError
+
+    mu = np.zeros((4, 2, 2), dtype=complex)
+    s = np.zeros((10, 4), dtype=complex)
+    with pytest.raises(ExtractionError):
+        extract_eigenpairs(mu, s, n_mm=2)

@@ -1,0 +1,80 @@
+"""Finite-difference stencil coefficients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.stencil import (
+    REFERENCE_NF4,
+    central_second_derivative_coefficients,
+    laplacian_stencil,
+    stencil_truncation_order,
+)
+
+
+def test_nf1_is_classic_three_point():
+    c = central_second_derivative_coefficients(1)
+    assert np.allclose(c, [1.0, -2.0, 1.0])
+
+
+def test_nf4_matches_published_nine_point():
+    c = central_second_derivative_coefficients(4)
+    assert np.allclose(c, REFERENCE_NF4, atol=1e-13)
+
+
+@pytest.mark.parametrize("nf", [1, 2, 3, 4, 5, 6])
+def test_symmetry_and_zero_sum(nf):
+    c = central_second_derivative_coefficients(nf)
+    assert len(c) == 2 * nf + 1
+    assert np.allclose(c, c[::-1])          # even stencil
+    assert abs(c.sum()) < 1e-12             # annihilates constants
+
+
+@pytest.mark.parametrize("nf", [1, 2, 3, 4])
+def test_second_moment_is_two(nf):
+    c = central_second_derivative_coefficients(nf)
+    m = np.arange(-nf, nf + 1)
+    assert abs((c * m**2).sum() - 2.0) < 1e-12
+
+
+@pytest.mark.parametrize("nf", [2, 3, 4])
+def test_higher_even_moments_vanish(nf):
+    c = central_second_derivative_coefficients(nf)
+    m = np.arange(-nf, nf + 1)
+    for k in range(2, nf + 1):
+        assert abs((c * m.astype(float) ** (2 * k)).sum()) < 1e-9
+
+
+@pytest.mark.parametrize("nf", [1, 2, 4])
+def test_convergence_order_on_sine(nf):
+    """Error on sin(x) must shrink ~h^(2nf)."""
+    x0 = 0.37
+    exact = -np.sin(x0)
+    errs = []
+    hs = [0.2, 0.1]
+    for h in hs:
+        c = laplacian_stencil(nf, h)
+        m = np.arange(-nf, nf + 1)
+        approx = (c * np.sin(x0 + m * h)).sum()
+        errs.append(abs(approx - exact))
+    order = np.log(errs[0] / errs[1]) / np.log(hs[0] / hs[1])
+    assert order > 2 * nf - 0.5
+
+
+def test_truncation_order():
+    assert stencil_truncation_order(4) == 8
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        central_second_derivative_coefficients(0)
+    with pytest.raises(ValueError):
+        laplacian_stencil(2, 0.0)
+
+
+@given(st.integers(min_value=1, max_value=7))
+def test_moment_conditions_hold_for_any_width(nf):
+    c = central_second_derivative_coefficients(nf)
+    m = np.arange(-nf, nf + 1).astype(float)
+    assert abs(c.sum()) < 1e-10
+    assert abs((c * m**2).sum() - 2.0) < 1e-10

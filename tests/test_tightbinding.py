@@ -1,0 +1,116 @@
+"""π-TB nanotubes: zone-folding physics and bundle coupling."""
+
+import numpy as np
+import pytest
+
+from repro.cbs.bands import band_structure
+from repro.models.tightbinding import (
+    TBModel,
+    TightBindingCNT,
+    tb_blocks,
+    tb_bundle7,
+    tb_crystalline_bundle,
+)
+from repro.dft.builders import nanotube
+
+
+def gap_at_half_filling(blocks, n_k=31):
+    bs = band_structure(blocks, n_k=n_k)
+    e = bs.energies.ravel()
+    # Half filling: bipartite symmetry puts the Fermi level at 0.
+    below = e[e < -1e-9]
+    above = e[e > 1e-9]
+    return float(above.min() - below.max())
+
+
+def test_blocks_structure():
+    tb = TightBindingCNT(8, 0)
+    blocks = tb.blocks()
+    assert blocks.n == 32
+    assert blocks.hermiticity_defect() < 1e-14
+    # Bond count: each atom has 3 neighbors → 96 directed hops split
+    # between H0 (64) and H± (16 each); explicit onsite zeros are
+    # eliminated by the CSR arithmetic.
+    assert blocks.h0.nnz == 64
+    assert blocks.hp.nnz == blocks.hm.nnz == 16
+
+
+@pytest.mark.parametrize("n,metallic", [(6, True), (9, True), (7, False), (8, False)])
+def test_zigzag_metallicity_rule(n, metallic):
+    """(n,0) is metallic iff n % 3 == 0 — the zone-folding theorem.
+
+    Metallic tubes cross linearly at an interior k, so the sampled gap
+    shrinks with the k grid (~ 2 v Δk); semiconducting gaps don't.
+    """
+    if metallic:
+        gap = gap_at_half_filling(TightBindingCNT(n, 0).blocks(), n_k=301)
+        assert gap < 0.05
+    else:
+        gap = gap_at_half_filling(TightBindingCNT(n, 0).blocks())
+        assert gap > 0.15
+
+
+def test_armchair_always_metallic():
+    gap = gap_at_half_filling(TightBindingCNT(5, 5).blocks(), n_k=301)
+    assert gap < 0.05
+
+
+def test_gap_matches_zone_folding_estimate():
+    tb = TightBindingCNT(8, 0)
+    gap = gap_at_half_filling(tb.blocks(), n_k=61)
+    assert gap == pytest.approx(tb.zone_folding_gap(), rel=0.15)
+
+
+def test_gap_shrinks_with_radius():
+    g8 = gap_at_half_filling(TightBindingCNT(8, 0).blocks())
+    g10 = gap_at_half_filling(TightBindingCNT(10, 0).blocks())
+    assert g10 < g8
+
+
+def test_onsite_doping_shifts():
+    s = nanotube(8, 0)
+    from repro.dft.structure import Atom
+
+    atoms = list(s.atoms)
+    atoms[0] = Atom("N", atoms[0].position)
+    atoms[1] = Atom("B", atoms[1].position)
+    doped = s.with_atoms(atoms)
+    blocks = tb_blocks(doped)
+    diag = blocks.h0.diagonal()
+    assert sorted(np.unique(np.round(diag, 6)))[0] == pytest.approx(-0.8)
+    assert sorted(np.unique(np.round(diag, 6)))[-1] == pytest.approx(0.8)
+
+
+def test_bundle7_intertube_coupling_present():
+    blocks, s = tb_bundle7(8, 0)
+    assert blocks.n == 224
+    assert blocks.hermiticity_defect() < 1e-12
+    iso = TightBindingCNT(8, 0).blocks()
+    # 7 decoupled tubes would have exactly 7x the single-tube hops.
+    assert blocks.h0.nnz > 7 * iso.h0.nnz
+    # Coupling magnitude bounded by the π-π law at the gap distance.
+    off = blocks.h0.copy()
+    off.setdiag(0.0)
+    assert np.max(np.abs(off.data)) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_bundling_broadens_bands():
+    """Paper Fig. 11: inter-tube interaction enhances the dispersions and
+    shrinks (eventually closes) the gap."""
+    iso_gap = gap_at_half_filling(TightBindingCNT(8, 0).blocks())
+    bundle_blocks, _ = tb_crystalline_bundle(8, 0)
+    bundle_gap = gap_at_half_filling(bundle_blocks)
+    assert bundle_gap < iso_gap
+
+
+def test_no_intertube_term_decouples():
+    model = TBModel(inter_gamma=0.0)
+    blocks, _ = tb_bundle7(8, 0, model)
+    iso = TightBindingCNT(8, 0, model).blocks()
+    assert blocks.h0.nnz == 7 * iso.h0.nnz
+
+
+def test_crystalline_bundle_blocks():
+    blocks, s = tb_crystalline_bundle(8, 0)
+    assert blocks.n == 64
+    assert blocks.hermiticity_defect() < 1e-12
