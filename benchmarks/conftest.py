@@ -12,7 +12,23 @@ from __future__ import annotations
 import os
 from typing import List, Tuple
 
+import pytest
+
 _REPORTS: List[Tuple[str, str]] = []
+
+
+def pytest_collection_modifyitems(items):
+    """Benchmarks are report generators, not regression gates: mark them
+    all ``slow`` so CI's quick pass (``-m "not slow"``) skips them (the
+    smoke-benchmark job runs a tiny-scale subset explicitly).
+
+    The hook receives the session-wide item list, so restrict the marker
+    to items that actually live in this directory.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.fspath).startswith(here):
+            item.add_marker(pytest.mark.slow)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
 

@@ -1,0 +1,100 @@
+"""Batched Step-1 engine vs the lockstep emulation (tentpole check).
+
+Acceptance config: the Fig. 4 serial SS parameters (``N_int=32,
+N_rh=16``) on the ladder model.  The batched engine must be ≥ 3× faster
+wall-clock than the per-task lockstep path at identical accuracy
+(max eigenvalue deviation < 1e-8 against the dense QEP baseline).
+"""
+
+import numpy as np
+
+from conftest import register_report
+from _common import save_records
+from repro.baselines.dense_qep import DenseQEPBaseline
+from repro.io.results import ExperimentRecord
+from repro.io.tables import ascii_table
+from repro.models.ladder import TransverseLadder
+from repro.ss.solver import SSConfig, SSHankelSolver
+from repro.utils.timing import Timer
+
+ENERGY = -0.5
+RESULTS = {}
+
+
+def _config(linear_solver):
+    return SSConfig(n_int=32, n_mm=8, n_rh=16, delta=1e-10, lambda_min=0.5,
+                    bicg_tol=1e-10, seed=11, linear_solver=linear_solver)
+
+
+def _run(linear_solver):
+    lad = TransverseLadder(width=4)
+    solver = SSHankelSolver(lad.blocks(), _config(linear_solver))
+    with Timer() as t:
+        result = solver.solve(ENERGY)
+    return result, t.elapsed
+
+
+def test_step1_lockstep(benchmark):
+    RESULTS["bicg"] = benchmark.pedantic(
+        lambda: _run("bicg"), rounds=1, iterations=1)
+
+
+def test_step1_batched(benchmark):
+    RESULTS["bicg-batched"] = benchmark.pedantic(
+        lambda: _run("bicg-batched"), rounds=1, iterations=1)
+
+
+def test_step1_speedup_and_accuracy():
+    lock, t_lock = RESULTS["bicg"]
+    bat, t_bat = RESULTS["bicg-batched"]
+    dense = DenseQEPBaseline(TransverseLadder(width=4).blocks()).solve(ENERGY)
+    # Check the counts before computing deviations so a regression to
+    # zero accepted pairs reports as itself, not as max() on empty.
+    assert bat.count == lock.count == dense.count > 0
+
+    def deviation(found):
+        return max(
+            float(np.min(np.abs(dense.eigenvalues - lam)))
+            for lam in found.eigenvalues
+        )
+
+    speedup = t_lock / t_bat
+    dev_lock = deviation(lock)
+    dev_bat = deviation(bat)
+
+    rows = [
+        ["bicg (lockstep)", f"{t_lock:.3f}", "1.0x",
+         lock.count, f"{dev_lock:.2e}", lock.total_iterations()],
+        ["bicg-batched", f"{t_bat:.3f}", f"{speedup:.1f}x",
+         bat.count, f"{dev_bat:.2e}", bat.total_iterations()],
+    ]
+    table = ascii_table(
+        ["strategy", "Step-1 wall [s]", "speedup", "pairs",
+         "max dev vs dense", "BiCG iters"],
+        rows,
+        title=("Batched Step-1 engine — ladder model, N_int=32, N_rh=16\n"
+               "(acceptance: >= 3x over lockstep at < 1e-8 deviation)"),
+    )
+    register_report("Batched Step-1 speedup", table)
+    save_records("batched_step1", [
+        ExperimentRecord(
+            "batched_step1", "ladder-w4", name,
+            metrics={"runtime_s": t, "eigenpairs": r.count,
+                     "max_dev_vs_dense": dev,
+                     "bicg_iterations": r.total_iterations()},
+            parameters={"n_int": 32, "n_rh": 16, "energy": ENERGY},
+        )
+        for name, (r, t), dev in (
+            ("bicg", RESULTS["bicg"], dev_lock),
+            ("bicg-batched", RESULTS["bicg-batched"], dev_bat),
+        )
+    ])
+
+    assert dev_bat < 1e-8
+    assert dev_lock < 1e-8
+    # Deterministic semantic check first (immune to runner noise; the
+    # small allowance covers quorum-round ties on fp noise) …
+    drift = abs(bat.total_iterations() - lock.total_iterations())
+    assert drift <= max(2, 0.05 * lock.total_iterations())
+    # … then the wall-clock acceptance gate (observed ~8x locally).
+    assert speedup >= 3.0, f"batched speedup only {speedup:.2f}x"

@@ -76,6 +76,13 @@ def test_fig4_ss_al_bicg(benchmark):
         lambda: _run_ss(w, "bicg"), rounds=1, iterations=1)
 
 
+def test_fig4_ss_al_bicg_batched(benchmark):
+    """The vectorized batched-BiCG engine on the same configuration."""
+    w = al100_workload()
+    RESULTS["ss_al_batched"] = (w,) + benchmark.pedantic(
+        lambda: _run_ss(w, "bicg-batched"), rounds=1, iterations=1)
+
+
 def test_fig4_obm_cnt(benchmark):
     w = cnt_workload()
     RESULTS["obm_cnt"] = (w,) + benchmark.pedantic(
@@ -168,6 +175,7 @@ def _report():
         ))
 
     _, _, t_bicg = RESULTS["ss_al_bicg"]
+    _, _, t_batched = RESULTS["ss_al_batched"]
     table = ascii_table(
         ["system", "N", "mode", "OBM [s]", "QEP/SS [s]", "speedup",
          "paper speedup", "OBM [MB]", "QEP/SS [MB]", "mem ratio",
@@ -175,7 +183,8 @@ def _report():
         rows,
         title=(
             "Figure 4 — serial runtime & memory, OBM vs QEP/SS (bench scale)\n"
-            f"(QEP/SS matrix-free BiCG variant on Al(100): {t_bicg:.2f} s; "
+            f"(QEP/SS matrix-free variants on Al(100): lockstep BiCG "
+            f"{t_bicg:.2f} s, batched BiCG {t_batched:.2f} s; "
             "the sparse-LU strategy is optimal at these N)"
         ),
     )

@@ -6,12 +6,27 @@ E ∈ [-1 eV, 1 eV]" for the paper's Figure 11.  The per-energy solves are
 completely independent, which the paper exploits as yet another trivial
 level of parallelism on top of the three Step-1 layers; here the scan
 can map its energies over a thread executor the same way.
+
+**Warm-started scans** (``warm_start=True``) trade that independence for
+reuse: slices are solved in ascending energy order and each slice seeds
+the next —
+
+* the accepted eigenvectors replace the leading columns of the random
+  source block ``V`` (eigenvectors vary smoothly along bands, so the
+  next slice's subspace is mostly spanned already);
+* the stacked Step-1 solutions become BiCG initial guesses for the
+  adjacent energy (``P`` changes only by ``ΔE·I``, so the previous
+  ``Y_j`` start with residual ``O(ΔE)`` — the Krylov-information sharing
+  observed for adjacent shifts in the contour-integral self-energy
+  follow-up, arXiv:1709.09324);
+* on the direct path, the symbolic LU analysis (fill-reducing ordering)
+  is computed once and reused by every factorization of the scan.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +34,9 @@ from repro.cbs.classify import CBSMode, ModeType, classify_modes
 from repro.errors import SingularPencilError
 from repro.parallel.executor import make_executor
 from repro.qep.blocks import BlockTriple
-from repro.ss.solver import SSConfig, SSHankelSolver
+from repro.solvers.batched import Step1WarmStart
+from repro.ss.solver import SSConfig, SSHankelSolver, SSResult
+from repro.utils.rng import complex_gaussian, default_rng
 
 
 @dataclass
@@ -106,7 +123,12 @@ class CBSCalculator:
         ``| |λ|-1 |`` threshold for the propagating classification.
     energy_executor:
         Executor spec for the scan-level parallelism (``None``,
-        ``"threads"``, or an int).
+        ``"threads"``, or an int).  Ignored when ``warm_start`` is on
+        (warm-started slices are inherently sequential).
+    warm_start:
+        Seed each slice from the previous one (see module docstring).
+        Implies ``keep_step1_solutions`` and ``lu_ordering_cache`` on
+        the solver config.
 
     Examples
     --------
@@ -128,9 +150,16 @@ class CBSCalculator:
         *,
         propagating_tol: float = 1e-6,
         energy_executor=None,
+        warm_start: bool = False,
     ) -> None:
         self.blocks = blocks
-        self.config = config or SSConfig()
+        config = config or SSConfig()
+        self.warm_start = bool(warm_start)
+        if self.warm_start:
+            config = replace(
+                config, keep_step1_solutions=True, lu_ordering_cache=True
+            )
+        self.config = config
         self.propagating_tol = float(propagating_tol)
         self._executor = make_executor(energy_executor)
         self._solver = SSHankelSolver(blocks, self.config)
@@ -140,14 +169,24 @@ class CBSCalculator:
     def solve_energy(self, energy: float) -> EnergySlice:
         """One CBS slice; retries with a tiny energy nudge if the pencil
         is exactly singular at a quadrature shift (eigenvalue collision)."""
+        return self._solve_energy_full(energy)[0]
+
+    def _solve_energy_full(
+        self,
+        energy: float,
+        v: Optional[np.ndarray] = None,
+        warm: Optional[Step1WarmStart] = None,
+    ) -> Tuple[EnergySlice, SSResult]:
+        """One slice plus the underlying :class:`SSResult` (whose
+        eigenvectors the warm-started scan feeds into the next slice)."""
         import time
 
         t0 = time.perf_counter()
         try:
-            res = self._solver.solve(energy)
+            res = self._solver.solve(energy, v=v, warm=warm)
         except SingularPencilError:
             nudge = 1e-9 * max(1.0, abs(energy))
-            res = self._solver.solve(energy + nudge)
+            res = self._solver.solve(energy + nudge, v=v, warm=warm)
         modes = classify_modes(
             energy,
             res.eigenvalues,
@@ -160,13 +199,61 @@ class CBSCalculator:
             modes,
             total_iterations=res.total_iterations(),
             solve_seconds=time.perf_counter() - t0,
-        )
+        ), res
+
+    def _seed_v(self, prev: SSResult) -> np.ndarray:
+        """Source block for the next slice: previous accepted eigenvectors
+        blended into the leading columns of the deterministic random block.
+
+        The random part is kept (not replaced) so the moment subspace
+        still excites every ring eigendirection — a pure-eigenvector ``V``
+        can lose modes the previous slice did not carry.  The eigenvector
+        phases are fixed deterministically (largest entry real-positive)
+        so the seed varies smoothly between adjacent slices.
+
+        Handles ``prev.count < N_rh`` by touching only the available
+        columns (the eigenvector block is ``(N, count)``, never padded or
+        broadcast), and ``prev.count > N_rh`` by keeping the ``N_rh``
+        smallest-``|λ|`` vectors.
+        """
+        n, n_rh = self.blocks.n, self.config.n_rh
+        rng = default_rng(self.config.seed)
+        v = complex_gaussian(rng, (n, n_rh))
+        count = min(int(prev.count), n_rh)
+        if count > 0:
+            vecs = np.array(prev.vectors[:, :count], copy=True)
+            lead = vecs[np.argmax(np.abs(vecs), axis=0), np.arange(count)]
+            phase = np.where(np.abs(lead) > 0.0, lead / np.abs(lead), 1.0)
+            vecs = vecs / phase[None, :]
+            # Match the random columns' scale (‖column‖ ≈ √N) so the
+            # eigenvector directions carry real weight in the blend.
+            v[:, :count] = (v[:, :count] + np.sqrt(n) * vecs) / np.sqrt(2.0)
+        return v
 
     def scan(self, energies: Sequence[float]) -> CBSResult:
-        """Compute the CBS on an energy grid (ascending output order)."""
+        """Compute the CBS on an energy grid (ascending output order).
+
+        With ``warm_start`` the slices run sequentially in ascending
+        order, each seeded by its predecessor; otherwise they are mapped
+        (possibly concurrently) as fully independent solves.
+        """
         energies = sorted(float(e) for e in energies)
-        slices = self._executor.map(self.solve_energy, energies)
-        return CBSResult(list(slices), self.blocks.cell_length)
+        if not self.warm_start:
+            slices = self._executor.map(self.solve_energy, energies)
+            return CBSResult(list(slices), self.blocks.cell_length)
+
+        slices: List[EnergySlice] = []
+        prev: Optional[SSResult] = None
+        # A previous scan's cached solutions belong to a (possibly
+        # distant) unrelated energy — the adjacency premise only holds
+        # within this scan, so start cold.
+        self._solver.last_step1 = None
+        for energy in energies:
+            v = self._seed_v(prev) if prev is not None else None
+            warm = self._solver.last_step1
+            sl, prev = self._solve_energy_full(energy, v=v, warm=warm)
+            slices.append(sl)
+        return CBSResult(slices, self.blocks.cell_length)
 
     def scan_window(
         self, e_min: float, e_max: float, n_energies: int

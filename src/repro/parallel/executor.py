@@ -7,8 +7,13 @@ same structure with a thread pool: the heavy kernels (sparse matvec,
 SuperLU solves, BLAS) release the GIL, so threads give genuine speedup
 without pickling the operators the way a process pool would.
 
-The executor protocol is intentionally tiny (``map``) so the SS solver
-does not care which backend runs its tasks.
+The executor protocol is intentionally tiny (``map`` plus a ``workers``
+attribute) so the SS solver does not care which backend runs its tasks.
+Strategies choose their own granularity from it: the per-task ``bicg``
+path maps one task per (point, RHS) pair, while ``bicg-batched`` shards
+its stacked shift axis into ``workers`` sub-stacks, each advancing a
+whole block of systems per matvec (with per-shard quorum control, since
+time-sliced shards cannot share the lockstep quorum rule soundly).
 """
 
 from __future__ import annotations

@@ -97,6 +97,83 @@ class QuadraticPencil:
             - (b.hp @ x) / zb
         )
 
+    # -- batched application ---------------------------------------------------
+
+    @staticmethod
+    def _stack_columns(x: np.ndarray) -> np.ndarray:
+        """Reorder a stack ``(S, N, m)`` into one matvec block ``(N, S*m)``."""
+        s, n, m = x.shape
+        return np.moveaxis(x, 0, 1).reshape(n, s * m)
+
+    @staticmethod
+    def _unstack_columns(x: np.ndarray, s: int, m: int) -> np.ndarray:
+        """Inverse of :meth:`_stack_columns`."""
+        n = x.shape[0]
+        return np.moveaxis(np.asarray(x).reshape(n, s, m), 1, 0)
+
+    def apply_batch(self, zs: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """``P(z_i) @ X_i`` for a whole stack of shifts in one sweep.
+
+        Parameters
+        ----------
+        zs:
+            Shifts, shape ``(S,)``.
+        x:
+            Stacked blocks, shape ``(S, N, m)`` — one ``N × m`` block per
+            shift.
+
+        The three block matvecs (``H0``, ``H+``, ``H-``) are each applied
+        **once** to all ``S·m`` columns, so the per-shift combination is
+        pure broadcasting — this is what makes the batched BiCG engine
+        one vectorized matvec per iteration instead of ``S·m`` Python
+        calls (the paper's middle/top parallel layers collapsed into
+        BLAS-width work).
+        """
+        zs = np.atleast_1d(np.asarray(zs, dtype=np.complex128))
+        x = np.asarray(x, dtype=np.complex128)
+        if x.ndim != 3 or x.shape[0] != zs.shape[0]:
+            raise ConfigurationError(
+                f"need x of shape (S, N, m) with S = {zs.shape[0]}, "
+                f"got {x.shape}"
+            )
+        if np.any(zs == 0):
+            raise ConfigurationError("P(z) is undefined at z = 0")
+        b = self.blocks
+        s, n, m = x.shape
+        xm = self._stack_columns(x)
+        h0x = self._unstack_columns(b.h0 @ xm, s, m)
+        hpx = self._unstack_columns(b.hp @ xm, s, m)
+        hmx = self._unstack_columns(b.hm @ xm, s, m)
+        z = zs[:, None, None]
+        return self.energy * x - h0x - z * hpx - hmx / z
+
+    def apply_adjoint_batch(self, zs: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """``P(z_i)^† @ X_i`` over a stack of shifts (see :meth:`apply_batch`).
+
+        Uses the bulk identity ``P(z)^† = P(1/z̄)`` when valid; otherwise
+        the explicit adjoint arithmetic with ``H+† = H-`` assumed by the
+        bulk validation, exactly mirroring :meth:`apply_adjoint`.
+        """
+        zs = np.atleast_1d(np.asarray(zs, dtype=np.complex128))
+        if np.any(zs == 0):
+            raise ConfigurationError("P(z) is undefined at z = 0")
+        if self.is_dual_symmetric:
+            return self.apply_batch(1.0 / np.conj(zs), x)
+        x = np.asarray(x, dtype=np.complex128)
+        if x.ndim != 3 or x.shape[0] != zs.shape[0]:
+            raise ConfigurationError(
+                f"need x of shape (S, N, m) with S = {zs.shape[0]}, "
+                f"got {x.shape}"
+            )
+        b = self.blocks
+        s, n, m = x.shape
+        xm = self._stack_columns(x)
+        h0x = self._unstack_columns(b.h0 @ xm, s, m)
+        hpx = self._unstack_columns(b.hp @ xm, s, m)
+        hmx = self._unstack_columns(b.hm @ xm, s, m)
+        zb = np.conj(zs)[:, None, None]
+        return np.conj(self.energy) * x - h0x - zb * hmx - hpx / zb
+
     def as_linear_operator(self, z: complex) -> LinearOperator:
         """A scipy ``LinearOperator`` for ``P(z)`` with adjoint support."""
         z = complex(z)

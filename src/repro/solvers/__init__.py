@@ -12,8 +12,14 @@ The Sakurai-Sugiura Step 1 spends essentially all of its time here
 """
 
 from repro.solvers.bicg import bicg_dual, BiCGResult
+from repro.solvers.batched import BatchedBiCG, Step1WarmStart, run_batched_bicg
 from repro.solvers.cg import conjugate_gradient, CGResult
-from repro.solvers.direct import SparseLUSolver
+from repro.solvers.direct import SparseLUSolver, rcm_ordering
+from repro.solvers.registry import (
+    available_strategies,
+    get_step1_strategy,
+    step1_strategy,
+)
 from repro.solvers.stopping import (
     ResidualRule,
     QuorumController,
@@ -24,9 +30,16 @@ from repro.solvers.preconditioners import jacobi_preconditioner
 __all__ = [
     "bicg_dual",
     "BiCGResult",
+    "BatchedBiCG",
+    "Step1WarmStart",
+    "run_batched_bicg",
     "conjugate_gradient",
     "CGResult",
     "SparseLUSolver",
+    "rcm_ordering",
+    "available_strategies",
+    "get_step1_strategy",
+    "step1_strategy",
     "ResidualRule",
     "QuorumController",
     "StopReason",

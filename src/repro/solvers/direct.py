@@ -19,6 +19,28 @@ from repro.errors import SingularPencilError
 from repro.utils.memory import MemoryReport
 
 
+def rcm_ordering(matrix) -> np.ndarray:
+    """Fill-reducing column ordering from the sparsity pattern alone.
+
+    Reverse Cuthill-McKee on the structurally symmetrized pattern of
+    ``P(z)``.  The pattern of the CBS pencil is identical at every shift
+    ``z`` *and* every energy ``E`` (only the values change), so this —
+    the symbolic-analysis half of the factorization — can be computed
+    once per scan and reused by every :class:`SparseLUSolver` via the
+    ``ordering`` argument, instead of re-running SuperLU's COLAMD on
+    every (energy, shift) pair.
+    """
+    from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+    if not sp.issparse(matrix):
+        matrix = sp.csr_matrix(np.asarray(matrix))
+    pattern = (matrix != 0)
+    sym = (pattern + pattern.T).tocsr()
+    return np.asarray(
+        reverse_cuthill_mckee(sym, symmetric_mode=True), dtype=np.intp
+    )
+
+
 class SparseLUSolver:
     """LU-factorize a (sparse) matrix once, then solve primal/dual systems.
 
@@ -26,6 +48,12 @@ class SparseLUSolver:
     ----------
     matrix:
         The assembled ``P(z)`` (sparse or dense; dense is converted).
+    ordering:
+        Optional precomputed column permutation (see
+        :func:`rcm_ordering`).  The matrix is factorized as
+        ``A[:, ordering]`` with SuperLU's column analysis disabled
+        (``permc_spec="NATURAL"``), which amortizes the symbolic
+        analysis across the many factorizations of an energy scan.
 
     Raises
     ------
@@ -34,12 +62,25 @@ class SparseLUSolver:
         the energy scan catches this and retries with a nudged energy.
     """
 
-    def __init__(self, matrix) -> None:
+    def __init__(self, matrix, ordering: np.ndarray | None = None) -> None:
         if not sp.issparse(matrix):
             matrix = sp.csc_matrix(np.asarray(matrix, dtype=np.complex128))
         self._n = matrix.shape[0]
+        self._ordering = None
+        matrix = matrix.tocsc().astype(np.complex128)
+        permc_spec = None
+        if ordering is not None:
+            ordering = np.asarray(ordering, dtype=np.intp)
+            if ordering.shape != (self._n,):
+                raise ValueError(
+                    f"ordering must have shape {(self._n,)}, "
+                    f"got {ordering.shape}"
+                )
+            self._ordering = ordering
+            matrix = matrix[:, ordering].tocsc()
+            permc_spec = "NATURAL"
         try:
-            self._lu = spla.splu(matrix.tocsc().astype(np.complex128))
+            self._lu = spla.splu(matrix, permc_spec=permc_spec)
         except RuntimeError as exc:  # SuperLU signals singularity this way
             raise SingularPencilError(
                 f"sparse LU factorization failed: {exc}"
@@ -51,11 +92,21 @@ class SparseLUSolver:
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``P(z) y = b`` (b may be a block of columns)."""
-        return self._lu.solve(np.asarray(b, dtype=np.complex128))
+        w = self._lu.solve(np.asarray(b, dtype=np.complex128))
+        if self._ordering is None:
+            return w
+        # Factorized A[:, q]: A x = b  ⇔  (A[:, q]) w = b with x[q] = w.
+        x = np.empty_like(w)
+        x[self._ordering] = w
+        return x
 
     def solve_adjoint(self, b: np.ndarray) -> np.ndarray:
         """Solve ``P(z)^† y = b`` from the same factorization."""
-        return self._lu.solve(np.asarray(b, dtype=np.complex128), trans="H")
+        b = np.asarray(b, dtype=np.complex128)
+        if self._ordering is None:
+            return self._lu.solve(b, trans="H")
+        # (A[:, q])^H y = b[q]  ⇔  A^H y = b (row-permuted equations).
+        return self._lu.solve(b[self._ordering], trans="H")
 
     def memory_report(self) -> MemoryReport:
         """Approximate factor storage (L and U nonzeros)."""

@@ -11,10 +11,26 @@ and the §3.3 execution structure:
 * **Step 3** — block-Hankel extraction of the eigenpairs, followed by a
   residual/region filter.
 
-Step 1 supports two linear-solver strategies (``direct`` = sparse LU,
-``bicg`` = the paper's matrix-free path) and two execution modes: serial
-**lockstep rounds** (exactly emulating the concurrent middle layer,
-including the quorum stopping rule) or a thread-pool executor.
+Step 1 dispatches through the solver-strategy registry
+(:mod:`repro.solvers.registry`):
+
+* ``"direct"`` — sparse LU per shift (one factorization serves the
+  primal and dual systems);
+* ``"bicg"`` — the paper's matrix-free path, emulated as one Python
+  :class:`BiCGStepper` per (shift, RHS) task advanced in serial
+  **lockstep rounds** (or on a thread pool);
+* ``"bicg-batched"`` — the vectorized engine
+  (:mod:`repro.solvers.batched`): all ``N_int × N_rh`` systems advance
+  together on stacked arrays, one batched matvec per round, with the
+  same convergence/quorum/breakdown semantics as the lockstep path.
+  ``"auto"`` prefers it for matrix-free-scale problems.
+
+The mapping onto the paper's three parallel layers: the bottom layer
+(domain-decomposed matvec) corresponds to BLAS/sparse kernels here; the
+middle (quadrature points) and top (right-hand sides) layers are either
+emulated task-by-task (``bicg``) or collapsed into the stacked batch
+dimension (``bicg-batched``), which is how a single Python process gets
+hardware-width parallelism out of them.
 """
 
 from __future__ import annotations
@@ -24,13 +40,19 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExtractionError
 from repro.qep.blocks import BlockTriple
 from repro.qep.pencil import QuadraticPencil
 from repro.parallel.executor import SerialExecutor, make_executor
+from repro.solvers.batched import Step1WarmStart, run_batched_bicg
 from repro.solvers.bicg import BiCGResult, BiCGStepper
-from repro.solvers.direct import SparseLUSolver
+from repro.solvers.direct import SparseLUSolver, rcm_ordering
 from repro.solvers.preconditioners import jacobi_preconditioner
+from repro.solvers.registry import (
+    available_strategies,
+    get_step1_strategy,
+    step1_strategy,
+)
 from repro.solvers.stopping import QuorumController, ResidualRule, StopReason
 from repro.ss.contour import AnnulusContour
 from repro.ss.hankel import extract_eigenpairs
@@ -61,8 +83,11 @@ class SSConfig:
         Ring radius parameter: the target annulus is
         ``λ_min < |λ| < 1/λ_min``.
     linear_solver:
-        ``"direct"`` (sparse LU), ``"bicg"`` (the paper's iterative
-        path), or ``"auto"`` (direct for ``N <= direct_threshold``).
+        A Step-1 strategy name from the solver registry — ``"direct"``
+        (sparse LU), ``"bicg"`` (the paper's iterative path, one task
+        per shift×RHS), ``"bicg-batched"`` (vectorized block engine) —
+        or ``"auto"`` (direct for ``N <= direct_threshold``, batched
+        BiCG above).
     direct_threshold:
         Crossover size for ``"auto"``.
     bicg_tol / bicg_maxiter:
@@ -84,11 +109,20 @@ class SSConfig:
         modes whose filter convergence is slow).
     executor:
         ``None``/``"serial"``, ``"threads"``, or an int worker count —
-        parallelism over (quadrature point × RHS) tasks.
+        parallelism over (quadrature point × RHS) tasks (``bicg``) or
+        over shift-stack shards (``bicg-batched``).
     seed:
         RNG seed for the random source block ``V``.
     record_history:
         Keep per-iteration BiCG residual histories (Figure 5).
+    keep_step1_solutions:
+        Retain the stacked Step-1 solutions on the solver after each
+        ``solve`` (``solver.last_step1``) so an energy scan can warm-start
+        the next slice.  Costs ``O(N_int × N × N_rh)`` memory.
+    lu_ordering_cache:
+        On the direct path, compute a fill-reducing ordering from the
+        (shift- and energy-independent) pencil sparsity pattern once and
+        reuse it for every factorization of a scan.
     """
 
     n_int: int = 32
@@ -108,6 +142,8 @@ class SSConfig:
     executor: object = None
     seed: Optional[int] = None
     record_history: bool = True
+    keep_step1_solutions: bool = False
+    lu_ordering_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.n_int < 2:
@@ -122,9 +158,11 @@ class SSConfig:
             raise ConfigurationError(
                 f"lambda_min must be in (0,1), got {self.lambda_min}"
             )
-        if self.linear_solver not in ("auto", "direct", "bicg"):
+        known = {"auto", *available_strategies()}
+        if self.linear_solver not in known:
             raise ConfigurationError(
-                f"unknown linear_solver {self.linear_solver!r}"
+                f"unknown linear_solver {self.linear_solver!r}; "
+                f"choose one of {sorted(known)}"
             )
         if self.quorum_fraction is not None and not 0 < self.quorum_fraction < 1:
             raise ConfigurationError(
@@ -182,8 +220,17 @@ class SSResult:
         return sum(p.iterations for p in self.point_stats)
 
     def complex_k(self, cell_length: float) -> np.ndarray:
-        """Accepted eigenvalues as complex wave numbers ``k = -i ln λ / a``."""
-        return -1j * np.log(self.eigenvalues) / cell_length
+        """Accepted eigenvalues as complex wave numbers ``k = -i ln λ / a``.
+
+        Well-shaped for an empty accepted set (hard gap): returns a
+        ``(0,)`` complex array without touching ``log``, and suppresses
+        the ``log(0)`` warning for any (diagnostic) zero eigenvalue.
+        """
+        lam = np.asarray(self.eigenvalues, dtype=np.complex128)
+        if lam.size == 0:
+            return np.empty(0, dtype=np.complex128)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return -1j * np.log(lam) / cell_length
 
 
 class SSHankelSolver:
@@ -216,19 +263,27 @@ class SSHankelSolver:
         if validate:
             self.blocks.validate_bulk(tol=1e-8)
         self._executor = make_executor(self.config.executor)
+        #: Stacked Step-1 solutions of the most recent solve (populated
+        #: only when ``config.keep_step1_solutions``); energy scans pass
+        #: it back as ``warm=`` to seed the next slice.
+        self.last_step1: Optional[Step1WarmStart] = None
+        self._lu_ordering_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 
     def compute_moments(
-        self, energy: float, v: Optional[np.ndarray] = None
+        self, energy: float, v: Optional[np.ndarray] = None,
+        warm: Optional[Step1WarmStart] = None,
     ) -> tuple[QuadraticPencil, AnnulusContour, MomentAccumulator,
                List["PointStats"], PhaseTimes, str]:
         """Run Steps 1-2 only: solve the shifted systems, fold moments.
 
         Shared by the Hankel extraction (:meth:`solve`) and the
         Rayleigh-Ritz variant (:func:`repro.ss.rayleigh_ritz.ss_rayleigh_ritz`).
+        ``warm`` optionally carries an adjacent slice's Step-1 solutions
+        as initial guesses (consumed by the batched strategy).
         """
         cfg = self.config
         times = PhaseTimes()
@@ -250,10 +305,13 @@ class SSHankelSolver:
         solver_kind = self._pick_solver()
 
         with times.phase("solve linear equations"):
-            point_stats = self._step1(pencil, contour, v, acc, solver_kind)
+            point_stats = self._step1(
+                pencil, contour, v, acc, solver_kind, warm
+            )
         return pencil, contour, acc, point_stats, times, solver_kind
 
-    def solve(self, energy: float, v: Optional[np.ndarray] = None) -> SSResult:
+    def solve(self, energy: float, v: Optional[np.ndarray] = None,
+              warm: Optional[Step1WarmStart] = None) -> SSResult:
         """Compute the QEP eigenpairs in the ring at real ``energy``.
 
         Parameters
@@ -263,16 +321,27 @@ class SSHankelSolver:
         v:
             Optional explicit source block (``N × N_rh``); random complex
             Gaussian by default.
+        warm:
+            Optional Step-1 warm start from an adjacent energy
+            (see :class:`repro.solvers.batched.Step1WarmStart`).
         """
         cfg = self.config
         pencil, contour, acc, point_stats, times, solver_kind = (
-            self.compute_moments(energy, v)
+            self.compute_moments(energy, v, warm)
         )
 
         with times.phase("extract eigenpairs"):
-            extraction = extract_eigenpairs(
-                acc.mu, acc.stacked_s(), cfg.n_mm, cfg.delta
-            )
+            try:
+                extraction = extract_eigenpairs(
+                    acc.mu, acc.stacked_s(), cfg.n_mm, cfg.delta
+                )
+            except ExtractionError:
+                # Hard gap: the contour encloses nothing and the moments
+                # carry no numerical rank.  Report a well-shaped empty
+                # result instead of failing the scan.
+                return self._empty_result(
+                    energy, point_stats, times, acc, solver_kind
+                )
             raw_lam = extraction.eigenvalues
             raw_res = pencil.residuals(raw_lam, extraction.vectors)
             inside = contour.contains_many(raw_lam, cfg.annulus_margin)
@@ -300,6 +369,29 @@ class SSHankelSolver:
             linear_solver=solver_kind,
         )
 
+    def _empty_result(
+        self, energy: float, point_stats: List["PointStats"],
+        times: PhaseTimes, acc: MomentAccumulator, solver_kind: str,
+    ) -> SSResult:
+        """A structurally valid result with zero accepted eigenpairs."""
+        n = self.blocks.n
+        empty_c = np.empty(0, dtype=np.complex128)
+        empty_f = np.empty(0, dtype=np.float64)
+        return SSResult(
+            energy=float(energy),
+            eigenvalues=empty_c.copy(),
+            vectors=np.empty((n, 0), dtype=np.complex128),
+            residuals=empty_f.copy(),
+            raw_eigenvalues=empty_c.copy(),
+            raw_residuals=empty_f.copy(),
+            rank=0,
+            singular_values=empty_f.copy(),
+            point_stats=point_stats,
+            phase_times=times,
+            memory=self._memory_report(acc, 0),
+            linear_solver=solver_kind,
+        )
+
     # ------------------------------------------------------------------
     # Step 1: the linear solves
     # ------------------------------------------------------------------
@@ -308,7 +400,9 @@ class SSHankelSolver:
         cfg = self.config
         if cfg.linear_solver != "auto":
             return cfg.linear_solver
-        return "direct" if self.blocks.n <= cfg.direct_threshold else "bicg"
+        if self.blocks.n <= cfg.direct_threshold:
+            return "direct"
+        return "bicg-batched"
 
     def _use_dual(self, pencil: QuadraticPencil, contour: AnnulusContour) -> bool:
         return (
@@ -324,12 +418,22 @@ class SSHankelSolver:
         v: np.ndarray,
         acc: MomentAccumulator,
         solver_kind: str,
+        warm: Optional[Step1WarmStart] = None,
     ) -> List[PointStats]:
-        if solver_kind == "direct":
-            return self._step1_direct(pencil, contour, v, acc)
-        return self._step1_bicg(pencil, contour, v, acc)
+        strategy = get_step1_strategy(solver_kind)
+        return strategy(self, pencil, contour, v, acc, warm)
 
     # -- direct (sparse LU) path -------------------------------------------
+
+    def _symbolic_ordering(self, pencil: QuadraticPencil,
+                           z: complex) -> Optional[np.ndarray]:
+        """Cached fill-reducing ordering (pattern is shift/energy
+        independent, so one analysis serves a whole scan)."""
+        if not self.config.lu_ordering_cache:
+            return None
+        if self._lu_ordering_cache is None:
+            self._lu_ordering_cache = rcm_ordering(pencil.assemble(z))
+        return self._lu_ordering_cache
 
     def _step1_direct(
         self,
@@ -337,14 +441,16 @@ class SSHankelSolver:
         contour: AnnulusContour,
         v: np.ndarray,
         acc: MomentAccumulator,
+        warm: Optional[Step1WarmStart] = None,
     ) -> List[PointStats]:
         stats: List[PointStats] = []
         if self._use_dual(pencil, contour):
             pairs = contour.dual_pairs()
+            ordering = self._symbolic_ordering(pencil, pairs[0][0].z)
 
             def task(pair):
                 po, pi = pair
-                lu = SparseLUSolver(pencil.assemble(po.z))
+                lu = SparseLUSolver(pencil.assemble(po.z), ordering)
                 y_out = lu.solve(v)
                 y_in = lu.solve_adjoint(v)  # = P(z_in)^{-1} V via duality
                 return po, pi, y_out, y_in
@@ -355,9 +461,10 @@ class SSHankelSolver:
                 stats.append(PointStats(po.z, po.circle, 0, 0.0, 0.0, "direct"))
         else:
             points = contour.points()
+            ordering = self._symbolic_ordering(pencil, points[0].z)
 
             def task(pt):
-                lu = SparseLUSolver(pencil.assemble(pt.z))
+                lu = SparseLUSolver(pencil.assemble(pt.z), ordering)
                 return pt, lu.solve(v)
 
             for pt, y in self._executor.map(task, points):
@@ -373,6 +480,9 @@ class SSHankelSolver:
         contour: AnnulusContour,
         v: np.ndarray,
         acc: MomentAccumulator,
+        warm: Optional[Step1WarmStart] = None,  # noqa: ARG002 — lockstep
+        # emulation keeps the paper's cold-start semantics; warm starts
+        # are a batched-engine feature.
     ) -> List[PointStats]:
         cfg = self.config
         rule = ResidualRule(cfg.bicg_tol, cfg.bicg_maxiter)
@@ -521,6 +631,146 @@ class SSHankelSolver:
 
         self._executor.map(run, list(steppers.items()))
 
+    # -- batched BiCG path ---------------------------------------------------
+
+    def _step1_bicg_batched(
+        self,
+        pencil: QuadraticPencil,
+        contour: AnnulusContour,
+        v: np.ndarray,
+        acc: MomentAccumulator,
+        warm: Optional[Step1WarmStart] = None,
+    ) -> List[PointStats]:
+        """Vectorized Step 1: every (shift, RHS) system advances together.
+
+        The whole ``N_int × N_rh`` task grid becomes one stacked array
+        problem (``repro.solvers.batched``): per BiCG round there is one
+        batched pencil application and one adjoint application, instead
+        of ``2 · N_int · N_rh`` Python-level matvec calls.  A non-serial
+        executor shards the shift axis into per-thread sub-stacks.
+
+        Quorum scope: with a single stack the controller spans all
+        systems (exact lockstep semantics).  Sharded chunks advance at
+        the scheduler's mercy, so a *global* controller would let a
+        fast-scheduled chunk converge fully and kill barely-started
+        chunks — each chunk therefore gets its own controller over its
+        own systems (sound because convergence is uniform across
+        quadrature points, paper Fig. 5).
+        """
+        cfg = self.config
+        rule = ResidualRule(cfg.bicg_tol, cfg.bicg_maxiter)
+        use_dual = self._use_dual(pencil, contour)
+        n_rh = v.shape[1]
+
+        if use_dual:
+            pairs = contour.dual_pairs()
+            shifts = np.array([po.z for po, _ in pairs], dtype=np.complex128)
+        else:
+            points = contour.points()
+            shifts = np.array([pt.z for pt in points], dtype=np.complex128)
+        n_shifts = shifts.shape[0]
+        maxiter = rule.maxiter or max(10 * self.blocks.n, 100)
+
+        b = np.broadcast_to(
+            v[None, :, :], (n_shifts, self.blocks.n, n_rh)
+        ).copy()
+        precond = (
+            np.stack([jacobi_preconditioner(pencil, z) for z in shifts])
+            if cfg.jacobi
+            else None
+        )
+        if warm is not None and not warm.matches(b.shape):
+            warm = None  # stale cache (different config/model) — ignore
+
+        workers = getattr(self._executor, "workers", 1)
+        n_chunks = (
+            1
+            if isinstance(self._executor, SerialExecutor)
+            else max(1, min(int(workers), n_shifts))
+        )
+        bounds = np.linspace(0, n_shifts, n_chunks + 1).astype(int)
+        chunks = [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+
+        def chunk_quorum(n_systems: int) -> Optional[QuorumController]:
+            if cfg.quorum_fraction is None or n_systems <= 1:
+                return None
+            return QuorumController(n_systems, cfg.quorum_fraction)
+
+        def run_chunk(span):
+            lo, hi = span
+            zs = shifts[lo:hi]
+            chunk_warm = None
+            if warm is not None:
+                chunk_warm = Step1WarmStart(
+                    warm.y0[lo:hi],
+                    warm.yd0[lo:hi] if warm.yd0 is not None else None,
+                )
+            return run_batched_bicg(
+                lambda x, zs=zs: pencil.apply_batch(zs, x),
+                lambda x, zs=zs: pencil.apply_adjoint_batch(zs, x),
+                b[lo:hi],
+                b[lo:hi] if use_dual else None,
+                rule=rule,
+                quorum=chunk_quorum((hi - lo) * n_rh),
+                quorum_offset=lo,
+                maxiter=maxiter,
+                precond=precond[lo:hi] if precond is not None else None,
+                warm=chunk_warm,
+                record_history=cfg.record_history,
+            )
+
+        engines = self._executor.map(run_chunk, chunks)
+
+        # Fold solutions into the moments and collect statistics, shift
+        # by shift, exactly as the lockstep path does.
+        stats: List[PointStats] = []
+        y_stack = np.concatenate([e.solution() for e in engines], axis=0)
+        yd_stack = (
+            np.concatenate([e.solution_dual() for e in engines], axis=0)
+            if use_dual
+            else None
+        )
+        for i in range(n_shifts):
+            chunk_idx = int(np.searchsorted(bounds[1:], i, side="right"))
+            eng = engines[chunk_idx]
+            il = i - int(bounds[chunk_idx])
+            iters = int(eng.iterations[il].sum())
+            worst = float(eng.rel[il].max())
+            worst_d = float(eng.rel_dual[il].max()) if use_dual else 0.0
+            reason = "converged"
+            for c in range(n_rh):
+                code_reason = eng.reason(il, c)
+                if code_reason is not StopReason.CONVERGED:
+                    reason = code_reason.value
+            histories = (
+                [eng.history_for(il, c) for c in range(n_rh)]
+                if cfg.record_history
+                else []
+            )
+            if use_dual:
+                po, pi = pairs[i]
+                acc.add(po.z, po.weight, y_stack[i], po.sign)
+                acc.add(pi.z, pi.weight, yd_stack[i], pi.sign)
+                stats.append(
+                    PointStats(po.z, po.circle, iters, worst, worst_d,
+                               reason, histories)
+                )
+            else:
+                pt = points[i]
+                acc.add(pt.z, pt.weight, y_stack[i], pt.sign)
+                stats.append(
+                    PointStats(pt.z, pt.circle, iters, worst, 0.0,
+                               reason, histories)
+                )
+
+        if cfg.keep_step1_solutions:
+            self.last_step1 = Step1WarmStart(y_stack, yd_stack)
+        return stats
+
     # ------------------------------------------------------------------
     # memory accounting (Figure 4(b))
     # ------------------------------------------------------------------
@@ -534,3 +784,10 @@ class SSHankelSolver:
         # BiCG work vectors: x, xd, r, rt, p, pt, q, qt per concurrent solve.
         rep.add("BiCG work vectors", 8 * self.blocks.n * 16)
         return rep
+
+
+# The built-in Step-1 strategies.  External code can add more via
+# ``repro.solvers.registry.step1_strategy`` (same callable contract).
+step1_strategy("direct")(SSHankelSolver._step1_direct)
+step1_strategy("bicg")(SSHankelSolver._step1_bicg)
+step1_strategy("bicg-batched")(SSHankelSolver._step1_bicg_batched)

@@ -1,0 +1,335 @@
+"""Parity of the batched Step-1 engine against the lockstep path.
+
+The batched engine (`repro.solvers.batched`) must be semantically
+bit-compatible with the per-task lockstep emulation: same iteration
+counts, same stop reasons, same quorum behaviour, and eigenvalues that
+agree to tight tolerance on every model class the lockstep path is
+validated on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.chain import MonatomicChain
+from repro.models.ladder import TransverseLadder
+from repro.models.random_blocks import commuting_bulk_triple, random_bulk_triple
+from repro.qep.pencil import QuadraticPencil
+from repro.solvers.batched import BatchedBiCG, Step1WarmStart, run_batched_bicg
+from repro.solvers.bicg import bicg_dual
+from repro.solvers.registry import available_strategies, get_step1_strategy
+from repro.solvers.stopping import ResidualRule, StopReason
+from repro.ss.solver import SSConfig, SSHankelSolver
+
+from tests.conftest import match_error
+
+
+def _solve_both(blocks, energy, **cfg_kwargs):
+    lock = SSHankelSolver(
+        blocks, SSConfig(linear_solver="bicg", **cfg_kwargs)
+    ).solve(energy)
+    bat = SSHankelSolver(
+        blocks, SSConfig(linear_solver="bicg-batched", **cfg_kwargs)
+    ).solve(energy)
+    return lock, bat
+
+
+def _assert_parity(lock, bat, tol=1e-8, quorum=False):
+    """Semantic parity: identical results and identical iteration
+    bookkeeping, modulo floating-point ties.
+
+    The two paths accumulate inner products in different orders (BLAS
+    block products vs per-vector calls), so residuals agree only to
+    roundoff; a system sitting exactly on the tolerance edge may then
+    converge one round earlier/later.  Without the quorum rule that
+    cannot change iteration counts (the system itself stops at the same
+    round up to the tie); with it, one early converger can trip the
+    quorum a round sooner for every straggler, so quorum configs get a
+    small iteration-drift allowance instead of exact equality.
+    """
+    assert bat.count == lock.count
+    if lock.count:
+        assert match_error(bat.eigenvalues, lock.eigenvalues) < tol
+        assert match_error(lock.eigenvalues, bat.eigenvalues) < tol
+    if quorum:
+        drift = abs(bat.total_iterations() - lock.total_iterations())
+        assert drift <= max(2, 0.05 * lock.total_iterations())
+    else:
+        assert bat.total_iterations() == lock.total_iterations()
+    for pl, pb in zip(lock.point_stats, bat.point_stats):
+        assert pl.z == pb.z
+        if not quorum:
+            assert pl.iterations == pb.iterations
+        if pl.reason != pb.reason:
+            # Converged vs breakdown-after-convergence is a label tie:
+            # when the residual cancels to ~0 exactly, the next ρ can
+            # underflow and either label is correct.  With the quorum
+            # rule, converged vs quorum-stopped-one-round-short is the
+            # same kind of tie.  Anything else is a real divergence.
+            allowed = {"converged", "breakdown"}
+            if quorum:
+                allowed.add("quorum")
+            assert {pl.reason, pb.reason} <= allowed
+            assert max(pl.final_residual, pb.final_residual) < 1e-8
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_contains_builtin_strategies():
+    names = available_strategies()
+    assert {"direct", "bicg", "bicg-batched"} <= set(names)
+    for name in ("direct", "bicg", "bicg-batched"):
+        assert callable(get_step1_strategy(name))
+    with pytest.raises(KeyError):
+        get_step1_strategy("no-such-strategy")
+
+
+def test_auto_prefers_batched_above_threshold():
+    lad = TransverseLadder(width=4)
+    cfg = SSConfig(n_int=8, n_mm=2, n_rh=2, seed=1, direct_threshold=2)
+    solver = SSHankelSolver(lad.blocks(), cfg)
+    assert solver._pick_solver() == "bicg-batched"
+    cfg = SSConfig(n_int=8, n_mm=2, n_rh=2, seed=1, direct_threshold=100)
+    assert SSHankelSolver(lad.blocks(), cfg)._pick_solver() == "direct"
+
+
+# -- model parity --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("energy", [-0.5, 0.7])
+def test_chain_parity(energy):
+    chain = MonatomicChain(hopping=-1.0)
+    lock, bat = _solve_both(
+        chain.blocks(), energy,
+        n_int=16, n_mm=2, n_rh=2, seed=5, bicg_tol=1e-12,
+    )
+    _assert_parity(lock, bat, quorum=True)
+    assert match_error(bat.eigenvalues, chain.analytic_lambdas(energy)) < 1e-8
+
+
+@pytest.mark.parametrize("energy", [-1.2, -0.5, 0.8])
+def test_ladder_parity(energy):
+    lad = TransverseLadder(width=4)
+    lock, bat = _solve_both(
+        lad.blocks(), energy,
+        n_int=16, n_mm=4, n_rh=4, seed=3, bicg_tol=1e-12,
+    )
+    _assert_parity(lock, bat, quorum=True)
+
+
+def test_random_blocks_parity():
+    blocks, analytic = commuting_bulk_triple(10, seed=8)
+    lock, bat = _solve_both(
+        blocks, 0.1,
+        n_int=32, n_mm=6, n_rh=6, seed=9, bicg_tol=1e-12,
+    )
+    _assert_parity(lock, bat, tol=1e-6, quorum=True)
+    exact = analytic(0.1)
+    inside = exact[(np.abs(exact) > 0.5) & (np.abs(exact) < 2.0)]
+    assert bat.count == inside.size
+    assert match_error(bat.eigenvalues, inside) < 1e-6
+
+
+def test_random_sparse_straddling_parity():
+    """A contour-straddling triple: both paths must reject unconverged
+    pairs identically (residual filter), not just agree when healthy."""
+    blocks = random_bulk_triple(30, coupling_scale=0.6, seed=10, sparse=True)
+    lock, bat = _solve_both(
+        blocks, 0.05,
+        n_int=8, n_mm=4, n_rh=4, seed=3, bicg_tol=1e-12,
+    )
+    assert bat.count == lock.count
+    if lock.count:
+        assert match_error(bat.eigenvalues, lock.eigenvalues) < 1e-6
+
+
+# -- option matrix: quorum × jacobi -------------------------------------------
+
+
+@pytest.mark.parametrize("quorum", [None, 0.5])
+@pytest.mark.parametrize("jacobi", [False, True])
+def test_quorum_jacobi_matrix(quorum, jacobi):
+    lad = TransverseLadder(width=4)
+    lock, bat = _solve_both(
+        lad.blocks(), -0.5,
+        n_int=12, n_mm=4, n_rh=4, seed=3, bicg_tol=1e-12,
+        quorum_fraction=quorum, jacobi=jacobi,
+    )
+    _assert_parity(lock, bat, quorum=quorum is not None)
+
+
+def test_no_dual_trick_parity():
+    lad = TransverseLadder(width=4)
+    lock, bat = _solve_both(
+        lad.blocks(), -0.5,
+        n_int=12, n_mm=4, n_rh=4, seed=3, bicg_tol=1e-12,
+        use_dual_trick=False,
+    )
+    _assert_parity(lock, bat, quorum=True)
+
+
+def test_histories_match_lockstep():
+    lad = TransverseLadder(width=4)
+    lock, bat = _solve_both(
+        lad.blocks(), -0.5,
+        n_int=8, n_mm=4, n_rh=2, seed=3, record_history=True,
+    )
+    for pl, pb in zip(lock.point_stats, bat.point_stats):
+        assert len(pl.histories) == len(pb.histories)
+        for hl, hb in zip(pl.histories, pb.histories):
+            assert len(hl) == len(hb)
+            assert np.allclose(hl, hb, rtol=1e-6, atol=1e-12)
+
+
+def test_threaded_shards_with_quorum_keep_results():
+    """Regression: sharded execution with the quorum rule ON must not
+    let a fast-scheduled shard's convergence kill barely-started shards
+    (quorum is per-shard when time-sliced).  Results must match serial."""
+    lad = TransverseLadder(width=4)
+    base = dict(n_int=12, n_mm=4, n_rh=4, seed=3, bicg_tol=1e-12,
+                quorum_fraction=0.5, linear_solver="bicg-batched")
+    serial = SSHankelSolver(lad.blocks(), SSConfig(**base)).solve(-0.5)
+    sharded = SSHankelSolver(lad.blocks(), SSConfig(executor=4, **base)).solve(-0.5)
+    assert serial.count == 8
+    assert sharded.count == serial.count
+    assert match_error(sharded.eigenvalues, serial.eigenvalues) < 1e-8
+
+
+def test_threaded_shards_match_serial():
+    blocks = random_bulk_triple(24, coupling_scale=0.4, seed=4, sparse=True)
+    base = dict(n_int=12, n_mm=4, n_rh=4, seed=3, bicg_tol=1e-11,
+                quorum_fraction=None, linear_solver="bicg-batched")
+    serial = SSHankelSolver(blocks, SSConfig(**base)).solve(0.1)
+    sharded = SSHankelSolver(blocks, SSConfig(executor=4, **base)).solve(0.1)
+    assert sharded.count == serial.count
+    assert sharded.total_iterations() == serial.total_iterations()
+    if serial.count:
+        assert match_error(sharded.eigenvalues, serial.eigenvalues) < 1e-8
+
+
+# -- engine-level unit tests ---------------------------------------------------
+
+
+def _random_stack_problem(seed, s=3, n=12, m=2):
+    rng = np.random.default_rng(seed)
+    mats = rng.standard_normal((s, n, n)) + 1j * rng.standard_normal((s, n, n))
+    mats += 3.0 * np.eye(n)[None]  # keep them comfortably nonsingular
+    b = rng.standard_normal((s, n, m)) + 1j * rng.standard_normal((s, n, m))
+
+    def apply_batch(x):
+        return np.einsum("sij,sjm->sim", mats, x)
+
+    def apply_adjoint_batch(x):
+        return np.einsum("sji,sjm->sim", mats.conj(), x)
+
+    return mats, b, apply_batch, apply_adjoint_batch
+
+
+def test_engine_matches_per_system_bicg():
+    """run_batched_bicg == one bicg_dual per system, iteration for
+    iteration, on generic dense systems (no quorum)."""
+    mats, b, ab, ahb = _random_stack_problem(0)
+    rule = ResidualRule(1e-10)
+    eng = run_batched_bicg(ab, ahb, b, b, rule=rule, maxiter=200)
+    s, n, m = b.shape
+    for i in range(s):
+        for c in range(m):
+            ref = bicg_dual(mats[i], mats[i].conj().T, b[i, :, c], b[i, :, c],
+                            rule=ResidualRule(1e-10, 200))
+            assert eng.iterations[i, c] == ref.iterations
+            assert eng.reason(i, c) == ref.reason
+            np.testing.assert_allclose(eng.solution()[i, :, c], ref.x,
+                                       rtol=1e-8, atol=1e-10)
+            np.testing.assert_allclose(eng.solution_dual()[i, :, c],
+                                       ref.x_dual, rtol=1e-8, atol=1e-10)
+
+
+def test_engine_zero_rhs_column_is_born_converged():
+    mats, b, ab, ahb = _random_stack_problem(1)
+    b[1, :, 0] = 0.0
+    eng = run_batched_bicg(ab, ahb, b, maxiter=100)
+    assert eng.reason(1, 0) == StopReason.CONVERGED
+    assert eng.iterations[1, 0] == 0
+    assert np.all(eng.solution()[1, :, 0] == 0.0)
+    # other systems still solved
+    assert eng.reason(0, 0) == StopReason.CONVERGED
+    assert eng.iterations[0, 0] > 0
+
+
+def test_engine_warm_start_reduces_iterations():
+    mats, b, ab, ahb = _random_stack_problem(2, s=2, n=40, m=2)
+    rule = ResidualRule(1e-10)
+    cold = run_batched_bicg(ab, ahb, b, b, rule=rule, maxiter=500)
+    exact = np.stack([np.linalg.solve(mats[i], b[i]) for i in range(2)])
+    exact_d = np.stack(
+        [np.linalg.solve(mats[i].conj().T, b[i]) for i in range(2)]
+    )
+    warm = Step1WarmStart(exact + 1e-8 * b, exact_d + 1e-8 * b)
+    hot = run_batched_bicg(ab, ahb, b, b, rule=rule, maxiter=500, warm=warm)
+    assert int(hot.iterations.sum()) < int(cold.iterations.sum())
+    np.testing.assert_allclose(hot.solution(), exact, rtol=1e-6, atol=1e-8)
+    np.testing.assert_allclose(hot.solution_dual(), exact_d,
+                               rtol=1e-6, atol=1e-8)
+
+
+def test_engine_stale_warm_start_ignored():
+    mats, b, ab, ahb = _random_stack_problem(3)
+    stale = Step1WarmStart(np.zeros((5, 4, 3), dtype=np.complex128))
+    assert not stale.matches(b.shape)
+    eng = run_batched_bicg(ab, ahb, b, warm=stale, maxiter=100)
+    assert eng.reason(0, 0) == StopReason.CONVERGED
+
+
+def test_engine_rejects_bad_shapes():
+    mats, b, ab, ahb = _random_stack_problem(4)
+    with pytest.raises(ValueError):
+        BatchedBiCG(ab, ahb, b[0])  # 2-D, not a stack
+    with pytest.raises(ValueError):
+        BatchedBiCG(ab, ahb, b, precond=np.ones((2, 2)))
+    with pytest.raises(ValueError):
+        BatchedBiCG(ab, ahb, b, precond=np.zeros(b.shape[:2]))
+
+
+# -- batched pencil application ------------------------------------------------
+
+
+def test_apply_batch_matches_per_shift():
+    blocks = random_bulk_triple(15, seed=6, sparse=True)
+    pencil = QuadraticPencil(blocks, energy=0.3)
+    rng = np.random.default_rng(0)
+    zs = 0.7 * np.exp(1j * rng.uniform(0, 2 * np.pi, size=5))
+    x = rng.standard_normal((5, 15, 3)) + 1j * rng.standard_normal((5, 15, 3))
+    out = pencil.apply_batch(zs, x)
+    out_h = pencil.apply_adjoint_batch(zs, x)
+    for i, z in enumerate(zs):
+        np.testing.assert_allclose(out[i], pencil.apply(z, x[i]), rtol=1e-12)
+        np.testing.assert_allclose(
+            out_h[i], pencil.apply_adjoint(z, x[i]), rtol=1e-12
+        )
+
+
+def test_apply_batch_complex_energy_adjoint():
+    """Complex energy disables the dual identity; the explicit adjoint
+    branch must still match the per-shift adjoint."""
+    blocks = random_bulk_triple(8, seed=7)
+    pencil = QuadraticPencil(blocks, energy=0.3 + 0.05j)
+    assert not pencil.is_dual_symmetric
+    rng = np.random.default_rng(1)
+    zs = np.array([0.8 + 0.1j, 1.5 - 0.4j])
+    x = rng.standard_normal((2, 8, 2)) + 1j * rng.standard_normal((2, 8, 2))
+    out_h = pencil.apply_adjoint_batch(zs, x)
+    for i, z in enumerate(zs):
+        np.testing.assert_allclose(
+            out_h[i], pencil.apply_adjoint(z, x[i]), rtol=1e-12
+        )
+
+
+def test_apply_batch_rejects_zero_shift():
+    blocks = random_bulk_triple(5, seed=2)
+    pencil = QuadraticPencil(blocks, energy=0.0)
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        pencil.apply_batch(np.array([1.0, 0.0]), np.zeros((2, 5, 1), complex))
+    with pytest.raises(ConfigurationError):
+        pencil.apply_batch(np.array([1.0]), np.zeros((2, 5, 1), complex))

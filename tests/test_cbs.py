@@ -181,3 +181,62 @@ def test_max_gap_decay_positive_in_gap():
     lo, hi = ssh.gap_edges()
     result = calc.scan_window(lo + 0.02, hi - 0.02, 7)
     assert max_gap_decay(result, (lo, hi)) > 0.0
+
+
+# -- hard-gap edge cases ------------------------------------------------------
+
+def test_hard_gap_empty_slice_no_warnings():
+    """An energy deep in a hard gap (no ring eigenvalues at all) must
+    yield a well-shaped empty slice, with no log(0)/divide warnings."""
+    import warnings
+
+    chain = MonatomicChain(hopping=-1.0)
+    cfg = SSConfig(n_int=16, n_mm=2, n_rh=2, seed=1, linear_solver="direct")
+    calc = CBSCalculator(chain.blocks(), cfg)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = calc.scan([5.0, 8.0])
+    for s in result.slices:
+        assert s.count == 0
+        assert s.modes == []
+    assert result.propagating_points().shape == (0, 2)
+    assert result.evanescent_points().shape == (0, 3)
+    assert np.all(np.isnan(result.min_imag_k()))
+
+
+@pytest.mark.parametrize("solver", ["direct", "bicg-batched"])
+def test_zero_moments_returns_empty_result(solver):
+    """A source block that produces exactly zero moments (V = 0) used to
+    raise ExtractionError out of `solve`; it must now return well-shaped
+    empty arrays, and `complex_k` must stay warning-free."""
+    import warnings
+
+    from repro.ss.solver import SSHankelSolver
+
+    chain = MonatomicChain(hopping=-1.0)
+    cfg = SSConfig(n_int=8, n_mm=2, n_rh=2, seed=1, linear_solver=solver)
+    solver_obj = SSHankelSolver(chain.blocks(), cfg)
+    v = np.zeros((1, 2), dtype=np.complex128)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        res = solver_obj.solve(0.0, v=v)
+        ks = res.complex_k(1.0)
+    assert res.count == 0
+    assert res.eigenvalues.shape == (0,)
+    assert res.vectors.shape == (1, 0)
+    assert res.residuals.shape == (0,)
+    assert res.raw_eigenvalues.shape == (0,)
+    assert res.rank == 0
+    assert ks.shape == (0,) and ks.dtype == np.complex128
+
+
+def test_scan_through_gap_and_band_mixes_cleanly():
+    """A window straddling the band edge: in-band slices keep their
+    modes, gap slices are empty, and nothing raises."""
+    chain = MonatomicChain(hopping=-1.0)
+    cfg = SSConfig(n_int=16, n_mm=2, n_rh=2, seed=1, linear_solver="direct")
+    calc = CBSCalculator(chain.blocks(), cfg)
+    result = calc.scan(np.linspace(1.0, 6.0, 6))
+    counts = result.mode_counts()
+    assert counts[0] > 0       # E = 1.0 is inside the band
+    assert counts[-1] == 0     # E = 6.0 is far outside

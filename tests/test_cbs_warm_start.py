@@ -1,0 +1,152 @@
+"""Warm-started energy scans: same physics, strictly less Step-1 work.
+
+The warm-started scan (``CBSCalculator(warm_start=True)``) seeds each
+slice's source block from the previous slice's accepted eigenvectors and
+each slice's BiCG iterations from the previous stacked solutions.  The
+regression contract: the mode sets are identical (to classification
+tolerance) and the total BiCG iteration count strictly drops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.chain import MonatomicChain
+from repro.models.random_blocks import commuting_bulk_triple
+from repro.solvers.batched import Step1WarmStart
+from repro.ss.solver import SSConfig
+from repro.cbs.scan import CBSCalculator
+
+from tests.conftest import match_error
+
+
+def _scan_pair(blocks, cfg, e_min, e_max, n):
+    cold = CBSCalculator(blocks, cfg).scan_window(e_min, e_max, n)
+    warm = CBSCalculator(blocks, cfg, warm_start=True).scan_window(
+        e_min, e_max, n
+    )
+    return cold, warm
+
+
+def test_warm_scan_identical_modes_fewer_iterations():
+    """The issue's contract on a 20-point window: identical mode sets,
+    strictly fewer total BiCG iterations."""
+    blocks, analytic = commuting_bulk_triple(40, mu_range=(-20, 20), seed=12)
+    cfg = SSConfig(n_int=24, n_mm=4, n_rh=6, seed=3,
+                   linear_solver="bicg-batched", bicg_tol=1e-11,
+                   quorum_fraction=None, residual_tol=1e-5,
+                   record_history=False)
+    cold, warm = _scan_pair(blocks, cfg, -1.0, 1.0, 20)
+
+    assert (cold.mode_counts() == warm.mode_counts()).all()
+    for sc, sw in zip(cold.slices, warm.slices):
+        if sc.count:
+            assert match_error(sw.lambdas(), sc.lambdas()) < 1e-6
+            assert match_error(sc.lambdas(), sw.lambdas()) < 1e-6
+    assert warm.total_iterations() < cold.total_iterations()
+    # The scan exercises the count < N_rh seeding path: every slice
+    # accepts fewer modes than the source-block width.
+    assert (cold.mode_counts() < cfg.n_rh + 1).any()
+    # and the slices agree with the analytic reference throughout
+    for sw in warm.slices:
+        exact = analytic(sw.energy)
+        mags = np.abs(exact)
+        expected = exact[(mags > 0.5) & (mags < 2.0)]
+        assert sw.count == expected.size
+        if sw.count:
+            assert match_error(sw.lambdas(), expected) < 1e-5
+
+
+def test_warm_scan_with_quorum_matches_cold():
+    blocks, _ = commuting_bulk_triple(30, mu_range=(-15, 15), seed=5)
+    cfg = SSConfig(n_int=24, n_mm=4, n_rh=6, seed=3,
+                   linear_solver="bicg-batched", bicg_tol=1e-12,
+                   residual_tol=1e-4, record_history=False)
+    cold, warm = _scan_pair(blocks, cfg, -0.5, 0.5, 8)
+    assert (cold.mode_counts() == warm.mode_counts()).all()
+    for sc, sw in zip(cold.slices, warm.slices):
+        if sc.count:
+            assert match_error(sw.lambdas(), sc.lambdas()) < 1e-5
+
+
+def test_seed_v_shape_guard():
+    """``count < N_rh`` must fill only the available columns; the seed
+    block always has the configured ``(N, N_rh)`` shape (the shape bug
+    this guards against: assigning the ``(N, count)`` eigenvector block
+    across all ``N_rh`` columns)."""
+    blocks, _ = commuting_bulk_triple(12, mu_range=(-8, 8), seed=7)
+    cfg = SSConfig(n_int=16, n_mm=3, n_rh=5, seed=3,
+                   linear_solver="direct", residual_tol=1e-6)
+    calc = CBSCalculator(blocks, cfg, warm_start=True)
+    _, res = calc._solve_energy_full(0.0)
+    assert res.count != cfg.n_rh  # the interesting (mismatched) case
+    v = calc._seed_v(res)
+    assert v.shape == (blocks.n, cfg.n_rh)
+    assert np.all(np.isfinite(v))
+    # untouched trailing columns equal the deterministic random block
+    from repro.utils.rng import complex_gaussian, default_rng
+
+    ref = complex_gaussian(default_rng(cfg.seed), (blocks.n, cfg.n_rh))
+    k = min(res.count, cfg.n_rh)
+    np.testing.assert_array_equal(v[:, k:], ref[:, k:])
+    if k:
+        assert not np.allclose(v[:, :k], ref[:, :k])
+
+
+def test_seed_v_empty_previous_slice():
+    """A gap slice (zero accepted modes) seeds the plain random block."""
+    chain = MonatomicChain(hopping=-1.0)
+    cfg = SSConfig(n_int=16, n_mm=2, n_rh=2, seed=1, linear_solver="direct")
+    calc = CBSCalculator(chain.blocks(), cfg, warm_start=True)
+    _, res = calc._solve_energy_full(5.0)  # far outside the band
+    assert res.count == 0
+    v = calc._seed_v(res)
+    from repro.utils.rng import complex_gaussian, default_rng
+
+    ref = complex_gaussian(default_rng(cfg.seed), (chain.blocks().n, cfg.n_rh))
+    np.testing.assert_array_equal(v, ref)
+
+
+def test_warm_start_config_flags_propagate():
+    blocks, _ = commuting_bulk_triple(8, seed=1)
+    cfg = SSConfig(n_int=8, n_mm=2, n_rh=2, seed=1)
+    calc = CBSCalculator(blocks, cfg, warm_start=True)
+    assert calc.config.keep_step1_solutions
+    assert calc.config.lu_ordering_cache
+    # the original config object is not mutated
+    assert not cfg.keep_step1_solutions
+    cold = CBSCalculator(blocks, cfg)
+    assert not cold.config.keep_step1_solutions
+
+
+def test_last_step1_populated_and_reused():
+    blocks, _ = commuting_bulk_triple(10, mu_range=(-6, 6), seed=3)
+    cfg = SSConfig(n_int=8, n_mm=2, n_rh=3, seed=3,
+                   linear_solver="bicg-batched", keep_step1_solutions=True,
+                   record_history=False)
+    calc = CBSCalculator(blocks, cfg)
+    assert calc._solver.last_step1 is None
+    calc.solve_energy(0.1)
+    warm = calc._solver.last_step1
+    assert isinstance(warm, Step1WarmStart)
+    assert warm.y0.shape == (cfg.n_int, blocks.n, cfg.n_rh)
+    assert warm.yd0 is not None and warm.yd0.shape == warm.y0.shape
+    # a stale warm start (wrong geometry) must be ignored, not crash
+    stale = Step1WarmStart(np.zeros((2, 3, 1), dtype=np.complex128))
+    res = calc._solver.solve(0.11, warm=stale)
+    assert res.count >= 0
+
+
+def test_direct_scan_with_ordering_cache_matches_plain():
+    """The symbolic-ordering cache on the direct path must not change
+    results (it only changes the factorization column order)."""
+    blocks, analytic = commuting_bulk_triple(16, mu_range=(-8, 8), seed=9)
+    plain_cfg = SSConfig(n_int=16, n_mm=3, n_rh=4, seed=3,
+                         linear_solver="direct")
+    plain = CBSCalculator(blocks, plain_cfg).scan_window(-0.4, 0.4, 5)
+    cached = CBSCalculator(
+        blocks, plain_cfg, warm_start=True
+    ).scan_window(-0.4, 0.4, 5)
+    assert (plain.mode_counts() == cached.mode_counts()).all()
+    for sp_, sc_ in zip(plain.slices, cached.slices):
+        if sp_.count:
+            assert match_error(sc_.lambdas(), sp_.lambdas()) < 1e-8

@@ -1,0 +1,162 @@
+"""Property-based round-trip tests for the contour and moment layers.
+
+Deterministic (``derandomize=True``) hypothesis sweeps of the two
+invariants everything in Step 1-2 rests on:
+
+* **contour reciprocity** — the paper's ring pairs its quadrature nodes
+  as ``z^{(2)}_j = 1 / conj(z^{(1)}_j)`` (the identity behind the
+  dual-system trick, §3.2); :meth:`AnnulusContour.dual_pairs` must hold
+  it for *any* admissible ``λ_min`` and node count, and the weights must
+  be the exact trapezoidal Cauchy-kernel weights;
+* **moment-accumulator linearity** — ``Ŝ_k`` and ``µ̂_k`` are linear in
+  the folded solution blocks and match the closed-form sums
+  ``Σ_j sign_j ω_j z_j^k Y_j`` / ``V^† Ŝ_k`` exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ss.contour import AnnulusContour, CircleContour
+from repro.ss.moments import MomentAccumulator
+from repro.utils.rng import complex_gaussian, default_rng
+
+lambda_mins = st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
+node_counts = st.integers(min_value=2, max_value=48)
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+# -- contour reciprocity -------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(lambda_mins, node_counts)
+def test_dual_pairs_satisfy_reciprocity(lambda_min, n_points):
+    """Every dual pair really satisfies ``z_in = 1/conj(z_out)``."""
+    contour = AnnulusContour.from_lambda_min(lambda_min, n_points)
+    assert contour.is_reciprocal
+    pairs = contour.dual_pairs()
+    assert len(pairs) == n_points
+    for po, pi in pairs:
+        assert abs(pi.z - 1.0 / np.conj(po.z)) <= 1e-12 * abs(pi.z)
+        # and the pairing is an involution: the outer node is the dual
+        # of the inner node too
+        assert abs(po.z - 1.0 / np.conj(pi.z)) <= 1e-12 * abs(po.z)
+        assert po.sign == +1.0 and pi.sign == -1.0
+        assert po.circle == 0 and pi.circle == 1
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(lambda_mins, node_counts)
+def test_quadrature_weights_roundtrip(lambda_min, n_points):
+    """Weights are ``(z_j - c)/N`` and nodes sit on their circles —
+    reconstructing each circle from (node, weight) is exact."""
+    contour = AnnulusContour.from_lambda_min(lambda_min, n_points)
+    for circle, pts in ((contour.outer, contour.outer_points()),
+                        (contour.inner, contour.inner_points())):
+        for pt in pts:
+            assert abs(abs(pt.z) - circle.radius) <= 1e-12 * circle.radius
+            assert abs(pt.weight - pt.z / n_points) <= 1e-12 * abs(pt.z)
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(
+    st.floats(min_value=0.1, max_value=3.0),
+    node_counts,
+    st.floats(min_value=0.0, max_value=2 * np.pi),
+)
+def test_circle_filter_indicator(radius, n_points, theta):
+    """The trapezoidal spectral filter is ~1 well inside a circle and ~0
+    well outside (transition width shrinks with N_int)."""
+    circle = CircleContour(0.0, radius, n_points)
+    inside = 0.5 * radius * np.exp(1j * theta)
+    outside = 2.0 * radius * np.exp(1j * theta)
+    f_in = circle.spectral_filter(np.array([inside]))[0]
+    f_out = circle.spectral_filter(np.array([outside]))[0]
+    # 0.5^N and 2^-N transition bounds, with a safety factor.
+    bound = 4.0 * 0.5 ** n_points
+    assert abs(f_in - 1.0) <= bound
+    assert abs(f_out) <= bound
+
+
+# -- moment accumulator --------------------------------------------------------
+
+
+def _random_problem(seed, n=7, n_rh=3, n_mm=3, n_nodes=4):
+    rng = default_rng(seed)
+    v = complex_gaussian(rng, (n, n_rh))
+    ys = [complex_gaussian(rng, (n, n_rh)) for _ in range(n_nodes)]
+    zs = [
+        complex(rng.uniform(0.4, 2.5) * np.exp(1j * rng.uniform(0, 2 * np.pi)))
+        for _ in range(n_nodes)
+    ]
+    ws = [
+        complex(rng.normal() + 1j * rng.normal())
+        for _ in range(n_nodes)
+    ]
+    signs = [1.0 if rng.random() < 0.5 else -1.0 for _ in range(n_nodes)]
+    return v, ys, zs, ws, signs
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(seeds)
+def test_moments_match_closed_form(seed):
+    """Round trip: streaming accumulation == the closed-form sums."""
+    v, ys, zs, ws, signs = _random_problem(seed)
+    n_mm = 3
+    acc = MomentAccumulator(v, n_mm)
+    for z, w, y, s in zip(zs, ws, ys, signs):
+        acc.add(z, w, y, s)
+    assert acc.points_added == len(zs)
+    for k in range(2 * n_mm):
+        mu_k = sum(
+            s * w * z**k * (v.conj().T @ y)
+            for z, w, y, s in zip(zs, ws, ys, signs)
+        )
+        np.testing.assert_allclose(acc.mu[k], mu_k, rtol=1e-12, atol=1e-12)
+        if k < n_mm:
+            s_k = sum(
+                s * w * z**k * y
+                for z, w, y, s in zip(zs, ws, ys, signs)
+            )
+            np.testing.assert_allclose(acc.s[k], s_k, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(seeds, st.floats(min_value=-2.0, max_value=2.0),
+       st.floats(min_value=-2.0, max_value=2.0))
+def test_accumulator_linearity(seed, a_re, a_im):
+    """Folding ``Y1 + a·Y2`` equals folding ``Y1`` and ``a·Y2``
+    separately — the accumulator is linear in the solution blocks (and
+    therefore in the source ``V`` that the solutions respond to)."""
+    a = a_re + 1j * a_im
+    v, ys, zs, ws, signs = _random_problem(seed, n_nodes=2)
+    (z1, z2), (w1, w2), (y1, y2) = zs, ws, ys
+
+    combined = MomentAccumulator(v, 2)
+    combined.add(z1, w1, y1 + a * y2, 1.0)
+
+    split = MomentAccumulator(v, 2)
+    split.add(z1, w1, y1, 1.0)
+    split.add(z1, w1 * a, y2, 1.0)
+
+    np.testing.assert_allclose(combined.mu, split.mu, rtol=1e-12, atol=1e-12)
+    np.testing.assert_allclose(combined.s, split.s, rtol=1e-12, atol=1e-12)
+    # stacked_s round-trips the storage layout
+    st_s = combined.stacked_s()
+    for k in range(2):
+        np.testing.assert_allclose(
+            st_s[:, k * v.shape[1]:(k + 1) * v.shape[1]], combined.s[k]
+        )
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(seeds)
+def test_accumulator_sign_antisymmetry(seed):
+    """An inner-circle (−) fold exactly cancels the matching outer fold —
+    the annulus subtraction is exact in the accumulator."""
+    v, ys, zs, ws, _ = _random_problem(seed, n_nodes=1)
+    acc = MomentAccumulator(v, 2)
+    acc.add(zs[0], ws[0], ys[0], +1.0)
+    acc.add(zs[0], ws[0], ys[0], -1.0)
+    assert np.all(acc.mu == 0.0)
+    assert np.all(acc.s == 0.0)
