@@ -1,0 +1,171 @@
+"""Orchestrated-scan smoke benchmark (tier 2).
+
+The acceptance contract of the adaptive scan orchestrator on the ladder
+model, measured end to end:
+
+1. **parity** — the process-sharded scan matches the serial warm-started
+   scan's modes to 1e-8;
+2. **refinement** — a coarse grid straddling a band edge gets adaptive
+   slices inserted where the uniform grid undersamples;
+3. **cache** — a second run of the same scan is ≥ 5× faster through the
+   persistent slice cache (hit rate 100%, zero solves).
+
+Runs at ``REPRO_BENCH_SCALE=tiny`` in the CI tier-2 job, which uploads
+``bench_results/orchestrator_scan.{json,csv}`` (wall times + hit rate)
+as artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import register_report
+from _common import SCALE, save_records
+
+from repro.cbs import CBSCalculator
+from repro.cbs.orchestrator import (
+    OrchestratorConfig,
+    RefinePolicy,
+    ScanOrchestrator,
+    TuningPolicy,
+)
+from repro.io.results import ExperimentRecord
+from repro.io.tables import ascii_table
+from repro.models.ladder import TransverseLadder
+from repro.ss.solver import SSConfig
+
+from tests.conftest import match_error as _match_error
+
+WIDTH = 24 if SCALE == "tiny" else 48
+N_ENERGIES = 24 if SCALE == "tiny" else 48
+LADDER = TransverseLadder(width=WIDTH)
+CFG = SSConfig(
+    n_int=16 if SCALE == "tiny" else 24,
+    n_mm=4,
+    n_rh=6,
+    seed=11,
+    linear_solver="direct",
+)
+# Irrational-ish bounds keep grid points off the measure-zero energies
+# where |λ| lands exactly on a ring radius.
+GRID = np.linspace(-2.6183, 2.5971, N_ENERGIES)
+
+
+def _fixed(executor=None, **kw):
+    base = dict(
+        executor=executor,
+        tuning=TuningPolicy(enabled=False),
+        refine=RefinePolicy(enabled=False),
+    )
+    base.update(kw)
+    return OrchestratorConfig(**base)
+
+
+def test_orchestrator_scan_benchmark(tmp_path):
+    records = []
+    blocks = LADDER.blocks()
+
+    # -- 1. serial warm reference vs process-sharded orchestrator ---------
+    t0 = time.perf_counter()
+    serial = CBSCalculator(blocks, CFG, warm_start=True).scan(GRID)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = ScanOrchestrator(
+        blocks, CFG, orch=_fixed(executor=("processes", 2))
+    ).scan(GRID)
+    t_sharded = time.perf_counter() - t0
+
+    parity = 0.0
+    assert (serial.mode_counts() == sharded.result.mode_counts()).all()
+    for a, b in zip(serial.slices, sharded.result.slices):
+        if a.count:
+            parity = max(
+                parity,
+                _match_error(a.lambdas(), b.lambdas()),
+                _match_error(b.lambdas(), a.lambdas()),
+            )
+    assert parity < 1e-8, f"process-sharded scan deviates: {parity:.2e}"
+
+    # -- 2. adaptive refinement at a band edge ----------------------------
+    # The width-W ladder's outermost band edge: a coarse 2-point straddle
+    # must earn bisection slices near it.
+    coarse = [1.07, 1.93]
+    lad2 = TransverseLadder(width=2)
+    refine_cfg = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=11,
+                          linear_solver="direct")
+    refined = ScanOrchestrator(
+        lad2.blocks(),
+        refine_cfg,
+        orch=_fixed(refine=RefinePolicy(min_de=0.02, max_depth=5)),
+    ).scan(coarse)
+    n_refined = len(refined.report.refined_energies)
+    assert n_refined > 0
+    edge_dist = min(abs(e - 1.5) for e in refined.report.refined_energies)
+    assert edge_dist < 0.1
+
+    # -- 3. persistent slice cache ----------------------------------------
+    cache_orch = _fixed(cache_dir=str(tmp_path / "slice_cache"))
+    t0 = time.perf_counter()
+    first = ScanOrchestrator(blocks, CFG, orch=cache_orch).scan(GRID)
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    second = ScanOrchestrator(blocks, CFG, orch=cache_orch).scan(GRID)
+    t_warm_cache = time.perf_counter() - t0
+
+    speedup = t_cold / t_warm_cache
+    assert second.report.cache_hit_rate == 1.0
+    assert second.report.solves == 0
+    assert speedup >= 5.0, (
+        f"cached rerun only {speedup:.1f}x faster "
+        f"({t_cold:.3f}s -> {t_warm_cache:.3f}s)"
+    )
+
+    rows = [
+        ["serial warm scan", f"{t_serial:.3f}", "-", "-", "-"],
+        ["process-sharded (2)", f"{t_sharded:.3f}",
+         f"{t_serial / t_sharded:.2f}x", f"{parity:.1e}", "-"],
+        ["cache cold run", f"{t_cold:.3f}", "-", "-",
+         f"{first.report.cache_hit_rate:.0%}"],
+        ["cache warm rerun", f"{t_warm_cache:.4f}",
+         f"{speedup:.1f}x", "-", f"{second.report.cache_hit_rate:.0%}"],
+    ]
+    table = ascii_table(
+        ["configuration", "wall (s)", "speedup", "max dev", "hit rate"],
+        rows,
+        title=(
+            f"Orchestrated scan, ladder width={WIDTH} "
+            f"(N={blocks.n}), {N_ENERGIES} energies; "
+            f"refinement inserted {n_refined} slices near E=1.5 "
+            f"(closest {edge_dist:.3f})"
+        ),
+    )
+    register_report("orchestrator: adaptive energy scan", table)
+
+    records.append(ExperimentRecord(
+        experiment="orchestrator_scan",
+        system=f"ladder width={WIDTH} (N={blocks.n})",
+        method="qep_ss_orchestrated",
+        metrics=dict(
+            serial_seconds=t_serial,
+            sharded_seconds=t_sharded,
+            sharded_parity=parity,
+            cache_cold_seconds=t_cold,
+            cache_warm_seconds=t_warm_cache,
+            cache_speedup=speedup,
+            cache_hit_rate=second.report.cache_hit_rate,
+            refined_slices=n_refined,
+            refined_edge_distance=edge_dist,
+        ),
+        parameters=dict(
+            scale=SCALE,
+            n_energies=N_ENERGIES,
+            n_int=CFG.n_int,
+            n_mm=CFG.n_mm,
+            n_rh=CFG.n_rh,
+            shards=2,
+        ),
+    ))
+    save_records("orchestrator_scan", records)

@@ -2,6 +2,15 @@
 
 from repro.cbs.classify import ModeType, CBSMode, classify_modes
 from repro.cbs.scan import CBSCalculator, CBSResult, EnergySlice
+from repro.cbs.orchestrator import (
+    OrchestratedScan,
+    OrchestratorConfig,
+    RefinePolicy,
+    ScanOrchestrator,
+    ScanReport,
+    TuningPolicy,
+    run_warm_chain,
+)
 from repro.cbs.bands import band_structure, BandStructure
 from repro.cbs.branch import track_branches, find_branch_points, BranchPoint
 
@@ -12,6 +21,13 @@ __all__ = [
     "CBSCalculator",
     "CBSResult",
     "EnergySlice",
+    "OrchestratedScan",
+    "OrchestratorConfig",
+    "RefinePolicy",
+    "ScanOrchestrator",
+    "ScanReport",
+    "TuningPolicy",
+    "run_warm_chain",
     "band_structure",
     "BandStructure",
     "track_branches",

@@ -1,0 +1,673 @@
+"""Adaptive scan orchestration: whole CBS workloads, not single solves.
+
+The paper's Figure 11 workload is "200 independent calculations at
+equidistant energies" — a layer of trivial parallelism *above* the three
+Step-1 layers that a single :class:`repro.cbs.scan.CBSCalculator` never
+exploits beyond a thread pool.  This module turns an energy scan into an
+orchestrated workload:
+
+* **Process sharding** — the sorted energy grid is split into contiguous
+  shards (:func:`repro.parallel.executor.chunk_spans`), each shipped to
+  a worker process as one picklable :class:`_ShardSpec`.  Warm starts
+  (eigenvector seeding + Step-1 initial guesses, PR 1) are preserved
+  *inside* each shard — the chain is chunk-local — and the per-shard
+  slice lists are merged back in energy order.
+
+* **Auto-tuned SS parameters** — each shard opens with a cheap
+  stochastic rank probe of the moment matrices
+  (:meth:`repro.ss.solver.SSHankelSolver.rank_probe`) and grows
+  ``N_mm``/``N_rh`` only when the Hankel singular-value spectrum shows
+  the subspace is saturated (rank pressing against capacity, the
+  condition under which eigenvalues are silently missed).  In
+  spectrally quiet windows — consecutive slices with zero Hankel rank —
+  the quadrature is cheapened by shrinking ``N_int``, and restored (with
+  a re-solve) the moment the spectrum reappears.
+
+* **Band-edge grid refinement** — where adjacent slices disagree (mode
+  count changes, or the dominant decay rate ``min |Im k|`` jumps — the
+  fixed grid's blind spot at band edges) the interval is bisected until
+  agreement, a minimum spacing, or a depth cap.
+
+* **Persistent slice cache** — finished slices land in a
+  :class:`repro.io.slice_cache.SliceCache` keyed by a hash of the pencil
+  blocks + config, so repeated scans, refinement passes, and restarted
+  runs skip every energy already solved.
+
+The plain ``CBSCalculator.scan`` warm path delegates to
+:func:`run_warm_chain` here, so the serial scan, the process shards and
+the refinement passes all execute the identical slice-to-slice loop.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cbs.scan import CBSCalculator, CBSResult, EnergySlice
+from repro.io.slice_cache import SliceCache, context_key
+from repro.parallel.executor import chunk_spans, make_executor
+from repro.qep.blocks import BlockTriple
+from repro.ss.solver import SSConfig, SSResult
+
+
+# ----------------------------------------------------------------------
+# policies
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TuningPolicy:
+    """Knobs of the per-slice SS parameter auto-tuner.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; off reproduces the fixed-parameter scan.
+    probe_rh:
+        Source-block width of the stochastic rank probe (cost scales
+        with it; 2 resolves any spectrum whose eigenvalue geometric
+        multiplicities are ≤ 2, which covers the generic CBS case).
+    probe_max_n_mm:
+        Ceiling for the probe's own ``N_mm`` growth (the probe doubles
+        its moment degree while its own Hankel matrix saturates).
+    saturation_ratio:
+        ``rank ≥ saturation_ratio × capacity`` counts as saturated —
+        for the probe, for the pre-sizing, and for the in-scan regrow
+        check on every full solve.
+    headroom:
+        Target capacity = ``headroom × estimated rank`` — the margin
+        that keeps the singular-value gap clean (and absorbs modes that
+        enter the ring as the scan moves in energy).
+    max_n_mm, max_n_rh:
+        Hard caps for the grown parameters.
+    max_grow_rounds:
+        Re-solve budget per energy when the full solve itself saturates.
+    shrink_n_int:
+        Allow halving ``N_int`` while the spectrum stays empty
+        (spectrally quiet windows — hard gaps).  The first slice whose
+        shrunk-contour solve shows nonzero rank is re-solved at the full
+        ``N_int`` before anything is trusted.
+    min_n_int:
+        Floor for the shrunk quadrature.
+    """
+
+    enabled: bool = True
+    probe_rh: int = 2
+    probe_max_n_mm: int = 24
+    saturation_ratio: float = 0.85
+    headroom: float = 1.5
+    max_n_mm: int = 24
+    max_n_rh: int = 64
+    max_grow_rounds: int = 3
+    shrink_n_int: bool = True
+    min_n_int: int = 8
+
+
+@dataclass(frozen=True)
+class RefinePolicy:
+    """Knobs of the adaptive energy-grid refinement.
+
+    A pair of adjacent slices *disagrees* — and its midpoint is solved —
+    when the accepted mode count changes by more than ``count_tol``,
+    when one slice has evanescent modes and the other none, or when the
+    dominant decay rate ``min |Im k|`` jumps by more than ``kappa_tol``
+    (in units of ``1/a``).  Bisection stops at ``min_de`` spacing,
+    ``max_depth`` rounds, or ``max_new_slices`` insertions.
+    """
+
+    enabled: bool = True
+    max_depth: int = 4
+    count_tol: int = 0
+    kappa_tol: float = 0.25
+    min_de: float = 1e-3
+    max_new_slices: int = 64
+
+
+@dataclass(frozen=True)
+class OrchestratorConfig:
+    """How a :class:`ScanOrchestrator` runs a workload.
+
+    Attributes
+    ----------
+    executor:
+        Executor spec for the shard level (``"processes"``,
+        ``("processes", k)``, ``"threads"``, an int, or ``None`` for
+        serial).  Processes sidestep the GIL entirely — the paper's
+        top-layer parallelism; the per-shard payload (blocks + config)
+        is pickled once per shard.
+    n_shards:
+        Shard count; default = the executor's worker count.
+    warm_start:
+        Chunk-local warm starting inside each shard (recommended; the
+        cross-shard boundaries start cold, which only costs iterations,
+        never correctness).
+    tuning, refine:
+        The two adaptive policies.
+    cache_dir:
+        Slice-cache root directory; ``None`` disables persistence.
+    """
+
+    executor: object = "processes"
+    n_shards: Optional[int] = None
+    warm_start: bool = True
+    tuning: TuningPolicy = TuningPolicy()
+    refine: RefinePolicy = RefinePolicy()
+    cache_dir: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardStats:
+    """What one shard did (returned through the process boundary)."""
+
+    e_lo: float
+    e_hi: float
+    n_energies: int
+    cache_hits: int = 0
+    solves: int = 0
+    retunes: int = 0
+    probe_rank: int = -1
+    final_n_int: int = 0
+    final_n_mm: int = 0
+    final_n_rh: int = 0
+
+
+@dataclass
+class ScanReport:
+    """Aggregate telemetry of one orchestrated scan."""
+
+    wall_seconds: float = 0.0
+    n_shards: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    solves: int = 0
+    retunes: int = 0
+    refine_rounds: int = 0
+    refined_energies: List[float] = field(default_factory=list)
+    shards: List[ShardStats] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def absorb(self, stats: ShardStats) -> None:
+        self.shards.append(stats)
+        self.cache_hits += stats.cache_hits
+        self.cache_misses += stats.n_energies - stats.cache_hits
+        self.solves += stats.solves
+        self.retunes += stats.retunes
+
+    def summary(self) -> str:
+        tuned = {
+            (s.final_n_int, s.final_n_mm, s.final_n_rh) for s in self.shards
+        }
+        return (
+            f"{self.n_shards} shard(s), {self.solves} solve(s) "
+            f"({self.retunes} retune re-solves), cache "
+            f"{self.cache_hits}/{self.cache_hits + self.cache_misses} hits "
+            f"({100.0 * self.cache_hit_rate:.0f}%), "
+            f"{len(self.refined_energies)} refined slice(s) in "
+            f"{self.refine_rounds} round(s), tuned (N_int,N_mm,N_rh) "
+            f"∈ {sorted(tuned)}, wall {self.wall_seconds:.2f}s"
+        )
+
+
+@dataclass
+class OrchestratedScan:
+    """An orchestrated scan's modes plus its telemetry."""
+
+    result: CBSResult
+    report: ScanReport
+
+
+# ----------------------------------------------------------------------
+# the warm chain (shared with CBSCalculator.scan)
+# ----------------------------------------------------------------------
+
+
+def _solve_one(
+    calc: CBSCalculator, energy: float, prev: Optional[SSResult]
+) -> Tuple[EnergySlice, SSResult]:
+    """One slice through the calculator, seeded from ``prev`` if warm."""
+    v = calc._seed_v(prev) if (calc.warm_start and prev is not None) else None
+    warm = calc._solver.last_step1 if calc.warm_start else None
+    return calc._solve_energy_full(energy, v=v, warm=warm)
+
+
+def run_warm_chain(
+    calc: CBSCalculator,
+    energies: Sequence[float],
+    cache: Optional[SliceCache] = None,
+) -> List[EnergySlice]:
+    """The sequential warm-started scan loop (ascending energies).
+
+    Each slice seeds the next (eigenvector blend + Step-1 initial
+    guesses); a cache hit appends the stored slice and restarts the
+    chain cold at the next miss, since the adjacency premise no longer
+    holds across the skipped interval.
+    """
+    # A previous scan's cached solutions belong to a (possibly distant)
+    # unrelated energy — the adjacency premise only holds within this
+    # chain, so start cold.
+    calc._solver.last_step1 = None
+    slices: List[EnergySlice] = []
+    prev: Optional[SSResult] = None
+    for energy in energies:
+        if cache is not None:
+            hit = cache.get(energy)
+            if hit is not None:
+                slices.append(hit)
+                prev = None
+                calc._solver.last_step1 = None
+                continue
+        sl, prev = _solve_one(calc, energy, prev)
+        slices.append(sl)
+        if cache is not None:
+            cache.put(sl)
+    return slices
+
+
+# ----------------------------------------------------------------------
+# auto-tuning helpers
+# ----------------------------------------------------------------------
+
+
+def _grow_size(
+    target: int, n_mm: int, n_rh: int, pol: TuningPolicy
+) -> Tuple[int, int]:
+    """Smallest ``(n_mm, n_rh)`` with capacity ≥ target, growing the
+    right-hand-side block first (extra RHS cost, but it keeps the moment
+    degree — and with it the Hankel conditioning, which degrades as
+    ``|λ|^(2 N_mm − 1)`` — low), then the moment degree."""
+    n_rh2 = min(pol.max_n_rh, max(n_rh, math.ceil(target / max(n_mm, 1))))
+    n_mm2 = n_mm
+    if n_mm2 * n_rh2 < target:
+        n_mm2 = min(pol.max_n_mm, max(n_mm, math.ceil(target / n_rh2)))
+    return n_mm2, n_rh2
+
+
+def _saturated(rank: int, capacity: int, pol: TuningPolicy) -> bool:
+    return capacity > 0 and rank >= pol.saturation_ratio * capacity
+
+
+def _has_ring_spectrum(res: SSResult, cfg: SSConfig) -> bool:
+    """Whether a solve shows any spectrum *inside* the ring.
+
+    Distinguishes a genuinely quiet window from quadrature leakage of
+    out-of-ring eigenvalues: leaked Ritz values approximate eigenvalues
+    outside the ring, so requiring an in-ring raw eigenvalue (or an
+    accepted mode) is robust at any ``N_int``, where a bare rank check
+    is not — coarse contours leak well above the noise floor.
+    """
+    if res.count > 0:
+        return True
+    if res.effective_rank() == 0 or res.raw_eigenvalues.size == 0:
+        return False
+    return bool(cfg.make_contour().contains_many(res.raw_eigenvalues).any())
+
+
+def _pretune(
+    blocks: BlockTriple, cfg: SSConfig, energy: float, pol: TuningPolicy
+) -> Tuple[SSConfig, int]:
+    """Size ``N_mm``/``N_rh`` from a stochastic rank probe at ``energy``.
+
+    Returns the (possibly grown) config and the probe's rank estimate
+    (−1 when the probe failed and tuning proceeds blind)."""
+    from repro.errors import SingularPencilError
+    from repro.ss.solver import SSHankelSolver
+
+    solver = SSHankelSolver(blocks, cfg, validate=False)
+    probe_mm = max(2, cfg.n_mm)
+    try:
+        while True:
+            probe = solver.rank_probe(
+                energy, n_rh=pol.probe_rh, n_mm=probe_mm
+            )
+            if not _saturated(probe.rank, probe.capacity, pol):
+                break
+            if probe_mm >= pol.probe_max_n_mm:
+                break
+            probe_mm = min(pol.probe_max_n_mm, 2 * probe_mm)
+    except SingularPencilError:
+        return cfg, -1
+    m_hat = probe.rank
+    target = math.ceil(pol.headroom * m_hat)
+    if target > cfg.subspace_capacity:
+        n_mm, n_rh = _grow_size(target, cfg.n_mm, cfg.n_rh, pol)
+        if (n_mm, n_rh) != (cfg.n_mm, cfg.n_rh):
+            cfg = replace(cfg, n_mm=n_mm, n_rh=n_rh)
+    return cfg, m_hat
+
+
+# ----------------------------------------------------------------------
+# shard work units (picklable; solved by a module-level function)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    """One contiguous piece of an energy scan, shippable to a process."""
+
+    blocks: BlockTriple
+    config: SSConfig
+    energies: Tuple[float, ...]
+    propagating_tol: float
+    warm_start: bool
+    tuning: TuningPolicy
+    cache_root: Optional[str] = None
+    cache_context: Optional[str] = None
+
+
+def _solve_shard(spec: _ShardSpec) -> Tuple[List[EnergySlice], ShardStats]:
+    """Solve one shard: chunk-local warm chain + auto-tuning + cache.
+
+    Module-level so :class:`repro.parallel.executor.ProcessExecutor` can
+    pickle it; everything it needs rides in the spec.
+    """
+    energies = list(spec.energies)
+    stats = ShardStats(
+        e_lo=min(energies) if energies else math.nan,
+        e_hi=max(energies) if energies else math.nan,
+        n_energies=len(energies),
+    )
+    cache = (
+        SliceCache(spec.cache_root, context=spec.cache_context)
+        if spec.cache_root and spec.cache_context
+        else None
+    )
+    pol = spec.tuning
+    cfg = spec.config.resolved(spec.blocks.n)
+
+    def build(c: SSConfig) -> CBSCalculator:
+        return CBSCalculator(
+            spec.blocks,
+            c,
+            propagating_tol=spec.propagating_tol,
+            warm_start=spec.warm_start,
+        )
+
+    if pol.enabled and energies:
+        first_uncached = next(
+            (e for e in energies if cache is None or e not in cache),
+            None,
+        )
+        if first_uncached is not None:
+            cfg, stats.probe_rank = _pretune(
+                spec.blocks, cfg, first_uncached, pol
+            )
+
+    calc = build(cfg)
+    base_n_int = cfg.n_int
+    quiet = False
+    slices: List[EnergySlice] = []
+    prev: Optional[SSResult] = None
+
+    for energy in energies:
+        if cache is not None:
+            hit = cache.get(energy)
+            if hit is not None:
+                stats.cache_hits += 1
+                slices.append(hit)
+                prev = None
+                calc._solver.last_step1 = None
+                continue
+
+        if pol.enabled and pol.shrink_n_int:
+            want = max(pol.min_n_int, base_n_int // 2) if quiet else base_n_int
+            if want != calc.config.n_int:
+                cfg = replace(cfg, n_int=want)
+                calc = build(cfg)
+                prev = None
+
+        sl, res = _solve_one(calc, energy, prev)
+        stats.solves += 1
+
+        if pol.enabled:
+            # A shrunk-contour solve that found in-ring spectrum cannot
+            # be trusted (coarser quadrature): restore N_int and redo.
+            if (
+                quiet
+                and calc.config.n_int < base_n_int
+                and _has_ring_spectrum(res, calc.config)
+            ):
+                cfg = replace(cfg, n_int=base_n_int)
+                calc = build(cfg)
+                prev = None
+                sl, res = _solve_one(calc, energy, None)
+                stats.solves += 1
+                stats.retunes += 1
+
+            # Grow only when the saturation can actually hide in-ring
+            # modes: leakage of *out-of-ring* eigenvalues also fills the
+            # Hankel spectrum (especially at shrunk N_int) but there is
+            # nothing inside the ring to miss.
+            rounds = 0
+            while (
+                _saturated(
+                    res.effective_rank(), calc.config.subspace_capacity, pol
+                )
+                and _has_ring_spectrum(res, calc.config)
+                and rounds < pol.max_grow_rounds
+            ):
+                target = math.ceil(pol.headroom * max(res.effective_rank(), 1))
+                n_mm, n_rh = _grow_size(
+                    target, calc.config.n_mm, calc.config.n_rh, pol
+                )
+                if (n_mm, n_rh) == (calc.config.n_mm, calc.config.n_rh):
+                    break  # caps reached — keep what we have
+                cfg = replace(cfg, n_mm=n_mm, n_rh=n_rh)
+                calc = build(cfg)
+                prev = None
+                sl, res = _solve_one(calc, energy, None)
+                stats.solves += 1
+                stats.retunes += 1
+                rounds += 1
+
+            quiet = not _has_ring_spectrum(res, calc.config)
+
+        slices.append(sl)
+        prev = res
+        if cache is not None:
+            cache.put(sl)
+
+    stats.final_n_int = cfg.n_int
+    stats.final_n_mm = cfg.n_mm
+    stats.final_n_rh = cfg.n_rh
+    return slices, stats
+
+
+# ----------------------------------------------------------------------
+# refinement predicates
+# ----------------------------------------------------------------------
+
+
+def _min_imag_k(sl: EnergySlice) -> float:
+    ev = sl.evanescent()
+    if not ev:
+        return math.nan
+    return min(abs(m.k.imag) for m in ev)
+
+
+def _slices_disagree(a: EnergySlice, b: EnergySlice, pol: RefinePolicy) -> bool:
+    if abs(a.count - b.count) > pol.count_tol:
+        return True
+    ka, kb = _min_imag_k(a), _min_imag_k(b)
+    if math.isnan(ka) != math.isnan(kb):
+        return True  # a band edge: evanescent spectrum (dis)appears
+    if not math.isnan(ka) and abs(ka - kb) > pol.kappa_tol:
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# the orchestrator
+# ----------------------------------------------------------------------
+
+
+class ScanOrchestrator:
+    """Process-parallel, auto-tuned, cache-backed CBS energy scans.
+
+    Parameters
+    ----------
+    blocks:
+        Unit-cell block triple.
+    config:
+        Base :class:`SSConfig`; the auto-tuner derives per-slice configs
+        from it (``config.resolved(n)`` collapses ``"auto"`` first).
+    propagating_tol:
+        Mode-classification tolerance (as in :class:`CBSCalculator`).
+    warm_start:
+        Chunk-local warm chains inside shards.
+    orch:
+        The :class:`OrchestratorConfig` (default: process executor,
+        tuning + refinement on, no cache).
+
+    Examples
+    --------
+    >>> from repro.models import TransverseLadder
+    >>> from repro.cbs.orchestrator import ScanOrchestrator, OrchestratorConfig
+    >>> lad = TransverseLadder(width=2)
+    >>> from repro.ss import SSConfig
+    >>> orc = ScanOrchestrator(
+    ...     lad.blocks(),
+    ...     SSConfig(n_int=16, n_mm=2, n_rh=2, seed=1),
+    ...     orch=OrchestratorConfig(executor=None),
+    ... )
+    >>> scan = orc.scan([0.0])
+    >>> scan.result.slices[0].count
+    4
+    """
+
+    def __init__(
+        self,
+        blocks: BlockTriple,
+        config: Optional[SSConfig] = None,
+        *,
+        propagating_tol: float = 1e-6,
+        warm_start: bool = True,
+        orch: Optional[OrchestratorConfig] = None,
+    ) -> None:
+        self.blocks = blocks
+        self.config = config or SSConfig()
+        self.propagating_tol = float(propagating_tol)
+        self.warm_start = bool(warm_start)
+        self.orch = orch or OrchestratorConfig()
+        self._executor = make_executor(self.orch.executor)
+        # The tuning policy changes the effective per-slice solver
+        # parameters, so it is part of the cache identity — a tuned and
+        # an untuned run must never share slice entries.
+        self._cache_context = (
+            context_key(
+                blocks,
+                self.config,
+                self.propagating_tol,
+                extra=("tuning", self.orch.tuning),
+            )
+            if self.orch.cache_dir
+            else None
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return int(self.orch.n_shards or getattr(self._executor, "workers", 1))
+
+    def _spec(self, energies: Sequence[float]) -> _ShardSpec:
+        return _ShardSpec(
+            blocks=self.blocks,
+            config=self.config,
+            energies=tuple(float(e) for e in energies),
+            propagating_tol=self.propagating_tol,
+            warm_start=self.warm_start and self.orch.warm_start,
+            tuning=self.orch.tuning,
+            cache_root=self.orch.cache_dir,
+            cache_context=self._cache_context,
+        )
+
+    def _map_shards(
+        self, specs: List[_ShardSpec]
+    ) -> List[Tuple[List[EnergySlice], ShardStats]]:
+        if len(specs) <= 1:
+            return [_solve_shard(s) for s in specs]
+        return self._executor.map(_solve_shard, specs)
+
+    # ------------------------------------------------------------------
+
+    def scan(self, energies: Sequence[float]) -> OrchestratedScan:
+        """Run the full orchestrated workload over ``energies``."""
+        t0 = time.perf_counter()
+        grid = sorted({float(e) for e in energies})
+        report = ScanReport()
+
+        spans = chunk_spans(len(grid), self.n_shards)
+        specs = [self._spec(grid[lo:hi]) for lo, hi in spans]
+        report.n_shards = len(specs)
+
+        slices: List[EnergySlice] = []
+        for shard_slices, stats in self._map_shards(specs):
+            slices.extend(shard_slices)
+            report.absorb(stats)
+        slices.sort(key=lambda s: s.energy)
+
+        slices = self._refine(slices, report)
+
+        report.wall_seconds = time.perf_counter() - t0
+        return OrchestratedScan(
+            CBSResult(slices, self.blocks.cell_length), report
+        )
+
+    def scan_window(
+        self, e_min: float, e_max: float, n_energies: int
+    ) -> OrchestratedScan:
+        """Equidistant orchestrated scan over ``[e_min, e_max]``."""
+        if n_energies < 1:
+            raise ValueError(f"n_energies must be >= 1, got {n_energies}")
+        return self.scan(np.linspace(e_min, e_max, n_energies))
+
+    # ------------------------------------------------------------------
+
+    def _refine(
+        self, slices: List[EnergySlice], report: ScanReport
+    ) -> List[EnergySlice]:
+        pol = self.orch.refine
+        if not pol.enabled or len(slices) < 2:
+            return slices
+        solved: Set[float] = {s.energy for s in slices}
+        for _depth in range(pol.max_depth):
+            budget = pol.max_new_slices - len(report.refined_energies)
+            if budget <= 0:
+                break
+            mids: List[float] = []
+            for a, b in zip(slices, slices[1:]):
+                if b.energy - a.energy <= pol.min_de:
+                    continue
+                if not _slices_disagree(a, b, pol):
+                    continue
+                mid = 0.5 * (a.energy + b.energy)
+                if mid in solved:
+                    continue
+                mids.append(mid)
+                if len(mids) >= budget:
+                    break
+            if not mids:
+                break
+            spans = chunk_spans(len(mids), self.n_shards)
+            specs = [self._spec(mids[lo:hi]) for lo, hi in spans]
+            for shard_slices, stats in self._map_shards(specs):
+                slices.extend(shard_slices)
+                report.absorb(stats)
+            solved.update(mids)
+            report.refined_energies.extend(mids)
+            report.refine_rounds += 1
+            slices.sort(key=lambda s: s.energy)
+        return slices

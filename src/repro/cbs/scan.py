@@ -213,17 +213,34 @@ class CBSCalculator:
 
         Handles ``prev.count < N_rh`` by touching only the available
         columns (the eigenvector block is ``(N, count)``, never padded or
-        broadcast), and ``prev.count > N_rh`` by keeping the ``N_rh``
-        smallest-``|λ|`` vectors.
+        broadcast), and ``prev.count > N_rh`` (eigenvector surplus, e.g.
+        after the orchestrator shrinks ``N_rh`` between slices) by
+        keeping the ``N_rh`` vectors whose ``|λ|`` is closest to the unit
+        circle.  Those are the slowly-varying, physically dominant modes;
+        the previous truncation kept the *smallest*-``|λ|`` columns,
+        which silently dropped every growing mode (``|λ| > 1``) and
+        seeded the next slice with the fastest-decaying — least relevant
+        — directions.
         """
         n, n_rh = self.blocks.n, self.config.n_rh
         rng = default_rng(self.config.seed)
         v = complex_gaussian(rng, (n, n_rh))
-        count = min(int(prev.count), n_rh)
-        if count > 0:
+        count = int(prev.count)
+        if count > n_rh:
+            # |log|λ|| ranks distance from the unit circle symmetrically
+            # for decaying and growing modes; accepted eigenvalues lie in
+            # the ring so |λ| is bounded away from 0.
+            closeness = np.abs(np.log(np.abs(prev.eigenvalues)))
+            pick = np.argsort(closeness, kind="stable")[:n_rh]
+            vecs = np.array(prev.vectors[:, pick], copy=True)
+            count = n_rh
+        elif count > 0:
             vecs = np.array(prev.vectors[:, :count], copy=True)
+        if count > 0:
             lead = vecs[np.argmax(np.abs(vecs), axis=0), np.arange(count)]
-            phase = np.where(np.abs(lead) > 0.0, lead / np.abs(lead), 1.0)
+            mag = np.abs(lead)
+            safe = mag > 0.0
+            phase = np.where(safe, lead, 1.0) / np.where(safe, mag, 1.0)
             vecs = vecs / phase[None, :]
             # Match the random columns' scale (‖column‖ ≈ √N) so the
             # eigenvector directions carry real weight in the blend.
@@ -242,17 +259,12 @@ class CBSCalculator:
             slices = self._executor.map(self.solve_energy, energies)
             return CBSResult(list(slices), self.blocks.cell_length)
 
-        slices: List[EnergySlice] = []
-        prev: Optional[SSResult] = None
-        # A previous scan's cached solutions belong to a (possibly
-        # distant) unrelated energy — the adjacency premise only holds
-        # within this scan, so start cold.
-        self._solver.last_step1 = None
-        for energy in energies:
-            v = self._seed_v(prev) if prev is not None else None
-            warm = self._solver.last_step1
-            sl, prev = self._solve_energy_full(energy, v=v, warm=warm)
-            slices.append(sl)
+        # The warm chain lives in the orchestrator module so process
+        # shards, refinement passes, and this serial scan all run the
+        # exact same slice-to-slice seeding loop.
+        from repro.cbs.orchestrator import run_warm_chain
+
+        slices = run_warm_chain(self, energies)
         return CBSResult(slices, self.blocks.cell_length)
 
     def scan_window(
@@ -262,3 +274,22 @@ class CBSCalculator:
         if n_energies < 1:
             raise ValueError(f"n_energies must be >= 1, got {n_energies}")
         return self.scan(np.linspace(e_min, e_max, n_energies))
+
+    def orchestrated(self, orch=None) -> "ScanOrchestrator":
+        """An adaptive :class:`repro.cbs.orchestrator.ScanOrchestrator`
+        over the same blocks/config/tolerance — process sharding,
+        auto-tuned SS parameters, band-edge grid refinement, and the
+        persistent slice cache (see that module).
+
+        ``orch`` is an optional
+        :class:`repro.cbs.orchestrator.OrchestratorConfig`.
+        """
+        from repro.cbs.orchestrator import ScanOrchestrator
+
+        return ScanOrchestrator(
+            self.blocks,
+            self.config,
+            propagating_tol=self.propagating_tol,
+            warm_start=self.warm_start,
+            orch=orch,
+        )

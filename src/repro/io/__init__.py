@@ -1,12 +1,15 @@
-"""I/O: block-triple files, experiment records, paper-style tables."""
+"""I/O: block-triple files, slice cache, experiment records, tables."""
 
 from repro.io.matio import save_blocks, load_blocks
 from repro.io.results import ExperimentRecord, write_json, write_csv
+from repro.io.slice_cache import SliceCache, context_key
 from repro.io.tables import ascii_table
 
 __all__ = [
     "save_blocks",
     "load_blocks",
+    "SliceCache",
+    "context_key",
     "ExperimentRecord",
     "write_json",
     "write_csv",

@@ -1,0 +1,273 @@
+"""Persistent on-disk cache of solved CBS energy slices.
+
+A scan orchestrator run writes each finished :class:`EnergySlice` to a
+small ``.npz`` file keyed by the slice energy, inside a context
+directory keyed by a SHA-256 hash of everything that determines the
+physics of the answer:
+
+* the pencil blocks — sparsity structure and values of ``H−, H0, H+``
+  plus the cell length;
+* the Sakurai-Sugiura configuration (contour, subspace sizes, solver
+  strategy, tolerances, RNG seed);
+* the mode-classification tolerance.
+
+Repeated scans, adaptive refinement passes, and re-runs after a crash
+then skip every energy that is already solved.  Execution-only settings
+(executors, history recording, warm-start bookkeeping) are deliberately
+excluded from the key — they change how fast the answer arrives, not
+what it is.  When the orchestrator auto-tunes per-slice parameters the
+context is keyed on the *requested* base config: tuning is
+deterministic, so a rerun with the same request reproduces (and
+therefore may reuse) the same slices.
+
+Writes are atomic (temp file + ``os.replace``), and any unreadable or
+truncated entry is treated as a miss, so a crashed or concurrent run
+can never poison the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import tempfile
+from typing import List, Optional, TYPE_CHECKING
+
+import numpy as np
+import scipy.sparse as sp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an io→cbs cycle
+    from repro.cbs.scan import EnergySlice
+
+#: Bump when the on-disk slice layout changes; old entries become misses.
+FORMAT_VERSION = 1
+
+#: Stable integer codes for ModeType values (never reorder).
+_MODE_CODES = {
+    "propagating": 0,
+    "evanescent-decaying": 1,
+    "evanescent-growing": 2,
+}
+_CODE_MODES = {v: k for k, v in _MODE_CODES.items()}
+
+#: SSConfig fields that determine the computed modes.  Execution-only
+#: fields (executor, record_history, keep_step1_solutions,
+#: lu_ordering_cache) are excluded on purpose.
+_PHYSICS_FIELDS = (
+    "n_int",
+    "n_mm",
+    "n_rh",
+    "delta",
+    "lambda_min",
+    "ring_radii",
+    "linear_solver",
+    "direct_threshold",
+    "bicg_tol",
+    "bicg_maxiter",
+    "use_dual_trick",
+    "quorum_fraction",
+    "jacobi",
+    "residual_tol",
+    "annulus_margin",
+    "seed",
+)
+
+
+def _hash_matrix(h, m) -> None:
+    if sp.issparse(m):
+        csr = m.tocsr()
+        h.update(b"sparse")
+        h.update(np.asarray(csr.shape, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(csr.indptr).tobytes())
+        h.update(np.ascontiguousarray(csr.indices).tobytes())
+        h.update(np.ascontiguousarray(csr.data).tobytes())
+    else:
+        a = np.ascontiguousarray(np.asarray(m))
+        h.update(b"dense")
+        h.update(np.asarray(a.shape, dtype=np.int64).tobytes())
+        h.update(a.tobytes())
+
+
+def context_key(
+    blocks, config, propagating_tol: float = 1e-6, extra=None
+) -> str:
+    """Hash of (pencil blocks, SS config, classification tolerance).
+
+    ``extra`` folds any additional answer-affecting context into the key
+    (the orchestrator passes its tuning policy: a tuned and an untuned
+    run solve slices under different effective parameters and must not
+    share cache entries).  It is hashed by ``repr``, so pass something
+    with a stable, value-based repr (e.g. a frozen dataclass).
+    """
+    h = hashlib.sha256()
+    h.update(b"cbs-slice-cache-v%d" % FORMAT_VERSION)
+    for m in (blocks.hm, blocks.h0, blocks.hp):
+        _hash_matrix(h, m)
+    h.update(struct.pack("<d", float(blocks.cell_length)))
+    fields = tuple(
+        (name, getattr(config, name)) for name in _PHYSICS_FIELDS
+    )
+    h.update(repr(fields).encode("utf-8"))
+    h.update(struct.pack("<d", float(propagating_tol)))
+    if extra is not None:
+        h.update(repr(extra).encode("utf-8"))
+    return h.hexdigest()[:24]
+
+
+def _energy_key(energy: float) -> str:
+    """Exact (bit-level) file key for an energy."""
+    return np.float64(energy).tobytes().hex()
+
+
+class SliceCache:
+    """Directory-backed cache of :class:`EnergySlice` objects.
+
+    Parameters
+    ----------
+    root:
+        Cache root directory (created on demand).  Different contexts
+        (models, configs) live in disjoint subdirectories and never
+        collide.
+    context:
+        A precomputed :func:`context_key`.  Pass either this or the
+        ``blocks``/``config`` pair.
+    blocks, config, propagating_tol:
+        Convenience: compute the context key in the constructor.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        context: Optional[str] = None,
+        blocks=None,
+        config=None,
+        propagating_tol: float = 1e-6,
+    ) -> None:
+        if context is None:
+            if blocks is None or config is None:
+                raise ValueError(
+                    "SliceCache needs either a context key or "
+                    "blocks + config to derive one"
+                )
+            context = context_key(blocks, config, propagating_tol)
+        self.root = os.fspath(root)
+        self.context = context
+        self.dir = os.path.join(self.root, context)
+        os.makedirs(self.dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, energy: float) -> str:
+        return os.path.join(self.dir, f"slice_{_energy_key(energy)}.npz")
+
+    def __contains__(self, energy: float) -> bool:
+        return os.path.exists(self.path_for(energy))
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1
+                for name in os.listdir(self.dir)
+                if name.startswith("slice_") and name.endswith(".npz")
+            )
+        except OSError:
+            return 0
+
+    def energies(self) -> List[float]:
+        """Energies currently cached in this context (ascending)."""
+        out = []
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            return out
+        for name in names:
+            if name.startswith("slice_") and name.endswith(".npz"):
+                try:
+                    raw = bytes.fromhex(name[len("slice_"):-len(".npz")])
+                    out.append(float(np.frombuffer(raw, dtype=np.float64)[0]))
+                except (ValueError, IndexError):
+                    continue
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+
+    def put(self, sl: "EnergySlice") -> str:
+        """Atomically persist one slice; returns the file path."""
+        modes = sl.modes
+        data = dict(
+            version=np.int64(FORMAT_VERSION),
+            energy=np.float64(sl.energy),
+            total_iterations=np.int64(sl.total_iterations),
+            solve_seconds=np.float64(sl.solve_seconds),
+            lam=np.array([m.lam for m in modes], dtype=np.complex128),
+            k=np.array([m.k for m in modes], dtype=np.complex128),
+            mode_type=np.array(
+                [_MODE_CODES[m.mode_type.value] for m in modes],
+                dtype=np.int8,
+            ),
+            decay_length=np.array(
+                [m.decay_length for m in modes], dtype=np.float64
+            ),
+            residual=np.array([m.residual for m in modes], dtype=np.float64),
+        )
+        path = self.path_for(sl.energy)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".slice_", suffix=".tmp", dir=self.dir
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get(self, energy: float) -> Optional["EnergySlice"]:
+        """Load a cached slice, or ``None`` on a miss (including any
+        corrupt/partial/foreign-format entry)."""
+        from repro.cbs.classify import CBSMode, ModeType
+        from repro.cbs.scan import EnergySlice
+
+        path = self.path_for(energy)
+        try:
+            with np.load(path) as npz:
+                if int(npz["version"]) != FORMAT_VERSION:
+                    return None
+                e = float(npz["energy"])
+                lam = npz["lam"]
+                k = npz["k"]
+                codes = npz["mode_type"]
+                decay = npz["decay_length"]
+                residual = npz["residual"]
+                total_iterations = int(npz["total_iterations"])
+                solve_seconds = float(npz["solve_seconds"])
+        except (OSError, KeyError, ValueError, EOFError):
+            return None
+        except Exception:
+            # zipfile.BadZipFile and friends from torn writes.
+            return None
+        try:
+            modes = [
+                CBSMode(
+                    e,
+                    complex(lam[i]),
+                    complex(k[i]),
+                    ModeType(_CODE_MODES[int(codes[i])]),
+                    float(decay[i]),
+                    float(residual[i]),
+                )
+                for i in range(lam.shape[0])
+            ]
+        except (KeyError, IndexError, ValueError):
+            return None
+        return EnergySlice(
+            e,
+            modes,
+            total_iterations=total_iterations,
+            solve_seconds=solve_seconds,
+        )

@@ -19,11 +19,41 @@ time-sliced shards cannot share the lockstep quorum rule soundly).
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def chunk_spans(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` spans splitting ``range(n_items)`` into at
+    most ``n_chunks`` near-equal chunks (larger chunks first).
+
+    The chunked process map pattern: a caller shards its work list with
+    these spans, ships one picklable payload per chunk, and merges the
+    per-chunk results back in input order.  Empty spans are never
+    produced; fewer than ``n_chunks`` spans come back when there are
+    fewer items than chunks.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    k = min(n_chunks, n_items)
+    if k == 0:
+        return []
+    base, extra = divmod(n_items, k)
+    spans: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(k):
+        hi = lo + base + (1 if i < extra else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
 
 
 class SerialExecutor:
@@ -85,8 +115,29 @@ class ProcessExecutor:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         if self.workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        self._check_picklable(fn)
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             return list(pool.map(fn, items))
+
+    @staticmethod
+    def _check_picklable(fn: Callable) -> None:
+        """Fail fast with an actionable message instead of the opaque
+        ``PicklingError`` traceback the pool would raise mid-map.
+
+        Lambdas, closures, and functions defined inside other functions
+        cannot cross a process boundary; bound methods can, as long as
+        the instance itself pickles.
+        """
+        try:
+            pickle.dumps(fn)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"ProcessExecutor.map requires a picklable callable "
+                f"(module-level function or bound method of a picklable "
+                f"object); got {fn!r}. Move the function to module scope "
+                f"or use a thread/serial executor. Pickling failed with: "
+                f"{exc}"
+            ) from exc
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessExecutor(workers={self.workers})"

@@ -51,3 +51,19 @@ def get_step1_strategy(name: str) -> Callable:
 def available_strategies() -> Tuple[str, ...]:
     """Names of all registered strategies, sorted."""
     return tuple(sorted(_STRATEGIES))
+
+
+def resolve_strategy(name: str, n: int, direct_threshold: int = 6000) -> str:
+    """Resolve a strategy spec to a concrete registered name.
+
+    ``"auto"`` picks by problem size: sparse direct factorization up to
+    ``direct_threshold`` unknowns, the batched matrix-free engine above
+    it.  Concrete names pass through after a registry existence check
+    (raising the registry's descriptive ``KeyError`` on a miss), so a
+    per-slice config can be resolved once and then dispatched repeatedly
+    without re-deciding.
+    """
+    if name == "auto":
+        return "direct" if n <= direct_threshold else "bicg-batched"
+    get_step1_strategy(name)
+    return name

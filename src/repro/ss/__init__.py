@@ -3,7 +3,7 @@
 from repro.ss.contour import CircleContour, AnnulusContour, QuadraturePoint
 from repro.ss.moments import MomentAccumulator
 from repro.ss.hankel import HankelExtraction, extract_eigenpairs
-from repro.ss.solver import SSConfig, SSHankelSolver, SSResult
+from repro.ss.solver import RankProbe, SSConfig, SSHankelSolver, SSResult
 from repro.ss.rayleigh_ritz import ss_rayleigh_ritz
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "MomentAccumulator",
     "HankelExtraction",
     "extract_eigenpairs",
+    "RankProbe",
     "SSConfig",
     "SSHankelSolver",
     "SSResult",

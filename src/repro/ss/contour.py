@@ -87,6 +87,18 @@ class CircleContour:
     def contains(self, lam: complex) -> bool:
         return abs(complex(lam) - self.center) < self.radius
 
+    def integrate(self, f, k: int = 0) -> complex:
+        """Quadrature approximation of ``(1/2πi) ∮ z^k f(z) dz`` (CCW).
+
+        ``f`` is a scalar callable evaluated at the nodes.  For a
+        rational ``f`` with poles away from the circle this converges
+        spectrally (error ``~ ρ^{N_int}`` with ``ρ`` the pole's radial
+        distance ratio), which is what the moment-exactness tests pin.
+        """
+        return complex(sum(
+            w * z**k * f(z) for z, w in zip(self.nodes(), self.weights())
+        ))
+
     def spectral_filter(self, lam: np.ndarray) -> np.ndarray:
         """Trapezoidal approximation of the indicator ``1_{inside}(λ)``.
 
@@ -140,8 +152,18 @@ class AnnulusContour:
 
     @property
     def is_reciprocal(self) -> bool:
-        """Whether ``r_out = 1/r_in`` (dual pairing available)."""
-        return abs(self.r_in * self.r_out - 1.0) < 1e-12
+        """Whether ``r_out = 1/r_in`` (dual pairing available).
+
+        A non-reciprocal ring is perfectly legal for the quadrature —
+        the outer/inner weights and signs integrate the Cauchy kernel
+        for any ``0 < r_in < r_out`` — but the inner-circle dual-node
+        shortcut (paper §3.2) rests on ``z^{(2)}_j = 1/conj(z^{(1)}_j)``
+        and MUST be disabled, which every consumer checks through this
+        property (``dual_pairs`` refuses outright).
+        """
+        return abs(self.r_in * self.r_out - 1.0) < 1e-12 * max(
+            1.0, self.r_in * self.r_out
+        )
 
     @property
     def outer(self) -> CircleContour:
@@ -199,6 +221,15 @@ class AnnulusContour:
     def spectral_filter(self, lam: np.ndarray) -> np.ndarray:
         """Approximate ring indicator: outer filter minus inner filter."""
         return self.outer.spectral_filter(lam) - self.inner.spectral_filter(lam)
+
+    def integrate(self, f, k: int = 0) -> complex:
+        """Quadrature approximation of ``(1/2πi) ∮ z^k f(z) dz`` over the
+        annulus boundary (outer CCW minus inner CCW) — exactly the sum
+        the moment accumulator computes, so a rational-integrand test of
+        this method is a test of the moments' weight/sign handling."""
+        return complex(sum(
+            pt.sign * pt.weight * pt.z**k * f(pt.z) for pt in self.points()
+        ))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -49,6 +49,8 @@ class MomentAccumulator:
             (2 * self.n_mm, self.n_rh, self.n_rh), dtype=np.complex128
         )
         self._points_added = 0
+        self._gross_scale = 0.0
+        self._v_norm = float(np.linalg.norm(v))
 
     def add(self, z: complex, weight: complex, y: np.ndarray,
             sign: float = 1.0) -> None:
@@ -65,6 +67,13 @@ class MomentAccumulator:
             )
         z = complex(z)
         coeff = sign * complex(weight)
+        # Gross (cancellation-free) scale of the accumulation: an upper
+        # bound on how large the moments could be if nothing cancelled.
+        # The quadrature of an *empty* contour cancels to machine noise
+        # relative to this scale, which is what the noise-floor rank
+        # diagnostics compare against.
+        zmax = max(1.0, abs(z)) ** (2 * self.n_mm - 1)
+        self._gross_scale += abs(coeff) * zmax * float(np.linalg.norm(y))
         vhy = self.v.conj().T @ y  # N_rh × N_rh, computed once per node
         zk = 1.0 + 0.0j
         for k in range(2 * self.n_mm):
@@ -78,6 +87,27 @@ class MomentAccumulator:
     @property
     def points_added(self) -> int:
         return self._points_added
+
+    @property
+    def gross_scale(self) -> float:
+        """Cancellation-free bound ``Σ_j max(1,|z_j|)^{2N_mm-1} |ω_j| ‖Y_j‖``."""
+        return self._gross_scale
+
+    @property
+    def v_norm(self) -> float:
+        """Frobenius norm of the source block ``V``."""
+        return self._v_norm
+
+    def noise_floor(self) -> float:
+        """Magnitude below which a Hankel singular value is numerically
+        indistinguishable from quadrature-cancellation noise.
+
+        ``|µ̂_k| ≤ ‖V‖ · gross_scale`` entrywise, so a top singular value
+        many orders below that bound means the contour integral cancelled
+        — a spectrally empty ring — rather than a small true moment.  The
+        ``1e3`` cushion absorbs the matrix-size factors.
+        """
+        return 1e3 * np.finfo(np.float64).eps * self._v_norm * self._gross_scale
 
     def stacked_s(self) -> np.ndarray:
         """``Ŝ = [Ŝ_0, Ŝ_1, …, Ŝ_{N_mm-1}]`` as an ``N × (N_rh N_mm)`` matrix."""

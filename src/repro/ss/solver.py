@@ -35,8 +35,8 @@ hardware-width parallelism out of them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,11 +51,12 @@ from repro.solvers.preconditioners import jacobi_preconditioner
 from repro.solvers.registry import (
     available_strategies,
     get_step1_strategy,
+    resolve_strategy,
     step1_strategy,
 )
 from repro.solvers.stopping import QuorumController, ResidualRule, StopReason
 from repro.ss.contour import AnnulusContour
-from repro.ss.hankel import extract_eigenpairs
+from repro.ss.hankel import build_hankel_pair, extract_eigenpairs
 from repro.ss.moments import MomentAccumulator
 from repro.utils.memory import MemoryReport
 from repro.utils.rng import complex_gaussian, default_rng
@@ -82,6 +83,11 @@ class SSConfig:
     lambda_min:
         Ring radius parameter: the target annulus is
         ``λ_min < |λ| < 1/λ_min``.
+    ring_radii:
+        Optional explicit ``(r_in, r_out)`` annulus radii overriding the
+        reciprocal ``λ_min`` ring.  A non-reciprocal ring is handled
+        correctly — the inner-circle dual-node shortcut is disabled and
+        all ``2 N_int`` systems are solved explicitly.
     linear_solver:
         A Step-1 strategy name from the solver registry — ``"direct"``
         (sparse LU), ``"bicg"`` (the paper's iterative path, one task
@@ -130,6 +136,7 @@ class SSConfig:
     n_rh: int = 16
     delta: float = 1e-10
     lambda_min: float = 0.5
+    ring_radii: Optional[Tuple[float, float]] = None
     linear_solver: str = "auto"
     direct_threshold: int = 6000
     bicg_tol: float = 1e-10
@@ -158,6 +165,21 @@ class SSConfig:
             raise ConfigurationError(
                 f"lambda_min must be in (0,1), got {self.lambda_min}"
             )
+        if self.ring_radii is not None:
+            try:
+                r_in, r_out = (float(r) for r in self.ring_radii)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"ring_radii must be a (r_in, r_out) pair of numbers, "
+                    f"got {self.ring_radii!r}"
+                ) from None
+            if not 0 < r_in < r_out:
+                raise ConfigurationError(
+                    f"ring_radii needs 0 < r_in < r_out, got {self.ring_radii}"
+                )
+            object.__setattr__(
+                self, "ring_radii", (float(r_in), float(r_out))
+            )
         known = {"auto", *available_strategies()}
         if self.linear_solver not in known:
             raise ConfigurationError(
@@ -174,6 +196,29 @@ class SSConfig:
     def subspace_capacity(self) -> int:
         """Maximum extractable eigenpair count ``N_rh × N_mm``."""
         return self.n_rh * self.n_mm
+
+    def make_contour(self) -> AnnulusContour:
+        """The integration ring this config describes (explicit radii
+        when ``ring_radii`` is set, the reciprocal ``λ_min`` ring
+        otherwise)."""
+        if self.ring_radii is not None:
+            return AnnulusContour(
+                self.ring_radii[0], self.ring_radii[1], self.n_int
+            )
+        return AnnulusContour.from_lambda_min(self.lambda_min, self.n_int)
+
+    def resolved(self, n: int) -> "SSConfig":
+        """A per-slice resolvable copy: ``"auto"`` collapsed to the
+        concrete Step-1 strategy for problem size ``n``.
+
+        The scan orchestrator resolves once per slice/shard so cache
+        keys, reports, and re-solves all name the strategy that actually
+        ran instead of the placeholder.
+        """
+        name = resolve_strategy(self.linear_solver, n, self.direct_threshold)
+        if name == self.linear_solver:
+            return self
+        return replace(self, linear_solver=name)
 
 
 @dataclass
@@ -210,6 +255,9 @@ class SSResult:
     phase_times: PhaseTimes
     memory: MemoryReport
     linear_solver: str
+    #: Magnitude below which Hankel singular values are quadrature-
+    #: cancellation noise (see :meth:`MomentAccumulator.noise_floor`).
+    noise_floor: float = 0.0
 
     @property
     def count(self) -> int:
@@ -218,6 +266,36 @@ class SSResult:
     def total_iterations(self) -> int:
         """Sum of BiCG iterations over all quadrature points/RHS."""
         return sum(p.iterations for p in self.point_stats)
+
+    def effective_rank(self) -> int:
+        """Hankel rank with sub-noise spectra flattened to zero.
+
+        The relative-``δ`` rank of a spectrally *empty* ring is
+        meaningless — the whole singular spectrum is quadrature-
+        cancellation noise, which decays slowly and can mimic a
+        saturated subspace.  Any spectrum whose top singular value sits
+        below :attr:`noise_floor` therefore counts as rank zero.
+        """
+        s = self.singular_values
+        if s.size == 0 or s[0] <= self.noise_floor:
+            return 0
+        return int(self.rank)
+
+    def hankel_saturation(self) -> float:
+        """Fraction of the Hankel capacity the numerical rank occupies.
+
+        ``effective_rank / (N_rh N_mm)`` ∈ [0, 1].  Near 1 the subspace
+        is saturated — the moments carry at least as many directions as
+        the Hankel pair can represent, so eigenvalues inside the ring
+        may have been missed and the orchestrator should grow ``N_mm``/
+        ``N_rh`` and re-solve.  Well below 1 there is a clean
+        singular-value gap and the count is trustworthy (paper's
+        automatic eigenvalue-count property).
+        """
+        capacity = int(self.singular_values.size)
+        if capacity == 0:
+            return 0.0
+        return float(self.effective_rank()) / float(capacity)
 
     def complex_k(self, cell_length: float) -> np.ndarray:
         """Accepted eigenvalues as complex wave numbers ``k = -i ln λ / a``.
@@ -231,6 +309,41 @@ class SSResult:
             return np.empty(0, dtype=np.complex128)
         with np.errstate(divide="ignore", invalid="ignore"):
             return -1j * np.log(lam) / cell_length
+
+
+@dataclass(frozen=True)
+class RankProbe:
+    """Result of a cheap stochastic rank probe of the moment matrices.
+
+    Attributes
+    ----------
+    rank:
+        Numerical rank of the probe Hankel matrix at the config's ``δ``.
+    capacity:
+        Probe subspace capacity ``n_rh × n_mm``; ``rank`` close to
+        ``capacity`` means the probe itself saturated and the true mode
+        count is only bounded below by ``rank``.
+    singular_values:
+        Full probe Hankel singular-value spectrum (diagnostic).
+    n_rh, n_mm, n_int:
+        The probe's actual parameters.
+    """
+
+    rank: int
+    capacity: int
+    singular_values: np.ndarray
+    n_rh: int
+    n_mm: int
+    n_int: int
+    noise_floor: float = 0.0
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the probe hit its own capacity (count untrustworthy)."""
+        return self.capacity > 0 and self.rank >= self.capacity
+
+    def saturation(self) -> float:
+        return self.rank / self.capacity if self.capacity else 0.0
 
 
 class SSHankelSolver:
@@ -288,7 +401,7 @@ class SSHankelSolver:
         cfg = self.config
         times = PhaseTimes()
         pencil = QuadraticPencil(self.blocks, energy)
-        contour = AnnulusContour.from_lambda_min(cfg.lambda_min, cfg.n_int)
+        contour = cfg.make_contour()
 
         if v is None:
             rng = default_rng(cfg.seed)
@@ -367,6 +480,7 @@ class SSHankelSolver:
             phase_times=times,
             memory=memory,
             linear_solver=solver_kind,
+            noise_floor=acc.noise_floor(),
         )
 
     def _empty_result(
@@ -390,6 +504,62 @@ class SSHankelSolver:
             phase_times=times,
             memory=self._memory_report(acc, 0),
             linear_solver=solver_kind,
+            noise_floor=acc.noise_floor(),
+        )
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def rank_probe(
+        self,
+        energy: float,
+        *,
+        n_rh: int = 2,
+        n_mm: Optional[int] = None,
+        n_int: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> RankProbe:
+        """Cheap stochastic estimate of the moment-matrix rank at ``energy``.
+
+        Runs Steps 1–2 with a narrow random source block (``n_rh``
+        columns, default 2) and reports the numerical rank of the
+        resulting block Hankel matrix — an estimate of the eigenvalue
+        count inside the ring at roughly ``n_rh / N_rh`` of a full
+        solve's Step-1 cost.  The orchestrator uses it to pre-size
+        ``N_mm``/``N_rh`` before committing to a full scan: generic
+        random blocks excite every eigendirection, so for eigenvalues of
+        geometric multiplicity ≤ ``n_rh`` the probe rank equals the true
+        count whenever it stays below the probe capacity (check
+        :attr:`RankProbe.saturated`).
+        """
+        cfg = self.config
+        probe_cfg = replace(
+            cfg,
+            n_rh=int(n_rh),
+            n_mm=int(n_mm) if n_mm is not None else cfg.n_mm,
+            n_int=int(n_int) if n_int is not None else cfg.n_int,
+            record_history=False,
+            keep_step1_solutions=False,
+            seed=cfg.seed if seed is None else seed,
+        )
+        probe = SSHankelSolver(self.blocks, probe_cfg, validate=False)
+        _, _, acc, _, _, _ = probe.compute_moments(energy)
+        _, t = build_hankel_pair(acc.mu, probe_cfg.n_mm)
+        sing = np.linalg.svd(t, compute_uv=False)
+        floor = acc.noise_floor()
+        if sing.size == 0 or sing[0] <= floor:
+            rank = 0  # spectrally empty: all noise, no true moments
+        else:
+            rank = int(np.count_nonzero(sing > probe_cfg.delta * sing[0]))
+        return RankProbe(
+            rank=rank,
+            capacity=probe_cfg.subspace_capacity,
+            singular_values=sing,
+            n_rh=probe_cfg.n_rh,
+            n_mm=probe_cfg.n_mm,
+            n_int=probe_cfg.n_int,
+            noise_floor=floor,
         )
 
     # ------------------------------------------------------------------
@@ -398,11 +568,9 @@ class SSHankelSolver:
 
     def _pick_solver(self) -> str:
         cfg = self.config
-        if cfg.linear_solver != "auto":
-            return cfg.linear_solver
-        if self.blocks.n <= cfg.direct_threshold:
-            return "direct"
-        return "bicg-batched"
+        return resolve_strategy(
+            cfg.linear_solver, self.blocks.n, cfg.direct_threshold
+        )
 
     def _use_dual(self, pencil: QuadraticPencil, contour: AnnulusContour) -> bool:
         return (

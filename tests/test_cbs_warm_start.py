@@ -92,6 +92,54 @@ def test_seed_v_shape_guard():
         assert not np.allclose(v[:, :k], ref[:, :k])
 
 
+def test_seed_v_eigenvector_surplus():
+    """``count > N_rh`` (eigenvector surplus): the seed must keep its
+    ``(N, N_rh)`` shape and select the ``N_rh`` modes *closest to the
+    unit circle* — the regression this pins: the old truncation took the
+    first (smallest-``|λ|``) columns, silently dropping every growing
+    mode and seeding from the fastest-decaying, least relevant ones."""
+    blocks, _ = commuting_bulk_triple(6, mu_range=(-8, 8), seed=4)
+    cfg = SSConfig(n_int=24, n_mm=8, n_rh=2, seed=3, linear_solver="direct")
+    calc = CBSCalculator(blocks, cfg, warm_start=True)
+    _, res = calc._solve_energy_full(0.0)
+    assert res.count > cfg.n_rh  # the surplus case under test
+    mags = np.abs(res.eigenvalues)
+    assert mags.min() < 0.6 and mags.max() > 1.7  # both tails present
+
+    v = calc._seed_v(res)
+    assert v.shape == (blocks.n, cfg.n_rh)
+    assert np.all(np.isfinite(v))
+
+    # Reconstruct the expected blend from the unit-circle-closest picks.
+    from repro.utils.rng import complex_gaussian, default_rng
+
+    ref = complex_gaussian(default_rng(cfg.seed), (blocks.n, cfg.n_rh))
+    pick = np.argsort(np.abs(np.log(mags)), kind="stable")[: cfg.n_rh]
+    vecs = np.array(res.vectors[:, pick], copy=True)
+    lead = vecs[np.argmax(np.abs(vecs), axis=0), np.arange(cfg.n_rh)]
+    vecs = vecs / (lead / np.abs(lead))[None, :]
+    expected = (ref + np.sqrt(blocks.n) * vecs) / np.sqrt(2.0)
+    np.testing.assert_allclose(v, expected, rtol=0, atol=1e-14)
+
+    # and none of the selected modes is a |λ|-extreme one
+    assert np.all(np.abs(np.log(mags[pick])) <= np.abs(np.log(mags)).max())
+    assert set(pick) != {0, 1}  # not simply "the two smallest |λ|"
+
+
+def test_warm_scan_with_surplus_matches_cold():
+    """End to end: a scan whose slices accept more modes than N_rh must
+    still reproduce the cold scan's mode sets."""
+    blocks, _ = commuting_bulk_triple(6, mu_range=(-8, 8), seed=4)
+    cfg = SSConfig(n_int=24, n_mm=8, n_rh=2, seed=3, linear_solver="direct")
+    cold, warm = _scan_pair(blocks, cfg, -0.6, 0.6, 7)
+    assert (cold.mode_counts() > cfg.n_rh).any()
+    assert (cold.mode_counts() == warm.mode_counts()).all()
+    for sc, sw in zip(cold.slices, warm.slices):
+        if sc.count:
+            assert match_error(sw.lambdas(), sc.lambdas()) < 1e-8
+            assert match_error(sc.lambdas(), sw.lambdas()) < 1e-8
+
+
 def test_seed_v_empty_previous_slice():
     """A gap slice (zero accepted modes) seeds the plain random block."""
     chain = MonatomicChain(hopping=-1.0)

@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.parallel.executor import (
     ProcessExecutor,
     SerialExecutor,
+    chunk_spans,
     make_executor,
 )
 
@@ -33,6 +35,43 @@ def test_make_executor_processes():
     assert isinstance(make_executor("processes"), ProcessExecutor)
     assert isinstance(make_executor(("processes", 3)), ProcessExecutor)
     assert isinstance(make_executor(("processes", 1)), SerialExecutor)
+
+
+def test_process_executor_rejects_unpicklable_callable():
+    """A lambda (or closure) cannot cross the process boundary; the map
+    must fail with an actionable ConfigurationError *before* the pool
+    raises its opaque PicklingError mid-iteration."""
+    ex = ProcessExecutor(2)
+    with pytest.raises(ConfigurationError, match="picklable"):
+        ex.map(lambda x: x + 1, [1, 2, 3])
+
+    def local_fn(x):  # non-module-level: same failure mode
+        return x
+
+    with pytest.raises(ConfigurationError, match="module scope"):
+        ex.map(local_fn, [1, 2, 3])
+
+
+def test_process_executor_inline_paths_stay_permissive():
+    """The single-worker / single-item fast paths never pickle, so
+    unpicklable callables remain fine there."""
+    assert ProcessExecutor(1).map(lambda x: x + 1, [1, 2]) == [2, 3]
+    assert ProcessExecutor(4).map(lambda x: x * 3, [5]) == [15]
+
+
+def test_chunk_spans_cover_and_balance():
+    assert chunk_spans(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+    assert chunk_spans(3, 8) == [(0, 1), (1, 2), (2, 3)]
+    assert chunk_spans(0, 3) == []
+    assert chunk_spans(7, 1) == [(0, 7)]
+    spans = chunk_spans(113, 16)
+    assert spans[0][0] == 0 and spans[-1][1] == 113
+    assert all(hi > lo for lo, hi in spans)
+    assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+    sizes = [hi - lo for lo, hi in spans]
+    assert max(sizes) - min(sizes) <= 1
+    with pytest.raises(ValueError):
+        chunk_spans(5, 0)
 
 
 def test_cbs_scan_with_processes():

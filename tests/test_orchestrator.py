@@ -1,0 +1,304 @@
+"""Adaptive scan orchestrator: sharding, auto-tuning, refinement, cache.
+
+The tentpole contracts:
+
+* a process-sharded scan reproduces the serial warm-started scan's
+  modes (to solver noise, far below 1e-8);
+* the auto-tuner recovers modes a fixed undersized subspace silently
+  loses, and cheapens the quadrature in spectrally quiet windows;
+* adaptive refinement inserts slices at a band edge the uniform grid
+  straddles;
+* a rerun over a warm slice cache does zero solves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cbs import CBSCalculator
+from repro.cbs.orchestrator import (
+    OrchestratorConfig,
+    RefinePolicy,
+    ScanOrchestrator,
+    TuningPolicy,
+    _grow_size,
+    run_warm_chain,
+)
+from repro.io.slice_cache import SliceCache
+from repro.models.ladder import TransverseLadder
+from repro.ss.solver import SSConfig
+
+from tests.conftest import match_error
+
+LADDER = TransverseLadder(width=4)
+CFG = SSConfig(n_int=16, n_mm=4, n_rh=4, seed=7, linear_solver="direct")
+# Grid chosen to avoid measure-zero energies where |λ| lands exactly on
+# a ring radius (there, acceptance is floating-point jitter by nature).
+GRID = np.linspace(-1.93, 1.93, 9)
+
+
+def _plain(executor=None, **kw):
+    """Orchestrator config with all adaptivity off unless overridden."""
+    base = dict(
+        executor=executor,
+        tuning=TuningPolicy(enabled=False),
+        refine=RefinePolicy(enabled=False),
+    )
+    base.update(kw)
+    return OrchestratorConfig(**base)
+
+
+def _modes_match(a, b, tol):
+    assert (a.mode_counts() == b.mode_counts()).all()
+    for sa, sb in zip(a.slices, b.slices):
+        assert sa.energy == sb.energy
+        if sa.count:
+            assert match_error(sa.lambdas(), sb.lambdas()) < tol
+            assert match_error(sb.lambdas(), sa.lambdas()) < tol
+
+
+# -- sharding ------------------------------------------------------------------
+
+
+def test_serial_orchestrator_equals_warm_calculator():
+    """One serial shard runs the identical warm chain as the scan API."""
+    ref = CBSCalculator(LADDER.blocks(), CFG, warm_start=True).scan(GRID)
+    scan = ScanOrchestrator(LADDER.blocks(), CFG, orch=_plain()).scan(GRID)
+    _modes_match(ref, scan.result, 1e-12)
+    assert scan.report.n_shards == 1
+    assert scan.report.solves == len(GRID)
+
+
+def test_process_sharded_scan_matches_serial_warm():
+    """The acceptance contract: process shards (chunk-local warm chains,
+    cold boundaries) match the fully serial warm scan to 1e-8."""
+    ref = CBSCalculator(LADDER.blocks(), CFG, warm_start=True).scan(GRID)
+    orc = ScanOrchestrator(
+        LADDER.blocks(), CFG, orch=_plain(executor=("processes", 2))
+    )
+    scan = orc.scan(GRID)
+    assert scan.report.n_shards == 2
+    _modes_match(ref, scan.result, 1e-8)
+
+
+def test_thread_and_int_executor_specs():
+    ref = CBSCalculator(LADDER.blocks(), CFG, warm_start=True).scan(GRID)
+    for spec in ["threads", 2]:
+        scan = ScanOrchestrator(
+            LADDER.blocks(), CFG, orch=_plain(executor=spec)
+        ).scan(GRID)
+        _modes_match(ref, scan.result, 1e-8)
+
+
+def test_scan_window_and_dedup():
+    scan = ScanOrchestrator(LADDER.blocks(), CFG, orch=_plain()).scan_window(
+        -1.0, 1.0, 5
+    )
+    assert [s.energy for s in scan.result.slices] == sorted(
+        np.linspace(-1.0, 1.0, 5)
+    )
+    # duplicate energies collapse to one slice
+    scan2 = ScanOrchestrator(LADDER.blocks(), CFG, orch=_plain()).scan(
+        [0.3, 0.3, -0.4]
+    )
+    assert [s.energy for s in scan2.result.slices] == [-0.4, 0.3]
+
+
+def test_run_warm_chain_is_scan_warm_path():
+    calc = CBSCalculator(LADDER.blocks(), CFG, warm_start=True)
+    chain = run_warm_chain(calc, list(GRID))
+    ref = CBSCalculator(LADDER.blocks(), CFG, warm_start=True).scan(GRID)
+    for sl, sr in zip(chain, ref.slices):
+        assert sl.count == sr.count
+
+
+# -- auto-tuning ---------------------------------------------------------------
+
+
+def test_autotune_recovers_saturated_subspace():
+    """capacity 4 < 16 ring modes: the fixed config silently loses every
+    mode; the tuner probes, grows, and finds them all."""
+    lad = TransverseLadder(width=8)
+    small = SSConfig(n_int=24, n_mm=2, n_rh=2, seed=7, linear_solver="direct")
+    expected = lad.count_in_annulus(0.0, 0.5, 2.0)
+    assert expected == 16
+
+    fixed = CBSCalculator(lad.blocks(), small).scan([0.0])
+    assert fixed.slices[0].count < expected  # the failure being fixed
+
+    scan = ScanOrchestrator(
+        lad.blocks(), small, orch=_plain(tuning=TuningPolicy())
+    ).scan([0.0])
+    assert scan.result.slices[0].count == expected
+    stats = scan.report.shards[0]
+    assert stats.final_n_mm * stats.final_n_rh >= expected
+    exact = lad.analytic_lambdas(0.0)
+    ring = exact[(np.abs(exact) > 0.5) & (np.abs(exact) < 2.0)]
+    assert match_error(scan.result.slices[0].lambdas(), ring) < 1e-8
+
+
+def test_quiet_window_shrinks_n_int():
+    """A spectrally empty window halves the quadrature and never
+    retunes (leakage of out-of-ring eigenvalues must not look like
+    spectrum)."""
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=32, n_mm=2, n_rh=2, seed=7, linear_solver="direct")
+    scan = ScanOrchestrator(
+        lad.blocks(), cfg, orch=_plain(tuning=TuningPolicy())
+    ).scan(np.linspace(8.0, 9.0, 6))
+    assert (scan.result.mode_counts() == 0).all()
+    assert scan.report.retunes == 0
+    assert scan.report.solves == 6
+    assert scan.report.shards[0].final_n_int == 16
+    assert scan.report.shards[0].probe_rank == 0
+
+
+def test_quiet_shrink_restores_when_spectrum_returns():
+    """Scanning from a hard gap into a band: the shrunk contour is
+    restored (with a re-solve) and no slice loses modes."""
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=32, n_mm=3, n_rh=4, seed=7, linear_solver="direct")
+    grid = np.linspace(-4.87, -1.03, 9)
+    ref = CBSCalculator(lad.blocks(), cfg, warm_start=True).scan(grid)
+    scan = ScanOrchestrator(
+        lad.blocks(), cfg, orch=_plain(tuning=TuningPolicy())
+    ).scan(grid)
+    _modes_match(ref, scan.result, 1e-8)
+    # the gap half actually ran on the cheap contour
+    assert scan.report.solves > len(grid) - 2  # restore re-solves happen
+
+
+def test_grow_size_prefers_rhs_then_moments():
+    pol = TuningPolicy()
+    assert _grow_size(16, 2, 2, pol) == (2, 8)
+    n_mm, n_rh = _grow_size(1000, 8, 16, pol)
+    assert n_rh == pol.max_n_rh and n_mm <= pol.max_n_mm
+
+
+# -- refinement ----------------------------------------------------------------
+
+
+def test_refinement_inserts_slices_at_band_edge():
+    """A coarse grid straddling the width-2 ladder's band edge at
+    E = 1.5 (propagating→evanescent transition) gets bisected toward the
+    edge; the uniform grid alone has no slice near it."""
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=7, linear_solver="direct")
+    grid = [1.1, 1.74]
+    scan = ScanOrchestrator(
+        lad.blocks(),
+        cfg,
+        orch=_plain(refine=RefinePolicy(min_de=0.02, max_depth=5)),
+    ).scan(grid)
+    refined = scan.report.refined_energies
+    assert refined, "expected band-edge refinement to trigger"
+    assert min(abs(e - 1.5) for e in refined) < 0.1
+    energies = [s.energy for s in scan.result.slices]
+    assert energies == sorted(energies)
+    assert set(grid) < set(energies)
+    # the bracketing interval around the edge shrank below min spacing*2
+    below = max(e for e in energies if e <= 1.5)
+    above = min(e for e in energies if e > 1.5)
+    assert above - below <= 2 * 0.02 + 1e-12
+
+
+def test_refinement_quiet_on_featureless_window():
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=7, linear_solver="direct")
+    scan = ScanOrchestrator(
+        lad.blocks(), cfg, orch=_plain(refine=RefinePolicy())
+    ).scan(np.linspace(-0.4, 0.4, 5))
+    assert scan.report.refined_energies == []
+    assert scan.report.refine_rounds == 0
+
+
+# -- slice cache ---------------------------------------------------------------
+
+
+def test_second_scan_is_pure_cache_hits(tmp_path):
+    orch = _plain(cache_dir=str(tmp_path))
+    first = ScanOrchestrator(LADDER.blocks(), CFG, orch=orch).scan(GRID)
+    assert first.report.cache_hits == 0
+    assert first.report.cache_misses == len(GRID)
+
+    second = ScanOrchestrator(LADDER.blocks(), CFG, orch=orch).scan(GRID)
+    assert second.report.cache_hits == len(GRID)
+    assert second.report.cache_misses == 0
+    assert second.report.solves == 0
+    assert second.report.cache_hit_rate == 1.0
+    _modes_match(first.result, second.result, 1e-14)
+
+
+def test_cache_respects_config_and_model_identity(tmp_path):
+    orch = _plain(cache_dir=str(tmp_path))
+    ScanOrchestrator(LADDER.blocks(), CFG, orch=orch).scan(GRID)
+
+    import dataclasses
+
+    other_cfg = dataclasses.replace(CFG, n_int=24)
+    scan = ScanOrchestrator(LADDER.blocks(), other_cfg, orch=orch).scan(GRID)
+    assert scan.report.cache_hits == 0  # different config, different context
+
+    other_model = TransverseLadder(width=3)
+    scan2 = ScanOrchestrator(other_model.blocks(), CFG, orch=orch).scan(GRID)
+    assert scan2.report.cache_hits == 0  # different blocks, different context
+
+
+def test_cache_isolates_tuned_from_untuned_runs(tmp_path):
+    """A tuned and an untuned scan solve slices under different
+    effective parameters; they must not share cache entries (else an
+    undersized untuned run could feed its mode-losing slices to a tuned
+    rerun)."""
+    ScanOrchestrator(
+        LADDER.blocks(), CFG, orch=_plain(cache_dir=str(tmp_path))
+    ).scan(GRID)
+    tuned = ScanOrchestrator(
+        LADDER.blocks(),
+        CFG,
+        orch=_plain(cache_dir=str(tmp_path), tuning=TuningPolicy()),
+    ).scan(GRID)
+    assert tuned.report.cache_hits == 0
+    assert tuned.report.solves >= len(GRID)
+
+
+def test_refinement_rerun_reuses_cached_refined_slices(tmp_path):
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=7, linear_solver="direct")
+    orch = _plain(
+        refine=RefinePolicy(min_de=0.05),
+        cache_dir=str(tmp_path),
+    )
+    first = ScanOrchestrator(lad.blocks(), cfg, orch=orch).scan([1.1, 1.74])
+    assert first.report.refined_energies
+    second = ScanOrchestrator(lad.blocks(), cfg, orch=orch).scan([1.1, 1.74])
+    assert second.report.solves == 0
+    assert second.report.cache_hits == 2 + len(second.report.refined_energies)
+    assert sorted(second.report.refined_energies) == sorted(
+        first.report.refined_energies
+    )
+
+
+def test_processes_and_cache_compose(tmp_path):
+    orch = _plain(executor=("processes", 2), cache_dir=str(tmp_path))
+    first = ScanOrchestrator(LADDER.blocks(), CFG, orch=orch).scan(GRID)
+    assert first.report.cache_misses == len(GRID)
+    second = ScanOrchestrator(LADDER.blocks(), CFG, orch=orch).scan(GRID)
+    assert second.report.cache_hits == len(GRID)
+    _modes_match(first.result, second.result, 1e-14)
+
+
+# -- calculator integration ----------------------------------------------------
+
+
+def test_calculator_orchestrated_convenience():
+    calc = CBSCalculator(LADDER.blocks(), CFG, warm_start=True)
+    orc = calc.orchestrated(_plain())
+    assert isinstance(orc, ScanOrchestrator)
+    scan = orc.scan(GRID)
+    ref = calc.scan(GRID)
+    _modes_match(ref, scan.result, 1e-12)
+
+
+def test_report_summary_is_printable():
+    scan = ScanOrchestrator(LADDER.blocks(), CFG, orch=_plain()).scan(GRID)
+    text = scan.report.summary()
+    assert "shard" in text and "cache" in text

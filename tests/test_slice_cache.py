@@ -1,0 +1,156 @@
+"""Persistent slice cache: roundtrip fidelity, keying, corruption safety."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cbs.classify import CBSMode, ModeType
+from repro.cbs.scan import EnergySlice
+from repro.io.slice_cache import SliceCache, context_key
+from repro.models.ladder import TransverseLadder
+from repro.ss.solver import SSConfig
+
+BLOCKS = TransverseLadder(width=3).blocks()
+CFG = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=5)
+
+
+def _slice(energy=0.25):
+    modes = [
+        CBSMode(energy, 0.7 + 0.1j, 0.14 + 0.35j,
+                ModeType.EVANESCENT_DECAYING, 2.86, 1e-9),
+        CBSMode(energy, np.exp(0.4j), 0.4 + 0.0j,
+                ModeType.PROPAGATING, np.inf, 3e-10),
+        CBSMode(energy, 1.4 - 0.2j, -0.14 - 0.34j,
+                ModeType.EVANESCENT_GROWING, 2.9, 2e-8),
+    ]
+    return EnergySlice(energy, modes, total_iterations=42, solve_seconds=0.5)
+
+
+def _cache(tmp_path):
+    return SliceCache(str(tmp_path), blocks=BLOCKS, config=CFG)
+
+
+def test_roundtrip_preserves_everything(tmp_path):
+    cache = _cache(tmp_path)
+    sl = _slice()
+    cache.put(sl)
+    back = cache.get(sl.energy)
+    assert back is not None
+    assert back.energy == sl.energy
+    assert back.total_iterations == 42
+    assert back.solve_seconds == 0.5
+    assert back.count == 3
+    for a, b in zip(sl.modes, back.modes):
+        assert a.lam == b.lam
+        assert a.k == b.k
+        assert a.mode_type is b.mode_type
+        assert a.residual == b.residual
+        assert (a.decay_length == b.decay_length) or (
+            np.isinf(a.decay_length) and np.isinf(b.decay_length)
+        )
+
+
+def test_empty_slice_roundtrip(tmp_path):
+    cache = _cache(tmp_path)
+    sl = EnergySlice(1.5, [], total_iterations=0, solve_seconds=0.01)
+    cache.put(sl)
+    back = cache.get(1.5)
+    assert back is not None and back.count == 0
+
+
+def test_miss_and_membership(tmp_path):
+    cache = _cache(tmp_path)
+    assert cache.get(0.1) is None
+    assert 0.1 not in cache
+    cache.put(_slice(0.1))
+    assert 0.1 in cache
+    assert len(cache) == 1
+    assert cache.energies() == [0.1]
+
+
+def test_energy_keys_are_exact(tmp_path):
+    """Bit-exact keying: nearby energies never collide or alias."""
+    cache = _cache(tmp_path)
+    e1, e2 = 0.1, np.nextafter(0.1, 1.0)
+    cache.put(_slice(e1))
+    assert cache.get(e2) is None
+    cache.put(_slice(e2))
+    assert len(cache) == 2
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = _cache(tmp_path)
+    sl = _slice()
+    path = cache.put(sl)
+    with open(path, "wb") as fh:
+        fh.write(b"not a zipfile at all")
+    assert cache.get(sl.energy) is None
+    truncated = cache.put(sl)
+    data = open(truncated, "rb").read()
+    with open(truncated, "wb") as fh:
+        fh.write(data[: len(data) // 2])
+    assert cache.get(sl.energy) is None
+
+
+def test_context_key_sensitivity():
+    base = context_key(BLOCKS, CFG)
+    assert base == context_key(BLOCKS, CFG)  # deterministic
+
+    import dataclasses
+
+    assert base != context_key(BLOCKS, dataclasses.replace(CFG, n_mm=4))
+    assert base != context_key(BLOCKS, dataclasses.replace(CFG, seed=6))
+    assert base != context_key(
+        BLOCKS, dataclasses.replace(CFG, ring_radii=(0.4, 2.2))
+    )
+    assert base != context_key(BLOCKS, CFG, propagating_tol=1e-3)
+    other = TransverseLadder(width=3, rung_hopping=-0.4).blocks()
+    assert base != context_key(other, CFG)
+
+
+def test_context_key_ignores_execution_only_fields():
+    import dataclasses
+
+    base = context_key(BLOCKS, CFG)
+    assert base == context_key(
+        BLOCKS,
+        dataclasses.replace(
+            CFG,
+            record_history=False,
+            keep_step1_solutions=True,
+            lu_ordering_cache=True,
+            executor="threads",
+        ),
+    )
+
+
+def test_contexts_are_isolated_directories(tmp_path):
+    a = SliceCache(str(tmp_path), blocks=BLOCKS, config=CFG)
+    import dataclasses
+
+    b = SliceCache(
+        str(tmp_path),
+        blocks=BLOCKS,
+        config=dataclasses.replace(CFG, n_int=24),
+    )
+    a.put(_slice())
+    assert b.get(0.25) is None
+    assert os.path.dirname(a.path_for(0.0)) != os.path.dirname(b.path_for(0.0))
+
+
+def test_requires_context_or_blocks():
+    with pytest.raises(ValueError):
+        SliceCache("/tmp/whatever")
+
+
+def test_put_overwrites_atomically(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(_slice())
+    sl2 = EnergySlice(0.25, [], total_iterations=7, solve_seconds=0.2)
+    cache.put(sl2)
+    back = cache.get(0.25)
+    assert back.count == 0 and back.total_iterations == 7
+    assert len(cache) == 1
+    leftovers = [n for n in os.listdir(cache.dir) if n.endswith(".tmp")]
+    assert leftovers == []

@@ -150,3 +150,16 @@ def test_jacobi_floors_small_entries():
     d_raw = pencil.diagonal(z)
     d = jacobi_preconditioner(pencil, z, floor=1.0)  # aggressive floor
     assert np.all(np.abs(d) >= np.abs(d_raw).max() * 0.999999 * 0 + 1.0 - 1e-12)
+
+
+# -- strategy resolution -------------------------------------------------------
+
+def test_resolve_strategy():
+    from repro.solvers.registry import available_strategies, resolve_strategy
+
+    assert resolve_strategy("auto", 100, 6000) == "direct"
+    assert resolve_strategy("auto", 6001, 6000) == "bicg-batched"
+    assert resolve_strategy("bicg", 10**9) == "bicg"
+    with pytest.raises(KeyError, match="unknown Step-1 strategy"):
+        resolve_strategy("nonsense", 100)
+    assert {"direct", "bicg", "bicg-batched"} <= set(available_strategies())

@@ -122,3 +122,61 @@ def test_annulus_filter_indicator():
     assert abs(vals[0] - 1.0) < 1e-8   # in the ring
     assert abs(vals[1]) < 1e-8         # inside the hole
     assert abs(vals[2]) < 1e-8         # outside
+
+
+# -- non-reciprocal rings and quadrature exactness ----------------------------
+
+def _rational(poles):
+    def f(z):
+        return sum(1.0 / (z - p) for p in poles)
+    return f
+
+
+@pytest.mark.parametrize("radii", [(0.5, 2.0), (0.3, 2.6), (0.45, 1.7)])
+def test_annulus_moments_integrate_cauchy_kernel(radii):
+    """(1/2πi)∮ z^k f(z) dz over the annulus boundary equals Σ p^k over
+    the poles *inside the ring* — for the reciprocal paper ring and for
+    non-reciprocal rings alike (the weight/sign handling is radius-
+    agnostic).  Poles sit off both circles so the trapezoid rule is
+    spectrally exact (error ~ ratio^N_int)."""
+    ring = AnnulusContour(*radii, n_points=96)
+    poles = [0.9 * np.exp(0.4j), -1.2 + 0.3j, 3.5, 0.05, -4.0 + 1.0j]
+    f = _rational(poles)
+    for k in range(4):
+        exact = sum(p**k for p in poles if ring.contains(p))
+        approx = ring.integrate(f, k)
+        assert abs(approx - exact) < 1e-9, (radii, k)
+
+
+def test_circle_integrate_rational():
+    c = CircleContour(0.0, 1.0, 64)
+    f = _rational([0.4 + 0.2j, 2.5])
+    for k in range(3):
+        assert abs(c.integrate(f, k) - (0.4 + 0.2j) ** k) < 1e-12
+
+
+def test_non_reciprocal_ring_disables_dual_shortcut():
+    ring = AnnulusContour(0.3, 2.6, 16)
+    assert not ring.is_reciprocal
+    with pytest.raises(ConfigurationError, match="dual pairing"):
+        ring.dual_pairs()
+    # the reciprocal ring still pairs up
+    rec = AnnulusContour.from_lambda_min(0.5, 16)
+    assert rec.is_reciprocal
+    assert len(rec.dual_pairs()) == 16
+
+
+def test_non_reciprocal_ring_points_signs_and_weights():
+    """All 2·N_int explicit points: outer +1 with CCW weights, inner −1;
+    weights carry each circle's own radius."""
+    ring = AnnulusContour(0.3, 2.6, 12)
+    pts = ring.points()
+    assert len(pts) == 24
+    outer = [p for p in pts if p.circle == 0]
+    inner = [p for p in pts if p.circle == 1]
+    assert all(p.sign == 1.0 for p in outer)
+    assert all(p.sign == -1.0 for p in inner)
+    assert np.allclose([abs(p.z) for p in outer], 2.6)
+    assert np.allclose([abs(p.z) for p in inner], 0.3)
+    assert np.allclose([abs(p.weight) for p in outer], 2.6 / 12)
+    assert np.allclose([abs(p.weight) for p in inner], 0.3 / 12)

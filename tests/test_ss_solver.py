@@ -248,3 +248,181 @@ def test_extraction_raises_on_zero_moments():
     s = np.zeros((10, 4), dtype=complex)
     with pytest.raises(ExtractionError):
         extract_eigenpairs(mu, s, n_mm=2)
+
+
+# -- complex_k branch selection and Im(k) sign convention ---------------------
+
+def _result_with_eigenvalues(lams):
+    """A minimal SSResult carrying only what complex_k needs."""
+    from repro.ss.solver import SSResult
+    from repro.utils.memory import MemoryReport
+    from repro.utils.timing import PhaseTimes
+
+    lams = np.asarray(lams, dtype=np.complex128)
+    res = np.zeros(lams.shape[0])
+    return SSResult(
+        energy=0.0, eigenvalues=lams, vectors=np.zeros((2, lams.shape[0])),
+        residuals=res, raw_eigenvalues=lams.copy(), raw_residuals=res.copy(),
+        rank=lams.shape[0], singular_values=np.ones(lams.shape[0]),
+        point_stats=[], phase_times=PhaseTimes(), memory=MemoryReport(),
+        linear_solver="direct",
+    )
+
+
+def test_complex_k_sign_convention_near_unit_circle():
+    """The contract at the propagating/evanescent boundary: decaying
+    modes (|λ| < 1) get Im(k) > 0, growing modes (|λ| > 1) get
+    Im(k) < 0, and exactly-unimodular λ get Im(k) = 0 — even within
+    classification tolerance of |λ| = 1."""
+    a = 2.0  # cell length
+    eps = 1e-8  # inside a typical propagating_tol=1e-6 band
+    theta = 0.7
+    lams = np.array([
+        (1.0 - eps) * np.exp(1j * theta),   # barely decaying
+        (1.0 + eps) * np.exp(1j * theta),   # barely growing
+        np.exp(1j * theta),                 # exactly propagating
+        0.5,                                # strongly decaying, real λ
+        2.0,                                # strongly growing, real λ
+    ])
+    k = _result_with_eigenvalues(lams).complex_k(a)
+    assert k.shape == (5,)
+    # sign of Im(k): decaying ⇒ +, growing ⇒ −, unimodular ⇒ 0
+    assert k[0].imag > 0 and np.isclose(k[0].imag, eps / a, rtol=1e-6)
+    assert k[1].imag < 0 and np.isclose(k[1].imag, -eps / a, rtol=1e-6)
+    assert abs(k[2].imag) < 1e-15  # |exp(iθ)| = 1 to machine rounding
+    assert np.isclose(k[3].imag, np.log(2.0) / a)
+    assert np.isclose(k[4].imag, -np.log(2.0) / a)
+    # Re(k) is the principal branch: arg(λ)/a for every mode above
+    assert np.allclose(k[:3].real, theta / a)
+    assert np.allclose(k[3:].real, 0.0)
+
+
+def test_complex_k_principal_branch_cut():
+    """Re(k) lives in (−π/a, π/a]: λ = −1 maps to +π/a (not −π/a), and
+    arguments just past ±π wrap."""
+    a = 1.0
+    lams = np.array([
+        -1.0 + 0.0j,
+        np.exp(1j * (np.pi - 1e-6)),
+        np.exp(1j * (np.pi + 1e-6)),
+    ])
+    k = _result_with_eigenvalues(lams).complex_k(a)
+    assert np.isclose(k[0].real, np.pi)
+    assert np.isclose(k[1].real, np.pi - 1e-6)
+    assert np.isclose(k[2].real, -(np.pi - 1e-6))
+
+
+def test_complex_k_matches_classification_boundary():
+    """classify_modes and complex_k agree through the tolerance band:
+    within propagating_tol the mode is PROPAGATING (decay ∞); just
+    outside, the decaying mode's k has the pinned positive Im part."""
+    from repro.cbs.classify import ModeType, classify_modes
+
+    a = 1.0
+    tol = 1e-6
+    inside = (1.0 - 0.5 * tol) * np.exp(0.3j)
+    below = (1.0 - 10 * tol) * np.exp(0.3j)
+    above = (1.0 + 10 * tol) * np.exp(0.3j)
+    modes = classify_modes(
+        0.0, np.array([inside, below, above]), np.zeros(3), a,
+        propagating_tol=tol,
+    )
+    assert modes[0].mode_type is ModeType.PROPAGATING
+    assert modes[0].decay_length == np.inf
+    assert modes[1].mode_type is ModeType.EVANESCENT_DECAYING
+    assert modes[1].k.imag > 0
+    assert modes[2].mode_type is ModeType.EVANESCENT_GROWING
+    assert modes[2].k.imag < 0
+
+
+# -- rank probe and per-slice config resolution --------------------------------
+
+def test_rank_probe_counts_ring_modes():
+    lad = TransverseLadder(width=4)
+    solver = SSHankelSolver(
+        lad.blocks(), SSConfig(n_int=16, n_mm=4, n_rh=4, seed=7,
+                               linear_solver="direct")
+    )
+    probe = solver.rank_probe(0.0)
+    assert probe.n_rh == 2 and probe.capacity == 8
+    assert probe.rank == lad.count_in_annulus(0.0, 0.5, 2.0) == 8
+    assert probe.saturated  # rank == capacity: only a lower bound
+    bigger = solver.rank_probe(0.0, n_mm=8)
+    assert bigger.rank == 8 and not bigger.saturated
+    assert 0.0 < bigger.saturation() < 1.0
+
+
+def test_rank_probe_zero_in_quiet_window():
+    """Far outside the bands the probe must report rank 0, not the
+    noise rank of the cancelled quadrature (probed at the config's full
+    N_int, where exterior-eigenvalue leakage sits below the floor)."""
+    lad = TransverseLadder(width=2)
+    solver = SSHankelSolver(
+        lad.blocks(), SSConfig(n_int=32, n_mm=4, n_rh=4, seed=7,
+                               linear_solver="direct")
+    )
+    probe = solver.rank_probe(9.0)
+    assert probe.rank == 0
+    assert probe.noise_floor > 0
+    assert probe.singular_values[0] < probe.noise_floor
+
+
+def test_effective_rank_flattens_noise():
+    lad = TransverseLadder(width=2)
+    solver = SSHankelSolver(
+        lad.blocks(), SSConfig(n_int=32, n_mm=2, n_rh=2, seed=7,
+                               linear_solver="direct")
+    )
+    quiet = solver.solve(8.5)
+    assert quiet.count == 0
+    assert quiet.effective_rank() == 0
+    assert quiet.hankel_saturation() == 0.0
+    loud = solver.solve(0.0)
+    assert loud.effective_rank() == loud.rank > 0
+
+
+def test_config_resolved_collapses_auto():
+    cfg = SSConfig(n_int=8, n_mm=2, n_rh=2, direct_threshold=100)
+    assert cfg.linear_solver == "auto"
+    assert cfg.resolved(50).linear_solver == "direct"
+    assert cfg.resolved(5000).linear_solver == "bicg-batched"
+    explicit = SSConfig(n_int=8, n_mm=2, n_rh=2, linear_solver="bicg")
+    assert explicit.resolved(50) is explicit
+
+
+# -- explicit (non-reciprocal) ring radii --------------------------------------
+
+def test_ring_radii_validation():
+    with pytest.raises(ConfigurationError):
+        SSConfig(ring_radii=(2.0, 0.5))
+    with pytest.raises(ConfigurationError):
+        SSConfig(ring_radii=(0.0, 2.0))
+    with pytest.raises(ConfigurationError):
+        SSConfig(ring_radii=(1.0,))
+    with pytest.raises(ConfigurationError):
+        SSConfig(ring_radii="ab")  # unpacks, but is not numeric
+    ring = SSConfig(ring_radii=(0.4, 2.2)).make_contour()
+    assert (ring.r_in, ring.r_out) == (0.4, 2.2)
+    default = SSConfig(lambda_min=0.5).make_contour()
+    assert (default.r_in, default.r_out) == (0.5, 2.0)
+
+
+def test_solve_with_non_reciprocal_ring_matches_analytic():
+    """A non-reciprocal ring must disable the dual shortcut (solving all
+    2·N_int systems explicitly) and still find exactly the eigenvalues
+    in the requested annulus."""
+    lad = TransverseLadder(width=3)
+    cfg = SSConfig(n_int=24, n_mm=4, n_rh=4, seed=7,
+                   linear_solver="direct", ring_radii=(0.35, 2.4))
+    solver = SSHankelSolver(lad.blocks(), cfg)
+    res = solver.solve(-0.3)
+    exact = lad.analytic_lambdas(-0.3)
+    mags = np.abs(exact)
+    expected = exact[(mags > 0.35) & (mags < 2.4)]
+    outside_paper_ring = expected[(np.abs(expected) <= 0.5)
+                                  | (np.abs(expected) >= 2.0)]
+    assert res.count == expected.size
+    assert match_error(res.eigenvalues, expected) < 1e-8
+    assert match_error(expected, res.eigenvalues) < 1e-8
+    if outside_paper_ring.size:
+        assert match_error(outside_paper_ring, res.eigenvalues) < 1e-8
