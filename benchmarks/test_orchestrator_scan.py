@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
+import pytest
 
 from conftest import register_report
 from _common import SCALE, save_records
@@ -37,6 +38,10 @@ from repro.models.ladder import TransverseLadder
 from repro.ss.solver import SSConfig
 
 from tests.conftest import match_error as _match_error
+
+# The benchmark measures the engine through its legacy construction
+# path on purpose; the deprecation is pinned in tests/test_api.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 WIDTH = 24 if SCALE == "tiny" else 48
 N_ENERGIES = 24 if SCALE == "tiny" else 48

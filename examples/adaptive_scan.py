@@ -1,84 +1,101 @@
 #!/usr/bin/env python3
-"""Adaptive scan orchestration: a whole CBS workload, end to end.
+"""Adaptive scan orchestration through the unified API, end to end.
 
-Drives :class:`repro.cbs.orchestrator.ScanOrchestrator` through its four
-features on a ladder model:
+One declarative :class:`repro.api.CBSJob` with
+``ExecutionSpec(mode="orchestrated")`` drives the whole adaptive stack:
 
 1. process-sharded energy scan (chunk-local warm starts),
 2. auto-tuned SS parameters (stochastic rank probe + Hankel-saturation
    growth, quiet-window quadrature shrinking),
 3. adaptive band-edge grid refinement,
-4. the persistent slice cache (second run does zero solves).
+4. the persistent slice cache (second run does zero solves),
+
+plus the streaming surface (``compute_iter`` yields slices as shards
+finish) and the versioned result store (``save_result``/``load_result``).
 
 Run:  python examples/adaptive_scan.py
 """
 
 import tempfile
 
-import numpy as np
-
-from repro.cbs.orchestrator import (
-    OrchestratorConfig,
+from repro.api import (
+    CBSJob,
+    ExecutionSpec,
     RefinePolicy,
-    ScanOrchestrator,
-    TuningPolicy,
+    RingSpec,
+    ScanSpec,
+    SystemSpec,
+    compute,
+    compute_iter,
+    load_result,
+    save_result,
 )
-from repro.models.ladder import TransverseLadder
-from repro.ss.solver import SSConfig
 
 
 def main() -> None:
-    ladder = TransverseLadder(width=8)
-    blocks = ladder.blocks()
-
-    # A deliberately undersized starting config: capacity N_mm x N_rh = 4,
-    # while the ring holds 16 modes at E = 0.  The tuner must notice.
-    config = SSConfig(n_int=24, n_mm=2, n_rh=2, seed=11,
-                      linear_solver="direct")
-
-    with tempfile.TemporaryDirectory() as cache_dir:
-        orch = OrchestratorConfig(
-            executor=("processes", 2),
-            tuning=TuningPolicy(),
-            refine=RefinePolicy(min_de=0.01),
-            cache_dir=cache_dir,
+    with tempfile.TemporaryDirectory() as workdir:
+        # A deliberately undersized starting config: capacity
+        # N_mm x N_rh = 4, while the ring holds 16 modes at E = 0.
+        # The orchestrated engine's tuner must notice and grow it.
+        job = CBSJob(
+            system=SystemSpec("ladder", {"width": 8}),
+            scan=ScanSpec(window=(-3.1, 3.1, 25), n_mm=2, n_rh=2, seed=11,
+                          linear_solver="direct"),
+            ring=RingSpec(n_int=24),
+            execution=ExecutionSpec(
+                mode="orchestrated",
+                workers=2,
+                warm_start=True,
+                cache_dir=f"{workdir}/slice_cache",
+                refine=RefinePolicy(min_de=0.01),
+            ),
         )
-        orc = ScanOrchestrator(blocks, config, orch=orch)
-
-        print(f"Workload: {blocks}\n")
+        print(f"Workload: {job.system.name}{dict(job.system.params)}, "
+              f"engine = {job.engine()}, job hash = {job.job_hash()}\n")
 
         print("-- first run: solve everything ------------------------------")
-        scan = orc.scan_window(-3.1, 3.1, 25)
-        print(scan.report.summary())
-        shard = scan.report.shards[0]
-        print(f"rank probe estimated {shard.probe_rank} ring modes; "
+        first = compute(job)
+        report = first.provenance["report"]
+        shard = report["shards"][0]
+        print(f"  {report['n_shards']} shard(s), {report['solves']} solves "
+              f"({report['retunes']} retune re-solves), "
+              f"{len(report['refined_energies'])} refined slices")
+        print(f"  rank probe estimated {shard['probe_rank']} ring modes; "
               f"tuned subspace N_mm x N_rh = "
-              f"{shard.final_n_mm} x {shard.final_n_rh} "
-              f"(started {config.n_mm} x {config.n_rh})")
-        refined = sorted(scan.report.refined_energies)
-        print(f"refinement inserted {len(refined)} slices"
-              + (f", e.g. near E = {refined[0]:+.4f}" if refined else ""))
-        counts = scan.result.mode_counts()
-        print(f"mode counts across {counts.size} slices: "
-              f"min {counts.min()}, max {counts.max()}\n")
+              f"{shard['final_n_mm']} x {shard['final_n_rh']} "
+              f"(started {job.scan.n_mm} x {job.scan.n_rh})\n")
 
-        print("-- second run: served from the slice cache ------------------")
-        again = ScanOrchestrator(blocks, config, orch=orch).scan_window(
-            -3.1, 3.1, 25
-        )
-        print(again.report.summary())
-        assert again.report.solves == 0, "expected a fully cached rerun"
-        speedup = scan.report.wall_seconds / max(
-            again.report.wall_seconds, 1e-9
-        )
-        print(f"wall time {scan.report.wall_seconds:.2f}s -> "
-              f"{again.report.wall_seconds:.3f}s  (~{speedup:.0f}x)\n")
+        print("-- second run: streamed straight from the slice cache -------")
+        streamed = 0
+        for sl in compute_iter(job, progress=lambda d, t: None):
+            streamed += 1
+            if streamed % 16 == 1:
+                kappa = [abs(m.k.imag) for m in sl.evanescent()]
+                dom = (f"min|Im k| = {min(kappa):.3f}" if kappa
+                       else "purely propagating")
+                print(f"  streamed E = {sl.energy:+.3f}: "
+                      f"{sl.count:2d} modes, {dom}")
+        print(f"  ... {streamed} slices total (base grid + refinement)\n")
 
-        print("-- sample of the computed CBS --------------------------------")
-        for sl in scan.result.slices[::6]:
-            kappa = [abs(m.k.imag) for m in sl.evanescent()]
-            dom = f"min|Im k| = {min(kappa):.3f}" if kappa else "purely propagating"
-            print(f"  E = {sl.energy:+.3f}: {sl.count:2d} modes, {dom}")
+        print("-- third run: cached, zero solves ---------------------------")
+        result = compute(job)
+        report = result.provenance["report"]
+        print(f"  cache {report['cache_hits']}"
+              f"/{report['cache_hits'] + report['cache_misses']} hits, "
+              f"{report['solves']} solves")
+        assert report["solves"] == 0, "expected a fully cached rerun"
+        print()
+
+        print("-- persist + reload the versioned result --------------------")
+        json_path, npz_path = save_result(f"{workdir}/cbs_ladder", result)
+        back = load_result(f"{workdir}/cbs_ladder")
+        counts = back.mode_counts()
+        print(f"  wrote {json_path.split('/')[-1]} + {npz_path.split('/')[-1]}; "
+              f"reloaded {len(back.slices)} slices "
+              f"(schema v{back.schema_version}, "
+              f"job {back.provenance['job_hash']})")
+        print(f"  mode counts across {counts.size} slices: "
+              f"min {counts.min()}, max {counts.max()}")
 
 
 if __name__ == "__main__":

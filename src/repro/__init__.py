@@ -6,18 +6,22 @@ A from-scratch Python reproduction of
     "Efficient and Scalable Calculation of Complex Band Structure using
     Sakurai-Sugiura Method", SC'17 (DOI 10.1145/3126908.3126942).
 
-Top-level quick start::
+Top-level quick start (the unified workload API)::
 
-    from repro.models import TransverseLadder
+    from repro.api import CBSJob, ScanSpec, SystemSpec, compute
+
+    job = CBSJob(system=SystemSpec("ladder", {"width": 4}),
+                 scan=ScanSpec(energies=(-0.5,), n_mm=4, n_rh=4))
+    result = compute(job)
+    print(result.slices[0].lambdas())  # CBS factors λ in 0.5 < |λ| < 2
+
+The lower-level engines remain importable directly::
+
     from repro.ss import SSHankelSolver, SSConfig
 
-    ladder = TransverseLadder(width=4)
-    solver = SSHankelSolver(ladder.blocks(), SSConfig(n_int=16, n_mm=4, n_rh=4))
-    result = solver.solve(energy=-0.5)
-    print(result.eigenvalues)        # CBS factors λ in 0.5 < |λ| < 2
-
-See README.md for the architecture overview and DESIGN.md for the
-paper-experiment index.
+See README.md for the architecture overview (including the legacy →
+`repro.api` migration table) and DESIGN.md for the paper-experiment
+index.
 """
 
 __version__ = "1.0.0"

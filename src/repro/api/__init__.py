@@ -1,0 +1,67 @@
+"""repro.api — the unified, declarative CBS workload surface.
+
+One request/response shape for every workload in the paper::
+
+    from repro.api import CBSJob, SystemSpec, ScanSpec, ExecutionSpec, compute
+
+    job = CBSJob(
+        system=SystemSpec("ladder", {"width": 4}),
+        scan=ScanSpec(window=(-2.0, 2.0, 41), n_mm=4, n_rh=4, seed=7),
+        execution=ExecutionSpec(mode="orchestrated", cache_dir="cache"),
+    )
+    result = compute(job)            # a versioned, provenance-stamped CBSResult
+    for sl in compute_iter(job):     # ...or streamed slice by slice
+        print(sl.energy, sl.count)
+
+* Jobs are frozen, validated, and JSON-serializable
+  (``job.to_json()`` / ``CBSJob.from_json``); :meth:`CBSJob.job_hash`
+  is the canonical identity recorded in result provenance, and
+  :meth:`CBSJob.cache_context` keys the persistent slice cache.
+* Physical systems are registry names (:func:`register_system`), so a
+  new builder is an entry, not a new API.
+* Results persist via :func:`save_result` / :func:`load_result`
+  (JSON header + NPZ arrays, schema-versioned).
+
+The legacy entry points (``SSHankelSolver.solve``,
+``CBSCalculator.scan``, ``ScanOrchestrator``) remain as the internal
+engines behind :func:`compute`.
+"""
+
+from repro.api.facade import compute, compute_iter
+from repro.api.registry import (
+    available_systems,
+    register_system,
+    resolve_system,
+)
+from repro.api.spec import (
+    JOB_SPEC_VERSION,
+    CBSJob,
+    ExecutionSpec,
+    RingSpec,
+    ScanSpec,
+    SystemSpec,
+)
+from repro.cbs.orchestrator import RefinePolicy, TuningPolicy
+from repro.cbs.scan import CBS_RESULT_SCHEMA_VERSION, CBSResult, EnergySlice
+from repro.io.results import load_result, save_result
+
+__all__ = [
+    "CBS_RESULT_SCHEMA_VERSION",
+    "CBSJob",
+    "CBSResult",
+    "EnergySlice",
+    "ExecutionSpec",
+    "JOB_SPEC_VERSION",
+    "RefinePolicy",
+    "RingSpec",
+    "ScanSpec",
+    "SystemSpec",
+    "TuningPolicy",
+    "available_systems",
+    "compute",
+    "compute_iter",
+    "load_result",
+    "register_system",
+    "resolve_system",
+    "save_result",
+]

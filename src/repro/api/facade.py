@@ -1,0 +1,292 @@
+"""``compute(job)`` — one entry point over every CBS engine.
+
+The repo grew three ways to run the same physics: a single
+:meth:`SSHankelSolver.solve`, a :meth:`CBSCalculator.scan`, and a
+:class:`ScanOrchestrator` workload.  This module makes them internal
+backends behind one routing function:
+
+========================  =====================================
+job shape                 engine
+========================  =====================================
+one energy, serial        ``"solver"`` — one SS Hankel solve
+energy grid,              ``"scan"`` — :class:`CBSCalculator`
+serial/threads            (warm chain or mapped slices)
+``mode="processes"`` /    ``"orchestrator"`` —
+``mode="orchestrated"``   :class:`ScanOrchestrator` (sharding,
+                          tuning, refinement, slice cache)
+========================  =====================================
+
+Every route returns the same versioned :class:`repro.cbs.CBSResult`
+with a provenance block (job hash, ``repro.__version__``, engine,
+per-shard tuning decisions), and :func:`compute_iter` streams the same
+workload slice by slice with progress/cancellation callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.api.spec import CBSJob
+from repro.cbs.orchestrator import (
+    OrchestratorConfig,
+    ScanOrchestrator,
+    ScanReport,
+    iter_warm_chain,
+)
+from repro.cbs.scan import CBSCalculator, CBSResult, EnergySlice
+from repro.errors import ConfigurationError
+from repro.io.slice_cache import SliceCache
+
+ProgressFn = Callable[[int, int], None]
+CancelFn = Callable[[], bool]
+
+
+def _as_job(job) -> CBSJob:
+    if isinstance(job, CBSJob):
+        return job
+    if isinstance(job, Mapping):
+        return CBSJob.from_dict(job)
+    raise ConfigurationError(
+        f"compute() takes a CBSJob or a job dict, got {type(job).__name__}"
+    )
+
+
+def _jsonify(value):
+    """Plain-JSON-types copy (numpy scalars → python, tuples → lists)."""
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _provenance(
+    job: CBSJob, engine: str, report: Optional[ScanReport] = None
+) -> Dict[str, Any]:
+    from repro import __version__
+
+    prov: Dict[str, Any] = {
+        "job_hash": job.job_hash(),
+        "cache_context": job.cache_context(),
+        "repro_version": __version__,
+        "engine": engine,
+        "job": job.to_dict(),
+    }
+    if report is not None:
+        # The full telemetry, including the per-shard tuning decisions
+        # (probe rank, final N_int/N_mm/N_rh per energy span).
+        prov["report"] = _jsonify(asdict(report))
+    return prov
+
+
+# ---------------------------------------------------------------------------
+# engines
+# ---------------------------------------------------------------------------
+
+
+def _calculator(job: CBSJob, blocks, *, energy_executor=None) -> CBSCalculator:
+    return CBSCalculator(
+        blocks,
+        job.ss_config(),
+        propagating_tol=job.scan.propagating_tol,
+        energy_executor=energy_executor,
+        warm_start=job.execution.warm_start,
+    )
+
+
+def _make_orchestrator(job: CBSJob, blocks) -> ScanOrchestrator:
+    ex = job.execution
+    orch = OrchestratorConfig(
+        executor=ex.executor_spec(),
+        n_shards=ex.n_shards,
+        warm_start=True,  # effective warm policy is ex.warm_start below
+        tuning=ex.resolved_tuning(),
+        refine=ex.resolved_refine(),
+        cache_dir=ex.cache_dir,
+    )
+    return ScanOrchestrator(
+        blocks,
+        job.ss_config(),
+        propagating_tol=job.scan.propagating_tol,
+        warm_start=ex.warm_start,
+        orch=orch,
+        cache_context=job.cache_context(),
+        _internal=True,
+    )
+
+
+def _iter_cached_map(
+    calc: CBSCalculator, energies, cache: SliceCache
+) -> Iterator[EnergySlice]:
+    """Cache-aware independent-slice map, in ascending energy order.
+
+    Hits are served from the cache (``solve_seconds`` zeroed — this run
+    did no work for them); only the misses go through the executor's
+    ordered ``imap``, and each is persisted as it completes.
+    """
+    hits = {}
+    misses = []
+    for energy in energies:
+        sl = cache.get_hit(energy)
+        if sl is not None:
+            hits[energy] = sl
+        else:
+            misses.append(energy)
+    solved = calc._executor.imap(calc.solve_energy, misses)
+    try:
+        for energy in energies:
+            if energy in hits:
+                yield hits[energy]
+            else:
+                sl = next(solved)
+                cache.put(sl)
+                yield sl
+    finally:
+        close = getattr(solved, "close", None)
+        if close is not None:
+            close()
+
+
+def _iter_scan_engine(
+    job: CBSJob,
+    blocks,
+    progress: Optional[ProgressFn],
+    should_cancel: Optional[CancelFn],
+) -> Iterator[EnergySlice]:
+    """The CBSCalculator route, streamed slice by slice.
+
+    Serial jobs (and every warm-started job — warm chains are inherently
+    sequential) run the shared warm-chain loop; thread jobs stream
+    through the executor's ordered ``imap``, so later energies keep
+    solving while earlier slices are consumed.  Both honor the
+    persistent slice cache when the job names one.
+    """
+    ex = job.execution
+    energies = list(job.energies())
+    total = len(energies)
+    cache = (
+        SliceCache(ex.cache_dir, context=job.cache_context())
+        if ex.cache_dir is not None
+        else None
+    )
+    sequential = ex.mode == "serial" or ex.warm_start
+    if sequential:
+        calc = _calculator(job, blocks)
+        gen: Iterator[EnergySlice] = iter_warm_chain(calc, energies, cache)
+    else:
+        calc = _calculator(job, blocks, energy_executor=ex.executor_spec())
+        if cache is not None:
+            gen = _iter_cached_map(calc, energies, cache)
+        else:
+            gen = calc._executor.imap(calc.solve_energy, energies)
+    try:
+        for done, sl in enumerate(gen, start=1):
+            if progress is not None:
+                progress(done, total)
+            yield sl
+            if should_cancel is not None and should_cancel():
+                return
+    finally:
+        close = getattr(gen, "close", None)
+        if close is not None:
+            close()
+
+
+# ---------------------------------------------------------------------------
+# the facade
+# ---------------------------------------------------------------------------
+
+
+def _route_iter(
+    job: CBSJob,
+    blocks,
+    engine: str,
+    report: Optional[ScanReport],
+    progress: Optional[ProgressFn],
+    should_cancel: Optional[CancelFn],
+) -> Iterator[EnergySlice]:
+    """The single engine dispatch behind :func:`compute` and
+    :func:`compute_iter` (``report`` collects orchestrator telemetry
+    when the caller wants it)."""
+    if engine == "orchestrator":
+        orc = _make_orchestrator(job, blocks)
+        return orc.iter_scan(
+            job.energies(),
+            report=report,
+            progress=progress,
+            should_cancel=should_cancel,
+        )
+    if engine == "solver":
+
+        def _single() -> Iterator[EnergySlice]:
+            calc = _calculator(job, blocks)
+            (energy,) = job.energies()
+            sl = calc.solve_energy(energy)
+            if progress is not None:
+                progress(1, 1)
+            yield sl
+
+        return _single()
+    return _iter_scan_engine(job, blocks, progress, should_cancel)
+
+
+def compute(
+    job,
+    *,
+    progress: Optional[ProgressFn] = None,
+    should_cancel: Optional[CancelFn] = None,
+) -> CBSResult:
+    """Run a :class:`CBSJob` (or job dict) to a complete, energy-ordered
+    :class:`repro.cbs.CBSResult` with a stamped provenance block.
+
+    Routing (see module docstring) is by job shape only — the same job
+    always produces the same modes whichever engine serves it, and jobs
+    that share physics share :class:`repro.io.slice_cache.SliceCache`
+    entries across execution modes.
+
+    ``progress(done, total)`` and ``should_cancel()`` behave as in
+    :func:`compute_iter`; a cancelled compute returns the partial result
+    (whatever slices finished, energy-ordered, provenance stamped).
+    """
+    job = _as_job(job)
+    blocks = job.system.build()
+    engine = job.engine()
+    report = ScanReport() if engine == "orchestrator" else None
+
+    slices = list(
+        _route_iter(job, blocks, engine, report, progress, should_cancel)
+    )
+    slices.sort(key=lambda s: s.energy)
+    result = CBSResult(slices, blocks.cell_length)
+    result.provenance = _provenance(job, engine, report)
+    return result
+
+
+def compute_iter(
+    job,
+    *,
+    progress: Optional[ProgressFn] = None,
+    should_cancel: Optional[CancelFn] = None,
+) -> Iterator[EnergySlice]:
+    """Stream a job's :class:`EnergySlice`s as they complete.
+
+    The slices of the requested grid arrive in ascending energy order
+    (the orchestrated engines overlap later shards with consumption of
+    earlier ones); adaptive refinement insertions follow after the base
+    grid.  ``progress(done, total)`` fires after every slice;
+    ``should_cancel()`` is polled between slices/shards and ends the
+    stream early when it returns true.
+
+    Validation, system resolution, and routing happen eagerly at call
+    time; only the solving is lazy.
+    """
+    job = _as_job(job)
+    blocks = job.system.build()
+    return _route_iter(
+        job, blocks, job.engine(), None, progress, should_cancel
+    )

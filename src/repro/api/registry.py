@@ -1,0 +1,126 @@
+"""Named system builders: the ``@register_system`` registry.
+
+A :class:`repro.api.CBSJob` names its physical system declaratively —
+``SystemSpec(name="ladder", params={"width": 4})`` — instead of holding
+a live :class:`repro.qep.blocks.BlockTriple`.  The name resolves through
+this registry to a builder callable ``(**params) -> BlockTriple``, so a
+job is fully serializable (JSON round-trip, cross-process, cross-host)
+and every new physics builder is a registry entry instead of a new API.
+
+Built-in entries are registered where the builders live:
+
+* :mod:`repro.models` — the analytic validation models
+  (``"chain"``, ``"diatomic-chain"``, ``"ladder"``);
+* :mod:`repro.dft.builders` — the paper's DFT systems
+  (``"al100"``, ``"nanotube"``), which assemble a real-space
+  Kohn-Sham block triple on demand.
+
+Those modules load on first registration/resolution rather than at
+:mod:`repro.api` import, which breaks any import cycle (the expensive
+part — assembling a DFT Hamiltonian — is lazy inside each builder
+either way).  External code adds systems the same way::
+
+    from repro.api import register_system
+
+    @register_system("my-wire")
+    def build_my_wire(*, hopping=-1.0):
+        return ...  # a BlockTriple
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.qep.blocks import BlockTriple
+
+#: name -> builder ``(**params) -> BlockTriple``
+_SYSTEMS: Dict[str, Callable[..., BlockTriple]] = {}
+
+_builtins_loaded = False
+_builtins_loading = False
+
+
+def _ensure_builtins() -> None:
+    """Import the modules that register the built-in systems (idempotent).
+
+    The loaded flag flips only after both imports succeed, so a failed
+    import surfaces its real error to the caller and is retried on the
+    next resolution instead of leaving a permanently empty registry.
+    The loading flag breaks the recursion when the builtin modules'
+    own ``@register_system`` calls land back here mid-import.
+    """
+    global _builtins_loaded, _builtins_loading
+    if _builtins_loaded or _builtins_loading:
+        return
+    _builtins_loading = True
+    try:
+        import repro.models  # noqa: F401  — registers the analytic models
+        import repro.dft.builders  # noqa: F401 — registers "al100", "nanotube"
+        _builtins_loaded = True
+    finally:
+        _builtins_loading = False
+
+
+def register_system(
+    name: str, *, replace: bool = False
+) -> Callable[[Callable[..., BlockTriple]], Callable[..., BlockTriple]]:
+    """Decorator registering a builder under ``name``.
+
+    The builder is called with the job's ``SystemSpec.params`` as
+    keyword arguments and must return a :class:`BlockTriple`.
+    Re-registering an existing name raises unless ``replace=True``.
+    """
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"system name must be a non-empty string, got {name!r}"
+        )
+
+    def decorator(fn: Callable[..., BlockTriple]) -> Callable[..., BlockTriple]:
+        # Load the builtins before the duplicate check, so registering
+        # a name that collides with a builtin fails loudly instead of
+        # being silently overridden when the builtins load later.
+        # (No-op re-entrant call while the builtins themselves import.)
+        _ensure_builtins()
+        if name in _SYSTEMS and not replace:
+            raise ConfigurationError(
+                f"system {name!r} is already registered "
+                f"(pass replace=True to override)"
+            )
+        _SYSTEMS[name] = fn
+        return fn
+
+    return decorator
+
+
+def available_systems() -> List[str]:
+    """Sorted names of every registered system builder."""
+    _ensure_builtins()
+    return sorted(_SYSTEMS)
+
+
+def resolve_system(name: str, params: dict | None = None) -> BlockTriple:
+    """Build the block triple for a registered system name.
+
+    Raises :class:`ConfigurationError` for an unknown name, for builder
+    parameters the builder rejects, and for a builder that returns
+    anything but a :class:`BlockTriple`.
+    """
+    _ensure_builtins()
+    if name not in _SYSTEMS:
+        raise ConfigurationError(
+            f"unknown system {name!r}; registered systems: "
+            f"{available_systems()}"
+        )
+    try:
+        blocks = _SYSTEMS[name](**dict(params or {}))
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"system {name!r} rejected params {dict(params or {})!r}: {exc}"
+        ) from exc
+    if not isinstance(blocks, BlockTriple):
+        raise ConfigurationError(
+            f"system builder {name!r} must return a BlockTriple, "
+            f"got {type(blocks).__name__}"
+        )
+    return blocks

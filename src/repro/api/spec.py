@@ -1,0 +1,587 @@
+"""The declarative CBS workload spec: :class:`CBSJob` and its parts.
+
+Every workload in the paper is one shape — *solve the ring QEP for
+system S over energies E with Sakurai-Sugiura parameters P* — and a
+:class:`CBSJob` is exactly that sentence as a frozen, validated,
+fully-serializable value:
+
+* :class:`SystemSpec` — *which physics*: a registered builder name plus
+  its parameters (resolved through :mod:`repro.api.registry`);
+* :class:`RingSpec` — *which eigenvalue ring*: the annulus contour and
+  its quadrature;
+* :class:`ScanSpec` — *which energies and which numerics*: the energy
+  grid (explicit list or equidistant window) and the SS subspace /
+  Step-1 solver parameters;
+* :class:`ExecutionSpec` — *how to run it*: serial, threads, processes,
+  or the fully orchestrated adaptive path, plus warm-start policy and
+  the persistent slice cache.
+
+``to_dict()``/``from_dict()`` round-trip through pure JSON types, and
+two derived hashes key everything downstream:
+
+* :meth:`CBSJob.job_hash` — canonical SHA-256 of the *whole* spec; the
+  provenance identity recorded in every :class:`repro.cbs.CBSResult`.
+* :meth:`CBSJob.cache_context` — hash of only the answer-determining
+  parts (system + ring + scan numerics + effective tuning policy);
+  execution details (worker counts, shard counts, streaming) are
+  excluded so re-running the same physics under a different executor
+  reuses the same :class:`repro.io.slice_cache.SliceCache` entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field, fields
+from types import MappingProxyType
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.cbs.orchestrator import RefinePolicy, TuningPolicy
+from repro.errors import ConfigurationError
+from repro.ss.solver import SSConfig
+
+#: Bump when the serialized job layout changes incompatibly.
+JOB_SPEC_VERSION = 1
+
+_EXEC_MODES = ("serial", "threads", "processes", "orchestrated")
+
+
+def _check_keys(d: Mapping[str, Any], allowed, where: str) -> None:
+    unknown = sorted(set(d) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} in {where}; allowed: {sorted(allowed)}"
+        )
+
+
+def _policy_from_dict(cls, d: Optional[Mapping[str, Any]], where: str):
+    if d is None:
+        return None
+    allowed = [f.name for f in fields(cls)]
+    _check_keys(d, allowed, where)
+    return cls(**d)
+
+
+# ---------------------------------------------------------------------------
+# the four spec parts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A named physical system: registry name + builder parameters.
+
+    ``params`` is stored as a read-only mapping (a private copy behind a
+    :class:`types.MappingProxyType`), so a job really is frozen: mutating
+    ``job.system.params`` after construction raises instead of silently
+    desynchronizing the job from hashes computed earlier.
+    """
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError(
+                f"SystemSpec.name must be a non-empty string, got {self.name!r}"
+            )
+        params = dict(self.params)
+        for key in params:
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"SystemSpec.params keys must be strings, got {key!r}"
+                )
+        object.__setattr__(self, "params", MappingProxyType(params))
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the mapping;
+        # hash the canonical JSON form instead (params are JSON values).
+        return hash(
+            (self.name, json.dumps(dict(self.params), sort_keys=True,
+                                   default=str))
+        )
+
+    # MappingProxyType does not pickle; ship the plain dict across
+    # process boundaries and rewrap on the other side.
+    def __getstate__(self):
+        return {"name": self.name, "params": dict(self.params)}
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "name", state["name"])
+        object.__setattr__(
+            self, "params", MappingProxyType(dict(state["params"]))
+        )
+
+    def build(self):
+        """Resolve to a :class:`repro.qep.blocks.BlockTriple`."""
+        from repro.api.registry import resolve_system
+
+        return resolve_system(self.name, self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SystemSpec":
+        _check_keys(d, ("name", "params"), "SystemSpec")
+        return cls(name=d.get("name", ""), params=d.get("params", {}))
+
+
+@dataclass(frozen=True)
+class RingSpec:
+    """The target eigenvalue annulus and its quadrature.
+
+    ``lambda_min`` describes the paper's reciprocal ring
+    ``λ_min < |λ| < 1/λ_min``; ``ring_radii`` overrides it with explicit
+    ``(r_in, r_out)`` radii (non-reciprocal rings solve all ``2 N_int``
+    systems).  Validation is delegated to :class:`SSConfig`.
+    """
+
+    lambda_min: float = 0.5
+    ring_radii: Optional[Tuple[float, float]] = None
+    n_int: int = 32
+    annulus_margin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ring_radii is not None:
+            object.__setattr__(
+                self, "ring_radii", tuple(float(r) for r in self.ring_radii)
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "lambda_min": float(self.lambda_min),
+            "ring_radii": (
+                list(self.ring_radii) if self.ring_radii is not None else None
+            ),
+            "n_int": int(self.n_int),
+            "annulus_margin": float(self.annulus_margin),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "RingSpec":
+        allowed = [f.name for f in fields(cls)]
+        _check_keys(d, allowed, "RingSpec")
+        d = dict(d)
+        if d.get("ring_radii") is not None:
+            d["ring_radii"] = tuple(d["ring_radii"])
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class ScanSpec:
+    """The energy grid plus the SS numerical parameters.
+
+    Exactly one of ``energies`` (explicit values) or ``window``
+    (``(e_min, e_max, n)`` equidistant grid, paper Fig. 11 style) must
+    be given.  The remaining fields mirror :class:`SSConfig` minus the
+    contour (that is :class:`RingSpec`) and minus execution-only knobs
+    (those are :class:`ExecutionSpec`).
+    """
+
+    energies: Optional[Tuple[float, ...]] = None
+    window: Optional[Tuple[float, float, int]] = None
+    n_mm: int = 8
+    n_rh: int = 16
+    delta: float = 1e-10
+    linear_solver: str = "auto"
+    direct_threshold: int = 6000
+    bicg_tol: float = 1e-10
+    bicg_maxiter: Optional[int] = None
+    use_dual_trick: bool = True
+    quorum_fraction: Optional[float] = 0.5
+    jacobi: bool = False
+    residual_tol: float = 1e-6
+    seed: Optional[int] = None
+    propagating_tol: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if (self.energies is None) == (self.window is None):
+            raise ConfigurationError(
+                f"ScanSpec needs exactly one of energies or window; got "
+                f"energies={self.energies!r}, window={self.window!r}"
+            )
+        if self.energies is not None:
+            energies = tuple(float(e) for e in self.energies)
+            if not energies:
+                raise ConfigurationError("ScanSpec.energies must be non-empty")
+            if not all(math.isfinite(e) for e in energies):
+                raise ConfigurationError(
+                    f"ScanSpec.energies must be finite, got {energies}"
+                )
+            object.__setattr__(self, "energies", energies)
+        if self.window is not None:
+            try:
+                lo, hi, n = self.window
+                window = (float(lo), float(hi), int(n))
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"ScanSpec.window must be (e_min, e_max, n), "
+                    f"got {self.window!r}"
+                ) from None
+            if not (math.isfinite(window[0]) and math.isfinite(window[1])):
+                raise ConfigurationError(
+                    f"ScanSpec.window bounds must be finite, got {window}"
+                )
+            if window[2] < 1:
+                raise ConfigurationError(
+                    f"ScanSpec.window needs n >= 1, got {window[2]}"
+                )
+            object.__setattr__(self, "window", window)
+        if not self.propagating_tol > 0:
+            raise ConfigurationError(
+                f"propagating_tol must be > 0, got {self.propagating_tol}"
+            )
+
+    def grid(self) -> Tuple[float, ...]:
+        """The concrete ascending, de-duplicated energy grid.
+
+        Windows expand through ``np.linspace`` so the values (and with
+        them the bit-level slice-cache keys) are identical to the legacy
+        ``scan_window`` paths.
+        """
+        if self.energies is not None:
+            return tuple(sorted(set(self.energies)))
+        import numpy as np
+
+        lo, hi, n = self.window
+        return tuple(sorted({float(e) for e in np.linspace(lo, hi, n)}))
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        d["energies"] = list(self.energies) if self.energies is not None else None
+        d["window"] = list(self.window) if self.window is not None else None
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ScanSpec":
+        allowed = [f.name for f in fields(cls)]
+        _check_keys(d, allowed, "ScanSpec")
+        d = dict(d)
+        if d.get("energies") is not None:
+            d["energies"] = tuple(d["energies"])
+        if d.get("window") is not None:
+            d["window"] = tuple(d["window"])
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How a job runs — never *what* it computes.
+
+    Attributes
+    ----------
+    mode:
+        ``"serial"`` | ``"threads"`` | ``"processes"`` | ``"orchestrated"``.
+        Serial/threads map the energy grid through
+        :class:`repro.cbs.CBSCalculator`; processes/orchestrated shard it
+        through :class:`repro.cbs.orchestrator.ScanOrchestrator`
+        (``"processes"`` with the adaptive policies off by default,
+        ``"orchestrated"`` with tuning + refinement on).
+    workers:
+        Worker count for the chosen executor (``None`` = its default).
+    n_shards:
+        Shard count for the orchestrated modes (``None`` = worker count).
+    warm_start:
+        Slice-to-slice warm starting (sequential chains; chunk-local
+        inside shards).
+    cache_dir:
+        Persistent slice-cache root (``None`` disables).  Honored by
+        every mode; the context key is physics-only, so cache entries
+        are shared across execution modes and energy grids.
+    tuning, refine:
+        Optional explicit adaptive policies; ``None`` means the mode
+        default (enabled for ``"orchestrated"``, disabled otherwise).
+    """
+
+    mode: str = "serial"
+    workers: Optional[int] = None
+    n_shards: Optional[int] = None
+    warm_start: bool = False
+    cache_dir: Optional[str] = None
+    tuning: Optional[TuningPolicy] = None
+    refine: Optional[RefinePolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _EXEC_MODES:
+            raise ConfigurationError(
+                f"ExecutionSpec.mode must be one of {_EXEC_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"ExecutionSpec.workers must be >= 1 or None, "
+                f"got {self.workers}"
+            )
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ConfigurationError(
+                f"ExecutionSpec.n_shards must be >= 1 or None, "
+                f"got {self.n_shards}"
+            )
+        if isinstance(self.tuning, Mapping):
+            object.__setattr__(
+                self,
+                "tuning",
+                _policy_from_dict(TuningPolicy, self.tuning, "TuningPolicy"),
+            )
+        if isinstance(self.refine, Mapping):
+            object.__setattr__(
+                self,
+                "refine",
+                _policy_from_dict(RefinePolicy, self.refine, "RefinePolicy"),
+            )
+
+    # -- mode-resolved views ------------------------------------------------
+
+    def resolved_tuning(self) -> TuningPolicy:
+        if self.tuning is not None:
+            return self.tuning
+        if self.mode == "orchestrated":
+            return TuningPolicy()
+        return TuningPolicy(enabled=False)
+
+    def resolved_refine(self) -> RefinePolicy:
+        if self.refine is not None:
+            return self.refine
+        if self.mode == "orchestrated":
+            return RefinePolicy()
+        return RefinePolicy(enabled=False)
+
+    def executor_spec(self):
+        """The :func:`repro.parallel.executor.make_executor` spec."""
+        if self.mode == "serial":
+            return None
+        if self.mode == "threads":
+            return "threads" if self.workers is None else int(self.workers)
+        # processes / orchestrated
+        if self.workers is None:
+            return "processes"
+        return ("processes", int(self.workers))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "n_shards": self.n_shards,
+            "warm_start": bool(self.warm_start),
+            "cache_dir": self.cache_dir,
+            "tuning": asdict(self.tuning) if self.tuning is not None else None,
+            "refine": asdict(self.refine) if self.refine is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ExecutionSpec":
+        allowed = [f.name for f in fields(cls)]
+        _check_keys(d, allowed, "ExecutionSpec")
+        d = dict(d)
+        d["tuning"] = _policy_from_dict(
+            TuningPolicy, d.get("tuning"), "ExecutionSpec.tuning"
+        )
+        d["refine"] = _policy_from_dict(
+            RefinePolicy, d.get("refine"), "ExecutionSpec.refine"
+        )
+        return cls(**d)
+
+
+# ---------------------------------------------------------------------------
+# the job
+# ---------------------------------------------------------------------------
+
+
+def _coerce(value, cls, where: str):
+    if isinstance(value, cls):
+        return value
+    if isinstance(value, Mapping):
+        return cls.from_dict(value)
+    raise ConfigurationError(
+        f"{where} must be a {cls.__name__} or a mapping, got {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class CBSJob:
+    """One declarative CBS workload: system × ring × scan × execution.
+
+    Construction validates everything eagerly (including the derived
+    :class:`SSConfig`), so an invalid job never reaches an engine.
+    Dicts are accepted for any part and coerced, which makes literal
+    job descriptions convenient::
+
+        job = CBSJob(system={"name": "ladder", "params": {"width": 4}},
+                     scan={"window": [-2.0, 2.0, 41], "n_mm": 4, "n_rh": 4,
+                           "seed": 7})
+    """
+
+    system: SystemSpec
+    scan: ScanSpec
+    ring: RingSpec = RingSpec()
+    execution: ExecutionSpec = ExecutionSpec()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "system", _coerce(self.system, SystemSpec, "CBSJob.system")
+        )
+        object.__setattr__(
+            self, "scan", _coerce(self.scan, ScanSpec, "CBSJob.scan")
+        )
+        object.__setattr__(
+            self, "ring", _coerce(self.ring, RingSpec, "CBSJob.ring")
+        )
+        object.__setattr__(
+            self,
+            "execution",
+            _coerce(self.execution, ExecutionSpec, "CBSJob.execution"),
+        )
+        self.ss_config()  # eager validation of the numerical parameters
+
+    # -- derived views -------------------------------------------------------
+
+    def energies(self) -> Tuple[float, ...]:
+        """Ascending de-duplicated energy grid of this job."""
+        return self.scan.grid()
+
+    def ss_config(self) -> SSConfig:
+        """The :class:`SSConfig` this job describes (validated)."""
+        return SSConfig(
+            n_int=self.ring.n_int,
+            n_mm=self.scan.n_mm,
+            n_rh=self.scan.n_rh,
+            delta=self.scan.delta,
+            lambda_min=self.ring.lambda_min,
+            ring_radii=self.ring.ring_radii,
+            linear_solver=self.scan.linear_solver,
+            direct_threshold=self.scan.direct_threshold,
+            bicg_tol=self.scan.bicg_tol,
+            bicg_maxiter=self.scan.bicg_maxiter,
+            use_dual_trick=self.scan.use_dual_trick,
+            quorum_fraction=self.scan.quorum_fraction,
+            jacobi=self.scan.jacobi,
+            residual_tol=self.scan.residual_tol,
+            annulus_margin=self.ring.annulus_margin,
+            seed=self.scan.seed,
+        )
+
+    def engine(self) -> str:
+        """Which backend :func:`repro.api.compute` routes this job to:
+        ``"solver"`` (one :class:`SSHankelSolver` call), ``"scan"``
+        (:class:`CBSCalculator`), or ``"orchestrator"``
+        (:class:`ScanOrchestrator`)."""
+        if self.execution.mode in ("processes", "orchestrated"):
+            return "orchestrator"
+        if (
+            self.execution.mode == "serial"
+            and len(self.energies()) == 1
+            and not self.execution.warm_start
+            and self.execution.cache_dir is None
+        ):
+            return "solver"
+        return "scan"
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A pure-JSON-types dict (lists, not tuples) round-tripping
+        through :meth:`from_dict`."""
+        return {
+            "spec_version": JOB_SPEC_VERSION,
+            "system": self.system.to_dict(),
+            "ring": self.ring.to_dict(),
+            "scan": self.scan.to_dict(),
+            "execution": self.execution.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "CBSJob":
+        _check_keys(
+            d,
+            ("spec_version", "system", "ring", "scan", "execution"),
+            "CBSJob",
+        )
+        version = d.get("spec_version", JOB_SPEC_VERSION)
+        if version != JOB_SPEC_VERSION:
+            raise ConfigurationError(
+                f"unsupported CBSJob spec_version {version!r}; this build "
+                f"reads version {JOB_SPEC_VERSION}"
+            )
+        if "system" not in d or "scan" not in d:
+            raise ConfigurationError(
+                "CBSJob dict needs at least 'system' and 'scan'"
+            )
+        return cls(
+            system=SystemSpec.from_dict(d["system"]),
+            scan=ScanSpec.from_dict(d["scan"]),
+            ring=RingSpec.from_dict(d.get("ring", {})),
+            execution=ExecutionSpec.from_dict(d.get("execution", {})),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace — the hash input."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "CBSJob":
+        return cls.from_dict(json.loads(text))
+
+    # -- identities ----------------------------------------------------------
+
+    def job_hash(self) -> str:
+        """Canonical identity of the whole job (provenance key)."""
+        h = hashlib.sha256()
+        h.update(b"cbs-job-v%d:" % JOB_SPEC_VERSION)
+        h.update(self.to_json().encode("utf-8"))
+        return h.hexdigest()[:24]
+
+    def cache_context(self) -> str:
+        """Slice-cache context: a hash of only the answer-determining
+        parts of the job.
+
+        Execution details (mode, workers, shards, warm starts, the cache
+        directory itself) change how fast slices arrive, never what they
+        are — except the tuning policy, which changes the effective
+        per-slice solver parameters and is therefore folded in via the
+        *engine-effective* value: only the orchestrator engine tunes, so
+        solver/scan-engine jobs always key under the disabled policy
+        regardless of what ``execution.tuning`` says (those engines
+        ignore it — keying on the ignored value would let untuned slices
+        poison a tuned run's cache).  The energy grid is excluded too:
+        slices are keyed per-energy *inside* the context, so extending
+        or refining a scan window reuses every energy already solved.
+        Two jobs that differ only in execution or grid share cache
+        entries; a tuned and an untuned run never do.
+        """
+        scan_physics = self.scan.to_dict()
+        scan_physics.pop("energies")
+        scan_physics.pop("window")
+        effective_tuning = (
+            self.execution.resolved_tuning()
+            if self.engine() == "orchestrator"
+            else TuningPolicy(enabled=False)
+        )
+        if not effective_tuning.enabled:
+            # All disabled policies behave identically; key them equally.
+            effective_tuning = TuningPolicy(enabled=False)
+        payload = {
+            "system": self.system.to_dict(),
+            "ring": self.ring.to_dict(),
+            "scan": scan_physics,
+            "tuning": asdict(effective_tuning),
+        }
+        h = hashlib.sha256()
+        h.update(b"cbs-job-cache-v%d:" % JOB_SPEC_VERSION)
+        h.update(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            )
+        )
+        return h.hexdigest()[:24]
+
+
+__all__: List[str] = [
+    "JOB_SPEC_VERSION",
+    "SystemSpec",
+    "RingSpec",
+    "ScanSpec",
+    "ExecutionSpec",
+    "CBSJob",
+]

@@ -1,7 +1,12 @@
 """Complex band structure drivers: energy scans, classification, bands."""
 
 from repro.cbs.classify import ModeType, CBSMode, classify_modes
-from repro.cbs.scan import CBSCalculator, CBSResult, EnergySlice
+from repro.cbs.scan import (
+    CBS_RESULT_SCHEMA_VERSION,
+    CBSCalculator,
+    CBSResult,
+    EnergySlice,
+)
 from repro.cbs.orchestrator import (
     OrchestratedScan,
     OrchestratorConfig,
@@ -9,6 +14,7 @@ from repro.cbs.orchestrator import (
     ScanOrchestrator,
     ScanReport,
     TuningPolicy,
+    iter_warm_chain,
     run_warm_chain,
 )
 from repro.cbs.bands import band_structure, BandStructure
@@ -18,9 +24,11 @@ __all__ = [
     "ModeType",
     "CBSMode",
     "classify_modes",
+    "CBS_RESULT_SCHEMA_VERSION",
     "CBSCalculator",
     "CBSResult",
     "EnergySlice",
+    "iter_warm_chain",
     "OrchestratedScan",
     "OrchestratorConfig",
     "RefinePolicy",

@@ -42,8 +42,9 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -178,6 +179,9 @@ class ShardStats:
     final_n_int: int = 0
     final_n_mm: int = 0
     final_n_rh: int = 0
+    #: Wall time spent inside Step-1/2/3 solves in this shard — every
+    #: attempt counted exactly once (cache hits contribute nothing).
+    solve_seconds: float = 0.0
 
 
 @dataclass
@@ -190,6 +194,10 @@ class ScanReport:
     cache_misses: int = 0
     solves: int = 0
     retunes: int = 0
+    #: Total solver wall time attributed to this run's actual solves
+    #: (cache hits contribute zero; retune re-solves count every attempt
+    #: exactly once — see :class:`ShardStats.solve_seconds`).
+    solve_seconds: float = 0.0
     refine_rounds: int = 0
     refined_energies: List[float] = field(default_factory=list)
     shards: List[ShardStats] = field(default_factory=list)
@@ -205,6 +213,7 @@ class ScanReport:
         self.cache_misses += stats.n_energies - stats.cache_hits
         self.solves += stats.solves
         self.retunes += stats.retunes
+        self.solve_seconds += stats.solve_seconds
 
     def summary(self) -> str:
         tuned = {
@@ -243,37 +252,45 @@ def _solve_one(
     return calc._solve_energy_full(energy, v=v, warm=warm)
 
 
-def run_warm_chain(
+def iter_warm_chain(
     calc: CBSCalculator,
     energies: Sequence[float],
     cache: Optional[SliceCache] = None,
-) -> List[EnergySlice]:
-    """The sequential warm-started scan loop (ascending energies).
+) -> Iterator[EnergySlice]:
+    """The sequential warm-started scan loop, one slice at a time.
 
     Each slice seeds the next (eigenvector blend + Step-1 initial
-    guesses); a cache hit appends the stored slice and restarts the
-    chain cold at the next miss, since the adjacency premise no longer
-    holds across the skipped interval.
+    guesses); a cache hit yields the stored slice (with
+    ``solve_seconds`` zeroed — this run did no solve work for it) and
+    restarts the chain cold at the next miss, since the adjacency
+    premise no longer holds across the skipped interval.
     """
     # A previous scan's cached solutions belong to a (possibly distant)
     # unrelated energy — the adjacency premise only holds within this
     # chain, so start cold.
     calc._solver.last_step1 = None
-    slices: List[EnergySlice] = []
     prev: Optional[SSResult] = None
     for energy in energies:
         if cache is not None:
-            hit = cache.get(energy)
+            hit = cache.get_hit(energy)
             if hit is not None:
-                slices.append(hit)
+                yield hit
                 prev = None
                 calc._solver.last_step1 = None
                 continue
         sl, prev = _solve_one(calc, energy, prev)
-        slices.append(sl)
         if cache is not None:
             cache.put(sl)
-    return slices
+        yield sl
+
+
+def run_warm_chain(
+    calc: CBSCalculator,
+    energies: Sequence[float],
+    cache: Optional[SliceCache] = None,
+) -> List[EnergySlice]:
+    """:func:`iter_warm_chain`, collected (the blocking scan path)."""
+    return list(iter_warm_chain(calc, energies, cache))
 
 
 # ----------------------------------------------------------------------
@@ -413,7 +430,7 @@ def _solve_shard(spec: _ShardSpec) -> Tuple[List[EnergySlice], ShardStats]:
 
     for energy in energies:
         if cache is not None:
-            hit = cache.get(energy)
+            hit = cache.get_hit(energy)
             if hit is not None:
                 stats.cache_hits += 1
                 slices.append(hit)
@@ -430,10 +447,14 @@ def _solve_shard(spec: _ShardSpec) -> Tuple[List[EnergySlice], ShardStats]:
 
         sl, res = _solve_one(calc, energy, prev)
         stats.solves += 1
+        stats.solve_seconds += sl.solve_seconds
 
         if pol.enabled:
             # A shrunk-contour solve that found in-ring spectrum cannot
             # be trusted (coarser quadrature): restore N_int and redo.
+            # Every attempt's time accumulates onto the slice, so the
+            # final EnergySlice.solve_seconds is the full cost of
+            # producing it — each attempt counted exactly once.
             if (
                 quiet
                 and calc.config.n_int < base_n_int
@@ -442,8 +463,11 @@ def _solve_shard(spec: _ShardSpec) -> Tuple[List[EnergySlice], ShardStats]:
                 cfg = replace(cfg, n_int=base_n_int)
                 calc = build(cfg)
                 prev = None
+                spent = sl.solve_seconds
                 sl, res = _solve_one(calc, energy, None)
                 stats.solves += 1
+                stats.solve_seconds += sl.solve_seconds
+                sl.solve_seconds += spent
                 stats.retunes += 1
 
             # Grow only when the saturation can actually hide in-ring
@@ -467,8 +491,11 @@ def _solve_shard(spec: _ShardSpec) -> Tuple[List[EnergySlice], ShardStats]:
                 cfg = replace(cfg, n_mm=n_mm, n_rh=n_rh)
                 calc = build(cfg)
                 prev = None
+                spent = sl.solve_seconds
                 sl, res = _solve_one(calc, energy, None)
                 stats.solves += 1
+                stats.solve_seconds += sl.solve_seconds
+                sl.solve_seconds += spent
                 stats.retunes += 1
                 rounds += 1
 
@@ -555,7 +582,18 @@ class ScanOrchestrator:
         propagating_tol: float = 1e-6,
         warm_start: bool = True,
         orch: Optional[OrchestratorConfig] = None,
+        cache_context: Optional[str] = None,
+        _internal: bool = False,
     ) -> None:
+        if not _internal:
+            warnings.warn(
+                "Constructing ScanOrchestrator directly is deprecated; "
+                "declare the workload as a repro.api.CBSJob with "
+                "ExecutionSpec(mode='orchestrated') and run it through "
+                "repro.api.compute(job) / compute_iter(job).",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.blocks = blocks
         self.config = config or SSConfig()
         self.propagating_tol = float(propagating_tol)
@@ -564,17 +602,22 @@ class ScanOrchestrator:
         self._executor = make_executor(self.orch.executor)
         # The tuning policy changes the effective per-slice solver
         # parameters, so it is part of the cache identity — a tuned and
-        # an untuned run must never share slice entries.
-        self._cache_context = (
-            context_key(
-                blocks,
-                self.config,
-                self.propagating_tol,
-                extra=("tuning", self.orch.tuning),
+        # an untuned run must never share slice entries.  repro.api
+        # passes its job-derived cache context explicitly; the legacy
+        # path derives one from the live blocks/config.
+        if cache_context is not None:
+            self._cache_context = cache_context if self.orch.cache_dir else None
+        else:
+            self._cache_context = (
+                context_key(
+                    blocks,
+                    self.config,
+                    self.propagating_tol,
+                    extra=("tuning", self.orch.tuning),
+                )
+                if self.orch.cache_dir
+                else None
             )
-            if self.orch.cache_dir
-            else None
-        )
 
     # ------------------------------------------------------------------
 
@@ -594,34 +637,85 @@ class ScanOrchestrator:
             cache_context=self._cache_context,
         )
 
-    def _map_shards(
+    def _imap_shards(
         self, specs: List[_ShardSpec]
-    ) -> List[Tuple[List[EnergySlice], ShardStats]]:
+    ) -> Iterator[Tuple[List[EnergySlice], ShardStats]]:
         if len(specs) <= 1:
-            return [_solve_shard(s) for s in specs]
-        return self._executor.map(_solve_shard, specs)
+            for s in specs:
+                yield _solve_shard(s)
+            return
+        yield from self._executor.imap(_solve_shard, specs)
 
     # ------------------------------------------------------------------
 
-    def scan(self, energies: Sequence[float]) -> OrchestratedScan:
-        """Run the full orchestrated workload over ``energies``."""
+    def iter_scan(
+        self,
+        energies: Sequence[float],
+        *,
+        report: Optional[ScanReport] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ) -> Iterator[EnergySlice]:
+        """Stream the orchestrated workload slice by slice.
+
+        The sorted grid's shards are submitted up front; results are
+        yielded in ascending energy order as each next-in-order shard
+        completes (later shards keep computing while earlier slices are
+        consumed).  Refinement insertions follow after the base grid,
+        per bisection round, in ascending order within each round.
+
+        ``progress(done, total)`` is called after every yielded slice
+        (``total`` grows when refinement inserts energies);
+        ``should_cancel()`` is polled between shards and refinement
+        rounds — on cancellation the stream ends early with whatever
+        was already produced.  Telemetry accumulates into ``report``
+        (one is created and discarded when not supplied).
+        """
+        report = ScanReport() if report is None else report
         t0 = time.perf_counter()
         grid = sorted({float(e) for e in energies})
+        done = 0
+        total = len(grid)
+
+        try:
+            spans = chunk_spans(len(grid), self.n_shards)
+            specs = [self._spec(grid[lo:hi]) for lo, hi in spans]
+            report.n_shards = len(specs)
+
+            slices: List[EnergySlice] = []
+            shard_stream = self._imap_shards(specs)
+            for shard_slices, stats in shard_stream:
+                report.absorb(stats)
+                slices.extend(shard_slices)
+                for sl in shard_slices:
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+                    yield sl
+                if should_cancel is not None and should_cancel():
+                    return
+            slices.sort(key=lambda s: s.energy)
+
+            for new_slices in self._iter_refine(slices, report, should_cancel):
+                total += len(new_slices)
+                for sl in new_slices:
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+                    yield sl
+        finally:
+            report.wall_seconds = time.perf_counter() - t0
+
+    def scan(self, energies: Sequence[float]) -> OrchestratedScan:
+        """Run the full orchestrated workload over ``energies``.
+
+        The blocking form of :meth:`iter_scan`: collects the stream,
+        merges it in energy order, and returns the result with its
+        telemetry report.
+        """
         report = ScanReport()
-
-        spans = chunk_spans(len(grid), self.n_shards)
-        specs = [self._spec(grid[lo:hi]) for lo, hi in spans]
-        report.n_shards = len(specs)
-
-        slices: List[EnergySlice] = []
-        for shard_slices, stats in self._map_shards(specs):
-            slices.extend(shard_slices)
-            report.absorb(stats)
+        slices = list(self.iter_scan(energies, report=report))
         slices.sort(key=lambda s: s.energy)
-
-        slices = self._refine(slices, report)
-
-        report.wall_seconds = time.perf_counter() - t0
         return OrchestratedScan(
             CBSResult(slices, self.blocks.cell_length), report
         )
@@ -636,14 +730,25 @@ class ScanOrchestrator:
 
     # ------------------------------------------------------------------
 
-    def _refine(
-        self, slices: List[EnergySlice], report: ScanReport
-    ) -> List[EnergySlice]:
+    def _iter_refine(
+        self,
+        slices: List[EnergySlice],
+        report: ScanReport,
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ) -> Iterator[List[EnergySlice]]:
+        """Bisection rounds as a generator of per-round slice batches.
+
+        ``slices`` (the sorted scan so far) is extended and re-sorted in
+        place each round, so the caller's list always holds the complete
+        merged scan when the generator is exhausted.
+        """
         pol = self.orch.refine
         if not pol.enabled or len(slices) < 2:
-            return slices
+            return
         solved: Set[float] = {s.energy for s in slices}
         for _depth in range(pol.max_depth):
+            if should_cancel is not None and should_cancel():
+                return
             budget = pol.max_new_slices - len(report.refined_energies)
             if budget <= 0:
                 break
@@ -663,11 +768,13 @@ class ScanOrchestrator:
                 break
             spans = chunk_spans(len(mids), self.n_shards)
             specs = [self._spec(mids[lo:hi]) for lo, hi in spans]
-            for shard_slices, stats in self._map_shards(specs):
-                slices.extend(shard_slices)
+            round_slices: List[EnergySlice] = []
+            for shard_slices, stats in self._imap_shards(specs):
+                round_slices.extend(shard_slices)
                 report.absorb(stats)
             solved.update(mids)
             report.refined_energies.extend(mids)
             report.refine_rounds += 1
+            slices.extend(round_slices)
             slices.sort(key=lambda s: s.energy)
-        return slices
+            yield sorted(round_slices, key=lambda s: s.energy)

@@ -25,8 +25,9 @@ the next —
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,12 +63,28 @@ class EnergySlice:
         return np.array([m.lam for m in self.modes], dtype=np.complex128)
 
 
+#: Version of the CBSResult schema (in memory and as persisted by
+#: :mod:`repro.io.results`).  Bump on incompatible layout changes;
+#: loaders reject files written under any other version.
+CBS_RESULT_SCHEMA_VERSION = 1
+
+
 @dataclass
 class CBSResult:
-    """A full CBS scan: one :class:`EnergySlice` per energy, ascending."""
+    """A full CBS scan: one :class:`EnergySlice` per energy, ascending.
+
+    ``schema_version`` and ``provenance`` make a result a self-describing
+    record: :func:`repro.api.compute` stamps the provenance block (job
+    hash, ``repro.__version__``, the routed engine, per-shard tuning
+    decisions) and :mod:`repro.io.results` persists/validates both.
+    Results built directly by the legacy entry points carry an empty
+    provenance block.
+    """
 
     slices: List[EnergySlice]
     cell_length: float
+    schema_version: int = CBS_RESULT_SCHEMA_VERSION
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def energies(self) -> np.ndarray:
@@ -276,14 +293,23 @@ class CBSCalculator:
         return self.scan(np.linspace(e_min, e_max, n_energies))
 
     def orchestrated(self, orch=None) -> "ScanOrchestrator":
-        """An adaptive :class:`repro.cbs.orchestrator.ScanOrchestrator`
-        over the same blocks/config/tolerance — process sharding,
-        auto-tuned SS parameters, band-edge grid refinement, and the
-        persistent slice cache (see that module).
+        """Deprecated: an adaptive
+        :class:`repro.cbs.orchestrator.ScanOrchestrator` over the same
+        blocks/config/tolerance.
 
-        ``orch`` is an optional
-        :class:`repro.cbs.orchestrator.OrchestratorConfig`.
+        Declare the workload as a :class:`repro.api.CBSJob` with
+        ``ExecutionSpec(mode="orchestrated")`` and run it through
+        :func:`repro.api.compute` instead; this shim remains for
+        backward compatibility and forwards to the same engine.
         """
+        warnings.warn(
+            "CBSCalculator.orchestrated() is deprecated; declare the "
+            "workload as a repro.api.CBSJob with "
+            "ExecutionSpec(mode='orchestrated') and run it through "
+            "repro.api.compute(job).",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.cbs.orchestrator import ScanOrchestrator
 
         return ScanOrchestrator(
@@ -292,4 +318,5 @@ class CBSCalculator:
             propagating_tol=self.propagating_tol,
             warm_start=self.warm_start,
             orch=orch,
+            _internal=True,
         )

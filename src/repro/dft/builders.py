@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_system
 from repro.constants import angstrom_to_bohr
 from repro.dft.structure import Atom, CrystalStructure
 from repro.errors import ConfigurationError, StructureError
@@ -286,6 +287,55 @@ def crystalline_bundle(
     )
     s.validate(min_allowed=1.8)
     return s
+
+
+# ---------------------------------------------------------------------------
+# system registry entries (resolved by repro.api SystemSpecs)
+# ---------------------------------------------------------------------------
+
+@register_system("al100", replace=True)
+def _build_al100_system(
+    *,
+    repeats_z: int = 1,
+    lateral: int = 1,
+    spacing_angstrom: float = 0.45,
+    include_nonlocal: bool = True,
+    nf: int = 4,
+):
+    """Bulk Al(100) block triple: structure + grid + Kohn-Sham assembly.
+
+    The Hamiltonian builder is imported lazily so that registering the
+    name stays free; the cost is paid only when a job resolves it.
+    """
+    from repro.dft.hamiltonian import build_blocks
+
+    structure = bulk_al100(repeats_z=repeats_z, lateral=lateral)
+    grid = grid_for_structure(structure, spacing_angstrom=spacing_angstrom)
+    blocks, _info = build_blocks(
+        structure, grid, nf=nf, include_nonlocal=include_nonlocal
+    )
+    return blocks
+
+
+@register_system("nanotube", replace=True)
+def _build_nanotube_system(
+    *,
+    n: int = 8,
+    m: int = 0,
+    vacuum_angstrom: float = 3.0,
+    spacing_angstrom: float = 0.45,
+    include_nonlocal: bool = True,
+    nf: int = 4,
+):
+    """(n, m) carbon nanotube block triple on a real-space grid."""
+    from repro.dft.hamiltonian import build_blocks
+
+    structure = nanotube(n, m, vacuum_angstrom=vacuum_angstrom)
+    grid = grid_for_structure(structure, spacing_angstrom=spacing_angstrom)
+    blocks, _info = build_blocks(
+        structure, grid, nf=nf, include_nonlocal=include_nonlocal
+    )
+    return blocks
 
 
 # ---------------------------------------------------------------------------

@@ -1,7 +1,13 @@
 """I/O: block-triple files, slice cache, experiment records, tables."""
 
 from repro.io.matio import save_blocks, load_blocks
-from repro.io.results import ExperimentRecord, write_json, write_csv
+from repro.io.results import (
+    ExperimentRecord,
+    load_result,
+    save_result,
+    write_json,
+    write_csv,
+)
 from repro.io.slice_cache import SliceCache, context_key
 from repro.io.tables import ascii_table
 
@@ -11,6 +17,8 @@ __all__ = [
     "SliceCache",
     "context_key",
     "ExperimentRecord",
+    "save_result",
+    "load_result",
     "write_json",
     "write_csv",
     "ascii_table",

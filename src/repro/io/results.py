@@ -1,9 +1,17 @@
-"""Experiment result records written by the benchmark harness.
+"""Result persistence: CBS results (JSON + NPZ) and benchmark records.
 
-Each benchmark emits one :class:`ExperimentRecord` per measured
-configuration, serialized as JSON (full fidelity) and CSV (easy
-plotting) under ``bench_results/``.  EXPERIMENTS.md is written against
-these files.
+Two families live here:
+
+* :func:`save_result` / :func:`load_result` — the versioned
+  :class:`repro.cbs.CBSResult` store behind :mod:`repro.api`.  A result
+  becomes a pair of sibling files, ``<base>.json`` (schema version,
+  cell length, the full provenance block) and ``<base>.npz`` (all
+  per-slice numerical arrays, flattened with offsets).  Loading
+  validates ``schema_version`` and reconstructs an identical result —
+  energies, λ, mode types, provenance.
+
+* :class:`ExperimentRecord` + :func:`write_json` / :func:`write_csv` —
+  the benchmark harness records under ``bench_results/``.
 """
 
 from __future__ import annotations
@@ -11,11 +19,228 @@ from __future__ import annotations
 import csv
 import json
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Union
+from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.io.slice_cache import CODE_MODES, MODE_CODES
 
 PathLike = Union[str, os.PathLike]
+
+
+# ---------------------------------------------------------------------------
+# CBSResult persistence (the repro.api result store)
+# ---------------------------------------------------------------------------
+
+
+def _result_paths(path_base: PathLike) -> Tuple[str, str]:
+    """``<base>.json`` / ``<base>.npz`` from a base path (a trailing
+    ``.json`` or ``.npz`` extension is tolerated and stripped)."""
+    base = os.fspath(path_base)
+    root, ext = os.path.splitext(base)
+    if ext in (".json", ".npz"):
+        base = root
+    return base + ".json", base + ".npz"
+
+
+def save_result(path_base: PathLike, result) -> Tuple[str, str]:
+    """Persist a :class:`repro.cbs.CBSResult` as JSON header + NPZ arrays.
+
+    Returns ``(json_path, npz_path)``.  Parent directories are created.
+    The header carries ``schema_version``, ``cell_length``, and the full
+    provenance block; the NPZ carries every per-slice array (λ, k, mode
+    codes, decay lengths, residuals, iteration counts, solve times)
+    flattened with per-slice mode counts for exact reconstruction.
+    """
+    json_path, npz_path = _result_paths(path_base)
+    os.makedirs(os.path.dirname(json_path) or ".", exist_ok=True)
+
+    slices = result.slices
+    counts = np.array([s.count for s in slices], dtype=np.int64)
+    arrays = dict(
+        schema_version=np.int64(result.schema_version),
+        cell_length=np.float64(result.cell_length),
+        energy=np.array([s.energy for s in slices], dtype=np.float64),
+        total_iterations=np.array(
+            [s.total_iterations for s in slices], dtype=np.int64
+        ),
+        solve_seconds=np.array(
+            [s.solve_seconds for s in slices], dtype=np.float64
+        ),
+        mode_counts=counts,
+        lam=np.array(
+            [m.lam for s in slices for m in s.modes], dtype=np.complex128
+        ),
+        k=np.array(
+            [m.k for s in slices for m in s.modes], dtype=np.complex128
+        ),
+        mode_type=np.array(
+            [MODE_CODES[m.mode_type.value] for s in slices for m in s.modes],
+            dtype=np.int8,
+        ),
+        decay_length=np.array(
+            [m.decay_length for s in slices for m in s.modes],
+            dtype=np.float64,
+        ),
+        residual=np.array(
+            [m.residual for s in slices for m in s.modes], dtype=np.float64
+        ),
+    )
+    header = {
+        "schema_version": int(result.schema_version),
+        "cell_length": float(result.cell_length),
+        "n_slices": len(slices),
+        "provenance": result.provenance,
+        "npz": os.path.basename(npz_path),
+    }
+    # Atomic writes (tmp + os.replace, the SliceCache recipe), arrays
+    # before header: a crash mid-save never leaves a valid-looking
+    # header pointing at missing or stale arrays.
+    _atomic_write(
+        npz_path, "wb", lambda fh: np.savez(fh, **arrays)
+    )
+    _atomic_write(
+        json_path, "w",
+        lambda fh: json.dump(header, fh, indent=2, sort_keys=True),
+    )
+    return json_path, npz_path
+
+
+def _atomic_write(path: str, mode: str, write: Callable) -> None:
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".result_", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(
+            fd, mode, **({"encoding": "utf-8"} if mode == "w" else {})
+        ) as fh:
+            write(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_result(path_base: PathLike):
+    """Load a result written by :func:`save_result`.
+
+    Raises :class:`ConfigurationError` for an unknown
+    ``schema_version`` (in the header or the arrays) or for a
+    header/array mismatch; raises ``OSError`` when the files are
+    missing.
+    """
+    from repro.cbs.classify import CBSMode, ModeType
+    from repro.cbs.scan import (
+        CBS_RESULT_SCHEMA_VERSION,
+        CBSResult,
+        EnergySlice,
+    )
+
+    json_path, npz_path = _result_paths(path_base)
+    with open(json_path, "r", encoding="utf-8") as fh:
+        header = json.load(fh)
+    version = header.get("schema_version")
+    if version != CBS_RESULT_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"cannot load {json_path!r}: schema_version {version!r} is not "
+            f"the supported {CBS_RESULT_SCHEMA_VERSION}"
+        )
+    with np.load(npz_path) as npz:
+        if int(npz["schema_version"]) != CBS_RESULT_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"cannot load {npz_path!r}: schema_version "
+                f"{int(npz['schema_version'])} is not the supported "
+                f"{CBS_RESULT_SCHEMA_VERSION}"
+            )
+        cell_length = float(npz["cell_length"])
+        energy = npz["energy"]
+        total_iterations = npz["total_iterations"]
+        solve_seconds = npz["solve_seconds"]
+        mode_counts = npz["mode_counts"]
+        lam = npz["lam"]
+        k = npz["k"]
+        mode_type = npz["mode_type"]
+        decay_length = npz["decay_length"]
+        residual = npz["residual"]
+    if int(header.get("n_slices", -1)) != int(energy.shape[0]):
+        raise ConfigurationError(
+            f"cannot load {json_path!r}: header says "
+            f"{header.get('n_slices')!r} slices, arrays hold "
+            f"{int(energy.shape[0])}"
+        )
+    n_slices = int(energy.shape[0])
+    per_slice = {
+        "mode_counts": mode_counts,
+        "total_iterations": total_iterations,
+        "solve_seconds": solve_seconds,
+    }
+    for name, arr in per_slice.items():
+        if int(arr.shape[0]) != n_slices:
+            raise ConfigurationError(
+                f"cannot load {npz_path!r}: {name!r} holds "
+                f"{int(arr.shape[0])} entries for {n_slices} slices "
+                f"(truncated or inconsistent file)"
+            )
+    if mode_counts.size and int(mode_counts.min()) < 0:
+        raise ConfigurationError(
+            f"cannot load {npz_path!r}: mode_counts contains negative "
+            f"entries (corrupt file)"
+        )
+    n_modes_total = int(mode_counts.sum()) if mode_counts.size else 0
+    per_mode = {
+        "lam": lam, "k": k, "mode_type": mode_type,
+        "decay_length": decay_length, "residual": residual,
+    }
+    for name, arr in per_mode.items():
+        if int(arr.shape[0]) != n_modes_total:
+            raise ConfigurationError(
+                f"cannot load {npz_path!r}: mode_counts sum to "
+                f"{n_modes_total} but {name!r} holds {int(arr.shape[0])} "
+                f"entries (truncated or inconsistent file)"
+            )
+
+    slices = []
+    offset = 0
+    for i in range(energy.shape[0]):
+        n_modes = int(mode_counts[i])
+        e = float(energy[i])
+        modes = [
+            CBSMode(
+                e,
+                complex(lam[offset + j]),
+                complex(k[offset + j]),
+                ModeType(CODE_MODES[int(mode_type[offset + j])]),
+                float(decay_length[offset + j]),
+                float(residual[offset + j]),
+            )
+            for j in range(n_modes)
+        ]
+        offset += n_modes
+        slices.append(
+            EnergySlice(
+                e,
+                modes,
+                total_iterations=int(total_iterations[i]),
+                solve_seconds=float(solve_seconds[i]),
+            )
+        )
+    return CBSResult(
+        slices,
+        cell_length,
+        schema_version=int(version),
+        provenance=header.get("provenance", {}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# benchmark experiment records
+# ---------------------------------------------------------------------------
 
 
 @dataclass

@@ -42,13 +42,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an io→cbs cycle
 #: Bump when the on-disk slice layout changes; old entries become misses.
 FORMAT_VERSION = 1
 
-#: Stable integer codes for ModeType values (never reorder).
-_MODE_CODES = {
+#: Stable integer codes for ModeType values (never reorder).  Shared
+#: with :mod:`repro.io.results`, which persists whole CBS results in the
+#: same encoding.
+MODE_CODES = {
     "propagating": 0,
     "evanescent-decaying": 1,
     "evanescent-growing": 2,
 }
-_CODE_MODES = {v: k for k, v in _MODE_CODES.items()}
+CODE_MODES = {v: k for k, v in MODE_CODES.items()}
+
+# Backwards-compatible aliases (pre-PR-3 private names).
+_MODE_CODES = MODE_CODES
+_CODE_MODES = CODE_MODES
 
 #: SSConfig fields that determine the computed modes.  Execution-only
 #: fields (executor, record_history, keep_step1_solutions,
@@ -226,6 +232,20 @@ class SliceCache:
                 pass
             raise
         return path
+
+    def get_hit(self, energy: float) -> Optional["EnergySlice"]:
+        """Like :meth:`get`, but with ``solve_seconds`` zeroed.
+
+        The one authoritative read for runs that *serve* from the cache:
+        a hit did no solve work in the current run, so its slice must
+        report zero cost to this run's telemetry instead of the stored
+        (stale) solve time.  :meth:`get` stays faithful to what was
+        written.
+        """
+        sl = self.get(energy)
+        if sl is not None:
+            sl.solve_seconds = 0.0
+        return sl
 
     def get(self, energy: float) -> Optional["EnergySlice"]:
         """Load a cached slice, or ``None`` on a miss (including any

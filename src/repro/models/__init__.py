@@ -6,6 +6,7 @@ suite: every iterative path (Sakurai-Sugiura, OBM, BiCG) is checked
 against them before being trusted on the real-space DFT Hamiltonians.
 """
 
+from repro.api.registry import register_system
 from repro.models.chain import MonatomicChain, DiatomicChain
 from repro.models.ladder import TransverseLadder
 from repro.models.random_blocks import random_bulk_triple, commuting_bulk_triple
@@ -17,3 +18,25 @@ __all__ = [
     "random_bulk_triple",
     "commuting_bulk_triple",
 ]
+
+
+# -- system registry entries (resolved by repro.api SystemSpecs) ------------
+#
+# Each builder takes the model dataclass's constructor arguments as
+# keyword params and returns its block triple, so e.g.
+# ``SystemSpec("ladder", {"width": 4})`` names the same physics as
+# ``TransverseLadder(width=4).blocks()``.
+
+@register_system("chain", replace=True)
+def _build_chain(**params):
+    return MonatomicChain(**params).blocks()
+
+
+@register_system("diatomic-chain", replace=True)
+def _build_diatomic_chain(**params):
+    return DiatomicChain(**params).blocks()
+
+
+@register_system("ladder", replace=True)
+def _build_ladder(**params):
+    return TransverseLadder(**params).blocks()

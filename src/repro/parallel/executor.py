@@ -21,7 +21,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple, TypeVar
 
 from repro.errors import ConfigurationError
 
@@ -56,6 +56,25 @@ def chunk_spans(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
     return spans
 
 
+def _pool_imap(pool_cls, workers: int, fn, items) -> Iterator:
+    """Submit everything, yield results in input order as they finish.
+
+    The streaming primitive behind ``imap``: later items keep computing
+    in the pool while earlier results are consumed, so an in-order
+    consumer (e.g. an energy-ordered slice stream) overlaps compute and
+    delivery.  Closing the generator early cancels unstarted work.
+    """
+    pool = pool_cls(max_workers=workers)
+    futures = [pool.submit(fn, item) for item in items]
+    try:
+        for fut in futures:
+            yield fut.result()
+    finally:
+        for fut in futures:
+            fut.cancel()
+        pool.shutdown(wait=True)
+
+
 class SerialExecutor:
     """Run tasks in order in the calling thread (the default)."""
 
@@ -63,6 +82,11 @@ class SerialExecutor:
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
+
+    def imap(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        """Lazy in-order results; nothing runs until consumed."""
+        for item in items:
+            yield fn(item)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialExecutor()"
@@ -91,6 +115,15 @@ class ThreadExecutor:
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             return list(pool.map(fn, items))
 
+    def imap(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        """In-order results streamed as they complete on the pool."""
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            for item in items:
+                yield fn(item)
+            return
+        yield from _pool_imap(ThreadPoolExecutor, self.workers, fn, items)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadExecutor(workers={self.workers})"
 
@@ -118,6 +151,16 @@ class ProcessExecutor:
         self._check_picklable(fn)
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             return list(pool.map(fn, items))
+
+    def imap(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        """In-order results streamed as worker processes finish them."""
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            for item in items:
+                yield fn(item)
+            return
+        self._check_picklable(fn)
+        yield from _pool_imap(ProcessPoolExecutor, self.workers, fn, items)
 
     @staticmethod
     def _check_picklable(fn: Callable) -> None:

@@ -186,10 +186,30 @@ class SSConfig:
                 f"unknown linear_solver {self.linear_solver!r}; "
                 f"choose one of {sorted(known)}"
             )
+        if self.direct_threshold < 0:
+            raise ConfigurationError(
+                f"direct_threshold must be >= 0, got {self.direct_threshold}"
+            )
+        if not self.bicg_tol > 0:
+            raise ConfigurationError(
+                f"bicg_tol must be > 0, got {self.bicg_tol}"
+            )
+        if self.bicg_maxiter is not None and self.bicg_maxiter < 1:
+            raise ConfigurationError(
+                f"bicg_maxiter must be >= 1 or None, got {self.bicg_maxiter}"
+            )
         if self.quorum_fraction is not None and not 0 < self.quorum_fraction < 1:
             raise ConfigurationError(
                 f"quorum_fraction must be in (0,1) or None, "
                 f"got {self.quorum_fraction}"
+            )
+        if not self.residual_tol > 0:
+            raise ConfigurationError(
+                f"residual_tol must be > 0, got {self.residual_tol}"
+            )
+        if not 0 <= self.annulus_margin < 1:
+            raise ConfigurationError(
+                f"annulus_margin must be in [0,1), got {self.annulus_margin}"
             )
 
     @property

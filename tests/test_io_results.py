@@ -1,0 +1,153 @@
+"""CBSResult persistence: scan → save → load → identical result.
+
+Covers the versioned JSON + NPZ store behind ``repro.api``: full
+round-trips of energies, λ, k, mode types, decay lengths, residuals,
+timings, and the provenance block; rejection of unknown schema
+versions; tolerance of ``.json``/``.npz`` suffixes in the base path.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CBSJob,
+    ExecutionSpec,
+    RingSpec,
+    ScanSpec,
+    SystemSpec,
+    compute,
+    load_result,
+    save_result,
+)
+from repro.cbs.scan import CBS_RESULT_SCHEMA_VERSION, CBSResult
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def scanned_result():
+    """A small SSH-chain scan crossing the gap (some slices have no
+    propagating modes, exercising empty/non-empty mixes)."""
+    job = CBSJob(
+        system=SystemSpec("diatomic-chain", {"t1": -1.0, "t2": -0.6}),
+        scan=ScanSpec(
+            window=(-0.7, 0.7, 7), n_mm=2, n_rh=2, seed=1,
+            linear_solver="direct",
+        ),
+        ring=RingSpec(n_int=24),
+        execution=ExecutionSpec(mode="serial", warm_start=True),
+    )
+    return compute(job)
+
+
+def _assert_identical(a: CBSResult, b: CBSResult) -> None:
+    assert a.schema_version == b.schema_version
+    assert a.cell_length == b.cell_length
+    assert a.provenance == b.provenance
+    assert len(a.slices) == len(b.slices)
+    for sa, sb in zip(a.slices, b.slices):
+        assert sa.energy == sb.energy
+        assert sa.total_iterations == sb.total_iterations
+        assert sa.solve_seconds == sb.solve_seconds
+        assert sa.count == sb.count
+        assert np.array_equal(sa.lambdas(), sb.lambdas())
+        for ma, mb in zip(sa.modes, sb.modes):
+            assert ma.k == mb.k
+            assert ma.mode_type is mb.mode_type
+            assert ma.decay_length == mb.decay_length
+            assert ma.residual == mb.residual
+
+
+def test_round_trip_is_identical(scanned_result, tmp_path):
+    base = tmp_path / "cbs_out"
+    json_path, npz_path = save_result(base, scanned_result)
+    assert json_path.endswith(".json") and npz_path.endswith(".npz")
+    _assert_identical(load_result(base), scanned_result)
+
+
+def test_round_trip_preserves_provenance_block(scanned_result, tmp_path):
+    save_result(tmp_path / "r", scanned_result)
+    back = load_result(tmp_path / "r")
+    prov = back.provenance
+    assert prov["job_hash"] == scanned_result.provenance["job_hash"]
+    assert CBSJob.from_dict(prov["job"]) is not None
+
+
+def test_base_path_tolerates_extensions(scanned_result, tmp_path):
+    save_result(tmp_path / "r.json", scanned_result)
+    _assert_identical(load_result(tmp_path / "r.npz"), scanned_result)
+
+
+def test_empty_result_round_trips(tmp_path):
+    empty = CBSResult([], 1.0, provenance={"note": "empty"})
+    save_result(tmp_path / "empty", empty)
+    back = load_result(tmp_path / "empty")
+    assert back.slices == []
+    assert back.provenance == {"note": "empty"}
+
+
+def test_unknown_schema_version_rejected(scanned_result, tmp_path):
+    json_path, _ = save_result(tmp_path / "r", scanned_result)
+    header = json.loads(open(json_path).read())
+    header["schema_version"] = CBS_RESULT_SCHEMA_VERSION + 1
+    with open(json_path, "w") as fh:
+        json.dump(header, fh)
+    with pytest.raises(ConfigurationError, match="schema_version"):
+        load_result(tmp_path / "r")
+
+
+def test_slice_count_mismatch_rejected(scanned_result, tmp_path):
+    json_path, _ = save_result(tmp_path / "r", scanned_result)
+    header = json.loads(open(json_path).read())
+    header["n_slices"] = header["n_slices"] + 1
+    with open(json_path, "w") as fh:
+        json.dump(header, fh)
+    with pytest.raises(ConfigurationError, match="slices"):
+        load_result(tmp_path / "r")
+
+
+def test_truncated_per_slice_arrays_rejected(scanned_result, tmp_path):
+    """mode_counts (and friends) must hold one entry per slice; a
+    truncated array is a named error, not an IndexError."""
+    _, npz_path = save_result(tmp_path / "r", scanned_result)
+    with np.load(npz_path) as npz:
+        arrays = {name: npz[name] for name in npz.files}
+    arrays["mode_counts"] = arrays["mode_counts"][:-1]
+    with open(npz_path, "wb") as fh:
+        np.savez(fh, **arrays)
+    with pytest.raises(ConfigurationError, match="mode_counts"):
+        load_result(tmp_path / "r")
+
+
+def test_mode_count_array_mismatch_rejected(scanned_result, tmp_path):
+    """A truncated/inconsistent NPZ (mode_counts vs per-mode arrays) is
+    rejected with a named error instead of crashing or silently dropping
+    modes."""
+    _, npz_path = save_result(tmp_path / "r", scanned_result)
+    with np.load(npz_path) as npz:
+        arrays = {name: npz[name] for name in npz.files}
+    arrays["mode_counts"] = arrays["mode_counts"].copy()
+    arrays["mode_counts"][0] += 1
+    with open(npz_path, "wb") as fh:
+        np.savez(fh, **arrays)
+    with pytest.raises(ConfigurationError, match="mode_counts"):
+        load_result(tmp_path / "r")
+
+
+def test_negative_mode_counts_rejected(scanned_result, tmp_path):
+    _, npz_path = save_result(tmp_path / "r", scanned_result)
+    with np.load(npz_path) as npz:
+        arrays = {name: npz[name] for name in npz.files}
+    counts = arrays["mode_counts"].copy()
+    counts[0] -= counts.sum()  # sums still match, but one entry < 0
+    arrays["mode_counts"] = counts
+    with open(npz_path, "wb") as fh:
+        np.savez(fh, **arrays)
+    with pytest.raises(ConfigurationError, match="negative"):
+        load_result(tmp_path / "r")
+
+
+def test_missing_file_raises_oserror(tmp_path):
+    with pytest.raises(OSError):
+        load_result(tmp_path / "nope")

@@ -29,6 +29,11 @@ from repro.ss.solver import SSConfig
 
 from tests.conftest import match_error
 
+# This module deliberately exercises the legacy direct-construction
+# entry points (they must keep working); the DeprecationWarning itself
+# is pinned in tests/test_api.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 LADDER = TransverseLadder(width=4)
 CFG = SSConfig(n_int=16, n_mm=4, n_rh=4, seed=7, linear_solver="direct")
 # Grid chosen to avoid measure-zero energies where |λ| lands exactly on
@@ -284,6 +289,96 @@ def test_processes_and_cache_compose(tmp_path):
     second = ScanOrchestrator(LADDER.blocks(), CFG, orch=orch).scan(GRID)
     assert second.report.cache_hits == len(GRID)
     _modes_match(first.result, second.result, 1e-14)
+
+
+# -- solve-time attribution ----------------------------------------------------
+
+
+def test_cached_hits_report_zero_solve_seconds(tmp_path):
+    """A cache hit did no solve work this run: its slice reports
+    ``solve_seconds == 0.0`` and contributes nothing to the report's
+    solver-time total (previously the stored, stale time leaked in)."""
+    orch = _plain(cache_dir=str(tmp_path))
+    first = ScanOrchestrator(LADDER.blocks(), CFG, orch=orch).scan(GRID)
+    assert all(s.solve_seconds > 0.0 for s in first.result.slices)
+    assert first.report.solve_seconds > 0.0
+
+    second = ScanOrchestrator(LADDER.blocks(), CFG, orch=orch).scan(GRID)
+    assert second.report.solves == 0
+    assert all(s.solve_seconds == 0.0 for s in second.result.slices)
+    assert second.report.solve_seconds == 0.0
+
+
+def test_retune_resolves_count_each_attempt_exactly_once():
+    """Re-solved slices (quiet-window restore / subspace growth)
+    accumulate every attempt's time onto the final slice, so the sum
+    over slices equals the shard-accounted solver time — nothing
+    dropped, nothing double-counted."""
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=32, n_mm=3, n_rh=4, seed=7, linear_solver="direct")
+    grid = np.linspace(-4.87, -1.03, 9)
+    scan = ScanOrchestrator(
+        lad.blocks(), cfg, orch=_plain(tuning=TuningPolicy())
+    ).scan(grid)
+    assert scan.report.retunes > 0  # the scenario actually re-solves
+    total = sum(s.solve_seconds for s in scan.result.slices)
+    assert total == pytest.approx(scan.report.solve_seconds, abs=1e-9)
+    assert scan.report.solve_seconds <= scan.report.wall_seconds
+
+
+def test_refined_slices_attribute_their_own_time_once():
+    """Refinement bisection slices carry only their own solve time; the
+    report total still matches the per-slice sum exactly."""
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=7, linear_solver="direct")
+    scan = ScanOrchestrator(
+        lad.blocks(),
+        cfg,
+        orch=_plain(refine=RefinePolicy(min_de=0.02, max_depth=5)),
+    ).scan([1.1, 1.74])
+    assert scan.report.refined_energies
+    total = sum(s.solve_seconds for s in scan.result.slices)
+    assert total == pytest.approx(scan.report.solve_seconds, abs=1e-9)
+
+
+# -- streaming -----------------------------------------------------------------
+
+
+def test_iter_scan_streams_base_grid_in_energy_order():
+    from repro.cbs.orchestrator import ScanReport
+
+    orc = ScanOrchestrator(LADDER.blocks(), CFG, orch=_plain())
+    report = ScanReport()
+    seen = []
+    energies = [
+        sl.energy
+        for sl in orc.iter_scan(GRID, report=report,
+                                progress=lambda d, t: seen.append((d, t)))
+    ]
+    assert energies == sorted(np.asarray(GRID, dtype=float).tolist())
+    assert seen == [(i + 1, len(GRID)) for i in range(len(GRID))]
+    assert report.solves == len(GRID)
+    assert report.wall_seconds > 0.0
+
+
+def test_iter_scan_cancellation_stops_early():
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=7, linear_solver="direct")
+    orc = ScanOrchestrator(
+        lad.blocks(),
+        cfg,
+        orch=_plain(refine=RefinePolicy(min_de=0.02, max_depth=5)),
+    )
+    # Cancel immediately after the first shard: refinement never runs.
+    from repro.cbs.orchestrator import ScanReport
+
+    report = ScanReport()
+    slices = list(
+        orc.iter_scan([1.1, 1.74], report=report, should_cancel=lambda: True)
+    )
+    assert len(slices) == 2  # one serial shard's worth
+    assert report.refine_rounds == 0
+    assert report.refined_energies == []
 
 
 # -- calculator integration ----------------------------------------------------

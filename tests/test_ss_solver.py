@@ -37,6 +37,41 @@ def test_config_validation():
     assert SSConfig(n_rh=4, n_mm=8).subspace_capacity == 32
 
 
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("n_int", 1),
+        ("n_mm", 0),
+        ("n_rh", 0),
+        ("delta", 0.0),
+        ("delta", 1.5),
+        ("lambda_min", 0.0),
+        ("lambda_min", 1.2),
+        ("ring_radii", (2.0, 1.0)),
+        ("ring_radii", "bad"),
+        ("linear_solver", "qr"),
+        ("direct_threshold", -1),
+        ("bicg_tol", 0.0),
+        ("bicg_tol", -1e-10),
+        ("bicg_maxiter", 0),
+        ("quorum_fraction", 0.0),
+        ("quorum_fraction", 1.5),
+        ("residual_tol", 0.0),
+        ("annulus_margin", -0.1),
+        ("annulus_margin", 1.0),
+    ],
+)
+def test_config_errors_name_field_and_value(field, value):
+    """Every rejected parameter names the offending field and echoes the
+    received value, so a bad job spec is diagnosable from the message
+    alone."""
+    with pytest.raises(ConfigurationError) as err:
+        SSConfig(**{field: value})
+    message = str(err.value)
+    assert field in message
+    assert (repr(value) in message) or (str(value) in message)
+
+
 def test_paper_defaults():
     cfg = SSConfig()
     assert (cfg.n_int, cfg.n_mm, cfg.n_rh) == (32, 8, 16)
