@@ -1,0 +1,61 @@
+"""Sphinx configuration for the repro documentation site.
+
+Built in CI with warnings-as-errors (``sphinx-build -W``); keep the
+configuration minimal and deterministic.  The package is imported from
+``../src`` directly — no install step required.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    ),
+)
+
+import repro  # noqa: E402
+
+project = "repro"
+author = "repro developers"
+copyright = "2026, repro developers"  # noqa: A001 — sphinx config name
+version = release = repro.__version__
+
+extensions = [
+    "sphinx.ext.autodoc",
+    "sphinx.ext.autosummary",
+    "sphinx.ext.napoleon",
+    "sphinx.ext.intersphinx",
+    "sphinx.ext.mathjax",
+    "sphinx.ext.viewcode",
+]
+
+language = "en"
+templates_path = []
+exclude_patterns = ["_build", "Thumbs.db", ".DS_Store"]
+
+# -- autodoc / napoleon ------------------------------------------------------
+
+autodoc_member_order = "bysource"
+autodoc_typehints = "description"
+autodoc_default_options = {
+    "show-inheritance": True,
+    "undoc-members": False,
+}
+napoleon_google_docstring = False
+napoleon_numpy_docstring = True
+napoleon_use_param = True
+napoleon_use_rtype = True
+
+intersphinx_mapping = {
+    "python": ("https://docs.python.org/3", None),
+    "numpy": ("https://numpy.org/doc/stable/", None),
+    "scipy": ("https://docs.scipy.org/doc/scipy/", None),
+}
+
+# -- HTML --------------------------------------------------------------------
+
+html_theme = "furo"
+html_title = "repro — complex band structure & transport at scale"
+html_static_path = []

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Two-probe Landauer transmission through the unified workload API.
+
+The transport workload in one declarative loop:
+
+    CBSJob (system × scan × TransportSpec)  →  repro.api.compute(job)
+    →  a TransportResult: retarded electrode self-energies Σ_L/Σ_R from
+       the Sakurai-Sugiura contour moments (arXiv:1709.09324) and the
+       Caroli transmission T(E), per energy, provenance-stamped
+
+Run:  python examples/transmission.py
+"""
+
+import numpy as np
+
+from repro.api import CBSJob, ScanSpec, SystemSpec, TransportSpec, compute
+from repro.models import MonatomicChain
+from repro.transport import decimation_self_energies
+
+
+def ideal_wire_demo() -> None:
+    """An ideal chain between two chain leads: T(E) = open channels.
+
+    Inside the band there is exactly one conducting channel (T = 1);
+    outside, transport is evanescent only (T = 0).
+    """
+    job = CBSJob(
+        system=SystemSpec("chain", {"hopping": -1.0}),  # band: [-2, 2]
+        scan=ScanSpec(window=(-2.5, 2.5, 11)),
+        transport=TransportSpec(eta=1e-7, n_cells=2),
+    )
+    result = compute(job)
+    print("Ideal chain (band [-2, 2]):")
+    for sl in result.slices:
+        bar = "#" * round(20 * sl.transmission)
+        print(f"  E = {sl.energy:+5.2f}   T = {sl.transmission:8.6f}  {bar}")
+    print("  → unit plateau inside the band, zero outside.\n")
+
+
+def barrier_demo() -> None:
+    """A square tunnel barrier: T decays exponentially with length.
+
+    Shifting the device cells' onsite energy by +4 pushes the local
+    band far above the scan window, so transport through n cells goes
+    evanescently — each added cell multiplies T by |λ_barrier|², the
+    complex-band decay factor of the barrier material.
+    """
+    energy, shift = 0.2, 4.0
+    barrier = MonatomicChain(onsite=shift, hopping=-1.0)
+    lam = float(min(np.abs(barrier.analytic_lambdas(energy))))
+    print(f"Square barrier (onsite +{shift}), E = {energy}:")
+    print(f"  CBS decay factor inside the barrier: |λ| = {lam:.4f}")
+    previous = None
+    for n_cells in (1, 2, 3, 4):
+        job = CBSJob(
+            system=SystemSpec("chain", {"hopping": -1.0}),
+            scan=ScanSpec(energies=(energy,)),
+            transport=TransportSpec(
+                eta=1e-7, n_cells=n_cells, onsite_shift=shift
+            ),
+        )
+        t = compute(job).slices[0].transmission
+        ratio = f"   T_n/T_(n-1) = {t / previous:.4f}" if previous else ""
+        print(f"  n_cells = {n_cells}   T = {t:.3e}{ratio}")
+        previous = t
+    print(f"  → the ratio approaches |λ|² = {lam**2:.4f}: tunneling is "
+          "governed by the complex band structure.\n")
+
+
+def cross_validation_demo() -> None:
+    """SS contour moments vs Sancho-Rubio decimation, side by side."""
+    system = SystemSpec("ladder", {"width": 4})
+    job = CBSJob(
+        system=system,
+        scan=ScanSpec(window=(-2.6, 2.6, 5)),
+        transport=TransportSpec(eta=1e-5),
+    )
+    result = compute(job)
+    blocks = system.build()
+    print("Ladder (width 4): SS contour Σ vs Sancho-Rubio decimation:")
+    for sl in result.slices:
+        sig_l, sig_r = decimation_self_energies(blocks, sl.energy, eta=1e-5)
+        err = max(
+            np.abs(sig_l - sl.sigma_l).max(),
+            np.abs(sig_r - sl.sigma_r).max(),
+        )
+        print(f"  E = {sl.energy:+5.2f}   T = {sl.transmission:6.4f}   "
+              f"channels = {sl.n_channels}   max|ΔΣ| = {err:.2e}")
+    print("  → the two independent Σ(E) constructions agree to solver "
+          "accuracy.")
+
+
+if __name__ == "__main__":
+    ideal_wire_demo()
+    barrier_demo()
+    cross_validation_demo()

@@ -21,6 +21,11 @@ One request/response shape for every workload in the paper::
   new builder is an entry, not a new API.
 * Results persist via :func:`save_result` / :func:`load_result`
   (JSON header + NPZ arrays, schema-versioned).
+* Attaching a :class:`TransportSpec` turns the same job into a
+  two-probe transport workload — electrode self-energies from the SS
+  contour moments plus the Landauer transmission — returned as a
+  :class:`TransportResult` under the identical execution, streaming,
+  caching, and persistence machinery.
 
 The legacy entry points (``SSHankelSolver.solve``,
 ``CBSCalculator.scan``, ``ScanOrchestrator``) remain as the internal
@@ -40,22 +45,39 @@ from repro.api.spec import (
     RingSpec,
     ScanSpec,
     SystemSpec,
+    TransportSpec,
 )
-from repro.cbs.orchestrator import RefinePolicy, TuningPolicy
+from repro.cbs.orchestrator import (
+    CancelFn,
+    ProgressFn,
+    RefinePolicy,
+    TuningPolicy,
+)
 from repro.cbs.scan import CBS_RESULT_SCHEMA_VERSION, CBSResult, EnergySlice
 from repro.io.results import load_result, save_result
+from repro.transport.scan import (
+    TRANSPORT_RESULT_SCHEMA_VERSION,
+    TransportResult,
+    TransportSlice,
+)
 
 __all__ = [
     "CBS_RESULT_SCHEMA_VERSION",
     "CBSJob",
     "CBSResult",
+    "CancelFn",
     "EnergySlice",
     "ExecutionSpec",
     "JOB_SPEC_VERSION",
+    "ProgressFn",
     "RefinePolicy",
     "RingSpec",
     "ScanSpec",
     "SystemSpec",
+    "TRANSPORT_RESULT_SCHEMA_VERSION",
+    "TransportResult",
+    "TransportSlice",
+    "TransportSpec",
     "TuningPolicy",
     "available_systems",
     "compute",

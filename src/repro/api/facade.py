@@ -14,24 +14,31 @@ serial/threads            (warm chain or mapped slices)
 ``mode="processes"`` /    ``"orchestrator"`` —
 ``mode="orchestrated"``   :class:`ScanOrchestrator` (sharding,
                           tuning, refinement, slice cache)
+job with a                ``"transport"`` — Σ(E) + Landauer T(E)
+``TransportSpec``         (serial loop or sharded
+                          :class:`TransportScanner`)
 ========================  =====================================
 
-Every route returns the same versioned :class:`repro.cbs.CBSResult`
-with a provenance block (job hash, ``repro.__version__``, engine,
-per-shard tuning decisions), and :func:`compute_iter` streams the same
-workload slice by slice with progress/cancellation callbacks.
+Every route returns a versioned result with a provenance block (job
+hash, ``repro.__version__``, engine, per-shard telemetry) — a
+:class:`repro.cbs.CBSResult` for CBS jobs, a
+:class:`repro.transport.TransportResult` for transport jobs — and
+:func:`compute_iter` streams the same workload slice by slice with
+progress/cancellation callbacks.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import Any, Callable, Dict, Iterator, Mapping, Optional
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.api.spec import CBSJob
 from repro.cbs.orchestrator import (
+    CancelFn,
     OrchestratorConfig,
+    ProgressFn,
     ScanOrchestrator,
     ScanReport,
     iter_warm_chain,
@@ -39,9 +46,13 @@ from repro.cbs.orchestrator import (
 from repro.cbs.scan import CBSCalculator, CBSResult, EnergySlice
 from repro.errors import ConfigurationError
 from repro.io.slice_cache import SliceCache
-
-ProgressFn = Callable[[int, int], None]
-CancelFn = Callable[[], bool]
+from repro.transport.device import TwoProbeDevice
+from repro.transport.scan import (
+    TransportCalculator,
+    TransportResult,
+    TransportScanner,
+    TransportSlice,
+)
 
 
 def _as_job(job) -> CBSJob:
@@ -197,6 +208,77 @@ def _iter_scan_engine(
             close()
 
 
+def _make_device(job: CBSJob, blocks) -> TwoProbeDevice:
+    """The :class:`repro.transport.TwoProbeDevice` a transport job names."""
+    ts = job.transport
+    device_blocks = ts.device.build() if ts.device is not None else None
+    return TwoProbeDevice(
+        blocks,
+        n_cells=ts.n_cells,
+        device=device_blocks,
+        onsite_shift=ts.onsite_shift,
+    )
+
+
+def _iter_transport_engine(
+    job: CBSJob,
+    blocks,
+    report: Optional[ScanReport],
+    progress: Optional[ProgressFn],
+    should_cancel: Optional[CancelFn],
+):
+    """The transport route, streamed slice by slice.
+
+    Serial jobs run a cache-aware in-process loop; every other mode
+    goes through :class:`repro.transport.TransportScanner` (threads or
+    process shards, merged in energy order) with the job-derived cache
+    context.  The callback contract is identical to the CBS routes.
+    """
+    ex = job.execution
+    ts = job.transport
+    cfg = ts.self_energy_config()
+    device = _make_device(job, blocks)
+    energies = list(job.energies())
+
+    if ex.mode == "serial":
+        cache = (
+            SliceCache(ex.cache_dir, context=job.cache_context())
+            if ex.cache_dir is not None
+            else None
+        )
+        calc = TransportCalculator(device, cfg, method=ts.method)
+
+        def _serial():
+            total = len(energies)
+            gen = calc.iter_scan_cached(energies, cache)
+            for done, (sl, _hit) in enumerate(gen, start=1):
+                if progress is not None:
+                    progress(done, total)
+                yield sl
+                if should_cancel is not None and should_cancel():
+                    return
+
+        return _serial()
+
+    scanner = TransportScanner(
+        device,
+        cfg,
+        method=ts.method,
+        executor=ex.executor_spec(),
+        n_shards=ex.n_shards,
+        cache_dir=ex.cache_dir,
+        cache_context=(
+            job.cache_context() if ex.cache_dir is not None else None
+        ),
+    )
+    return scanner.iter_scan(
+        energies,
+        report=report,
+        progress=progress,
+        should_cancel=should_cancel,
+    )
+
+
 # ---------------------------------------------------------------------------
 # the facade
 # ---------------------------------------------------------------------------
@@ -211,8 +293,12 @@ def _route_iter(
     should_cancel: Optional[CancelFn],
 ) -> Iterator[EnergySlice]:
     """The single engine dispatch behind :func:`compute` and
-    :func:`compute_iter` (``report`` collects orchestrator telemetry
-    when the caller wants it)."""
+    :func:`compute_iter` (``report`` collects orchestrator/scanner
+    telemetry when the caller wants it)."""
+    if engine == "transport":
+        return _iter_transport_engine(
+            job, blocks, report, progress, should_cancel
+        )
     if engine == "orchestrator":
         orc = _make_orchestrator(job, blocks)
         return orc.iter_scan(
@@ -240,29 +326,69 @@ def compute(
     *,
     progress: Optional[ProgressFn] = None,
     should_cancel: Optional[CancelFn] = None,
-) -> CBSResult:
-    """Run a :class:`CBSJob` (or job dict) to a complete, energy-ordered
-    :class:`repro.cbs.CBSResult` with a stamped provenance block.
+) -> Union[CBSResult, TransportResult]:
+    """Run a :class:`CBSJob` (or job dict) to a complete result.
 
     Routing (see module docstring) is by job shape only — the same job
-    always produces the same modes whichever engine serves it, and jobs
-    that share physics share :class:`repro.io.slice_cache.SliceCache`
-    entries across execution modes.
+    always produces the same answer whichever engine serves it, and
+    jobs that share physics share
+    :class:`repro.io.slice_cache.SliceCache` entries across execution
+    modes.
 
-    ``progress(done, total)`` and ``should_cancel()`` behave as in
-    :func:`compute_iter`; a cancelled compute returns the partial result
-    (whatever slices finished, energy-ordered, provenance stamped).
+    Parameters
+    ----------
+    job : CBSJob or mapping
+        The workload; dicts are validated through
+        :meth:`CBSJob.from_dict`.
+    progress : callable, optional
+        ``progress(done, total)``, invoked after every finished slice;
+        see :data:`repro.cbs.orchestrator.ProgressFn` (``total`` may
+        grow while refinement inserts energies).
+    should_cancel : callable, optional
+        ``should_cancel() -> bool``, polled between slices/shards; see
+        :data:`repro.cbs.orchestrator.CancelFn`.  A cancelled compute
+        returns the partial result — whatever slices finished,
+        energy-ordered, provenance stamped.
+
+    Returns
+    -------
+    repro.cbs.CBSResult or repro.transport.TransportResult
+        Energy-ordered slices with a stamped provenance block (job
+        hash, ``repro.__version__``, the routed engine, telemetry).
+        Jobs carrying a :class:`repro.api.TransportSpec` return a
+        ``TransportResult``; all others a ``CBSResult``.
+
+    Examples
+    --------
+    >>> from repro.api import CBSJob, compute
+    >>> result = compute(CBSJob(
+    ...     system={"name": "chain", "params": {"hopping": -1.0}},
+    ...     scan={"energies": [0.0], "n_mm": 2, "n_rh": 2, "seed": 1,
+    ...           "linear_solver": "direct"},
+    ...     ring={"n_int": 16}))
+    >>> result.slices[0].count
+    2
     """
     job = _as_job(job)
     blocks = job.system.build()
     engine = job.engine()
-    report = ScanReport() if engine == "orchestrator" else None
+    report = (
+        ScanReport()
+        if engine == "orchestrator"
+        or (engine == "transport" and job.execution.mode != "serial")
+        else None
+    )
 
     slices = list(
         _route_iter(job, blocks, engine, report, progress, should_cancel)
     )
     slices.sort(key=lambda s: s.energy)
-    result = CBSResult(slices, blocks.cell_length)
+    if engine == "transport":
+        result: Union[CBSResult, TransportResult] = TransportResult(
+            slices, blocks.cell_length
+        )
+    else:
+        result = CBSResult(slices, blocks.cell_length)
     result.provenance = _provenance(job, engine, report)
     return result
 
@@ -272,18 +398,36 @@ def compute_iter(
     *,
     progress: Optional[ProgressFn] = None,
     should_cancel: Optional[CancelFn] = None,
-) -> Iterator[EnergySlice]:
-    """Stream a job's :class:`EnergySlice`s as they complete.
+) -> Iterator[Union[EnergySlice, TransportSlice]]:
+    """Stream a job's slices as they complete.
 
     The slices of the requested grid arrive in ascending energy order
-    (the orchestrated engines overlap later shards with consumption of
+    (the sharded engines overlap later shards with consumption of
     earlier ones); adaptive refinement insertions follow after the base
-    grid.  ``progress(done, total)`` fires after every slice;
-    ``should_cancel()`` is polled between slices/shards and ends the
-    stream early when it returns true.
+    grid.  Validation, system resolution, and routing happen eagerly at
+    call time; only the solving is lazy.
 
-    Validation, system resolution, and routing happen eagerly at call
-    time; only the solving is lazy.
+    Parameters
+    ----------
+    job : CBSJob or mapping
+        The workload.
+    progress : callable, optional
+        ``progress(done, total)``, invoked after every yielded slice —
+        the shared contract of
+        :data:`repro.cbs.orchestrator.ProgressFn` (``total`` grows when
+        refinement inserts energies, so ``done == total`` means
+        "caught up", not "finished").
+    should_cancel : callable, optional
+        ``should_cancel() -> bool`` — the shared contract of
+        :data:`repro.cbs.orchestrator.CancelFn`.  Polled between
+        slices/shards (never mid-solve); returning ``True`` ends the
+        stream early, and every slice already yielded remains valid.
+
+    Yields
+    ------
+    repro.cbs.EnergySlice or repro.transport.TransportSlice
+        CBS slices for CBS jobs; transport slices for jobs carrying a
+        :class:`repro.api.TransportSpec`.
     """
     job = _as_job(job)
     blocks = job.system.build()

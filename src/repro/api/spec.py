@@ -76,6 +76,29 @@ class SystemSpec:
     :class:`types.MappingProxyType`), so a job really is frozen: mutating
     ``job.system.params`` after construction raises instead of silently
     desynchronizing the job from hashes computed earlier.
+
+    Parameters
+    ----------
+    name : str
+        A system name registered through
+        :func:`repro.api.register_system` (built-ins: ``"chain"``,
+        ``"diatomic-chain"``, ``"ladder"``, ``"al100"``,
+        ``"nanotube"``).
+    params : mapping of str to JSON value, optional
+        Keyword arguments passed to the registered builder.  Values
+        must be JSON-serializable (they enter ``to_dict`` verbatim).
+
+    Raises
+    ------
+    repro.errors.ConfigurationError
+        For an empty/non-string name or non-string parameter keys.
+
+    Examples
+    --------
+    >>> from repro.api import SystemSpec
+    >>> spec = SystemSpec("ladder", {"width": 2})
+    >>> spec.build().n
+    2
     """
 
     name: str
@@ -132,10 +155,24 @@ class SystemSpec:
 class RingSpec:
     """The target eigenvalue annulus and its quadrature.
 
-    ``lambda_min`` describes the paper's reciprocal ring
-    ``λ_min < |λ| < 1/λ_min``; ``ring_radii`` overrides it with explicit
-    ``(r_in, r_out)`` radii (non-reciprocal rings solve all ``2 N_int``
-    systems).  Validation is delegated to :class:`SSConfig`.
+    Parameters
+    ----------
+    lambda_min : float, optional
+        The paper's reciprocal ring ``λ_min < |λ| < 1/λ_min``.
+    ring_radii : (float, float), optional
+        Explicit ``(r_in, r_out)`` radii overriding ``lambda_min``.  A
+        non-reciprocal ring disables the dual-system shortcut and
+        solves all ``2 N_int`` systems.
+    n_int : int, optional
+        Quadrature points per circle (``N_int``).
+    annulus_margin : float, optional
+        Relative margin shrinking the *acceptance* ring (drops
+        slowly-converging boundary modes).
+
+    Notes
+    -----
+    Validation is delegated to :class:`repro.ss.solver.SSConfig`, which
+    a :class:`CBSJob` constructs eagerly.
     """
 
     lambda_min: float = 0.5
@@ -173,11 +210,50 @@ class RingSpec:
 class ScanSpec:
     """The energy grid plus the SS numerical parameters.
 
-    Exactly one of ``energies`` (explicit values) or ``window``
-    (``(e_min, e_max, n)`` equidistant grid, paper Fig. 11 style) must
-    be given.  The remaining fields mirror :class:`SSConfig` minus the
+    Exactly one of ``energies`` or ``window`` must be given; the
+    remaining fields mirror :class:`repro.ss.solver.SSConfig` minus the
     contour (that is :class:`RingSpec`) and minus execution-only knobs
     (those are :class:`ExecutionSpec`).
+
+    Parameters
+    ----------
+    energies : tuple of float, optional
+        Explicit energy values (any order; de-duplicated and sorted).
+    window : (float, float, int), optional
+        ``(e_min, e_max, n)`` equidistant grid (paper Fig. 11 style).
+    n_mm : int, optional
+        Moment degrees ``N_mm``.
+    n_rh : int, optional
+        Right-hand sides ``N_rh`` (subspace capacity is
+        ``n_rh × n_mm``).
+    delta : float, optional
+        Relative SVD truncation threshold ``δ``.
+    linear_solver : str, optional
+        Step-1 strategy (``"auto"``, ``"direct"``, ``"bicg"``,
+        ``"bicg-batched"``).
+    direct_threshold : int, optional
+        ``"auto"`` crossover size.
+    bicg_tol, bicg_maxiter :
+        BiCG stopping rule.
+    use_dual_trick : bool, optional
+        Reuse dual solutions for the inner circle (paper §3.2).
+    quorum_fraction : float or None, optional
+        Quorum stopping-rule fraction (``None`` = off).
+    jacobi : bool, optional
+        Jacobi-precondition BiCG.
+    residual_tol : float, optional
+        Eigenpair acceptance residual.
+    seed : int, optional
+        RNG seed for the source block ``V``.
+    propagating_tol : float, optional
+        ``||λ|-1|`` threshold of the propagating classification.
+
+    Notes
+    -----
+    For a transport job (:class:`CBSJob` with a :class:`TransportSpec`)
+    only the *grid* fields (``energies``/``window``) are consumed; the
+    self-energy numerics live on the :class:`TransportSpec` because
+    transport rings are shaped differently (wider, low moment degree).
     """
 
     energies: Optional[Tuple[float, ...]] = None
@@ -384,6 +460,126 @@ class ExecutionSpec:
         return cls(**d)
 
 
+@dataclass(frozen=True)
+class TransportSpec:
+    """The transport workload: electrode self-energies + transmission.
+
+    Attaching a ``TransportSpec`` to a :class:`CBSJob` turns the job
+    from a CBS scan into a two-probe Landauer calculation over the same
+    energy grid: at each energy the lead's retarded self-energies
+    ``Σ_L/Σ_R`` are computed (from the SS contour moments by default,
+    or by Sancho-Rubio decimation) and the Caroli transmission of the
+    device region is evaluated.  :func:`repro.api.compute` then returns
+    a :class:`repro.transport.TransportResult` instead of a
+    ``CBSResult``.
+
+    Parameters
+    ----------
+    eta : float, optional
+        Positive imaginary energy ``η`` of the retarded prescription
+        (both engines evaluate at ``E + iη``).
+    n_cells : int, optional
+        Unit cells in the central device region.
+    device : SystemSpec or mapping, optional
+        Registry spec of the device cell; default: the job's lead
+        system (an ideal wire).  Must share the lead's block dimension.
+    onsite_shift : float, optional
+        Uniform onsite shift of the device cells (a square tunnel
+        barrier).
+    method : {"ss", "decimation"}, optional
+        Self-energy engine.
+    ring_radius : float or None, optional
+        Outer radius of the transport ring ``1/R < |λ| < R``;
+        ``None`` auto-sizes it from Cauchy root bounds per energy.
+    n_int : int, optional
+        Quadrature points per circle of the transport ring.
+    n_mm : int, optional
+        Moment degrees (kept low — transport rings are wide and Hankel
+        conditioning degrades like ``R^{2 N_mm - 1}``).
+    n_rh : int or None, optional
+        Source-block width; ``None`` auto-sizes to exceed the ``2N``
+        possible in-ring eigenpairs.
+    residual_tol : float, optional
+        Eigenpair acceptance residual of the self-energy solve.
+    seed : int or None, optional
+        RNG seed of the transport source block.
+
+    Examples
+    --------
+    >>> from repro.api import CBSJob, ScanSpec, SystemSpec, TransportSpec
+    >>> job = CBSJob(
+    ...     system=SystemSpec("chain", {"hopping": -1.0}),
+    ...     scan=ScanSpec(window=(-1.5, 1.5, 7)),
+    ...     transport=TransportSpec(eta=1e-7, n_cells=2),
+    ... )
+    >>> job.engine()
+    'transport'
+    """
+
+    eta: float = 1e-6
+    n_cells: int = 1
+    device: Optional[SystemSpec] = None
+    onsite_shift: float = 0.0
+    method: str = "ss"
+    ring_radius: Optional[float] = None
+    n_int: int = 64
+    n_mm: int = 2
+    n_rh: Optional[int] = None
+    residual_tol: float = 1e-8
+    seed: Optional[int] = 7
+
+    def __post_init__(self) -> None:
+        if self.method not in ("ss", "decimation"):
+            raise ConfigurationError(
+                f"TransportSpec.method must be 'ss' or 'decimation', "
+                f"got {self.method!r}"
+            )
+        if self.n_cells < 1:
+            raise ConfigurationError(
+                f"TransportSpec.n_cells must be >= 1, got {self.n_cells}"
+            )
+        if self.device is not None and not isinstance(
+            self.device, SystemSpec
+        ):
+            object.__setattr__(
+                self,
+                "device",
+                _coerce(self.device, SystemSpec, "TransportSpec.device"),
+            )
+        self.self_energy_config()  # eager validation (eta, ring, n_rh…)
+
+    def self_energy_config(self):
+        """The validated :class:`repro.transport.SelfEnergyConfig` this
+        spec describes."""
+        from repro.transport.selfenergy import SelfEnergyConfig
+
+        return SelfEnergyConfig(
+            eta=self.eta,
+            n_int=self.n_int,
+            n_mm=self.n_mm,
+            n_rh=self.n_rh,
+            ring_radius=self.ring_radius,
+            residual_tol=self.residual_tol,
+            seed=self.seed,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["device"] = (
+            self.device.to_dict() if self.device is not None else None
+        )
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TransportSpec":
+        allowed = [f.name for f in fields(cls)]
+        _check_keys(d, allowed, "TransportSpec")
+        d = dict(d)
+        if d.get("device") is not None:
+            d["device"] = SystemSpec.from_dict(d["device"])
+        return cls(**d)
+
+
 # ---------------------------------------------------------------------------
 # the job
 # ---------------------------------------------------------------------------
@@ -401,22 +597,47 @@ def _coerce(value, cls, where: str):
 
 @dataclass(frozen=True)
 class CBSJob:
-    """One declarative CBS workload: system × ring × scan × execution.
+    """One declarative workload: system × ring × scan × execution.
 
     Construction validates everything eagerly (including the derived
-    :class:`SSConfig`), so an invalid job never reaches an engine.
-    Dicts are accepted for any part and coerced, which makes literal
-    job descriptions convenient::
+    :class:`repro.ss.solver.SSConfig`), so an invalid job never reaches
+    an engine.  Dicts are accepted for any part and coerced, which
+    makes literal job descriptions convenient.
 
-        job = CBSJob(system={"name": "ladder", "params": {"width": 4}},
-                     scan={"window": [-2.0, 2.0, 41], "n_mm": 4, "n_rh": 4,
-                           "seed": 7})
+    Parameters
+    ----------
+    system : SystemSpec or mapping
+        Which physics — a registered system name plus builder params.
+    scan : ScanSpec or mapping
+        Which energies and which SS numerics.
+    ring : RingSpec or mapping, optional
+        Which eigenvalue annulus (CBS jobs; transport jobs auto-size
+        their own ring).
+    execution : ExecutionSpec or mapping, optional
+        How to run — serial/threads/processes/orchestrated, warm
+        starts, the persistent slice cache.
+    transport : TransportSpec or mapping, optional
+        When present, the job computes electrode self-energies and the
+        Landauer transmission over the scan grid instead of the CBS
+        (see :class:`TransportSpec`).
+
+    Examples
+    --------
+    >>> from repro.api import CBSJob
+    >>> job = CBSJob(system={"name": "ladder", "params": {"width": 4}},
+    ...              scan={"window": [-2.0, 2.0, 41], "n_mm": 4,
+    ...                    "n_rh": 4, "seed": 7})
+    >>> job.engine()
+    'scan'
+    >>> CBSJob.from_json(job.to_json()) == job
+    True
     """
 
     system: SystemSpec
     scan: ScanSpec
     ring: RingSpec = RingSpec()
     execution: ExecutionSpec = ExecutionSpec()
+    transport: Optional[TransportSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -433,6 +654,14 @@ class CBSJob:
             "execution",
             _coerce(self.execution, ExecutionSpec, "CBSJob.execution"),
         )
+        if self.transport is not None and not isinstance(
+            self.transport, TransportSpec
+        ):
+            object.__setattr__(
+                self,
+                "transport",
+                _coerce(self.transport, TransportSpec, "CBSJob.transport"),
+            )
         self.ss_config()  # eager validation of the numerical parameters
 
     # -- derived views -------------------------------------------------------
@@ -465,8 +694,12 @@ class CBSJob:
     def engine(self) -> str:
         """Which backend :func:`repro.api.compute` routes this job to:
         ``"solver"`` (one :class:`SSHankelSolver` call), ``"scan"``
-        (:class:`CBSCalculator`), or ``"orchestrator"``
-        (:class:`ScanOrchestrator`)."""
+        (:class:`CBSCalculator`), ``"orchestrator"``
+        (:class:`ScanOrchestrator`), or ``"transport"``
+        (:class:`repro.transport.TransportCalculator` /
+        :class:`~repro.transport.TransportScanner`)."""
+        if self.transport is not None:
+            return "transport"
         if self.execution.mode in ("processes", "orchestrated"):
             return "orchestrator"
         if (
@@ -482,20 +715,29 @@ class CBSJob:
 
     def to_dict(self) -> Dict[str, Any]:
         """A pure-JSON-types dict (lists, not tuples) round-tripping
-        through :meth:`from_dict`."""
-        return {
+        through :meth:`from_dict`.
+
+        The ``"transport"`` key appears only when the job carries a
+        :class:`TransportSpec`, so plain CBS jobs keep the exact dict
+        layout (and hashes) they had before transport existed.
+        """
+        d = {
             "spec_version": JOB_SPEC_VERSION,
             "system": self.system.to_dict(),
             "ring": self.ring.to_dict(),
             "scan": self.scan.to_dict(),
             "execution": self.execution.to_dict(),
         }
+        if self.transport is not None:
+            d["transport"] = self.transport.to_dict()
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "CBSJob":
         _check_keys(
             d,
-            ("spec_version", "system", "ring", "scan", "execution"),
+            ("spec_version", "system", "ring", "scan", "execution",
+             "transport"),
             "CBSJob",
         )
         version = d.get("spec_version", JOB_SPEC_VERSION)
@@ -508,11 +750,17 @@ class CBSJob:
             raise ConfigurationError(
                 "CBSJob dict needs at least 'system' and 'scan'"
             )
+        transport = d.get("transport")
         return cls(
             system=SystemSpec.from_dict(d["system"]),
             scan=ScanSpec.from_dict(d["scan"]),
             ring=RingSpec.from_dict(d.get("ring", {})),
             execution=ExecutionSpec.from_dict(d.get("execution", {})),
+            transport=(
+                TransportSpec.from_dict(transport)
+                if transport is not None
+                else None
+            ),
         )
 
     def to_json(self) -> str:
@@ -549,7 +797,26 @@ class CBSJob:
         or refining a scan window reuses every energy already solved.
         Two jobs that differ only in execution or grid share cache
         entries; a tuned and an untuned run never do.
+
+        Transport jobs key on exactly what determines ``Σ``/``T`` — the
+        system plus the :class:`TransportSpec` — so varying CBS-only
+        numerics (ring, moment sizes) never fragments a transport
+        cache, and a transport context can never collide with a CBS
+        context.
         """
+        if self.transport is not None:
+            payload = {
+                "system": self.system.to_dict(),
+                "transport": self.transport.to_dict(),
+            }
+            h = hashlib.sha256()
+            h.update(b"transport-job-cache-v%d:" % JOB_SPEC_VERSION)
+            h.update(
+                json.dumps(
+                    payload, sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+            )
+            return h.hexdigest()[:24]
         scan_physics = self.scan.to_dict()
         scan_physics.pop("energies")
         scan_physics.pop("window")
@@ -583,5 +850,6 @@ __all__: List[str] = [
     "RingSpec",
     "ScanSpec",
     "ExecutionSpec",
+    "TransportSpec",
     "CBSJob",
 ]

@@ -54,6 +54,25 @@ from repro.parallel.executor import chunk_spans, make_executor
 from repro.qep.blocks import BlockTriple
 from repro.ss.solver import SSConfig, SSResult
 
+#: Progress callback ``progress(done, total)``: invoked after every
+#: yielded slice of a streamed scan.  ``done`` counts yielded slices;
+#: ``total`` is the current known grid size and **may grow** while the
+#: stream runs (adaptive refinement inserts energies), so treat
+#: ``done == total`` as "caught up", not "finished".  This one
+#: signature is shared by every streaming entry point —
+#: :func:`repro.api.compute` / :func:`repro.api.compute_iter`,
+#: :meth:`ScanOrchestrator.iter_scan`, and
+#: :meth:`repro.transport.scan.TransportScanner.iter_scan`.
+ProgressFn = Callable[[int, int], None]
+
+#: Cancellation callback ``should_cancel() -> bool``: polled *between*
+#: slices/shards (never mid-solve).  Returning ``True`` ends the stream
+#: early; everything already yielded stays valid, and the blocking
+#: :func:`repro.api.compute` returns the partial, energy-ordered,
+#: provenance-stamped result.  Shared by the same entry points as
+#: :data:`ProgressFn`.
+CancelFn = Callable[[], bool]
+
 
 # ----------------------------------------------------------------------
 # policies
@@ -653,8 +672,8 @@ class ScanOrchestrator:
         energies: Sequence[float],
         *,
         report: Optional[ScanReport] = None,
-        progress: Optional[Callable[[int, int], None]] = None,
-        should_cancel: Optional[Callable[[], bool]] = None,
+        progress: Optional[ProgressFn] = None,
+        should_cancel: Optional[CancelFn] = None,
     ) -> Iterator[EnergySlice]:
         """Stream the orchestrated workload slice by slice.
 
@@ -734,7 +753,7 @@ class ScanOrchestrator:
         self,
         slices: List[EnergySlice],
         report: ScanReport,
-        should_cancel: Optional[Callable[[], bool]] = None,
+        should_cancel: Optional[CancelFn] = None,
     ) -> Iterator[List[EnergySlice]]:
         """Bisection rounds as a generator of per-round slice batches.
 

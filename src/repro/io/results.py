@@ -48,14 +48,40 @@ def _result_paths(path_base: PathLike) -> Tuple[str, str]:
 
 
 def save_result(path_base: PathLike, result) -> Tuple[str, str]:
-    """Persist a :class:`repro.cbs.CBSResult` as JSON header + NPZ arrays.
+    """Persist a result as a JSON header + NPZ arrays pair.
 
-    Returns ``(json_path, npz_path)``.  Parent directories are created.
-    The header carries ``schema_version``, ``cell_length``, and the full
-    provenance block; the NPZ carries every per-slice array (λ, k, mode
-    codes, decay lengths, residuals, iteration counts, solve times)
-    flattened with per-slice mode counts for exact reconstruction.
+    Handles both result kinds behind :func:`repro.api.compute`: a
+    :class:`repro.cbs.CBSResult` (per-slice λ/k/mode arrays) or a
+    :class:`repro.transport.TransportResult` (per-energy ``T(E)`` plus
+    the stacked ``Σ_L``/``Σ_R`` matrices).  The header records which
+    kind was written; :func:`load_result` reconstructs the matching
+    type.
+
+    Parameters
+    ----------
+    path_base : str or os.PathLike
+        Base path; ``<base>.json`` and ``<base>.npz`` are written (a
+        trailing ``.json``/``.npz`` is tolerated and stripped).  Parent
+        directories are created.
+    result : CBSResult or TransportResult
+        The result to persist.  The header carries ``schema_version``,
+        ``cell_length``, and the full provenance block.
+
+    Returns
+    -------
+    (str, str)
+        ``(json_path, npz_path)``.
+
+    Notes
+    -----
+    Writes are atomic and ordered arrays-before-header: a crash
+    mid-save never leaves a valid-looking header pointing at missing
+    or stale arrays.
     """
+    from repro.transport.scan import TransportResult
+
+    if isinstance(result, TransportResult):
+        return _save_transport_result(path_base, result)
     json_path, npz_path = _result_paths(path_base)
     os.makedirs(os.path.dirname(json_path) or ".", exist_ok=True)
 
@@ -91,6 +117,7 @@ def save_result(path_base: PathLike, result) -> Tuple[str, str]:
         ),
     )
     header = {
+        "kind": "cbs",
         "schema_version": int(result.schema_version),
         "cell_length": float(result.cell_length),
         "n_slices": len(slices),
@@ -103,6 +130,50 @@ def save_result(path_base: PathLike, result) -> Tuple[str, str]:
     _atomic_write(
         npz_path, "wb", lambda fh: np.savez(fh, **arrays)
     )
+    _atomic_write(
+        json_path, "w",
+        lambda fh: json.dump(header, fh, indent=2, sort_keys=True),
+    )
+    return json_path, npz_path
+
+
+def _save_transport_result(path_base: PathLike, result) -> Tuple[str, str]:
+    """The transport arm of :func:`save_result` (Σ/T array schema)."""
+    json_path, npz_path = _result_paths(path_base)
+    os.makedirs(os.path.dirname(json_path) or ".", exist_ok=True)
+    slices = result.slices
+    n = slices[0].sigma_l.shape[0] if slices else 0
+    arrays = dict(
+        schema_version=np.int64(result.schema_version),
+        cell_length=np.float64(result.cell_length),
+        energy=np.array([s.energy for s in slices], dtype=np.float64),
+        transmission=np.array(
+            [s.transmission for s in slices], dtype=np.float64
+        ),
+        n_channels=np.array([s.n_channels for s in slices], dtype=np.int64),
+        total_iterations=np.array(
+            [s.total_iterations for s in slices], dtype=np.int64
+        ),
+        solve_seconds=np.array(
+            [s.solve_seconds for s in slices], dtype=np.float64
+        ),
+        sigma_l=np.array(
+            [s.sigma_l for s in slices], dtype=np.complex128
+        ).reshape(len(slices), n, n),
+        sigma_r=np.array(
+            [s.sigma_r for s in slices], dtype=np.complex128
+        ).reshape(len(slices), n, n),
+    )
+    header = {
+        "kind": "transport",
+        "schema_version": int(result.schema_version),
+        "cell_length": float(result.cell_length),
+        "n_slices": len(slices),
+        "block_dim": int(n),
+        "provenance": result.provenance,
+        "npz": os.path.basename(npz_path),
+    }
+    _atomic_write(npz_path, "wb", lambda fh: np.savez(fh, **arrays))
     _atomic_write(
         json_path, "w",
         lambda fh: json.dump(header, fh, indent=2, sort_keys=True),
@@ -130,10 +201,27 @@ def _atomic_write(path: str, mode: str, write: Callable) -> None:
 def load_result(path_base: PathLike):
     """Load a result written by :func:`save_result`.
 
-    Raises :class:`ConfigurationError` for an unknown
-    ``schema_version`` (in the header or the arrays) or for a
-    header/array mismatch; raises ``OSError`` when the files are
-    missing.
+    Parameters
+    ----------
+    path_base : str or os.PathLike
+        The base path the result was saved under.
+
+    Returns
+    -------
+    repro.cbs.CBSResult or repro.transport.TransportResult
+        An identical reconstruction of what was saved — energies,
+        per-slice arrays, provenance.  The type follows the header's
+        ``kind`` field (files written before transport existed carry no
+        ``kind`` and load as CBS results).
+
+    Raises
+    ------
+    repro.errors.ConfigurationError
+        For an unknown ``kind`` or ``schema_version`` (in the header or
+        the arrays), and for any header/array mismatch (truncated or
+        inconsistent files).
+    OSError
+        When the files are missing.
     """
     from repro.cbs.classify import CBSMode, ModeType
     from repro.cbs.scan import (
@@ -145,6 +233,13 @@ def load_result(path_base: PathLike):
     json_path, npz_path = _result_paths(path_base)
     with open(json_path, "r", encoding="utf-8") as fh:
         header = json.load(fh)
+    kind = header.get("kind", "cbs")
+    if kind == "transport":
+        return _load_transport_result(json_path, npz_path, header)
+    if kind != "cbs":
+        raise ConfigurationError(
+            f"cannot load {json_path!r}: unknown result kind {kind!r}"
+        )
     version = header.get("schema_version")
     if version != CBS_RESULT_SCHEMA_VERSION:
         raise ConfigurationError(
@@ -231,6 +326,84 @@ def load_result(path_base: PathLike):
             )
         )
     return CBSResult(
+        slices,
+        cell_length,
+        schema_version=int(version),
+        provenance=header.get("provenance", {}),
+    )
+
+
+def _load_transport_result(json_path: str, npz_path: str, header):
+    """The transport arm of :func:`load_result` (validated Σ/T arrays)."""
+    from repro.transport.scan import (
+        TRANSPORT_RESULT_SCHEMA_VERSION,
+        TransportResult,
+        TransportSlice,
+    )
+
+    version = header.get("schema_version")
+    if version != TRANSPORT_RESULT_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"cannot load {json_path!r}: transport schema_version "
+            f"{version!r} is not the supported "
+            f"{TRANSPORT_RESULT_SCHEMA_VERSION}"
+        )
+    with np.load(npz_path) as npz:
+        if int(npz["schema_version"]) != TRANSPORT_RESULT_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"cannot load {npz_path!r}: transport schema_version "
+                f"{int(npz['schema_version'])} is not the supported "
+                f"{TRANSPORT_RESULT_SCHEMA_VERSION}"
+            )
+        cell_length = float(npz["cell_length"])
+        energy = npz["energy"]
+        transmission = npz["transmission"]
+        n_channels = npz["n_channels"]
+        total_iterations = npz["total_iterations"]
+        solve_seconds = npz["solve_seconds"]
+        sigma_l = npz["sigma_l"]
+        sigma_r = npz["sigma_r"]
+    n_slices = int(energy.shape[0])
+    if int(header.get("n_slices", -1)) != n_slices:
+        raise ConfigurationError(
+            f"cannot load {json_path!r}: header says "
+            f"{header.get('n_slices')!r} slices, arrays hold {n_slices}"
+        )
+    per_slice = {
+        "transmission": transmission,
+        "n_channels": n_channels,
+        "total_iterations": total_iterations,
+        "solve_seconds": solve_seconds,
+        "sigma_l": sigma_l,
+        "sigma_r": sigma_r,
+    }
+    for name, arr in per_slice.items():
+        if int(arr.shape[0]) != n_slices:
+            raise ConfigurationError(
+                f"cannot load {npz_path!r}: {name!r} holds "
+                f"{int(arr.shape[0])} entries for {n_slices} slices "
+                f"(truncated or inconsistent file)"
+            )
+    if sigma_l.shape != sigma_r.shape or sigma_l.ndim != 3 or (
+        n_slices and sigma_l.shape[1] != sigma_l.shape[2]
+    ):
+        raise ConfigurationError(
+            f"cannot load {npz_path!r}: self-energy stacks have "
+            f"inconsistent shapes {sigma_l.shape} / {sigma_r.shape}"
+        )
+    slices = [
+        TransportSlice(
+            energy=float(energy[i]),
+            transmission=float(transmission[i]),
+            sigma_l=np.array(sigma_l[i]),
+            sigma_r=np.array(sigma_r[i]),
+            n_channels=int(n_channels[i]),
+            total_iterations=int(total_iterations[i]),
+            solve_seconds=float(solve_seconds[i]),
+        )
+        for i in range(n_slices)
+    ]
+    return TransportResult(
         slices,
         cell_length,
         schema_version=int(version),

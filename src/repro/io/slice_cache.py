@@ -38,6 +38,7 @@ import scipy.sparse as sp
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an io→cbs cycle
     from repro.cbs.scan import EnergySlice
+    from repro.transport.scan import TransportSlice
 
 #: Bump when the on-disk slice layout changes; old entries become misses.
 FORMAT_VERSION = 1
@@ -291,3 +292,90 @@ class SliceCache:
             total_iterations=total_iterations,
             solve_seconds=solve_seconds,
         )
+
+    # ------------------------------------------------------------------
+    # transport entries (Σ/T), keyed alongside the CBS slices
+    # ------------------------------------------------------------------
+
+    def transport_path_for(self, energy: float) -> str:
+        """File path of the transport entry at ``energy`` (exact key)."""
+        return os.path.join(
+            self.dir, f"transport_{_energy_key(energy)}.npz"
+        )
+
+    def has_transport(self, energy: float) -> bool:
+        """Whether a transport entry exists at ``energy``."""
+        return os.path.exists(self.transport_path_for(energy))
+
+    def put_transport(self, sl: "TransportSlice") -> str:
+        """Atomically persist one transport slice (Σ_L, Σ_R, T).
+
+        Same conventions as :meth:`put`: entries live inside this
+        cache's context directory (the transport context hash differs
+        from any CBS context, so the two families never collide), and a
+        torn write can never produce a readable entry.
+        """
+        data = dict(
+            version=np.int64(FORMAT_VERSION),
+            energy=np.float64(sl.energy),
+            transmission=np.float64(sl.transmission),
+            n_channels=np.int64(sl.n_channels),
+            total_iterations=np.int64(sl.total_iterations),
+            solve_seconds=np.float64(sl.solve_seconds),
+            sigma_l=np.asarray(sl.sigma_l, dtype=np.complex128),
+            sigma_r=np.asarray(sl.sigma_r, dtype=np.complex128),
+        )
+        path = self.transport_path_for(sl.energy)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".transport_", suffix=".tmp", dir=self.dir
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_transport(self, energy: float) -> Optional["TransportSlice"]:
+        """Load a transport entry, or ``None`` on a miss (including any
+        corrupt/partial/foreign-format entry)."""
+        from repro.transport.scan import TransportSlice
+
+        path = self.transport_path_for(energy)
+        try:
+            with np.load(path) as npz:
+                if int(npz["version"]) != FORMAT_VERSION:
+                    return None
+                sl = TransportSlice(
+                    energy=float(npz["energy"]),
+                    transmission=float(npz["transmission"]),
+                    sigma_l=np.array(npz["sigma_l"]),
+                    sigma_r=np.array(npz["sigma_r"]),
+                    n_channels=int(npz["n_channels"]),
+                    total_iterations=int(npz["total_iterations"]),
+                    solve_seconds=float(npz["solve_seconds"]),
+                )
+        except (OSError, KeyError, ValueError, EOFError):
+            return None
+        except Exception:
+            # zipfile.BadZipFile and friends from torn writes.
+            return None
+        if sl.sigma_l.ndim != 2 or sl.sigma_l.shape != sl.sigma_r.shape:
+            return None
+        return sl
+
+    def get_transport_hit(
+        self, energy: float
+    ) -> Optional["TransportSlice"]:
+        """Like :meth:`get_transport`, with ``solve_seconds`` zeroed —
+        the authoritative read for runs serving from the cache (see
+        :meth:`get_hit`)."""
+        sl = self.get_transport(energy)
+        if sl is not None:
+            sl.solve_seconds = 0.0
+        return sl

@@ -49,6 +49,18 @@ def _max_abs(m: Matrix) -> float:
     return float(np.max(np.abs(m))) if m.size else 0.0
 
 
+def as_dense_complex(m: Matrix) -> np.ndarray:
+    """A dense ``complex128`` copy of a (possibly sparse) block.
+
+    The one conversion used by every dense-algebra consumer of block
+    matrices (the transport engines, baselines, tests), so dtype/layout
+    policy lives in a single place.
+    """
+    if sp.issparse(m):
+        return m.toarray().astype(np.complex128)
+    return np.asarray(m, dtype=np.complex128)
+
+
 @dataclass(frozen=True)
 class BlockTriple:
     """Container for ``(H-, H0, H+)`` = ``(H_{n,n-1}, H_{n,n}, H_{n,n+1})``.

@@ -1,0 +1,60 @@
+"""repro.transport — electron transport from the SS contour machinery.
+
+The complex band structure exists to feed transport: the decaying
+generalized Bloch solutions of a lead determine its retarded
+self-energy ``Σ(E)``, and with ``Σ_L/Σ_R`` in hand the Landauer
+transmission of a two-probe junction is one Green's-function solve
+away (Caroli formula).  This package computes all three, reusing the
+Sakurai-Sugiura Step-1/2/3 machinery at complex energy ``E + iη``
+(after arXiv:1709.09324), cross-validated against Sancho-Rubio
+decimation:
+
+* :mod:`repro.transport.selfenergy` — ``Σ(E)`` from SS contour moments;
+* :mod:`repro.transport.decimation` — the iterative baseline;
+* :mod:`repro.transport.device` — two-probe junctions + transmission;
+* :mod:`repro.transport.scan` — serial/streamed/sharded transmission
+  scans with slice-cache persistence.
+
+The declarative entry point is a :class:`repro.api.CBSJob` carrying a
+:class:`repro.api.TransportSpec` — see :func:`repro.api.compute`.
+"""
+
+from repro.transport.decimation import (
+    decimation_self_energies,
+    surface_greens_function,
+)
+from repro.transport.device import TwoProbeDevice
+from repro.transport.scan import (
+    TRANSPORT_RESULT_SCHEMA_VERSION,
+    TransportCalculator,
+    TransportResult,
+    TransportScanner,
+    TransportSlice,
+)
+from repro.transport.selfenergy import (
+    IncompleteBasisError,
+    RingModes,
+    SelfEnergyConfig,
+    auto_ring_radius,
+    ring_eigenpairs,
+    self_energies_from_modes,
+    ss_self_energies,
+)
+
+__all__ = [
+    "TRANSPORT_RESULT_SCHEMA_VERSION",
+    "IncompleteBasisError",
+    "RingModes",
+    "SelfEnergyConfig",
+    "TransportCalculator",
+    "TransportResult",
+    "TransportScanner",
+    "TransportSlice",
+    "TwoProbeDevice",
+    "auto_ring_radius",
+    "decimation_self_energies",
+    "ring_eigenpairs",
+    "self_energies_from_modes",
+    "ss_self_energies",
+    "surface_greens_function",
+]

@@ -1,0 +1,167 @@
+"""Sancho-Rubio decimation: the iterative surface-Green's-function baseline.
+
+The López Sancho, López Sancho & Rubio (1985) algorithm computes the
+retarded surface Green's function of a semi-infinite lead by repeatedly
+*decimating* every other principal layer: after ``k`` iterations the
+effective coupling connects layers ``2^k`` cells apart, so the error
+decays doubly exponentially (``~ ratio^{2^k}`` with ``ratio`` the
+decaying/growing eigenvalue magnitude ratio).  With a positive
+imaginary part ``η`` in the energy, the iteration converges for every
+energy, band or gap.
+
+This module is the cross-validation baseline for the Sakurai-Sugiura
+contour route (:mod:`repro.transport.selfenergy`): both must produce
+the same retarded self-energies ``Σ(E + iη)`` to solver accuracy, which
+the transport tests and the ``benchmarks/test_transport_scan.py`` parity
+benchmark pin.
+
+Conventions (shared across :mod:`repro.transport`)
+--------------------------------------------------
+The lead is the bulk :class:`repro.qep.blocks.BlockTriple`
+``(H−, H0, H+)`` with the cell equation
+``(E − H0) ψ_n = H− ψ_{n−1} + H+ ψ_{n+1}``.
+
+* **Right lead** (cells ``n ≥ 1``, device at ``n = 0``): surface
+  Green's function ``g_R`` with self-energy ``Σ_R = H+ g_R H−``.
+* **Left lead** (cells ``n ≤ −1``): ``g_L`` with ``Σ_L = H− g_L H+``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.qep.blocks import BlockTriple, as_dense_complex as _dense
+
+
+def surface_greens_function(
+    blocks: BlockTriple,
+    energy: float,
+    *,
+    eta: float = 1e-6,
+    side: str = "right",
+    tol: float = 1e-14,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Retarded surface Green's function of a semi-infinite lead.
+
+    Parameters
+    ----------
+    blocks : BlockTriple
+        The lead's unit-cell block triple ``(H−, H0, H+)``.
+    energy : float
+        Real energy ``E``; the iteration runs at ``E + iη``.
+    eta : float, optional
+        Positive imaginary part (retarded prescription and convergence
+        driver).  Must be ``> 0``.
+    side : {"right", "left"}, optional
+        ``"right"`` for the lead occupying ``n ≥ 1`` (decaying toward
+        ``+z``), ``"left"`` for ``n ≤ −1``.
+    tol : float, optional
+        Convergence threshold on the decimated coupling norm, relative
+        to the initial coupling norm.
+    max_iter : int, optional
+        Iteration cap; each iteration doubles the decimation depth.
+
+    Returns
+    -------
+    numpy.ndarray
+        The dense ``N × N`` surface Green's function ``g(E + iη)``.
+
+    Raises
+    ------
+    ConfigurationError
+        For ``eta <= 0`` or an unknown ``side``.
+    ConvergenceError
+        When the decimated coupling has not vanished after ``max_iter``
+        iterations.
+
+    Examples
+    --------
+    The monatomic chain has the closed form
+    ``g(E) = λ(E)/t`` with ``λ`` the decaying CBS factor:
+
+    >>> import numpy as np
+    >>> from repro.models import MonatomicChain
+    >>> from repro.transport.decimation import surface_greens_function
+    >>> chain = MonatomicChain(hopping=-1.0)
+    >>> g = surface_greens_function(chain.blocks(), 3.0, eta=1e-9)
+    >>> lam = min(chain.analytic_lambdas(3.0), key=abs)
+    >>> bool(abs(g[0, 0] - lam / -1.0) < 1e-6)
+    True
+    """
+    if not eta > 0:
+        raise ConfigurationError(f"eta must be > 0, got {eta}")
+    if side not in ("right", "left"):
+        raise ConfigurationError(
+            f"side must be 'right' or 'left', got {side!r}"
+        )
+    n = blocks.n
+    ec = complex(energy) + 1j * float(eta)
+    e_mat = ec * np.eye(n, dtype=np.complex128)
+    h0 = _dense(blocks.h0)
+    if side == "right":
+        # alpha couples toward the bulk (deeper cells), beta back toward
+        # the surface: the surface cell loses its H− neighbor.
+        alpha = _dense(blocks.hp)
+        beta = _dense(blocks.hm)
+    else:
+        alpha = _dense(blocks.hm)
+        beta = _dense(blocks.hp)
+
+    eps_s = h0.copy()   # surface onsite block (renormalized)
+    eps = h0.copy()     # bulk onsite block (renormalized)
+    scale = max(float(np.linalg.norm(alpha)), 1e-300)
+    for _ in range(max_iter):
+        g_bulk = np.linalg.solve(e_mat - eps, np.eye(n, dtype=np.complex128))
+        agb = alpha @ g_bulk @ beta
+        bga = beta @ g_bulk @ alpha
+        eps_s = eps_s + agb
+        eps = eps + agb + bga
+        alpha = alpha @ g_bulk @ alpha
+        beta = beta @ g_bulk @ beta
+        if np.linalg.norm(alpha) <= tol * scale:
+            return np.linalg.solve(
+                e_mat - eps_s, np.eye(n, dtype=np.complex128)
+            )
+    raise ConvergenceError(
+        f"Sancho-Rubio decimation did not converge in {max_iter} "
+        f"iterations at E={energy} (eta={eta}); increase eta or max_iter"
+    )
+
+
+def decimation_self_energies(
+    blocks: BlockTriple,
+    energy: float,
+    *,
+    eta: float = 1e-6,
+    tol: float = 1e-14,
+    max_iter: int = 200,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Both retarded electrode self-energies via decimation.
+
+    Parameters
+    ----------
+    blocks : BlockTriple
+        The lead block triple (both electrodes are the same material in
+        the two-probe setups served here).
+    energy : float
+        Real energy ``E``; self-energies are evaluated at ``E + iη``.
+    eta, tol, max_iter :
+        Forwarded to :func:`surface_greens_function`.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        ``(Σ_L, Σ_R)`` with ``Σ_L = H− g_L H+`` and ``Σ_R = H+ g_R H−``,
+        both dense ``N × N``.
+    """
+    hp = _dense(blocks.hp)
+    hm = _dense(blocks.hm)
+    g_l = surface_greens_function(
+        blocks, energy, eta=eta, side="left", tol=tol, max_iter=max_iter
+    )
+    g_r = surface_greens_function(
+        blocks, energy, eta=eta, side="right", tol=tol, max_iter=max_iter
+    )
+    return hm @ g_l @ hp, hp @ g_r @ hm

@@ -1,0 +1,192 @@
+"""Two-probe devices and the Landauer transmission (Caroli formula).
+
+A :class:`TwoProbeDevice` is the standard NEGF partition: a central
+region of ``n_cells`` unit cells sandwiched between two semi-infinite
+leads of the same material, coupled through the bulk hopping blocks.
+The device cells default to copies of the lead cell (an *ideal* wire —
+transmission equals the propagating-channel count), optionally modified
+by a uniform onsite shift (a square tunnel barrier) or replaced by a
+different :class:`repro.qep.blocks.BlockTriple` of the same block size.
+
+Transmission is evaluated with the Caroli formula
+
+.. math::
+
+    T(E) = \\mathrm{Tr}\\left[ Γ_L G_{1n} Γ_R G_{1n}^† \\right],
+    \\qquad Γ_{L/R} = i (Σ_{L/R} - Σ_{L/R}^†),
+
+where ``G_{1n}`` is the first-cell × last-cell block of the retarded
+device Green's function ``G = (E + iη - H_D - Σ_L - Σ_R)^{-1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.qep.blocks import BlockTriple, as_dense_complex as _dense
+
+
+@dataclass(frozen=True)
+class TwoProbeDevice:
+    """A two-probe junction: ``lead | n_cells device cells | lead``.
+
+    Parameters
+    ----------
+    lead : BlockTriple
+        Bulk block triple of both electrodes (and of the couplings into
+        the device region).
+    n_cells : int, optional
+        Number of unit cells in the central region.
+    device : BlockTriple, optional
+        Block triple of the central cells; defaults to the lead triple
+        (an ideal wire).  Must share the lead's block dimension.
+        Governs the junction *interior* only — the contact bonds to
+        the leads always carry the lead's hoppings (see
+        :meth:`hamiltonian`).
+    onsite_shift : float, optional
+        Uniform shift added to every device-cell onsite block — the
+        minimal square tunnel barrier.
+
+    Examples
+    --------
+    >>> from repro.models import MonatomicChain
+    >>> from repro.transport.device import TwoProbeDevice
+    >>> dev = TwoProbeDevice(MonatomicChain(hopping=-1.0).blocks(), n_cells=3)
+    >>> dev.hamiltonian().shape
+    (3, 3)
+    """
+
+    lead: BlockTriple
+    n_cells: int = 1
+    device: Optional[BlockTriple] = None
+    onsite_shift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 1:
+            raise ConfigurationError(
+                f"n_cells must be >= 1, got {self.n_cells}"
+            )
+        if self.device is not None and self.device.n != self.lead.n:
+            raise ConfigurationError(
+                f"device block dimension {self.device.n} != lead "
+                f"dimension {self.lead.n}"
+            )
+
+    @property
+    def n(self) -> int:
+        """Block dimension ``N`` of one cell."""
+        return self.lead.n
+
+    @property
+    def dim(self) -> int:
+        """Total central-region dimension ``n_cells × N``."""
+        return self.n_cells * self.n
+
+    def hamiltonian(self) -> np.ndarray:
+        """Dense block-tridiagonal central-region Hamiltonian ``H_D``.
+
+        Device cells couple *to each other* through the device hopping
+        blocks (defaulting to the lead's).  The two contact bonds —
+        first device cell ↔ left lead, last ↔ right lead — always carry
+        the **lead's** hoppings: they enter through the self-energies
+        ``Σ = H_∓ g H_±``, not through ``H_D``.  A custom ``device``
+        triple therefore changes the junction's interior only; weak
+        *contact* coupling must be modeled in the lead triple itself.
+        """
+        cell = self.device if self.device is not None else self.lead
+        n, nc = self.n, self.n_cells
+        h0 = _dense(cell.h0) + self.onsite_shift * np.eye(n)
+        hp = _dense(cell.hp)
+        hm = _dense(cell.hm)
+        h = np.zeros((nc * n, nc * n), dtype=np.complex128)
+        for c in range(nc):
+            sl = slice(c * n, (c + 1) * n)
+            h[sl, sl] = h0
+            if c + 1 < nc:
+                sl2 = slice((c + 1) * n, (c + 2) * n)
+                h[sl, sl2] = hp
+                h[sl2, sl] = hm
+        return h
+
+    def greens_function(
+        self,
+        energy: float,
+        sigma_l: np.ndarray,
+        sigma_r: np.ndarray,
+        *,
+        eta: float = 1e-6,
+    ) -> np.ndarray:
+        """Retarded device Green's function ``G(E + iη)``.
+
+        Parameters
+        ----------
+        energy : float
+            Real energy ``E``.
+        sigma_l, sigma_r : numpy.ndarray
+            Retarded electrode self-energies (``N × N``); ``Σ_L`` acts
+            on the first device cell, ``Σ_R`` on the last.
+        eta : float, optional
+            Imaginary part (use the same ``η`` the self-energies were
+            evaluated at).
+        """
+        a = self._resolvent_matrix(energy, sigma_l, sigma_r, eta)
+        return np.linalg.solve(
+            a, np.eye(self.dim, dtype=np.complex128)
+        )
+
+    def _resolvent_matrix(
+        self, energy, sigma_l, sigma_r, eta
+    ) -> np.ndarray:
+        """``(E + iη)I − H_D − Σ_L − Σ_R`` (whose inverse is ``G``)."""
+        n, d = self.n, self.dim
+        a = (complex(energy) + 1j * eta) * np.eye(d, dtype=np.complex128)
+        a -= self.hamiltonian()
+        a[:n, :n] -= np.asarray(sigma_l, dtype=np.complex128)
+        a[d - n:, d - n:] -= np.asarray(sigma_r, dtype=np.complex128)
+        return a
+
+    def transmission(
+        self,
+        energy: float,
+        sigma_l: np.ndarray,
+        sigma_r: np.ndarray,
+        *,
+        eta: float = 1e-6,
+    ) -> float:
+        """Landauer transmission ``T(E)`` via the Caroli formula.
+
+        Parameters
+        ----------
+        energy : float
+            Real energy ``E``.
+        sigma_l, sigma_r : numpy.ndarray
+            Retarded electrode self-energies at ``E + iη``.
+        eta : float, optional
+            Imaginary part of the device resolvent.
+
+        Returns
+        -------
+        float
+            ``T(E) = Tr[Γ_L G_{1n} Γ_R G_{1n}†] ≥ 0`` (clipped at
+            ``-1e-12`` tolerance; for an ideal wire this is the number
+            of propagating channels up to ``O(η)``).
+        """
+        n, d = self.n, self.dim
+        sigma_l = np.asarray(sigma_l, dtype=np.complex128)
+        sigma_r = np.asarray(sigma_r, dtype=np.complex128)
+        # Only the first-cell × last-cell block of G enters Caroli, so
+        # solve for the last N columns instead of the full d × d inverse
+        # (n_cells× fewer right-hand sides on the per-energy hot path).
+        a = self._resolvent_matrix(energy, sigma_l, sigma_r, eta)
+        rhs = np.zeros((d, n), dtype=np.complex128)
+        rhs[d - n:, :] = np.eye(n)
+        g1n = np.linalg.solve(a, rhs)[:n, :]
+        gamma_l = 1j * (sigma_l - sigma_l.conj().T)
+        gamma_r = 1j * (sigma_r - sigma_r.conj().T)
+        t = np.trace(gamma_l @ g1n @ gamma_r @ g1n.conj().T)
+        val = float(t.real)
+        return max(val, 0.0) if val > -1e-12 else val

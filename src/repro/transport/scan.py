@@ -1,0 +1,416 @@
+"""Transmission scans: serial, streamed, cached, and process-sharded.
+
+Mirrors the CBS scan stack one level up the physics: where a CBS scan
+maps energies to :class:`repro.cbs.scan.EnergySlice`, a transport scan
+maps them to :class:`TransportSlice` — electrode self-energies
+``Σ_L/Σ_R`` (SS contour route by default, Sancho-Rubio decimation as
+the cross-check engine) plus the Landauer transmission of a
+:class:`repro.transport.device.TwoProbeDevice`.
+
+The orchestration treatment is the same as for CBS scans
+(:mod:`repro.cbs.orchestrator`): the sorted grid is split into
+contiguous shards (:func:`repro.parallel.executor.chunk_spans`), each
+shipped to a worker process as one picklable
+:class:`_TransportShardSpec`, merged back in energy order, streamed
+slice by slice with the shared progress/cancellation callbacks
+(:data:`repro.cbs.orchestrator.ProgressFn` /
+:data:`~repro.cbs.orchestrator.CancelFn`), and persisted through the
+same :class:`repro.io.slice_cache.SliceCache` root (transport entries
+are keyed alongside CBS slices, in their own context directory).
+Telemetry reuses :class:`~repro.cbs.orchestrator.ScanReport` /
+:class:`~repro.cbs.orchestrator.ShardStats`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cbs.orchestrator import (
+    CancelFn,
+    ProgressFn,
+    ScanReport,
+    ShardStats,
+)
+from repro.errors import ConfigurationError
+from repro.io.slice_cache import SliceCache
+from repro.parallel.executor import chunk_spans, make_executor
+from repro.qep.blocks import BlockTriple
+from repro.transport.decimation import decimation_self_energies
+from repro.transport.device import TwoProbeDevice
+from repro.transport.selfenergy import SelfEnergyConfig, ss_self_energies
+
+#: Version of the TransportResult schema (in memory and as persisted by
+#: :mod:`repro.io.results`).  Bump on incompatible layout changes.
+TRANSPORT_RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class TransportSlice:
+    """Transport quantities at one energy.
+
+    Attributes
+    ----------
+    energy : float
+        Real energy ``E`` (the solve ran at ``E + iη``).
+    transmission : float
+        Landauer transmission ``T(E)``.
+    sigma_l, sigma_r : numpy.ndarray
+        Retarded electrode self-energies (dense ``N × N``).
+    n_channels : int
+        Open-channel estimate: lead modes within ``10·√η`` of the unit
+        circle, halved (each channel contributes a ± pair).  Diagnostic
+        only — near band edges the split is genuinely ambiguous at
+        finite ``η``.
+    total_iterations : int
+        Step-1 iteration total of the SS solve (zero on the direct
+        path and for the decimation engine).
+    solve_seconds : float
+        Wall time spent producing this slice (zeroed on cache hits).
+    """
+
+    energy: float
+    transmission: float
+    sigma_l: np.ndarray
+    sigma_r: np.ndarray
+    n_channels: int = 0
+    total_iterations: int = 0
+    solve_seconds: float = 0.0
+
+
+@dataclass
+class TransportResult:
+    """A full transmission scan, one :class:`TransportSlice` per energy.
+
+    Like :class:`repro.cbs.CBSResult`, a schema-versioned,
+    provenance-stamped record: :func:`repro.api.compute` fills
+    ``provenance`` and :mod:`repro.io.results` persists/validates both.
+    """
+
+    slices: List[TransportSlice]
+    cell_length: float
+    schema_version: int = TRANSPORT_RESULT_SCHEMA_VERSION
+    provenance: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def energies(self) -> np.ndarray:
+        """Slice energies, ascending."""
+        return np.array([s.energy for s in self.slices])
+
+    def transmissions(self) -> np.ndarray:
+        """``T(E)`` over the grid (same order as :attr:`energies`)."""
+        return np.array([s.transmission for s in self.slices])
+
+    def channel_counts(self) -> np.ndarray:
+        """Open-channel estimates over the grid."""
+        return np.array([s.n_channels for s in self.slices], dtype=np.int64)
+
+    def conductance_quantum_units(self) -> np.ndarray:
+        """Alias of :meth:`transmissions`: ``G/G₀ = T`` in linear response."""
+        return self.transmissions()
+
+
+# ----------------------------------------------------------------------
+# the per-energy engine
+# ----------------------------------------------------------------------
+
+
+class TransportCalculator:
+    """Per-energy transport solves over one two-probe device.
+
+    Parameters
+    ----------
+    device : TwoProbeDevice
+        The junction (leads + central region).
+    config : SelfEnergyConfig, optional
+        Numerics of the self-energy solve (defaults when omitted).
+    method : {"ss", "decimation"}, optional
+        Self-energy engine: the Sakurai-Sugiura contour route
+        (default) or Sancho-Rubio decimation (the baseline — useful for
+        cross-validation runs; both engines share ``η``).
+
+    Examples
+    --------
+    >>> from repro.models import MonatomicChain
+    >>> from repro.transport import TwoProbeDevice, TransportCalculator
+    >>> dev = TwoProbeDevice(MonatomicChain(hopping=-1.0).blocks())
+    >>> calc = TransportCalculator(dev)
+    >>> sl = calc.solve_energy(0.3)          # inside the band
+    >>> bool(abs(sl.transmission - 1.0) < 1e-4)
+    True
+    """
+
+    def __init__(
+        self,
+        device: TwoProbeDevice,
+        config: Optional[SelfEnergyConfig] = None,
+        *,
+        method: str = "ss",
+    ) -> None:
+        if method not in ("ss", "decimation"):
+            raise ConfigurationError(
+                f"method must be 'ss' or 'decimation', got {method!r}"
+            )
+        self.device = device
+        self.config = config or SelfEnergyConfig()
+        self.method = method
+
+    def solve_energy(self, energy: float) -> TransportSlice:
+        """One transport slice: ``Σ_L``, ``Σ_R``, and ``T(energy)``."""
+        t0 = time.perf_counter()
+        cfg = self.config
+        iters = 0
+        n_channels = 0
+        if self.method == "ss":
+            sig_l, sig_r, modes = ss_self_energies(
+                self.device.lead, energy, cfg
+            )
+            iters = modes.total_iterations
+            window = 10.0 * math.sqrt(cfg.eta)
+            near_unit = np.abs(np.abs(modes.eigenvalues) - 1.0) <= window
+            n_channels = int(np.count_nonzero(near_unit)) // 2
+        else:
+            sig_l, sig_r = decimation_self_energies(
+                self.device.lead, energy, eta=cfg.eta
+            )
+        t = self.device.transmission(
+            energy, sig_l, sig_r, eta=cfg.eta
+        )
+        return TransportSlice(
+            energy=float(energy),
+            transmission=float(t),
+            sigma_l=sig_l,
+            sigma_r=sig_r,
+            n_channels=n_channels,
+            total_iterations=iters,
+            solve_seconds=time.perf_counter() - t0,
+        )
+
+    def iter_scan_cached(
+        self, energies: Sequence[float], cache: Optional[SliceCache] = None
+    ) -> Iterator[Tuple[TransportSlice, bool]]:
+        """Yield ``(slice, from_cache)`` in the given energy order.
+
+        The one cache-protocol loop behind every transport scan path
+        (the facade's serial route, :meth:`scan`, and the process-shard
+        solver): hits are served with ``solve_seconds`` zeroed, misses
+        are solved and persisted as they complete.
+        """
+        for energy in energies:
+            sl = (
+                cache.get_transport_hit(energy)
+                if cache is not None
+                else None
+            )
+            if sl is not None:
+                yield sl, True
+                continue
+            sl = self.solve_energy(energy)
+            if cache is not None:
+                cache.put_transport(sl)
+            yield sl, False
+
+    def scan(
+        self, energies: Sequence[float], cache: Optional[SliceCache] = None
+    ) -> TransportResult:
+        """Serial transmission scan (ascending energy order)."""
+        grid = sorted(float(x) for x in energies)
+        slices = [sl for sl, _hit in self.iter_scan_cached(grid, cache)]
+        return TransportResult(slices, self.device.lead.cell_length)
+
+
+# ----------------------------------------------------------------------
+# shard work units (picklable; solved by a module-level function)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _TransportShardSpec:
+    """One contiguous piece of a transmission scan, shippable to a
+    worker process."""
+
+    lead: BlockTriple
+    n_cells: int
+    device_blocks: Optional[BlockTriple]
+    onsite_shift: float
+    config: SelfEnergyConfig
+    method: str
+    energies: Tuple[float, ...]
+    cache_root: Optional[str] = None
+    cache_context: Optional[str] = None
+
+
+def _solve_transport_shard(
+    spec: _TransportShardSpec,
+) -> Tuple[List[TransportSlice], ShardStats]:
+    """Solve one transport shard (module-level for pickling)."""
+    energies = list(spec.energies)
+    stats = ShardStats(
+        e_lo=min(energies) if energies else math.nan,
+        e_hi=max(energies) if energies else math.nan,
+        n_energies=len(energies),
+        final_n_int=spec.config.n_int,
+        final_n_mm=spec.config.n_mm,
+        final_n_rh=spec.config.resolved_n_rh(spec.lead.n),
+    )
+    cache = (
+        SliceCache(spec.cache_root, context=spec.cache_context)
+        if spec.cache_root and spec.cache_context
+        else None
+    )
+    device = TwoProbeDevice(
+        spec.lead,
+        n_cells=spec.n_cells,
+        device=spec.device_blocks,
+        onsite_shift=spec.onsite_shift,
+    )
+    calc = TransportCalculator(device, spec.config, method=spec.method)
+    slices: List[TransportSlice] = []
+    for sl, hit in calc.iter_scan_cached(energies, cache):
+        if hit:
+            stats.cache_hits += 1
+        else:
+            stats.solves += 1
+            stats.solve_seconds += sl.solve_seconds
+        slices.append(sl)
+    return slices, stats
+
+
+# ----------------------------------------------------------------------
+# the sharded scanner
+# ----------------------------------------------------------------------
+
+
+class TransportScanner:
+    """Process-parallel, cache-backed transmission scans.
+
+    The transport twin of :class:`repro.cbs.orchestrator.ScanOrchestrator`
+    (same sharding, streaming, telemetry, and cache conventions; no
+    grid refinement — ``T(E)`` is smooth at finite ``η``).  Constructed
+    by :func:`repro.api.compute` for transport jobs in
+    ``"processes"``/``"orchestrated"`` modes; direct construction is
+    supported for embedding.
+
+    Parameters
+    ----------
+    device : TwoProbeDevice
+        The junction to scan.
+    config : SelfEnergyConfig, optional
+        Self-energy numerics.
+    method : {"ss", "decimation"}, optional
+        Self-energy engine.
+    executor : optional
+        Shard-level executor spec (as in
+        :func:`repro.parallel.executor.make_executor`).
+    n_shards : int, optional
+        Shard count (default: the executor's worker count).
+    cache_dir : str, optional
+        Persistent cache root; transport entries live alongside CBS
+        slices under per-context subdirectories.
+    cache_context : str, optional
+        Precomputed context key (required when ``cache_dir`` is set;
+        :meth:`repro.api.CBSJob.cache_context` provides it for jobs).
+    """
+
+    def __init__(
+        self,
+        device: TwoProbeDevice,
+        config: Optional[SelfEnergyConfig] = None,
+        *,
+        method: str = "ss",
+        executor: object = "processes",
+        n_shards: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        cache_context: Optional[str] = None,
+    ) -> None:
+        self.device = device
+        self.config = config or SelfEnergyConfig()
+        self.method = method
+        self._executor = make_executor(executor)
+        self._n_shards = n_shards
+        self.cache_dir = cache_dir
+        self._cache_context = cache_context if cache_dir else None
+        if cache_dir is not None and cache_context is None:
+            raise ConfigurationError(
+                "TransportScanner with cache_dir needs an explicit "
+                "cache_context (jobs derive one via CBSJob.cache_context())"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return int(self._n_shards or getattr(self._executor, "workers", 1))
+
+    def _spec(self, energies: Sequence[float]) -> _TransportShardSpec:
+        dev = self.device
+        return _TransportShardSpec(
+            lead=dev.lead,
+            n_cells=dev.n_cells,
+            device_blocks=dev.device,
+            onsite_shift=dev.onsite_shift,
+            config=self.config,
+            method=self.method,
+            energies=tuple(float(e) for e in energies),
+            cache_root=self.cache_dir,
+            cache_context=self._cache_context,
+        )
+
+    def _imap_shards(self, specs):
+        if len(specs) <= 1:
+            for s in specs:
+                yield _solve_transport_shard(s)
+            return
+        yield from self._executor.imap(_solve_transport_shard, specs)
+
+    def iter_scan(
+        self,
+        energies: Sequence[float],
+        *,
+        report: Optional[ScanReport] = None,
+        progress: Optional[ProgressFn] = None,
+        should_cancel: Optional[CancelFn] = None,
+    ) -> Iterator[TransportSlice]:
+        """Stream the transmission scan slice by slice.
+
+        Identical callback contract to
+        :meth:`repro.cbs.orchestrator.ScanOrchestrator.iter_scan`:
+        slices arrive in ascending energy order, ``progress(done,
+        total)`` fires after every yielded slice, and
+        ``should_cancel()`` is polled between shards — cancellation
+        ends the stream early with whatever was already produced.
+        """
+        report = ScanReport() if report is None else report
+        t0 = time.perf_counter()
+        grid = sorted({float(e) for e in energies})
+        total = len(grid)
+        done = 0
+        try:
+            spans = chunk_spans(len(grid), self.n_shards)
+            specs = [self._spec(grid[lo:hi]) for lo, hi in spans]
+            report.n_shards = len(specs)
+            for shard_slices, stats in self._imap_shards(specs):
+                report.absorb(stats)
+                for sl in shard_slices:
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+                    yield sl
+                if should_cancel is not None and should_cancel():
+                    return
+        finally:
+            report.wall_seconds = time.perf_counter() - t0
+
+    def scan(
+        self, energies: Sequence[float]
+    ) -> Tuple[TransportResult, ScanReport]:
+        """Run the sharded scan to completion; returns result + report."""
+        report = ScanReport()
+        slices = list(self.iter_scan(energies, report=report))
+        slices.sort(key=lambda s: s.energy)
+        return (
+            TransportResult(slices, self.device.lead.cell_length),
+            report,
+        )

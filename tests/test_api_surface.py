@@ -17,13 +17,19 @@ EXPECTED_API_ALL = [
     "CBSJob",
     "CBSResult",
     "CBS_RESULT_SCHEMA_VERSION",
+    "CancelFn",
     "EnergySlice",
     "ExecutionSpec",
     "JOB_SPEC_VERSION",
+    "ProgressFn",
     "RefinePolicy",
     "RingSpec",
     "ScanSpec",
     "SystemSpec",
+    "TRANSPORT_RESULT_SCHEMA_VERSION",
+    "TransportResult",
+    "TransportSlice",
+    "TransportSpec",
     "TuningPolicy",
     "available_systems",
     "compute",
@@ -76,6 +82,14 @@ LEGACY_IMPORTS = [
     ("repro.parallel.executor", "make_executor"),
     ("repro.parallel.executor", "chunk_spans"),
     ("repro.solvers.registry", "step1_strategy"),
+    ("repro.cbs.orchestrator", "ProgressFn"),
+    ("repro.cbs.orchestrator", "CancelFn"),
+    ("repro.transport", "TwoProbeDevice"),
+    ("repro.transport", "TransportCalculator"),
+    ("repro.transport", "TransportScanner"),
+    ("repro.transport", "ss_self_energies"),
+    ("repro.transport", "decimation_self_energies"),
+    ("repro.transport", "surface_greens_function"),
 ]
 
 

@@ -1,0 +1,485 @@
+"""Transport subsystem tests: Σ(E) parity, transmission physics, scans.
+
+The load-bearing pins:
+
+* **SS ↔ decimation parity** — the contour-moment self-energies agree
+  with Sancho-Rubio decimation to ≤ 1e-8 on the chain and ladder
+  models across an energy window spanning band and gap regions (the
+  PR's acceptance bar; both engines evaluate at the same ``E + iη``).
+* **Analytic surface physics** — the chain's closed-form
+  ``Σ_R = t λ_decaying`` and the Landauer plateaus of ideal wires
+  (``T(E)`` = open channel count).
+* **Workload plumbing** — sharded scans match serial ones bit-for-bit,
+  transport cache entries hit on rerun and coexist with CBS slices,
+  and transport jobs route through ``repro.api.compute``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CBSJob,
+    ExecutionSpec,
+    ScanSpec,
+    SystemSpec,
+    TransportSpec,
+    compute,
+    compute_iter,
+    load_result,
+    save_result,
+)
+from repro.errors import ConfigurationError
+from repro.io.slice_cache import SliceCache
+from repro.models import DiatomicChain, MonatomicChain, TransverseLadder
+from repro.transport import (
+    SelfEnergyConfig,
+    TransportCalculator,
+    TransportScanner,
+    TwoProbeDevice,
+    decimation_self_energies,
+    ring_eigenpairs,
+    ss_self_energies,
+    surface_greens_function,
+)
+
+ETA = 1e-5
+
+# Off-resonance grids spanning band and gap regions (decimation is
+# catastrophically cancelled *exactly* at renormalized band centers,
+# e.g. E = 0 for the symmetric chain — a baseline artifact, not an SS
+# one, demonstrated in test_decimation_resonance_pathology).
+CHAIN_WINDOW = [-2.6, -1.7, -0.9, 0.1, 1.1, 1.9, 2.7]
+LADDER_WINDOW = [-2.9, -2.1, -1.2, -0.4, 0.5, 1.3, 2.2, 3.1]
+
+
+# ----------------------------------------------------------------------
+# SS ↔ decimation parity (the acceptance bar)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "blocks,window",
+    [
+        pytest.param(
+            MonatomicChain(hopping=-1.0).blocks(), CHAIN_WINDOW, id="chain"
+        ),
+        pytest.param(
+            TransverseLadder(width=4).blocks(), LADDER_WINDOW, id="ladder"
+        ),
+        pytest.param(
+            DiatomicChain(t1=-1.0, t2=-0.6).blocks(),
+            CHAIN_WINDOW,
+            id="diatomic-singular-coupling",
+        ),
+    ],
+)
+def test_ss_matches_decimation(blocks, window):
+    cfg = SelfEnergyConfig(eta=ETA)
+    for energy in window:
+        sl_d, sr_d = decimation_self_energies(blocks, energy, eta=ETA)
+        sl_s, sr_s, _modes = ss_self_energies(blocks, energy, cfg)
+        err = max(
+            float(np.abs(sl_d - sl_s).max()),
+            float(np.abs(sr_d - sr_s).max()),
+        )
+        assert err <= 1e-8, f"Σ parity {err:.2e} at E={energy}"
+
+
+def test_chain_surface_greens_function_analytic():
+    chain = MonatomicChain(hopping=-1.0)
+    for energy in CHAIN_WINDOW:
+        ec = energy + 1j * ETA
+        lam = min(
+            np.roots([1.0, -(ec / -1.0), 1.0]), key=abs
+        )  # λ² - (E/t)λ + 1 = 0, decaying branch
+        g = surface_greens_function(chain.blocks(), energy, eta=ETA)
+        assert abs(g[0, 0] - lam / -1.0) < 1e-9
+
+
+def test_chain_sigma_r_is_t_lambda():
+    chain = MonatomicChain(hopping=-1.0)
+    _, sr, modes = ss_self_energies(
+        chain.blocks(), 2.5, SelfEnergyConfig(eta=ETA)
+    )
+    lam_dec = modes.eigenvalues[np.abs(modes.eigenvalues) < 1][0]
+    assert abs(sr[0, 0] - (-1.0) * lam_dec) < 1e-10
+
+
+def test_decimation_resonance_pathology():
+    """Exactly at the band center the decimation loses ~half its digits
+    (catastrophic cancellation); SS does not.  Documents why the parity
+    grids sit off-resonance."""
+    chain = MonatomicChain(hopping=-1.0)
+    eta = 1e-6
+    ec = 0.0 + 1j * eta
+    lam = min(np.roots([1.0, -(ec / -1.0), 1.0]), key=abs)
+    exact = -1.0 * lam
+    _, sr_d = decimation_self_energies(chain.blocks(), 0.0, eta=eta)
+    _, sr_s, _ = ss_self_energies(
+        chain.blocks(), 0.0, SelfEnergyConfig(eta=eta)
+    )
+    assert abs(sr_d[0, 0] - exact) > 1e-7     # the baseline's artifact
+    assert abs(sr_s[0, 0] - exact) < 1e-12    # the contour route is clean
+
+
+# ----------------------------------------------------------------------
+# ring eigenpairs & completeness
+# ----------------------------------------------------------------------
+
+
+def test_ring_eigenpairs_match_analytic_ladder():
+    lad = TransverseLadder(width=3)
+    ec = 0.4 + 1j * ETA
+    modes = ring_eigenpairs(lad.blocks(), ec)
+    assert modes.count == 6
+    lam_exact = np.array(
+        [
+            r
+            for mu in lad.transverse_modes()
+            for r in np.roots([1.0, -((ec - mu) / -1.0), 1.0])
+        ]
+    )
+    for lam in modes.eigenvalues:
+        assert np.min(np.abs(lam_exact - lam)) < 1e-9
+
+
+def test_small_ring_grows_to_completeness():
+    """A deliberately tiny ring misses channels; ss_self_energies must
+    recover by enlarging it rather than returning a wrong Σ."""
+    blocks = MonatomicChain(hopping=-1.0).blocks()
+    cfg = SelfEnergyConfig(eta=ETA, ring_radius=1.05)
+    sl_s, sr_s, _ = ss_self_energies(blocks, 2.7, cfg)  # λ_dec ≈ 0.24
+    sl_d, sr_d = decimation_self_energies(blocks, 2.7, eta=ETA)
+    assert np.abs(sr_s - sr_d).max() < 1e-8
+
+
+def test_incomplete_basis_fails_loudly():
+    blocks = MonatomicChain(hopping=-1.0).blocks()
+    cfg = SelfEnergyConfig(eta=ETA, ring_radius=1.05, max_grow_rounds=0)
+    with pytest.raises(ConfigurationError, match="incomplete|ring"):
+        ss_self_energies(blocks, 2.7, cfg)
+
+
+# ----------------------------------------------------------------------
+# transmission physics
+# ----------------------------------------------------------------------
+
+
+def test_ideal_chain_plateau():
+    dev = TwoProbeDevice(MonatomicChain(hopping=-1.0).blocks(), n_cells=2)
+    calc = TransportCalculator(dev, SelfEnergyConfig(eta=1e-7))
+    for energy, t_want in [(-1.3, 1.0), (0.1, 1.0), (1.3, 1.0), (2.6, 0.0)]:
+        sl = calc.solve_energy(energy)
+        assert sl.transmission == pytest.approx(t_want, abs=5e-4)
+
+
+def test_ideal_ladder_plateaus_count_channels():
+    lad = TransverseLadder(width=4)
+    dev = TwoProbeDevice(lad.blocks(), n_cells=1)
+    calc = TransportCalculator(dev, SelfEnergyConfig(eta=1e-7))
+    for energy in LADDER_WINDOW:
+        sl = calc.solve_energy(energy)
+        channels = lad.propagating_count(energy) // 2
+        assert sl.transmission == pytest.approx(channels, abs=5e-4)
+        assert sl.n_channels == channels
+
+
+def test_barrier_transmission_decays_with_length():
+    """A square barrier above the band: T ∝ exp(-2κLa) — each added
+    cell multiplies T by |λ_barrier|², the CBS decay factor."""
+    blocks = MonatomicChain(hopping=-1.0).blocks()
+    cfg = SelfEnergyConfig(eta=1e-7)
+    energy, shift = 0.2, 4.0
+    ts = []
+    for n_cells in (1, 2, 3):
+        dev = TwoProbeDevice(blocks, n_cells=n_cells, onsite_shift=shift)
+        ts.append(
+            TransportCalculator(dev, cfg).solve_energy(energy).transmission
+        )
+    assert ts[0] > ts[1] > ts[2] > 0
+    # inside the barrier the chain CBS at E - shift gives the decay;
+    # per added cell T shrinks by |λ|² up to multiple-reflection
+    # corrections of relative size O(|λ|⁴)
+    barrier = MonatomicChain(onsite=shift, hopping=-1.0)
+    lam = min(np.abs(barrier.analytic_lambdas(energy)))
+    assert ts[2] / ts[1] == pytest.approx(lam**2, rel=0.05)
+    assert ts[1] / ts[0] == pytest.approx(lam**2, rel=0.05)
+
+
+def test_decimation_method_matches_ss_transmission():
+    dev = TwoProbeDevice(TransverseLadder(width=2).blocks(), n_cells=2)
+    cfg = SelfEnergyConfig(eta=ETA)
+    for energy in (-1.1, 0.3, 1.2):
+        t_ss = TransportCalculator(dev, cfg).solve_energy(energy)
+        t_dec = TransportCalculator(
+            dev, cfg, method="decimation"
+        ).solve_energy(energy)
+        assert t_ss.transmission == pytest.approx(
+            t_dec.transmission, abs=1e-8
+        )
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+
+
+def test_device_validation():
+    blocks = MonatomicChain(hopping=-1.0).blocks()
+    with pytest.raises(ConfigurationError, match="n_cells"):
+        TwoProbeDevice(blocks, n_cells=0)
+    with pytest.raises(ConfigurationError, match="dimension"):
+        TwoProbeDevice(
+            blocks, device=TransverseLadder(width=3).blocks()
+        )
+
+
+def test_self_energy_config_validation():
+    with pytest.raises(ConfigurationError, match="eta"):
+        SelfEnergyConfig(eta=0.0)
+    with pytest.raises(ConfigurationError, match="ring_radius"):
+        SelfEnergyConfig(ring_radius=0.9)
+    with pytest.raises(ConfigurationError, match="n_rh"):
+        SelfEnergyConfig(n_rh=0)
+
+
+def test_decimation_validation():
+    blocks = MonatomicChain(hopping=-1.0).blocks()
+    with pytest.raises(ConfigurationError, match="eta"):
+        surface_greens_function(blocks, 0.0, eta=0.0)
+    with pytest.raises(ConfigurationError, match="side"):
+        surface_greens_function(blocks, 0.0, side="up")
+
+
+def test_calculator_validation():
+    dev = TwoProbeDevice(MonatomicChain(hopping=-1.0).blocks())
+    with pytest.raises(ConfigurationError, match="method"):
+        TransportCalculator(dev, method="magic")
+
+
+# ----------------------------------------------------------------------
+# scans: sharding, caching, streaming
+# ----------------------------------------------------------------------
+
+
+def _device():
+    return TwoProbeDevice(TransverseLadder(width=2).blocks(), n_cells=1)
+
+
+def test_scanner_matches_serial():
+    energies = LADDER_WINDOW
+    cfg = SelfEnergyConfig(eta=ETA)
+    serial = TransportCalculator(_device(), cfg).scan(energies)
+    sharded, report = TransportScanner(
+        _device(), cfg, executor="threads", n_shards=3
+    ).scan(energies)
+    assert report.n_shards == 3
+    np.testing.assert_allclose(
+        sharded.transmissions(), serial.transmissions(), atol=0
+    )
+    np.testing.assert_array_equal(sharded.energies, serial.energies)
+
+
+def test_scanner_cache_hits_on_rerun(tmp_path):
+    energies = [-1.1, 0.3, 1.2]
+    cfg = SelfEnergyConfig(eta=ETA)
+
+    def scanner():
+        return TransportScanner(
+            _device(),
+            cfg,
+            executor=None,
+            cache_dir=str(tmp_path),
+            cache_context="ctx-a",
+        )
+
+    res1, rep1 = scanner().scan(energies)
+    assert rep1.cache_hits == 0 and rep1.solves == 3
+    res2, rep2 = scanner().scan(energies)
+    assert rep2.cache_hits == 3 and rep2.solves == 0
+    np.testing.assert_allclose(
+        res2.transmissions(), res1.transmissions(), atol=0
+    )
+    for a, b in zip(res1.slices, res2.slices):
+        np.testing.assert_allclose(b.sigma_l, a.sigma_l, atol=0)
+        assert b.solve_seconds == 0.0  # hits report zero work this run
+
+
+def test_scanner_requires_context_with_cache(tmp_path):
+    with pytest.raises(ConfigurationError, match="cache_context"):
+        TransportScanner(_device(), cache_dir=str(tmp_path))
+
+
+def test_transport_and_cbs_cache_entries_coexist(tmp_path):
+    """Σ/T entries live alongside CBS slices: same root, same context
+    directory layout, disjoint file families."""
+    from repro.cbs.scan import EnergySlice
+
+    cache = SliceCache(str(tmp_path), context="shared-ctx")
+    cache.put(EnergySlice(0.5, []))
+    sl = TransportCalculator(
+        _device(), SelfEnergyConfig(eta=ETA)
+    ).solve_energy(0.5)
+    cache.put_transport(sl)
+    assert 0.5 in cache and cache.has_transport(0.5)
+    back_cbs = cache.get(0.5)
+    back_tr = cache.get_transport(0.5)
+    assert back_cbs is not None and back_cbs.count == 0
+    assert back_tr is not None
+    np.testing.assert_allclose(back_tr.sigma_r, sl.sigma_r, atol=0)
+    assert back_tr.transmission == sl.transmission
+
+
+def test_corrupt_transport_entry_is_a_miss(tmp_path):
+    cache = SliceCache(str(tmp_path), context="ctx")
+    sl = TransportCalculator(
+        _device(), SelfEnergyConfig(eta=ETA)
+    ).solve_energy(0.3)
+    path = cache.put_transport(sl)
+    with open(path, "wb") as fh:
+        fh.write(b"torn write")
+    assert cache.get_transport(0.3) is None
+
+
+# ----------------------------------------------------------------------
+# api routing
+# ----------------------------------------------------------------------
+
+
+def _transport_job(**execution):
+    return CBSJob(
+        system=SystemSpec("ladder", {"width": 2}),
+        scan=ScanSpec(window=(-2.2, 2.6, 7)),
+        transport=TransportSpec(eta=ETA, n_cells=2),
+        execution=ExecutionSpec(**execution) if execution else ExecutionSpec(),
+    )
+
+
+def test_transport_job_routes_and_modes_agree():
+    job = _transport_job()
+    assert job.engine() == "transport"
+    serial = compute(job)
+    threads = compute(_transport_job(mode="threads", workers=2))
+    np.testing.assert_allclose(
+        threads.transmissions(), serial.transmissions(), atol=0
+    )
+    assert serial.provenance["engine"] == "transport"
+    assert serial.provenance["job_hash"] == job.job_hash()
+
+
+def test_transport_compute_iter_streams_in_order():
+    job = _transport_job()
+    seen = []
+    energies = [
+        sl.energy
+        for sl in compute_iter(job, progress=lambda d, t: seen.append((d, t)))
+    ]
+    assert energies == sorted(energies)
+    assert seen == [(i, 7) for i in range(1, 8)]
+
+
+def test_transport_compute_iter_cancels_early():
+    stop = {"n": 0}
+
+    def cancel():
+        stop["n"] += 1
+        return stop["n"] >= 3
+
+    got = list(compute_iter(_transport_job(), should_cancel=cancel))
+    assert 0 < len(got) < 7
+
+
+def test_transport_orchestrated_compute_with_cache(tmp_path):
+    job = _transport_job(
+        mode="orchestrated", workers=2, cache_dir=str(tmp_path)
+    )
+    res1 = compute(job)
+    assert res1.provenance["report"]["cache_hits"] == 0
+    res2 = compute(job)
+    assert res2.provenance["report"]["cache_hits"] == 7
+    np.testing.assert_allclose(
+        res2.transmissions(), res1.transmissions(), atol=0
+    )
+
+
+def test_transport_cache_context_disjoint_from_cbs():
+    tjob = _transport_job()
+    cjob = CBSJob(
+        system=SystemSpec("ladder", {"width": 2}),
+        scan=ScanSpec(window=(-2.2, 2.6, 7)),
+    )
+    assert tjob.cache_context() != cjob.cache_context()
+    # CBS-only numerics don't fragment the transport cache...
+    tjob2 = CBSJob(
+        system=SystemSpec("ladder", {"width": 2}),
+        scan=ScanSpec(window=(-2.2, 2.6, 7), n_mm=12),
+        transport=TransportSpec(eta=ETA, n_cells=2),
+    )
+    assert tjob2.cache_context() == tjob.cache_context()
+    # ...but transport physics does.
+    tjob3 = CBSJob(
+        system=SystemSpec("ladder", {"width": 2}),
+        scan=ScanSpec(window=(-2.2, 2.6, 7)),
+        transport=TransportSpec(eta=2 * ETA, n_cells=2),
+    )
+    assert tjob3.cache_context() != tjob.cache_context()
+
+
+def test_plain_job_dict_layout_unchanged():
+    """Jobs without transport keep their pre-transport dict layout (and
+    with it their hashes / cache contexts)."""
+    job = CBSJob(
+        system=SystemSpec("chain"),
+        scan=ScanSpec(energies=(0.5,)),
+    )
+    assert "transport" not in job.to_dict()
+
+
+def test_transport_result_save_load_roundtrip(tmp_path):
+    res = compute(_transport_job())
+    base = tmp_path / "transport_result"
+    save_result(base, res)
+    back = load_result(base)
+    assert type(back).__name__ == "TransportResult"
+    np.testing.assert_allclose(
+        back.transmissions(), res.transmissions(), atol=0
+    )
+    np.testing.assert_array_equal(back.channel_counts(), res.channel_counts())
+    for a, b in zip(res.slices, back.slices):
+        np.testing.assert_allclose(b.sigma_l, a.sigma_l, atol=0)
+        np.testing.assert_allclose(b.sigma_r, a.sigma_r, atol=0)
+    assert back.provenance == res.provenance
+
+
+def test_transport_load_rejects_tampered_header(tmp_path):
+    import json
+
+    res = compute(_transport_job())
+    base = tmp_path / "r"
+    json_path, _ = save_result(base, res)
+    with open(json_path) as fh:
+        header = json.load(fh)
+    header["n_slices"] = 99
+    with open(json_path, "w") as fh:
+        json.dump(header, fh)
+    with pytest.raises(ConfigurationError, match="slices"):
+        load_result(base)
+    header["n_slices"] = len(res.slices)
+    header["kind"] = "martian"
+    with open(json_path, "w") as fh:
+        json.dump(header, fh)
+    with pytest.raises(ConfigurationError, match="kind"):
+        load_result(base)
+
+
+@pytest.mark.slow
+def test_transport_processes_mode_matches_serial():
+    job = _transport_job(mode="processes", workers=2)
+    res = compute(job)
+    serial = compute(_transport_job())
+    np.testing.assert_allclose(
+        res.transmissions(), serial.transmissions(), atol=0
+    )
+    assert res.provenance["report"]["n_shards"] >= 1

@@ -1,0 +1,140 @@
+"""Property-based round-trip tests for :class:`repro.api.TransportSpec`.
+
+Deterministic (``derandomize=True``) hypothesis sweeps matching the
+strictness pins of the existing job-spec tests: every valid spec
+round-trips exactly through dict/JSON (including when embedded in a
+:class:`repro.api.CBSJob`, where job hash and cache context must be
+stable under the round trip), and every unknown key, bad version, or
+out-of-domain value is rejected with :class:`ConfigurationError`.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import CBSJob, ScanSpec, SystemSpec, TransportSpec
+from repro.errors import ConfigurationError
+
+etas = st.floats(min_value=1e-10, max_value=1e-2, allow_nan=False)
+cells = st.integers(min_value=1, max_value=6)
+shifts = st.floats(
+    min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False
+)
+methods = st.sampled_from(["ss", "decimation"])
+radii = st.one_of(
+    st.none(), st.floats(min_value=1.5, max_value=50.0, allow_nan=False)
+)
+n_ints = st.integers(min_value=8, max_value=128)
+n_mms = st.integers(min_value=1, max_value=4)
+n_rhs = st.one_of(st.none(), st.integers(min_value=1, max_value=32))
+seeds = st.one_of(st.none(), st.integers(min_value=0, max_value=10**6))
+devices = st.one_of(
+    st.none(),
+    st.builds(
+        SystemSpec,
+        name=st.sampled_from(["chain", "ladder", "diatomic-chain"]),
+        params=st.dictionaries(
+            st.sampled_from(["width", "hopping", "onsite"]),
+            st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+            max_size=2,
+        ),
+    ),
+)
+
+
+def specs() -> st.SearchStrategy[TransportSpec]:
+    return st.builds(
+        TransportSpec,
+        eta=etas,
+        n_cells=cells,
+        device=devices,
+        onsite_shift=shifts,
+        method=methods,
+        ring_radius=radii,
+        n_int=n_ints,
+        n_mm=n_mms,
+        n_rh=n_rhs,
+        seed=seeds,
+    )
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(specs())
+def test_dict_round_trip_is_exact(spec):
+    d = spec.to_dict()
+    assert TransportSpec.from_dict(d) == spec
+    # the dict is pure JSON types (lists/dicts/numbers/None/strings)
+    assert TransportSpec.from_dict(json.loads(json.dumps(d))) == spec
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(specs())
+def test_job_round_trip_preserves_identities(spec):
+    job = CBSJob(
+        system=SystemSpec("ladder", {"width": 2}),
+        scan=ScanSpec(window=(-1.0, 1.0, 3)),
+        transport=spec,
+    )
+    back = CBSJob.from_json(job.to_json())
+    assert back == job
+    assert back.job_hash() == job.job_hash()
+    assert back.cache_context() == job.cache_context()
+    assert back.engine() == "transport"
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(specs(), st.text(min_size=1, max_size=12))
+def test_unknown_keys_rejected(spec, key):
+    d = spec.to_dict()
+    if key in d:
+        return
+    d[key] = 1
+    with pytest.raises(ConfigurationError, match="unknown key"):
+        TransportSpec.from_dict(d)
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(specs())
+def test_job_spec_version_rejected(spec):
+    job = CBSJob(
+        system=SystemSpec("chain"),
+        scan=ScanSpec(energies=(0.0,)),
+        transport=spec,
+    )
+    d = job.to_dict()
+    d["spec_version"] = 99
+    with pytest.raises(ConfigurationError, match="spec_version"):
+        CBSJob.from_dict(d)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"eta": 0.0},
+        {"eta": -1e-6},
+        {"n_cells": 0},
+        {"method": "sancho"},
+        {"ring_radius": 1.0},
+        {"n_rh": 0},
+        {"n_int": 1},
+        {"n_mm": 0},
+        {"residual_tol": 0.0},
+    ],
+)
+def test_bad_values_rejected(bad):
+    with pytest.raises(ConfigurationError):
+        TransportSpec(**bad)
+
+
+def test_device_mapping_is_coerced():
+    spec = TransportSpec(device={"name": "chain", "params": {}})
+    assert isinstance(spec.device, SystemSpec)
+    assert TransportSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_device_unknown_key_rejected():
+    with pytest.raises(ConfigurationError, match="unknown key"):
+        TransportSpec.from_dict(
+            {"device": {"name": "chain", "oops": 1}}
+        )
