@@ -24,7 +24,7 @@ See README.md for the architecture overview (including the legacy →
 index.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.qep import BlockTriple, QuadraticPencil, solve_qep_dense
 from repro.ss import SSConfig, SSHankelSolver, SSResult, AnnulusContour

@@ -26,6 +26,12 @@ One request/response shape for every workload in the paper::
   contour moments plus the Landauer transmission — returned as a
   :class:`TransportResult` under the identical execution, streaming,
   caching, and persistence machinery.
+* Attaching a :class:`KParSpec` sweeps the transverse Brillouin zone:
+  the job runs over the ``ScanSpec × KParSpec`` product grid (one
+  system build per k∥, sharded as (E, k∥) tiles in the orchestrated
+  modes), result slices carry the k∥ axis, and a transport job's
+  k∥-weighted sum is the Brillouin-zone transmission
+  (:meth:`TransportResult.total_transmissions`).
 
 The legacy entry points (``SSHankelSolver.solve``,
 ``CBSCalculator.scan``, ``ScanOrchestrator``) remain as the internal
@@ -42,6 +48,7 @@ from repro.api.spec import (
     JOB_SPEC_VERSION,
     CBSJob,
     ExecutionSpec,
+    KParSpec,
     RingSpec,
     ScanSpec,
     SystemSpec,
@@ -59,6 +66,7 @@ from repro.transport.scan import (
     TRANSPORT_RESULT_SCHEMA_VERSION,
     TransportResult,
     TransportSlice,
+    monkhorst_pack,
 )
 
 __all__ = [
@@ -69,6 +77,7 @@ __all__ = [
     "EnergySlice",
     "ExecutionSpec",
     "JOB_SPEC_VERSION",
+    "KParSpec",
     "ProgressFn",
     "RefinePolicy",
     "RingSpec",
@@ -83,6 +92,7 @@ __all__ = [
     "compute",
     "compute_iter",
     "load_result",
+    "monkhorst_pack",
     "register_system",
     "resolve_system",
     "save_result",

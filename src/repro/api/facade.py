@@ -132,19 +132,25 @@ def _make_orchestrator(job: CBSJob, blocks) -> ScanOrchestrator:
 
 
 def _iter_cached_map(
-    calc: CBSCalculator, energies, cache: SliceCache
+    calc: CBSCalculator,
+    energies,
+    cache: SliceCache,
+    k_par: Optional[float] = None,
 ) -> Iterator[EnergySlice]:
     """Cache-aware independent-slice map, in ascending energy order.
 
     Hits are served from the cache (``solve_seconds`` zeroed — this run
     did no work for them); only the misses go through the executor's
-    ordered ``imap``, and each is persisted as it completes.
+    ordered ``imap``, and each is persisted as it completes — stamped
+    with the caller's ``k_par`` first, so cached bytes carry the tag.
     """
     hits = {}
     misses = []
     for energy in energies:
         sl = cache.get_hit(energy)
         if sl is not None:
+            if k_par is not None:
+                sl.k_par = k_par
             hits[energy] = sl
         else:
             misses.append(energy)
@@ -155,6 +161,8 @@ def _iter_cached_map(
                 yield hits[energy]
             else:
                 sl = next(solved)
+                if k_par is not None:
+                    sl.k_par = k_par
                 cache.put(sl)
                 yield sl
     finally:
@@ -168,6 +176,9 @@ def _iter_scan_engine(
     blocks,
     progress: Optional[ProgressFn],
     should_cancel: Optional[CancelFn],
+    *,
+    cache_context: Optional[str] = None,
+    k_par: Optional[float] = None,
 ) -> Iterator[EnergySlice]:
     """The CBSCalculator route, streamed slice by slice.
 
@@ -175,24 +186,35 @@ def _iter_scan_engine(
     sequential) run the shared warm-chain loop; thread jobs stream
     through the executor's ordered ``imap``, so later energies keep
     solving while earlier slices are consumed.  Both honor the
-    persistent slice cache when the job names one.
+    persistent slice cache when the job names one (k∥-resolved columns
+    pass their per-momentum ``cache_context`` and ``k_par``, which is
+    stamped onto every slice before it is persisted or yielded).
     """
     ex = job.execution
     energies = list(job.energies())
     total = len(energies)
     cache = (
-        SliceCache(ex.cache_dir, context=job.cache_context())
+        SliceCache(
+            ex.cache_dir,
+            context=(
+                cache_context
+                if cache_context is not None
+                else job.cache_context()
+            ),
+        )
         if ex.cache_dir is not None
         else None
     )
     sequential = ex.mode == "serial" or ex.warm_start
     if sequential:
         calc = _calculator(job, blocks)
-        gen: Iterator[EnergySlice] = iter_warm_chain(calc, energies, cache)
+        gen: Iterator[EnergySlice] = iter_warm_chain(
+            calc, energies, cache, k_par=k_par
+        )
     else:
         calc = _calculator(job, blocks, energy_executor=ex.executor_spec())
         if cache is not None:
-            gen = _iter_cached_map(calc, energies, cache)
+            gen = _iter_cached_map(calc, energies, cache, k_par=k_par)
         else:
             gen = calc._executor.imap(calc.solve_energy, energies)
     try:
@@ -277,6 +299,145 @@ def _iter_transport_engine(
         progress=progress,
         should_cancel=should_cancel,
     )
+
+
+# ---------------------------------------------------------------------------
+# the k∥ product-grid engine
+# ---------------------------------------------------------------------------
+
+
+def _kpar_columns(job: CBSJob):
+    """Resolve one system build per transverse momentum.
+
+    Returns ``[(k_par, weight, blocks), ...]`` in ascending momentum
+    order — the k∥ columns of the job's ``ScanSpec × KParSpec`` product
+    grid.  Each build injects the momentum as the builder parameter the
+    :class:`repro.api.KParSpec` names (``"k_par"`` by default), so only
+    systems whose builders accept it can be swept.
+    """
+    from repro.api.registry import resolve_system
+
+    spec = job.kpar
+    columns = []
+    for k, w in zip(spec.points(), spec.resolved_weights()):
+        params = dict(job.system.params)
+        params[spec.param] = float(k)
+        blocks = resolve_system(job.system.name, params)
+        columns.append((float(k), float(w), blocks))
+    return columns
+
+
+def _iter_kpar_engine(
+    job: CBSJob,
+    columns,
+    engine: str,
+    report: Optional[ScanReport],
+    progress: Optional[ProgressFn],
+    should_cancel: Optional[CancelFn],
+):
+    """Route a k∥-resolved job through the engine serving its shape.
+
+    Serial/thread CBS jobs and serial transport jobs run their k∥
+    columns in ascending momentum order through the same per-column
+    loops as their 1D counterparts; the process-sharded engines tile
+    the whole (E, k∥) product grid across one executor
+    (:meth:`ScanOrchestrator.iter_kpar_scan` /
+    :meth:`TransportScanner.iter_kpar_scan`).  The slice cache is keyed
+    per momentum via ``job.cache_context(k_par=k)``.  Every yielded
+    slice carries its ``k_par`` (transport slices also their BZ
+    weight), and ``progress(done, total)`` counts over the full
+    product grid.
+    """
+    ex = job.execution
+    energies = list(job.energies())
+    total = len(energies) * len(columns)
+    contexts = (
+        [job.cache_context(k_par=k) for k, _w, _b in columns]
+        if ex.cache_dir is not None
+        else None
+    )
+
+    if engine == "transport":
+        ts = job.transport
+        cfg = ts.self_energy_config()
+        devices = [
+            (k, w, _make_device(job, blocks)) for k, w, blocks in columns
+        ]
+        if ex.mode == "serial":
+
+            def _serial_transport():
+                done = 0
+                for ci, (k, w, device) in enumerate(devices):
+                    cache = (
+                        SliceCache(ex.cache_dir, context=contexts[ci])
+                        if contexts is not None
+                        else None
+                    )
+                    calc = TransportCalculator(device, cfg, method=ts.method)
+                    for sl, _hit in calc.iter_scan_cached(
+                        energies, cache, k_par=k, k_weight=w
+                    ):
+                        done += 1
+                        if progress is not None:
+                            progress(done, total)
+                        yield sl
+                        if should_cancel is not None and should_cancel():
+                            return
+
+            return _serial_transport()
+        scanner = TransportScanner(
+            devices[0][2],
+            cfg,
+            method=ts.method,
+            executor=ex.executor_spec(),
+            n_shards=ex.n_shards,
+            cache_dir=ex.cache_dir,
+            cache_context=contexts[0] if contexts is not None else None,
+        )
+        return scanner.iter_kpar_scan(
+            energies,
+            devices,
+            cache_contexts=contexts,
+            report=report,
+            progress=progress,
+            should_cancel=should_cancel,
+        )
+
+    if engine == "orchestrator":
+        orc = _make_orchestrator(job, columns[0][2])
+        return orc.iter_kpar_scan(
+            energies,
+            [(k, blocks) for k, _w, blocks in columns],
+            cache_contexts=contexts,
+            report=report,
+            progress=progress,
+            should_cancel=should_cancel,
+        )
+
+    # "scan": serial/threads, one energy column per momentum.
+    def _serial_columns():
+        done = 0
+        for ci, (k, _w, blocks) in enumerate(columns):
+            gen = _iter_scan_engine(
+                job,
+                blocks,
+                None,
+                should_cancel,
+                cache_context=contexts[ci] if contexts is not None else None,
+                k_par=k,
+            )
+            for sl in gen:
+                # The cache paths stamped before persisting; this covers
+                # the uncached executor map, where nothing stamped yet.
+                sl.k_par = k
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+                yield sl
+                if should_cancel is not None and should_cancel():
+                    return
+
+    return _serial_columns()
 
 
 # ---------------------------------------------------------------------------
@@ -370,7 +531,6 @@ def compute(
     2
     """
     job = _as_job(job)
-    blocks = job.system.build()
     engine = job.engine()
     report = (
         ScanReport()
@@ -379,16 +539,28 @@ def compute(
         else None
     )
 
-    slices = list(
-        _route_iter(job, blocks, engine, report, progress, should_cancel)
-    )
-    slices.sort(key=lambda s: s.energy)
+    if job.kpar is not None:
+        columns = _kpar_columns(job)
+        cell_length = columns[0][2].cell_length
+        slices = list(
+            _iter_kpar_engine(
+                job, columns, engine, report, progress, should_cancel
+            )
+        )
+        slices.sort(key=lambda s: (s.k_par, s.energy))
+    else:
+        blocks = job.system.build()
+        cell_length = blocks.cell_length
+        slices = list(
+            _route_iter(job, blocks, engine, report, progress, should_cancel)
+        )
+        slices.sort(key=lambda s: s.energy)
     if engine == "transport":
         result: Union[CBSResult, TransportResult] = TransportResult(
-            slices, blocks.cell_length
+            slices, cell_length
         )
     else:
-        result = CBSResult(slices, blocks.cell_length)
+        result = CBSResult(slices, cell_length)
     result.provenance = _provenance(job, engine, report)
     return result
 
@@ -427,9 +599,16 @@ def compute_iter(
     ------
     repro.cbs.EnergySlice or repro.transport.TransportSlice
         CBS slices for CBS jobs; transport slices for jobs carrying a
-        :class:`repro.api.TransportSpec`.
+        :class:`repro.api.TransportSpec`.  k∥-resolved jobs stream in
+        (k∥, E) order, one energy column per momentum, each slice
+        stamped with its ``k_par``.
     """
     job = _as_job(job)
+    if job.kpar is not None:
+        columns = _kpar_columns(job)
+        return _iter_kpar_engine(
+            job, columns, job.engine(), None, progress, should_cancel
+        )
     blocks = job.system.build()
     return _route_iter(
         job, blocks, job.engine(), None, progress, should_cancel

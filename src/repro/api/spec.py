@@ -461,6 +461,160 @@ class ExecutionSpec:
 
 
 @dataclass(frozen=True)
+class KParSpec:
+    """The transverse-momentum axis of a k∥-resolved workload.
+
+    Attaching a ``KParSpec`` to a :class:`CBSJob` turns its 1D energy
+    scan into a product grid over ``ScanSpec × KParSpec``: the system
+    builder is resolved once per k∥ point (with the momentum injected
+    as the builder parameter named by ``param``), and every engine —
+    serial, threads, process-sharded, orchestrated, transport — runs
+    each (E, k∥) column of the grid, stamping the slices with their
+    momentum.  This is how the paper's 3D/2D leads (Al(100), bundles)
+    are scanned: complex bands and electrode self-energies are defined
+    per transverse momentum, and the Landauer transmission of such a
+    lead is the Brillouin-zone-weighted sum over k∥.
+
+    Momenta are dimensionless transverse Bloch phases (radians; one
+    transverse period ↔ ``2π``) — the convention shared by every
+    ``k_par``-aware builder (``"square-slab"``, ``"ladder"``,
+    ``"al100"``, ``"nanotube"``).
+
+    Parameters
+    ----------
+    values : tuple of float, optional
+        Explicit momenta (finite, distinct; stored ascending).
+        Exactly one of ``values`` and ``grid`` must be given.
+    grid : int, optional
+        Monkhorst-Pack point count: the standard shifted uniform
+        sampling ``θ_j = (2j − n − 1)π/n`` with equal weights
+        (:func:`repro.transport.monkhorst_pack`).
+    weights : tuple of float, optional
+        Brillouin-zone weights matching ``values`` one-to-one
+        (positive, finite; default: equal weights summing to one).
+        Only allowed with ``values`` — a Monkhorst-Pack grid implies
+        its own.
+    param : str, optional
+        Name of the builder keyword receiving the momentum
+        (default ``"k_par"``).
+
+    Examples
+    --------
+    >>> from repro.api import KParSpec
+    >>> KParSpec(grid=2).points()
+    (-1.5707963267948966, 1.5707963267948966)
+    >>> KParSpec(values=(0.0, 1.0)).resolved_weights()
+    (0.5, 0.5)
+    """
+
+    values: Optional[Tuple[float, ...]] = None
+    grid: Optional[int] = None
+    weights: Optional[Tuple[float, ...]] = None
+    param: str = "k_par"
+
+    def __post_init__(self) -> None:
+        if (self.values is None) == (self.grid is None):
+            raise ConfigurationError(
+                f"KParSpec needs exactly one of values or grid; got "
+                f"values={self.values!r}, grid={self.grid!r}"
+            )
+        if not isinstance(self.param, str) or not self.param:
+            raise ConfigurationError(
+                f"KParSpec.param must be a non-empty string, "
+                f"got {self.param!r}"
+            )
+        if self.grid is not None:
+            if self.weights is not None:
+                raise ConfigurationError(
+                    "KParSpec.weights are implied by the Monkhorst-Pack "
+                    "grid; pass them only with explicit values"
+                )
+            grid = int(self.grid)
+            if grid < 1:
+                raise ConfigurationError(
+                    f"KParSpec.grid must be >= 1, got {self.grid}"
+                )
+            object.__setattr__(self, "grid", grid)
+            return
+        values = tuple(float(k) for k in self.values)
+        if not values:
+            raise ConfigurationError("KParSpec.values must be non-empty")
+        if not all(math.isfinite(k) for k in values):
+            raise ConfigurationError(
+                f"KParSpec.values must be finite, got {values}"
+            )
+        if len(set(values)) != len(values):
+            raise ConfigurationError(
+                f"KParSpec.values must be distinct, got {values} "
+                f"(duplicate momenta make the weights ambiguous)"
+            )
+        if self.weights is not None:
+            weights = tuple(float(w) for w in self.weights)
+            if len(weights) != len(values):
+                raise ConfigurationError(
+                    f"KParSpec.weights length {len(weights)} does not "
+                    f"match {len(values)} values (mismatched k∥ axes)"
+                )
+            if not all(math.isfinite(w) and w > 0 for w in weights):
+                raise ConfigurationError(
+                    f"KParSpec.weights must be positive and finite, "
+                    f"got {weights}"
+                )
+        else:
+            weights = tuple(1.0 / len(values) for _ in values)
+        # Store ascending with weights permuted alongside, so the job's
+        # canonical form (and its hashes) is order-independent.
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        object.__setattr__(
+            self, "values", tuple(values[i] for i in order)
+        )
+        object.__setattr__(
+            self, "weights", tuple(weights[i] for i in order)
+        )
+
+    def points(self) -> Tuple[float, ...]:
+        """The concrete ascending k∥ grid."""
+        if self.values is not None:
+            return self.values
+        from repro.transport.scan import monkhorst_pack
+
+        pts, _w = monkhorst_pack(self.grid)
+        return tuple(float(k) for k in pts)
+
+    def resolved_weights(self) -> Tuple[float, ...]:
+        """The Brillouin-zone weights matching :meth:`points`."""
+        if self.values is not None:
+            return self.weights
+        from repro.transport.scan import monkhorst_pack
+
+        _pts, w = monkhorst_pack(self.grid)
+        return tuple(float(x) for x in w)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "values": (
+                list(self.values) if self.values is not None else None
+            ),
+            "grid": self.grid,
+            "weights": (
+                list(self.weights) if self.weights is not None else None
+            ),
+            "param": self.param,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "KParSpec":
+        allowed = [f.name for f in fields(cls)]
+        _check_keys(d, allowed, "KParSpec")
+        d = dict(d)
+        if d.get("values") is not None:
+            d["values"] = tuple(d["values"])
+        if d.get("weights") is not None:
+            d["weights"] = tuple(d["weights"])
+        return cls(**d)
+
+
+@dataclass(frozen=True)
 class TransportSpec:
     """The transport workload: electrode self-energies + transmission.
 
@@ -620,6 +774,13 @@ class CBSJob:
         When present, the job computes electrode self-energies and the
         Landauer transmission over the scan grid instead of the CBS
         (see :class:`TransportSpec`).
+    kpar : KParSpec or mapping, optional
+        When present, the job runs over the ``ScanSpec × KParSpec``
+        product grid — one system build and one energy column per
+        transverse momentum — and the result slices carry the k∥ axis
+        (see :class:`KParSpec`).  Composes with ``transport``:
+        a transport job with a ``kpar`` computes the k∥-resolved and
+        Brillouin-zone-summed transmission.
 
     Examples
     --------
@@ -638,6 +799,7 @@ class CBSJob:
     ring: RingSpec = RingSpec()
     execution: ExecutionSpec = ExecutionSpec()
     transport: Optional[TransportSpec] = None
+    kpar: Optional[KParSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -662,7 +824,19 @@ class CBSJob:
                 "transport",
                 _coerce(self.transport, TransportSpec, "CBSJob.transport"),
             )
+        if self.kpar is not None and not isinstance(self.kpar, KParSpec):
+            object.__setattr__(
+                self,
+                "kpar",
+                _coerce(self.kpar, KParSpec, "CBSJob.kpar"),
+            )
         self.ss_config()  # eager validation of the numerical parameters
+        if self.kpar is not None and self.kpar.param in self.system.params:
+            raise ConfigurationError(
+                f"system params already fix {self.kpar.param!r}="
+                f"{self.system.params[self.kpar.param]!r}; a KParSpec "
+                f"sweeps that parameter — drop it from SystemSpec.params"
+            )
 
     # -- derived views -------------------------------------------------------
 
@@ -703,7 +877,8 @@ class CBSJob:
         if self.execution.mode in ("processes", "orchestrated"):
             return "orchestrator"
         if (
-            self.execution.mode == "serial"
+            self.kpar is None
+            and self.execution.mode == "serial"
             and len(self.energies()) == 1
             and not self.execution.warm_start
             and self.execution.cache_dir is None
@@ -717,9 +892,10 @@ class CBSJob:
         """A pure-JSON-types dict (lists, not tuples) round-tripping
         through :meth:`from_dict`.
 
-        The ``"transport"`` key appears only when the job carries a
-        :class:`TransportSpec`, so plain CBS jobs keep the exact dict
-        layout (and hashes) they had before transport existed.
+        The ``"transport"``/``"kpar"`` keys appear only when the job
+        carries the corresponding spec, so plain CBS jobs keep the
+        exact dict layout (and hashes) they had before those subsystems
+        existed.
         """
         d = {
             "spec_version": JOB_SPEC_VERSION,
@@ -730,6 +906,8 @@ class CBSJob:
         }
         if self.transport is not None:
             d["transport"] = self.transport.to_dict()
+        if self.kpar is not None:
+            d["kpar"] = self.kpar.to_dict()
         return d
 
     @classmethod
@@ -737,7 +915,7 @@ class CBSJob:
         _check_keys(
             d,
             ("spec_version", "system", "ring", "scan", "execution",
-             "transport"),
+             "transport", "kpar"),
             "CBSJob",
         )
         version = d.get("spec_version", JOB_SPEC_VERSION)
@@ -751,6 +929,7 @@ class CBSJob:
                 "CBSJob dict needs at least 'system' and 'scan'"
             )
         transport = d.get("transport")
+        kpar = d.get("kpar")
         return cls(
             system=SystemSpec.from_dict(d["system"]),
             scan=ScanSpec.from_dict(d["scan"]),
@@ -760,6 +939,9 @@ class CBSJob:
                 TransportSpec.from_dict(transport)
                 if transport is not None
                 else None
+            ),
+            kpar=(
+                KParSpec.from_dict(kpar) if kpar is not None else None
             ),
         )
 
@@ -780,9 +962,16 @@ class CBSJob:
         h.update(self.to_json().encode("utf-8"))
         return h.hexdigest()[:24]
 
-    def cache_context(self) -> str:
+    def cache_context(self, k_par: Optional[float] = None) -> str:
         """Slice-cache context: a hash of only the answer-determining
         parts of the job.
+
+        For k∥-resolved workloads the cache is keyed **per transverse
+        momentum**: pass the column's ``k_par`` and its value is folded
+        into the payload (the blocks differ per k∥, so columns must
+        never share entries).  ``cache_context()`` with no argument is
+        the plain-job context and is byte-for-byte what it was before
+        the k∥ axis existed.
 
         Execution details (mode, workers, shards, warm starts, the cache
         directory itself) change how fast slices arrive, never what they
@@ -809,6 +998,8 @@ class CBSJob:
                 "system": self.system.to_dict(),
                 "transport": self.transport.to_dict(),
             }
+            if k_par is not None:
+                payload["k_par"] = float(k_par)
             h = hashlib.sha256()
             h.update(b"transport-job-cache-v%d:" % JOB_SPEC_VERSION)
             h.update(
@@ -834,6 +1025,8 @@ class CBSJob:
             "scan": scan_physics,
             "tuning": asdict(effective_tuning),
         }
+        if k_par is not None:
+            payload["k_par"] = float(k_par)
         h = hashlib.sha256()
         h.update(b"cbs-job-cache-v%d:" % JOB_SPEC_VERSION)
         h.update(
@@ -851,5 +1044,6 @@ __all__: List[str] = [
     "ScanSpec",
     "ExecutionSpec",
     "TransportSpec",
+    "KParSpec",
     "CBSJob",
 ]

@@ -73,6 +73,10 @@ ProgressFn = Callable[[int, int], None]
 #: :data:`ProgressFn`.
 CancelFn = Callable[[], bool]
 
+#: Sentinel distinguishing "use the orchestrator's own cache context"
+#: from an explicit ``None`` (cache disabled) in :meth:`_iter_refine`.
+_DEFAULT_CTX = object()
+
 
 # ----------------------------------------------------------------------
 # policies
@@ -275,6 +279,7 @@ def iter_warm_chain(
     calc: CBSCalculator,
     energies: Sequence[float],
     cache: Optional[SliceCache] = None,
+    k_par: Optional[float] = None,
 ) -> Iterator[EnergySlice]:
     """The sequential warm-started scan loop, one slice at a time.
 
@@ -282,7 +287,9 @@ def iter_warm_chain(
     guesses); a cache hit yields the stored slice (with
     ``solve_seconds`` zeroed — this run did no solve work for it) and
     restarts the chain cold at the next miss, since the adjacency
-    premise no longer holds across the skipped interval.
+    premise no longer holds across the skipped interval.  k∥-resolved
+    callers pass their column's ``k_par`` so every slice — including
+    what lands in the cache — carries the momentum tag.
     """
     # A previous scan's cached solutions belong to a (possibly distant)
     # unrelated energy — the adjacency premise only holds within this
@@ -293,11 +300,15 @@ def iter_warm_chain(
         if cache is not None:
             hit = cache.get_hit(energy)
             if hit is not None:
+                if k_par is not None:
+                    hit.k_par = k_par
                 yield hit
                 prev = None
                 calc._solver.last_step1 = None
                 continue
         sl, prev = _solve_one(calc, energy, prev)
+        if k_par is not None:
+            sl.k_par = k_par
         if cache is not None:
             cache.put(sl)
         yield sl
@@ -391,7 +402,12 @@ def _pretune(
 
 @dataclass(frozen=True)
 class _ShardSpec:
-    """One contiguous piece of an energy scan, shippable to a process."""
+    """One contiguous (E, k∥) tile of a scan, shippable to a process.
+
+    ``k_par`` tags the tile's transverse-momentum column (``None`` for
+    plain 1D scans); warm chains stay within the tile, i.e. along the
+    energy axis of one k∥ column.
+    """
 
     blocks: BlockTriple
     config: SSConfig
@@ -401,6 +417,7 @@ class _ShardSpec:
     tuning: TuningPolicy
     cache_root: Optional[str] = None
     cache_context: Optional[str] = None
+    k_par: Optional[float] = None
 
 
 def _solve_shard(spec: _ShardSpec) -> Tuple[List[EnergySlice], ShardStats]:
@@ -452,6 +469,7 @@ def _solve_shard(spec: _ShardSpec) -> Tuple[List[EnergySlice], ShardStats]:
             hit = cache.get_hit(energy)
             if hit is not None:
                 stats.cache_hits += 1
+                hit.k_par = spec.k_par
                 slices.append(hit)
                 prev = None
                 calc._solver.last_step1 = None
@@ -520,6 +538,7 @@ def _solve_shard(spec: _ShardSpec) -> Tuple[List[EnergySlice], ShardStats]:
 
             quiet = not _has_ring_spectrum(res, calc.config)
 
+        sl.k_par = spec.k_par
         slices.append(sl)
         prev = res
         if cache is not None:
@@ -645,15 +664,30 @@ class ScanOrchestrator:
         return int(self.orch.n_shards or getattr(self._executor, "workers", 1))
 
     def _spec(self, energies: Sequence[float]) -> _ShardSpec:
+        return self._tile_spec(
+            self.blocks, energies, None, self._cache_context
+        )
+
+    def _tile_spec(
+        self,
+        blocks: BlockTriple,
+        energies: Sequence[float],
+        k_par: Optional[float],
+        cache_context: Optional[str],
+    ) -> _ShardSpec:
+        """One (E, k∥) tile work unit (k∥-resolved scans pass per-column
+        blocks and cache contexts; plain scans use the orchestrator's
+        own)."""
         return _ShardSpec(
-            blocks=self.blocks,
+            blocks=blocks,
             config=self.config,
             energies=tuple(float(e) for e in energies),
             propagating_tol=self.propagating_tol,
             warm_start=self.warm_start and self.orch.warm_start,
             tuning=self.orch.tuning,
             cache_root=self.orch.cache_dir,
-            cache_context=self._cache_context,
+            cache_context=cache_context,
+            k_par=k_par,
         )
 
     def _imap_shards(
@@ -725,6 +759,110 @@ class ScanOrchestrator:
         finally:
             report.wall_seconds = time.perf_counter() - t0
 
+    def iter_kpar_scan(
+        self,
+        energies: Sequence[float],
+        columns: Sequence[Tuple[float, BlockTriple]],
+        *,
+        cache_contexts: Optional[Sequence[Optional[str]]] = None,
+        report: Optional[ScanReport] = None,
+        progress: Optional[ProgressFn] = None,
+        should_cancel: Optional[CancelFn] = None,
+    ) -> Iterator[EnergySlice]:
+        """Stream an orchestrated (E, k∥) product-grid scan.
+
+        The 2D grid is sharded into (E, k∥) tiles: every k∥ column's
+        energy grid is split into contiguous spans, all tiles are
+        submitted to the executor up front, and slices are yielded in
+        (k∥, E) order as each next-in-order tile completes — later
+        columns keep computing while earlier slices are consumed.
+        Warm chains run along the energy axis *within* a tile (one k∥
+        column), never across columns.  Band-edge refinement then runs
+        per column, since adjacent-slice disagreement is only
+        meaningful at fixed k∥; refinement insertions stream after the
+        base grid exactly as in :meth:`iter_scan`.
+
+        Parameters
+        ----------
+        energies : sequence of float
+            The shared energy grid (one column per k∥ point).
+        columns : sequence of (float, BlockTriple)
+            ``(k_par, blocks)`` per transverse momentum — the blocks
+            built at that k∥ (e.g. through a ``k_par``-aware registry
+            builder).
+        cache_contexts : sequence of str or None, optional
+            Per-column slice-cache context keys (k∥ folded in —
+            :meth:`repro.api.CBSJob.cache_context` does this); required
+            when the orchestrator has a cache directory.
+        report, progress, should_cancel :
+            As in :meth:`iter_scan` (``progress`` counts over the full
+            product grid and grows with refinement).
+        """
+        report = ScanReport() if report is None else report
+        t0 = time.perf_counter()
+        grid = sorted({float(e) for e in energies})
+        done = 0
+        total = len(grid) * len(columns)
+        try:
+            if not grid or not columns:
+                return
+            if cache_contexts is None:
+                cache_contexts = [None] * len(columns)
+            if self.orch.cache_dir is not None and any(
+                ctx is None for ctx in cache_contexts
+            ):
+                raise ValueError(
+                    "iter_kpar_scan with cache_dir needs one cache "
+                    "context per k∥ column"
+                )
+            n_tiles = max(1, math.ceil(self.n_shards / len(columns)))
+            spans = chunk_spans(len(grid), n_tiles)
+            specs = []
+            for (k, blk), ctx in zip(columns, cache_contexts):
+                for lo, hi in spans:
+                    specs.append(
+                        self._tile_spec(blk, grid[lo:hi], float(k), ctx)
+                    )
+            report.n_shards = len(specs)
+
+            tiles_per_col = len(spans)
+            col_slices: List[List[EnergySlice]] = [
+                [] for _ in range(len(columns))
+            ]
+            for i, (shard_slices, stats) in enumerate(
+                self._imap_shards(specs)
+            ):
+                report.absorb(stats)
+                col_slices[i // tiles_per_col].extend(shard_slices)
+                for sl in shard_slices:
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+                    yield sl
+                if should_cancel is not None and should_cancel():
+                    return
+
+            for ci, (k, blk) in enumerate(columns):
+                column = sorted(col_slices[ci], key=lambda s: s.energy)
+                for new_slices in self._iter_refine(
+                    column,
+                    report,
+                    should_cancel,
+                    blocks=blk,
+                    k_par=float(k),
+                    cache_context=cache_contexts[ci],
+                ):
+                    total += len(new_slices)
+                    for sl in new_slices:
+                        done += 1
+                        if progress is not None:
+                            progress(done, total)
+                        yield sl
+                if should_cancel is not None and should_cancel():
+                    return
+        finally:
+            report.wall_seconds = time.perf_counter() - t0
+
     def scan(self, energies: Sequence[float]) -> OrchestratedScan:
         """Run the full orchestrated workload over ``energies``.
 
@@ -754,13 +892,24 @@ class ScanOrchestrator:
         slices: List[EnergySlice],
         report: ScanReport,
         should_cancel: Optional[CancelFn] = None,
+        *,
+        blocks: Optional[BlockTriple] = None,
+        k_par: Optional[float] = None,
+        cache_context: "Optional[str] | object" = _DEFAULT_CTX,
     ) -> Iterator[List[EnergySlice]]:
         """Bisection rounds as a generator of per-round slice batches.
 
         ``slices`` (the sorted scan so far) is extended and re-sorted in
         place each round, so the caller's list always holds the complete
-        merged scan when the generator is exhausted.
+        merged scan when the generator is exhausted.  k∥-resolved scans
+        pass the column's ``blocks``/``k_par``/``cache_context`` so the
+        bisection solves run against the right transverse momentum;
+        plain scans use the orchestrator's own.
         """
+        if blocks is None:
+            blocks = self.blocks
+        if cache_context is _DEFAULT_CTX:
+            cache_context = self._cache_context
         pol = self.orch.refine
         if not pol.enabled or len(slices) < 2:
             return
@@ -786,7 +935,10 @@ class ScanOrchestrator:
             if not mids:
                 break
             spans = chunk_spans(len(mids), self.n_shards)
-            specs = [self._spec(mids[lo:hi]) for lo, hi in spans]
+            specs = [
+                self._tile_spec(blocks, mids[lo:hi], k_par, cache_context)
+                for lo, hi in spans
+            ]
             round_slices: List[EnergySlice] = []
             for shard_slices, stats in self._imap_shards(specs):
                 round_slices.extend(shard_slices)

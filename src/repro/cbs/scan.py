@@ -42,12 +42,19 @@ from repro.utils.rng import complex_gaussian, default_rng
 
 @dataclass
 class EnergySlice:
-    """CBS solutions at one energy."""
+    """CBS solutions at one energy (and, for k∥-resolved scans, at one
+    transverse momentum).
+
+    ``k_par`` is ``None`` for plain 1D scans; k∥-resolved workloads
+    (:class:`repro.api.KParSpec`) stamp each slice with the transverse
+    Bloch phase its blocks were built at.
+    """
 
     energy: float
     modes: List[CBSMode] = field(default_factory=list)
     total_iterations: int = 0
     solve_seconds: float = 0.0
+    k_par: Optional[float] = None
 
     @property
     def count(self) -> int:
@@ -64,9 +71,10 @@ class EnergySlice:
 
 
 #: Version of the CBSResult schema (in memory and as persisted by
-#: :mod:`repro.io.results`).  Bump on incompatible layout changes;
-#: loaders reject files written under any other version.
-CBS_RESULT_SCHEMA_VERSION = 1
+#: :mod:`repro.io.results`).  Bump on incompatible layout changes.
+#: Version 2 added the per-slice k∥ axis; loaders accept version-1
+#: files (loaded with ``k_par = None``) and reject anything newer.
+CBS_RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -89,6 +97,30 @@ class CBSResult:
     @property
     def energies(self) -> np.ndarray:
         return np.array([s.energy for s in self.slices])
+
+    def k_pars(self) -> List[float]:
+        """The distinct transverse momenta in this result, ascending.
+
+        Empty for plain 1D scans (every slice has ``k_par is None``).
+        """
+        return sorted(
+            {s.k_par for s in self.slices if s.k_par is not None}
+        )
+
+    def at_kpar(self, k_par: Optional[float]) -> "CBSResult":
+        """The k∥ column of this result at ``k_par`` (exact match).
+
+        ``at_kpar(None)`` selects the plain (momentum-less) slices.
+        The returned view shares slice objects with this result and
+        carries the same provenance.
+        """
+        column = [s for s in self.slices if s.k_par == k_par]
+        return CBSResult(
+            column,
+            self.cell_length,
+            schema_version=self.schema_version,
+            provenance=self.provenance,
+        )
 
     def propagating_points(self) -> np.ndarray:
         """``(E, Re k)`` pairs of all propagating modes — the data set

@@ -301,9 +301,13 @@ def _build_al100_system(
     spacing_angstrom: float = 0.45,
     include_nonlocal: bool = True,
     nf: int = 4,
+    k_par: float = 0.0,
 ):
     """Bulk Al(100) block triple: structure + grid + Kohn-Sham assembly.
 
+    ``k_par`` is the transverse Bloch phase (radians per lateral
+    period, applied along x) producing the k∥-resolved principal-layer
+    blocks ``H0(k∥)/H±(k∥)``; ``0`` keeps the exact real Γ̄ assembly.
     The Hamiltonian builder is imported lazily so that registering the
     name stays free; the cost is paid only when a job resolves it.
     """
@@ -312,7 +316,8 @@ def _build_al100_system(
     structure = bulk_al100(repeats_z=repeats_z, lateral=lateral)
     grid = grid_for_structure(structure, spacing_angstrom=spacing_angstrom)
     blocks, _info = build_blocks(
-        structure, grid, nf=nf, include_nonlocal=include_nonlocal
+        structure, grid, nf=nf, include_nonlocal=include_nonlocal,
+        k_par=k_par,
     )
     return blocks
 
@@ -326,14 +331,20 @@ def _build_nanotube_system(
     spacing_angstrom: float = 0.45,
     include_nonlocal: bool = True,
     nf: int = 4,
+    k_par: float = 0.0,
 ):
-    """(n, m) carbon nanotube block triple on a real-space grid."""
+    """(n, m) carbon nanotube block triple on a real-space grid.
+
+    ``k_par`` twists the lateral boundary conditions (relevant for
+    bundle supercells; a vacuum-isolated tube is k∥-independent).
+    """
     from repro.dft.hamiltonian import build_blocks
 
     structure = nanotube(n, m, vacuum_angstrom=vacuum_angstrom)
     grid = grid_for_structure(structure, spacing_angstrom=spacing_angstrom)
     blocks, _info = build_blocks(
-        structure, grid, nf=nf, include_nonlocal=include_nonlocal
+        structure, grid, nf=nf, include_nonlocal=include_nonlocal,
+        k_par=k_par,
     )
     return blocks
 

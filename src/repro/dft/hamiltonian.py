@@ -58,9 +58,15 @@ class HamiltonianInfo:
 
 
 class _CooBuilder:
-    """Accumulates COO triplets for one block."""
+    """Accumulates COO triplets for one block.
 
-    def __init__(self) -> None:
+    ``dtype`` stays ``float64`` at the transverse zone center; a
+    nonzero ``k_par`` switches the blocks to ``complex128`` (the wrap
+    taps carry Bloch phases).
+    """
+
+    def __init__(self, dtype=np.float64) -> None:
+        self.dtype = dtype
         self.rows: List[np.ndarray] = []
         self.cols: List[np.ndarray] = []
         self.vals: List[np.ndarray] = []
@@ -71,11 +77,11 @@ class _CooBuilder:
             return
         self.rows.append(rows.astype(np.int64, copy=False))
         self.cols.append(np.asarray(cols).astype(np.int64, copy=False))
-        self.vals.append(np.asarray(vals, dtype=np.float64))
+        self.vals.append(np.asarray(vals, dtype=self.dtype))
 
     def tocsr(self, n: int) -> sp.csr_matrix:
         if not self.rows:
-            return sp.csr_matrix((n, n), dtype=np.float64)
+            return sp.csr_matrix((n, n), dtype=self.dtype)
         rows = np.concatenate(self.rows)
         cols = np.concatenate(self.cols)
         vals = np.concatenate(self.vals)
@@ -100,6 +106,18 @@ class KSHamiltonianBuilder:
         Optional additional local potential sampled on the grid (flat,
         length N) — this is how an SCF effective potential is injected,
         playing the role of RSPACE's output.
+    k_par:
+        Transverse Bloch momentum: a scalar phase ``θ_x`` (radians per
+        lateral period, applied along x) or a pair ``(θ_x, θ_y)``.
+        Stencil taps that wrap a lateral cell boundary acquire
+        ``exp(±iθ)`` (twisted boundary conditions), turning the
+        Γ̄-point blocks into the k∥-resolved principal-layer blocks
+        ``H0(k∥)/H±(k∥)`` of a 3D crystal lead.  ``0`` (the default)
+        keeps the exact real-arithmetic Γ̄ assembly.  Nonlocal
+        projector pieces that wrap a lateral boundary are folded
+        without a phase (supports are assumed to fit inside the
+        lateral cell — true for the vacuum-padded systems and a
+        bench-scale approximation for dense bulk cells).
     """
 
     def __init__(
@@ -110,6 +128,7 @@ class KSHamiltonianBuilder:
         nf: int = 4,
         include_nonlocal: bool = True,
         external_potential: Optional[np.ndarray] = None,
+        k_par: "float | Tuple[float, float]" = 0.0,
     ) -> None:
         lx, ly, lz = grid.lengths
         for axis, (lg, lc) in enumerate(zip((lx, ly, lz), structure.cell)):
@@ -135,6 +154,21 @@ class KSHamiltonianBuilder:
                     f"external_potential must be flat length {grid.npoints}"
                 )
         self.external_potential = external_potential
+        if np.isscalar(k_par):
+            kx, ky = float(k_par), 0.0
+        else:
+            try:
+                kx, ky = (float(v) for v in k_par)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"k_par must be a scalar phase or a (θx, θy) pair, "
+                    f"got {k_par!r}"
+                ) from None
+        if not (np.isfinite(kx) and np.isfinite(ky)):
+            raise ConfigurationError(
+                f"k_par phases must be finite, got ({kx}, {ky})"
+            )
+        self.k_par = (kx, ky)
         self._pseudos: Dict[str, SpeciesPseudopotential] = {}
 
     # ------------------------------------------------------------------
@@ -149,7 +183,12 @@ class KSHamiltonianBuilder:
         t0 = time.perf_counter()
         g = self.grid
         n = g.npoints
-        b0, bp, bm = _CooBuilder(), _CooBuilder(), _CooBuilder()
+        dtype = (
+            np.complex128 if self.k_par != (0.0, 0.0) else np.float64
+        )
+        b0, bp, bm = (
+            _CooBuilder(dtype), _CooBuilder(dtype), _CooBuilder(dtype)
+        )
 
         self._add_kinetic(b0, bp, bm)
         diag = self._local_potential()
@@ -200,20 +239,31 @@ class KSHamiltonianBuilder:
         diag_val = -0.5 * c0 * (1.0 / hx**2 + 1.0 / hy**2 + 1.0 / hz**2)
         b0.add(idx, idx, np.full(n, diag_val))
 
+        # Lateral Bloch phases: a tap that wraps the upper x/y boundary
+        # reaches the neighboring lateral cell, whose wavefunction is
+        # exp(+iθ) times the in-cell values (twisted boundary
+        # conditions); the lower boundary carries the conjugate, so
+        # H0(k∥) stays exactly Hermitian.
+        kx, ky = self.k_par
+        px = np.exp(1j * kx) if kx != 0.0 else 1.0
+        py = np.exp(1j * ky) if ky != 0.0 else 1.0
         for m in range(1, self.nf + 1):
             cm = coeff[self.nf + m]
-            # x (periodic in cell): both ± offsets.
-            vx = np.full(n, -0.5 * cm / hx**2)
+            # x (periodic in cell): both ± offsets.  Floor-division
+            # counts the (possibly multiple, possibly negative) lateral
+            # cell crossings of a tap; |p| = 1 so a negative power is
+            # the conjugate phase, keeping H0(k∥) exactly Hermitian.
+            vx = -0.5 * cm / hx**2
             col_xp = idx - ix + (ix + m) % nx
             col_xm = idx - ix + (ix - m) % nx
-            b0.add(idx, col_xp, vx)
-            b0.add(idx, col_xm, vx)
+            b0.add(idx, col_xp, vx * px ** ((ix + m) // nx))
+            b0.add(idx, col_xm, vx * px ** ((ix - m) // nx))
             # y (periodic in cell).
-            vy = np.full(n, -0.5 * cm / hy**2)
+            vy = -0.5 * cm / hy**2
             col_yp = idx + (((iy + m) % ny) - iy) * nx
             col_ym = idx + (((iy - m) % ny) - iy) * nx
-            b0.add(idx, col_yp, vy)
-            b0.add(idx, col_ym, vy)
+            b0.add(idx, col_yp, vy * py ** ((iy + m) // ny))
+            b0.add(idx, col_ym, vy * py ** ((iy - m) // ny))
             # z: split in-cell vs. cross-boundary.
             vz = -0.5 * cm / hz**2
             up = iz + m
@@ -321,10 +371,12 @@ def build_blocks(
     nf: int = 4,
     include_nonlocal: bool = True,
     external_potential: Optional[np.ndarray] = None,
+    k_par: "float | Tuple[float, float]" = 0.0,
 ) -> Tuple[BlockTriple, HamiltonianInfo]:
     """One-call convenience wrapper around :class:`KSHamiltonianBuilder`."""
     return KSHamiltonianBuilder(
         structure, grid, nf=nf,
         include_nonlocal=include_nonlocal,
         external_potential=external_potential,
+        k_par=k_par,
     ).build()

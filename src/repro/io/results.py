@@ -91,6 +91,11 @@ def save_result(path_base: PathLike, result) -> Tuple[str, str]:
         schema_version=np.int64(result.schema_version),
         cell_length=np.float64(result.cell_length),
         energy=np.array([s.energy for s in slices], dtype=np.float64),
+        # NaN encodes "no transverse momentum" (plain 1D slices).
+        k_par=np.array(
+            [np.nan if s.k_par is None else s.k_par for s in slices],
+            dtype=np.float64,
+        ),
         total_iterations=np.array(
             [s.total_iterations for s in slices], dtype=np.int64
         ),
@@ -147,6 +152,13 @@ def _save_transport_result(path_base: PathLike, result) -> Tuple[str, str]:
         schema_version=np.int64(result.schema_version),
         cell_length=np.float64(result.cell_length),
         energy=np.array([s.energy for s in slices], dtype=np.float64),
+        k_par=np.array(
+            [np.nan if s.k_par is None else s.k_par for s in slices],
+            dtype=np.float64,
+        ),
+        k_weight=np.array(
+            [s.k_weight for s in slices], dtype=np.float64
+        ),
         transmission=np.array(
             [s.transmission for s in slices], dtype=np.float64
         ),
@@ -241,20 +253,26 @@ def load_result(path_base: PathLike):
             f"cannot load {json_path!r}: unknown result kind {kind!r}"
         )
     version = header.get("schema_version")
-    if version != CBS_RESULT_SCHEMA_VERSION:
+    if version not in (1, CBS_RESULT_SCHEMA_VERSION):
         raise ConfigurationError(
             f"cannot load {json_path!r}: schema_version {version!r} is not "
-            f"the supported {CBS_RESULT_SCHEMA_VERSION}"
+            f"the supported {CBS_RESULT_SCHEMA_VERSION} (or legacy 1)"
         )
     with np.load(npz_path) as npz:
-        if int(npz["schema_version"]) != CBS_RESULT_SCHEMA_VERSION:
+        if int(npz["schema_version"]) != version:
             raise ConfigurationError(
                 f"cannot load {npz_path!r}: schema_version "
-                f"{int(npz['schema_version'])} is not the supported "
-                f"{CBS_RESULT_SCHEMA_VERSION}"
+                f"{int(npz['schema_version'])} does not match the "
+                f"header's {version}"
             )
         cell_length = float(npz["cell_length"])
         energy = npz["energy"]
+        # Version 1 predates the k∥ axis: every slice loads as k∥-less.
+        k_par = (
+            npz["k_par"]
+            if version >= 2
+            else np.full(energy.shape[0], np.nan)
+        )
         total_iterations = npz["total_iterations"]
         solve_seconds = npz["solve_seconds"]
         mode_counts = npz["mode_counts"]
@@ -271,6 +289,7 @@ def load_result(path_base: PathLike):
         )
     n_slices = int(energy.shape[0])
     per_slice = {
+        "k_par": k_par,
         "mode_counts": mode_counts,
         "total_iterations": total_iterations,
         "solve_seconds": solve_seconds,
@@ -317,12 +336,14 @@ def load_result(path_base: PathLike):
             for j in range(n_modes)
         ]
         offset += n_modes
+        kp = float(k_par[i])
         slices.append(
             EnergySlice(
                 e,
                 modes,
                 total_iterations=int(total_iterations[i]),
                 solve_seconds=float(solve_seconds[i]),
+                k_par=None if np.isnan(kp) else kp,
             )
         )
     return CBSResult(
@@ -342,21 +363,32 @@ def _load_transport_result(json_path: str, npz_path: str, header):
     )
 
     version = header.get("schema_version")
-    if version != TRANSPORT_RESULT_SCHEMA_VERSION:
+    if version not in (1, TRANSPORT_RESULT_SCHEMA_VERSION):
         raise ConfigurationError(
             f"cannot load {json_path!r}: transport schema_version "
             f"{version!r} is not the supported "
-            f"{TRANSPORT_RESULT_SCHEMA_VERSION}"
+            f"{TRANSPORT_RESULT_SCHEMA_VERSION} (or legacy 1)"
         )
     with np.load(npz_path) as npz:
-        if int(npz["schema_version"]) != TRANSPORT_RESULT_SCHEMA_VERSION:
+        if int(npz["schema_version"]) != version:
             raise ConfigurationError(
                 f"cannot load {npz_path!r}: transport schema_version "
-                f"{int(npz['schema_version'])} is not the supported "
-                f"{TRANSPORT_RESULT_SCHEMA_VERSION}"
+                f"{int(npz['schema_version'])} does not match the "
+                f"header's {version}"
             )
         cell_length = float(npz["cell_length"])
         energy = npz["energy"]
+        # Version 1 predates the k∥ axis: k∥-less, unit weights.
+        k_par = (
+            npz["k_par"]
+            if version >= 2
+            else np.full(energy.shape[0], np.nan)
+        )
+        k_weight = (
+            npz["k_weight"]
+            if version >= 2
+            else np.ones(energy.shape[0])
+        )
         transmission = npz["transmission"]
         n_channels = npz["n_channels"]
         total_iterations = npz["total_iterations"]
@@ -370,6 +402,8 @@ def _load_transport_result(json_path: str, npz_path: str, header):
             f"{header.get('n_slices')!r} slices, arrays hold {n_slices}"
         )
     per_slice = {
+        "k_par": k_par,
+        "k_weight": k_weight,
         "transmission": transmission,
         "n_channels": n_channels,
         "total_iterations": total_iterations,
@@ -400,6 +434,10 @@ def _load_transport_result(json_path: str, npz_path: str, header):
             n_channels=int(n_channels[i]),
             total_iterations=int(total_iterations[i]),
             solve_seconds=float(solve_seconds[i]),
+            k_par=(
+                None if np.isnan(float(k_par[i])) else float(k_par[i])
+            ),
+            k_weight=float(k_weight[i]),
         )
         for i in range(n_slices)
     ]

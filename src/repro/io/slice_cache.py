@@ -41,7 +41,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an io→cbs cycle
     from repro.transport.scan import TransportSlice
 
 #: Bump when the on-disk slice layout changes; old entries become misses.
-FORMAT_VERSION = 1
+#: Version 2 added the transverse-momentum tag (``k_par``; transport
+#: entries also carry ``k_weight``).
+FORMAT_VERSION = 2
 
 #: Stable integer codes for ModeType values (never reorder).  Shared
 #: with :mod:`repro.io.results`, which persists whole CBS results in the
@@ -205,6 +207,10 @@ class SliceCache:
         data = dict(
             version=np.int64(FORMAT_VERSION),
             energy=np.float64(sl.energy),
+            # NaN encodes "no transverse momentum" (plain 1D slices).
+            k_par=np.float64(
+                np.nan if sl.k_par is None else sl.k_par
+            ),
             total_iterations=np.int64(sl.total_iterations),
             solve_seconds=np.float64(sl.solve_seconds),
             lam=np.array([m.lam for m in modes], dtype=np.complex128),
@@ -260,6 +266,7 @@ class SliceCache:
                 if int(npz["version"]) != FORMAT_VERSION:
                     return None
                 e = float(npz["energy"])
+                k_par = float(npz["k_par"])
                 lam = npz["lam"]
                 k = npz["k"]
                 codes = npz["mode_type"]
@@ -291,6 +298,7 @@ class SliceCache:
             modes,
             total_iterations=total_iterations,
             solve_seconds=solve_seconds,
+            k_par=None if np.isnan(k_par) else k_par,
         )
 
     # ------------------------------------------------------------------
@@ -318,6 +326,8 @@ class SliceCache:
         data = dict(
             version=np.int64(FORMAT_VERSION),
             energy=np.float64(sl.energy),
+            k_par=np.float64(np.nan if sl.k_par is None else sl.k_par),
+            k_weight=np.float64(sl.k_weight),
             transmission=np.float64(sl.transmission),
             n_channels=np.int64(sl.n_channels),
             total_iterations=np.int64(sl.total_iterations),
@@ -351,6 +361,7 @@ class SliceCache:
             with np.load(path) as npz:
                 if int(npz["version"]) != FORMAT_VERSION:
                     return None
+                k_par = float(npz["k_par"])
                 sl = TransportSlice(
                     energy=float(npz["energy"]),
                     transmission=float(npz["transmission"]),
@@ -359,6 +370,8 @@ class SliceCache:
                     n_channels=int(npz["n_channels"]),
                     total_iterations=int(npz["total_iterations"]),
                     solve_seconds=float(npz["solve_seconds"]),
+                    k_par=None if np.isnan(k_par) else k_par,
+                    k_weight=float(npz["k_weight"]),
                 )
         except (OSError, KeyError, ValueError, EOFError):
             return None

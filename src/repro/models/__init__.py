@@ -9,12 +9,14 @@ against them before being trusted on the real-space DFT Hamiltonians.
 from repro.api.registry import register_system
 from repro.models.chain import MonatomicChain, DiatomicChain
 from repro.models.ladder import TransverseLadder
+from repro.models.slab import SquareLatticeSlab
 from repro.models.random_blocks import random_bulk_triple, commuting_bulk_triple
 
 __all__ = [
     "MonatomicChain",
     "DiatomicChain",
     "TransverseLadder",
+    "SquareLatticeSlab",
     "random_bulk_triple",
     "commuting_bulk_triple",
 ]
@@ -40,3 +42,8 @@ def _build_diatomic_chain(**params):
 @register_system("ladder", replace=True)
 def _build_ladder(**params):
     return TransverseLadder(**params).blocks()
+
+
+@register_system("square-slab", replace=True)
+def _build_square_slab(**params):
+    return SquareLatticeSlab(**params).blocks()

@@ -43,6 +43,13 @@ class TransverseLadder:
         Uniform onsite energy.
     periodic_rung:
         Close the rung into a ring (transverse modes become plane waves).
+    k_par:
+        Transverse Bloch phase (radians) twisting the periodic rung's
+        wrap bond — the ``W``-site ring is then one transverse period
+        of an infinite 2D lattice sampled at momentum ``k∥`` (twisted
+        boundary conditions).  Requires ``periodic_rung=True`` and
+        ``width > 2`` (the configurations in which the wrap bond
+        exists).
     cell_length:
         Stacking period ``a``.
     """
@@ -52,6 +59,7 @@ class TransverseLadder:
     leg_hopping: float = -1.0
     onsite: float = 0.0
     periodic_rung: bool = False
+    k_par: float = 0.0
     cell_length: float = 1.0
 
     def __post_init__(self) -> None:
@@ -59,16 +67,27 @@ class TransverseLadder:
             raise ConfigurationError(f"width must be >= 1, got {self.width}")
         if self.leg_hopping == 0.0:
             raise ConfigurationError("leg_hopping must be nonzero")
+        if self.k_par != 0.0 and not (self.periodic_rung and self.width > 2):
+            raise ConfigurationError(
+                f"k_par={self.k_par} needs a periodic rung with width > 2 "
+                f"(got periodic_rung={self.periodic_rung}, "
+                f"width={self.width}); an open rung has no transverse "
+                f"period to twist"
+            )
 
     def rung_matrix(self) -> np.ndarray:
-        """The ``W×W`` Hermitian rung matrix ``T``."""
+        """The ``W×W`` Hermitian rung matrix ``T`` (complex when the
+        wrap bond carries a ``k∥`` twist)."""
         w = self.width
-        T = np.zeros((w, w), dtype=np.float64)
+        dtype = np.complex128 if self.k_par != 0.0 else np.float64
+        T = np.zeros((w, w), dtype=dtype)
         np.fill_diagonal(T, self.onsite)
         for i in range(w - 1):
             T[i, i + 1] = T[i + 1, i] = self.rung_hopping
         if self.periodic_rung and w > 2:
-            T[0, w - 1] = T[w - 1, 0] = self.rung_hopping
+            phase = np.exp(1j * self.k_par) if self.k_par != 0.0 else 1.0
+            T[w - 1, 0] = self.rung_hopping * phase
+            T[0, w - 1] = np.conj(T[w - 1, 0])
         return T
 
     def transverse_modes(self) -> np.ndarray:

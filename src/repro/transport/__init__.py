@@ -30,6 +30,7 @@ from repro.transport.scan import (
     TransportResult,
     TransportScanner,
     TransportSlice,
+    monkhorst_pack,
 )
 from repro.transport.selfenergy import (
     IncompleteBasisError,
@@ -53,6 +54,7 @@ __all__ = [
     "TwoProbeDevice",
     "auto_ring_radius",
     "decimation_self_energies",
+    "monkhorst_pack",
     "ring_eigenpairs",
     "self_energies_from_modes",
     "ss_self_energies",

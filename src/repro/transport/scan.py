@@ -46,7 +46,43 @@ from repro.transport.selfenergy import SelfEnergyConfig, ss_self_energies
 
 #: Version of the TransportResult schema (in memory and as persisted by
 #: :mod:`repro.io.results`).  Bump on incompatible layout changes.
-TRANSPORT_RESULT_SCHEMA_VERSION = 1
+#: Version 2 added the per-slice k∥ axis (``k_par``/``k_weight``);
+#: loaders accept version-1 files and reject anything newer.
+TRANSPORT_RESULT_SCHEMA_VERSION = 2
+
+
+def monkhorst_pack(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """A 1D Monkhorst-Pack transverse-momentum grid and its weights.
+
+    The standard shifted uniform sampling of one transverse period,
+    ``θ_j = (2j − n − 1)π/n`` for ``j = 1 … n`` (dimensionless Bloch
+    phases in ``(−π, π)``; ``n = 1`` is the zone center Γ̄, even ``n``
+    avoids it), each carrying equal weight ``1/n`` so the weights sum
+    to one and a Brillouin-zone average is a plain weighted sum.
+
+    Parameters
+    ----------
+    n : int
+        Number of k∥ points (``>= 1``).
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        ``(points, weights)``, both length ``n``, points ascending.
+
+    Examples
+    --------
+    >>> from repro.transport.scan import monkhorst_pack
+    >>> pts, w = monkhorst_pack(2)
+    >>> [float(round(p, 6)) for p in pts], [float(x) for x in w]
+    ([-1.570796, 1.570796], [0.5, 0.5])
+    """
+    if n < 1:
+        raise ConfigurationError(f"monkhorst_pack needs n >= 1, got {n}")
+    j = np.arange(1, n + 1, dtype=np.float64)
+    points = (2.0 * j - n - 1.0) * math.pi / n
+    weights = np.full(n, 1.0 / n)
+    return points, weights
 
 
 @dataclass
@@ -71,6 +107,13 @@ class TransportSlice:
         path and for the decimation engine).
     solve_seconds : float
         Wall time spent producing this slice (zeroed on cache hits).
+    k_par : float or None
+        Transverse Bloch phase the lead blocks were built at (``None``
+        for plain 1D transport scans).
+    k_weight : float
+        Brillouin-zone weight of this slice's k∥ point (``1.0`` for
+        plain scans); :meth:`TransportResult.total_transmissions` sums
+        ``k_weight × transmission`` per energy.
     """
 
     energy: float
@@ -80,6 +123,8 @@ class TransportSlice:
     n_channels: int = 0
     total_iterations: int = 0
     solve_seconds: float = 0.0
+    k_par: Optional[float] = None
+    k_weight: float = 1.0
 
 
 @dataclass
@@ -112,6 +157,44 @@ class TransportResult:
     def conductance_quantum_units(self) -> np.ndarray:
         """Alias of :meth:`transmissions`: ``G/G₀ = T`` in linear response."""
         return self.transmissions()
+
+    # -- the k∥ axis --------------------------------------------------------
+
+    def k_pars(self) -> List[float]:
+        """Distinct transverse momenta in this result, ascending
+        (empty for plain 1D scans)."""
+        return sorted(
+            {s.k_par for s in self.slices if s.k_par is not None}
+        )
+
+    def at_kpar(self, k_par: Optional[float]) -> "TransportResult":
+        """The k∥-resolved column at ``k_par`` (exact match;
+        ``None`` selects the plain slices).  Shares slice objects and
+        provenance with this result."""
+        column = [s for s in self.slices if s.k_par == k_par]
+        return TransportResult(
+            column,
+            self.cell_length,
+            schema_version=self.schema_version,
+            provenance=self.provenance,
+        )
+
+    def total_transmissions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The Brillouin-zone-summed transmission over the energy grid.
+
+        Returns ``(energies, T_total)`` with
+        ``T_total(E) = Σ_{k∥} w_{k∥} T(E, k∥)`` — the quantity entering
+        the Landauer conductance of a 3D/2D lead (Iwase et al.,
+        arXiv:1709.09324).  For a plain 1D scan (one implicit k∥ point
+        of weight one) this equals :meth:`transmissions`.
+        """
+        totals: Dict[float, float] = {}
+        for s in self.slices:
+            totals[s.energy] = (
+                totals.get(s.energy, 0.0) + s.k_weight * s.transmission
+            )
+        energies = np.array(sorted(totals))
+        return energies, np.array([totals[e] for e in energies])
 
 
 # ----------------------------------------------------------------------
@@ -191,14 +274,23 @@ class TransportCalculator:
         )
 
     def iter_scan_cached(
-        self, energies: Sequence[float], cache: Optional[SliceCache] = None
+        self,
+        energies: Sequence[float],
+        cache: Optional[SliceCache] = None,
+        *,
+        k_par: Optional[float] = None,
+        k_weight: float = 1.0,
     ) -> Iterator[Tuple[TransportSlice, bool]]:
         """Yield ``(slice, from_cache)`` in the given energy order.
 
         The one cache-protocol loop behind every transport scan path
         (the facade's serial route, :meth:`scan`, and the process-shard
         solver): hits are served with ``solve_seconds`` zeroed, misses
-        are solved and persisted as they complete.
+        are solved and persisted as they complete.  k∥-resolved callers
+        pass their column's ``k_par``/``k_weight`` so every slice —
+        including what lands in the cache — carries the tag; hits are
+        restamped too (their per-momentum context guarantees agreement,
+        this just keeps the slice authoritative either way).
         """
         for energy in energies:
             sl = (
@@ -207,9 +299,15 @@ class TransportCalculator:
                 else None
             )
             if sl is not None:
+                if k_par is not None:
+                    sl.k_par = k_par
+                    sl.k_weight = k_weight
                 yield sl, True
                 continue
             sl = self.solve_energy(energy)
+            if k_par is not None:
+                sl.k_par = k_par
+                sl.k_weight = k_weight
             if cache is not None:
                 cache.put_transport(sl)
             yield sl, False
@@ -222,6 +320,87 @@ class TransportCalculator:
         slices = [sl for sl, _hit in self.iter_scan_cached(grid, cache)]
         return TransportResult(slices, self.device.lead.cell_length)
 
+    @staticmethod
+    def kpar_scan(
+        device_factory: "callable",
+        energies: Sequence[float],
+        *,
+        n_kpar: Optional[int] = None,
+        k_pars: Optional[Sequence[float]] = None,
+        weights: Optional[Sequence[float]] = None,
+        config: Optional[SelfEnergyConfig] = None,
+        method: str = "ss",
+    ) -> TransportResult:
+        """Monkhorst-Pack k∥-summed transmission scan (serial reference).
+
+        Sweeps the transverse Brillouin zone, building one two-probe
+        device per k∥ point, scanning the energy grid at each, and
+        stamping every slice with its ``(k_par, k_weight)`` so the
+        returned result carries both the k∥-resolved transmissions and
+        (via :meth:`TransportResult.total_transmissions`) the BZ sum.
+        For sharded/cached sweeps declare the workload as a
+        :class:`repro.api.CBSJob` with a :class:`repro.api.KParSpec`
+        instead.
+
+        Parameters
+        ----------
+        device_factory : callable
+            ``device_factory(k_par) -> TwoProbeDevice``: the junction
+            at one transverse momentum (typically wrapping a
+            ``k_par``-aware system builder).
+        energies : sequence of float
+            The energy grid (scanned ascending at every k∥).
+        n_kpar : int, optional
+            Monkhorst-Pack point count (:func:`monkhorst_pack`);
+            exactly one of ``n_kpar`` and ``k_pars`` must be given.
+        k_pars : sequence of float, optional
+            Explicit transverse momenta (dimensionless Bloch phases).
+        weights : sequence of float, optional
+            BZ weights matching ``k_pars`` (default: equal weights
+            summing to one).  Rejected with ``n_kpar``.
+        config : SelfEnergyConfig, optional
+            Self-energy numerics (shared across the sweep).
+        method : {"ss", "decimation"}, optional
+            Self-energy engine.
+
+        Returns
+        -------
+        TransportResult
+            All ``len(k∥) × len(E)`` slices, ordered by (k∥, E).
+        """
+        # One validation contract for every entry to the sweep: resolve
+        # through KParSpec (distinct momenta, positive finite weights,
+        # values co-sorted ascending, grid XOR values).  Imported
+        # lazily — repro.api's package __init__ imports this module.
+        from repro.api.spec import KParSpec
+
+        spec = KParSpec(
+            values=(
+                tuple(float(k) for k in k_pars)
+                if k_pars is not None
+                else None
+            ),
+            grid=n_kpar,
+            weights=(
+                tuple(float(x) for x in weights)
+                if weights is not None
+                else None
+            ),
+        )
+        slices: List[TransportSlice] = []
+        cell_length = None
+        for k, wk in zip(spec.points(), spec.resolved_weights()):
+            device = device_factory(float(k))
+            cell_length = device.lead.cell_length
+            calc = TransportCalculator(device, config, method=method)
+            for sl, _hit in calc.iter_scan_cached(
+                sorted(float(e) for e in energies),
+                k_par=float(k),
+                k_weight=float(wk),
+            ):
+                slices.append(sl)
+        return TransportResult(slices, cell_length)
+
 
 # ----------------------------------------------------------------------
 # shard work units (picklable; solved by a module-level function)
@@ -230,8 +409,9 @@ class TransportCalculator:
 
 @dataclass(frozen=True)
 class _TransportShardSpec:
-    """One contiguous piece of a transmission scan, shippable to a
-    worker process."""
+    """One contiguous (E, k∥) tile of a transmission scan, shippable to
+    a worker process.  ``k_par``/``k_weight`` tag the tile's transverse
+    momentum column (``None``/1 for plain 1D scans)."""
 
     lead: BlockTriple
     n_cells: int
@@ -242,6 +422,8 @@ class _TransportShardSpec:
     energies: Tuple[float, ...]
     cache_root: Optional[str] = None
     cache_context: Optional[str] = None
+    k_par: Optional[float] = None
+    k_weight: float = 1.0
 
 
 def _solve_transport_shard(
@@ -270,7 +452,9 @@ def _solve_transport_shard(
     )
     calc = TransportCalculator(device, spec.config, method=spec.method)
     slices: List[TransportSlice] = []
-    for sl, hit in calc.iter_scan_cached(energies, cache):
+    for sl, hit in calc.iter_scan_cached(
+        energies, cache, k_par=spec.k_par, k_weight=spec.k_weight
+    ):
         if hit:
             stats.cache_hits += 1
         else:
@@ -345,17 +529,32 @@ class TransportScanner:
         return int(self._n_shards or getattr(self._executor, "workers", 1))
 
     def _spec(self, energies: Sequence[float]) -> _TransportShardSpec:
-        dev = self.device
+        return self._tile_spec(
+            self.device, energies, None, 1.0, self._cache_context
+        )
+
+    def _tile_spec(
+        self,
+        device: TwoProbeDevice,
+        energies: Sequence[float],
+        k_par: Optional[float],
+        k_weight: float,
+        cache_context: Optional[str],
+    ) -> _TransportShardSpec:
+        """One (E, k∥) tile work unit (k∥-resolved scans pass per-column
+        devices and cache contexts)."""
         return _TransportShardSpec(
-            lead=dev.lead,
-            n_cells=dev.n_cells,
-            device_blocks=dev.device,
-            onsite_shift=dev.onsite_shift,
+            lead=device.lead,
+            n_cells=device.n_cells,
+            device_blocks=device.device,
+            onsite_shift=device.onsite_shift,
             config=self.config,
             method=self.method,
             energies=tuple(float(e) for e in energies),
             cache_root=self.cache_dir,
-            cache_context=self._cache_context,
+            cache_context=cache_context,
+            k_par=k_par,
+            k_weight=k_weight,
         )
 
     def _imap_shards(self, specs):
@@ -390,6 +589,72 @@ class TransportScanner:
         try:
             spans = chunk_spans(len(grid), self.n_shards)
             specs = [self._spec(grid[lo:hi]) for lo, hi in spans]
+            report.n_shards = len(specs)
+            for shard_slices, stats in self._imap_shards(specs):
+                report.absorb(stats)
+                for sl in shard_slices:
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+                    yield sl
+                if should_cancel is not None and should_cancel():
+                    return
+        finally:
+            report.wall_seconds = time.perf_counter() - t0
+
+    def iter_kpar_scan(
+        self,
+        energies: Sequence[float],
+        columns: Sequence[Tuple[float, float, TwoProbeDevice]],
+        *,
+        cache_contexts: Optional[Sequence[Optional[str]]] = None,
+        report: Optional[ScanReport] = None,
+        progress: Optional[ProgressFn] = None,
+        should_cancel: Optional[CancelFn] = None,
+    ) -> Iterator[TransportSlice]:
+        """Stream a k∥-resolved transmission scan over (E, k∥) tiles.
+
+        Every k∥ column's energy grid is split into contiguous tiles,
+        all tiles are submitted to the executor up front (so late
+        columns overlap with consumption of early ones), and slices are
+        yielded in (k∥, E) order.  The callback contract matches
+        :meth:`iter_scan`.
+
+        Parameters
+        ----------
+        energies : sequence of float
+            The shared energy grid (one column per k∥ point).
+        columns : sequence of (float, float, TwoProbeDevice)
+            ``(k_par, k_weight, device)`` per transverse momentum.
+        cache_contexts : sequence of str or None, optional
+            Per-column slice-cache context keys (k∥ must be folded into
+            each — :meth:`repro.api.CBSJob.cache_context` does this);
+            required when the scanner has a ``cache_dir``.
+        """
+        report = ScanReport() if report is None else report
+        t0 = time.perf_counter()
+        grid = sorted({float(e) for e in energies})
+        done = 0
+        total = len(grid) * len(columns)
+        try:
+            if not grid or not columns:
+                return
+            if cache_contexts is None:
+                cache_contexts = [None] * len(columns)
+            if self.cache_dir is not None and any(
+                ctx is None for ctx in cache_contexts
+            ):
+                raise ConfigurationError(
+                    "iter_kpar_scan with cache_dir needs one cache "
+                    "context per k∥ column"
+                )
+            n_tiles = max(1, math.ceil(self.n_shards / len(columns)))
+            spans = chunk_spans(len(grid), n_tiles)
+            specs = [
+                self._tile_spec(dev, grid[lo:hi], float(k), float(w), ctx)
+                for (k, w, dev), ctx in zip(columns, cache_contexts)
+                for lo, hi in spans
+            ]
             report.n_shards = len(specs)
             for shard_slices, stats in self._imap_shards(specs):
                 report.absorb(stats)

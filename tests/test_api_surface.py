@@ -21,6 +21,7 @@ EXPECTED_API_ALL = [
     "EnergySlice",
     "ExecutionSpec",
     "JOB_SPEC_VERSION",
+    "KParSpec",
     "ProgressFn",
     "RefinePolicy",
     "RingSpec",
@@ -35,6 +36,7 @@ EXPECTED_API_ALL = [
     "compute",
     "compute_iter",
     "load_result",
+    "monkhorst_pack",
     "register_system",
     "resolve_system",
     "save_result",
@@ -78,6 +80,7 @@ LEGACY_IMPORTS = [
     ("repro.models", "MonatomicChain"),
     ("repro.models", "DiatomicChain"),
     ("repro.models", "TransverseLadder"),
+    ("repro.models", "SquareLatticeSlab"),
     ("repro.dft.builders", "bulk_al100"),
     ("repro.parallel.executor", "make_executor"),
     ("repro.parallel.executor", "chunk_spans"),

@@ -1,0 +1,778 @@
+"""The transverse-momentum axis: KParSpec, (E, k∥) grids, k∥ transport.
+
+Covers the tentpole contract end to end:
+
+* :class:`repro.api.KParSpec` validation, canonicalization, and strict
+  dict/JSON round-trips (hypothesis-driven);
+* plain 1D jobs keep their exact PR-4 dict layout and hashes (pinned
+  against literals captured before the k∥ axis existed);
+* k∥-aware builders (``square-slab``, ``ladder``, ``al100``) produce
+  Hermitian Bloch-phased blocks, bit-identical to the old path at Γ̄;
+* a 2D orchestrated (E, k∥) scan matches an explicit per-k∥ serial
+  loop (the acceptance criterion), the slice cache is keyed per k∥,
+  and streaming order/progress/cancellation hold;
+* k∥-summed transmission matches the Sancho-Rubio decimation baseline
+  (acceptance: ≤ 1e-8);
+* ``save_result``/``load_result`` round-trip every result kind — CBS,
+  transport, and their k∥-resolved variants (hypothesis-driven) — and
+  reject mismatched k∥ axis lengths; legacy version-1 files still load.
+"""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    CBSJob,
+    ExecutionSpec,
+    KParSpec,
+    compute,
+    compute_iter,
+    load_result,
+    monkhorst_pack,
+    save_result,
+)
+from repro.cbs import CBSCalculator
+from repro.cbs.classify import CBSMode, ModeType
+from repro.cbs.scan import CBSResult, EnergySlice
+from repro.errors import ConfigurationError
+from repro.models import SquareLatticeSlab, TransverseLadder
+from repro.transport import TransportCalculator, TwoProbeDevice
+from repro.transport.decimation import decimation_self_energies
+from repro.transport.scan import TransportResult, TransportSlice
+
+# ----------------------------------------------------------------------
+# KParSpec validation and canonical form
+# ----------------------------------------------------------------------
+
+
+def test_kpar_spec_needs_exactly_one_grid_source():
+    with pytest.raises(ConfigurationError, match="exactly one"):
+        KParSpec()
+    with pytest.raises(ConfigurationError, match="exactly one"):
+        KParSpec(values=(0.0,), grid=2)
+
+
+def test_kpar_spec_grid_validation():
+    with pytest.raises(ConfigurationError, match="grid"):
+        KParSpec(grid=0)
+    with pytest.raises(ConfigurationError, match="implied"):
+        KParSpec(grid=2, weights=(0.5, 0.5))
+
+
+def test_kpar_spec_values_validation():
+    with pytest.raises(ConfigurationError, match="non-empty"):
+        KParSpec(values=())
+    with pytest.raises(ConfigurationError, match="finite"):
+        KParSpec(values=(0.0, math.inf))
+    with pytest.raises(ConfigurationError, match="distinct"):
+        KParSpec(values=(0.3, 0.3))
+    with pytest.raises(ConfigurationError, match="param"):
+        KParSpec(values=(0.0,), param="")
+
+
+def test_kpar_spec_rejects_mismatched_weight_lengths():
+    with pytest.raises(ConfigurationError, match="does not match"):
+        KParSpec(values=(0.0, 1.0), weights=(1.0,))
+    with pytest.raises(ConfigurationError, match="does not match"):
+        KParSpec(values=(0.0,), weights=(0.5, 0.5))
+    with pytest.raises(ConfigurationError, match="positive"):
+        KParSpec(values=(0.0, 1.0), weights=(1.0, -1.0))
+
+
+def test_kpar_spec_sorts_values_with_weights():
+    spec = KParSpec(values=(1.0, -1.0, 0.0), weights=(0.2, 0.3, 0.5))
+    assert spec.values == (-1.0, 0.0, 1.0)
+    assert spec.weights == (0.3, 0.5, 0.2)
+    assert spec.points() == spec.values
+    assert spec.resolved_weights() == spec.weights
+
+
+def test_kpar_spec_monkhorst_pack_grid():
+    spec = KParSpec(grid=4)
+    pts, w = monkhorst_pack(4)
+    assert spec.points() == tuple(pts)
+    assert spec.resolved_weights() == tuple(w)
+    assert abs(sum(spec.resolved_weights()) - 1.0) < 1e-15
+    # even grids avoid the zone center; n=1 is exactly the center
+    assert 0.0 not in spec.points()
+    assert KParSpec(grid=1).points() == (0.0,)
+
+
+def test_monkhorst_pack_rejects_bad_count():
+    with pytest.raises(ConfigurationError, match="n >= 1"):
+        monkhorst_pack(0)
+
+
+def test_kpar_spec_default_weights_are_uniform():
+    spec = KParSpec(values=(0.0, 0.5, 1.5))
+    assert spec.resolved_weights() == (1 / 3, 1 / 3, 1 / 3)
+
+
+@st.composite
+def kpar_specs(draw):
+    if draw(st.booleans()):
+        return KParSpec(grid=draw(st.integers(1, 16)))
+    values = draw(
+        st.lists(
+            st.floats(-10.0, 10.0, allow_nan=False),
+            min_size=1, max_size=6, unique=True,
+        )
+    )
+    weights = None
+    if draw(st.booleans()):
+        weights = tuple(
+            draw(
+                st.lists(
+                    st.floats(1e-3, 10.0, allow_nan=False),
+                    min_size=len(values), max_size=len(values),
+                )
+            )
+        )
+    return KParSpec(values=tuple(values), weights=weights)
+
+
+@settings(deadline=None, max_examples=60)
+@given(spec=kpar_specs())
+def test_kpar_spec_dict_round_trip(spec):
+    assert KParSpec.from_dict(spec.to_dict()) == spec
+    assert len(spec.points()) == len(spec.resolved_weights())
+
+
+@settings(deadline=None, max_examples=30)
+@given(spec=kpar_specs())
+def test_job_with_kpar_json_round_trip(spec):
+    job = CBSJob(
+        system={"name": "square-slab", "params": {"width": 1}},
+        scan={"energies": (0.0,), "n_mm": 2, "n_rh": 2, "seed": 1},
+        kpar=spec,
+    )
+    reloaded = CBSJob.from_json(job.to_json())
+    assert reloaded == job
+    assert reloaded.job_hash() == job.job_hash()
+
+
+def test_kpar_spec_from_dict_rejects_unknown_keys():
+    with pytest.raises(ConfigurationError, match="unknown key"):
+        KParSpec.from_dict({"values": [0.0], "n_points": 3})
+
+
+def test_job_rejects_kpar_param_collision():
+    with pytest.raises(ConfigurationError, match="sweeps that parameter"):
+        CBSJob(
+            system={"name": "square-slab",
+                    "params": {"width": 1, "k_par": 0.5}},
+            scan={"energies": (0.0,)},
+            kpar=KParSpec(grid=2),
+        )
+
+
+# ----------------------------------------------------------------------
+# PR-4 layout/hash pins: the k∥ axis must not move plain jobs
+# ----------------------------------------------------------------------
+
+#: Captured from the PR-4 tree (before KParSpec existed).
+PR4_PLAIN_JOB_HASH = "71c455341f60dae5b1aaadaf"
+PR4_PLAIN_CACHE_CONTEXT = "f054bf8c2548d68c225d3ab3"
+PR4_TRANSPORT_JOB_HASH = "a931c1d2f686e13d9bc4a642"
+PR4_TRANSPORT_CACHE_CONTEXT = "9343cc5ebb95dbc73e30ce25"
+
+
+def test_plain_job_dict_and_hashes_unchanged_since_pr4():
+    job = CBSJob(
+        system={"name": "ladder", "params": {"width": 4}},
+        scan={"window": [-2.0, 2.0, 41], "n_mm": 4, "n_rh": 4, "seed": 7},
+    )
+    assert "kpar" not in job.to_dict()
+    assert job.job_hash() == PR4_PLAIN_JOB_HASH
+    assert job.cache_context() == PR4_PLAIN_CACHE_CONTEXT
+    tjob = CBSJob(
+        system={"name": "chain", "params": {"hopping": -1.0}},
+        scan={"window": [-1.5, 1.5, 7]},
+        transport={"eta": 1e-7, "n_cells": 2},
+    )
+    assert "kpar" not in tjob.to_dict()
+    assert tjob.job_hash() == PR4_TRANSPORT_JOB_HASH
+    assert tjob.cache_context() == PR4_TRANSPORT_CACHE_CONTEXT
+
+
+def test_kpar_job_hash_differs_and_context_keys_per_momentum():
+    base = dict(
+        system={"name": "square-slab", "params": {"width": 2}},
+        scan={"window": [-1.0, 1.0, 3], "n_mm": 4, "n_rh": 4, "seed": 1},
+    )
+    plain = CBSJob(**base)
+    kjob = CBSJob(**base, kpar=KParSpec(grid=2))
+    assert kjob.job_hash() != plain.job_hash()
+    # the momentum-less context is shared; per-k∥ contexts are distinct
+    assert kjob.cache_context() == plain.cache_context()
+    k0, k1 = kjob.kpar.points()
+    assert kjob.cache_context(k_par=k0) != kjob.cache_context(k_par=k1)
+    assert kjob.cache_context(k_par=k0) != kjob.cache_context()
+
+
+# ----------------------------------------------------------------------
+# k∥-aware builders
+# ----------------------------------------------------------------------
+
+
+def test_ladder_kpar_requires_periodic_rung():
+    with pytest.raises(ConfigurationError, match="periodic rung"):
+        TransverseLadder(width=4, k_par=0.5)
+    with pytest.raises(ConfigurationError, match="periodic rung"):
+        TransverseLadder(width=2, periodic_rung=True, k_par=0.5)
+
+
+def test_ladder_kpar_twists_transverse_modes():
+    lad0 = TransverseLadder(width=4, periodic_rung=True)
+    ladk = TransverseLadder(width=4, periodic_rung=True, k_par=0.8)
+    assert ladk.blocks().hermiticity_defect() == 0.0
+    # plane-wave modes of a twisted W-ring: ε + 2t cos((2πj + θ)/W)
+    w, t = 4, lad0.rung_hopping
+    expected = sorted(
+        2.0 * t * math.cos((2.0 * math.pi * j + 0.8) / w)
+        for j in range(w)
+    )
+    np.testing.assert_allclose(ladk.transverse_modes(), expected,
+                               atol=1e-12)
+    assert not np.allclose(lad0.transverse_modes(),
+                           ladk.transverse_modes())
+
+
+def test_slab_kpar_shifts_bands_and_matches_analytic():
+    slab = SquareLatticeSlab(width=2, k_par=1.1)
+    mus = slab.transverse_modes()
+    base = SquareLatticeSlab(width=2, k_par=0.0).transverse_modes()
+    shift = 2.0 * slab.hopping_x * (math.cos(1.1) - 1.0)
+    np.testing.assert_allclose(mus, base + shift, atol=1e-12)
+    lams = slab.analytic_lambdas(0.4)
+    assert lams.shape == (4,)
+    # reciprocity: solutions come in λ, 1/λ pairs
+    prods = np.sort(np.abs(lams))
+    np.testing.assert_allclose(prods[:2] * prods[:-3:-1], 1.0,
+                               atol=1e-12)
+
+
+def test_slab_validation():
+    with pytest.raises(ConfigurationError, match="width"):
+        SquareLatticeSlab(width=0)
+    with pytest.raises(ConfigurationError, match="hopping_z"):
+        SquareLatticeSlab(hopping_z=0.0)
+    with pytest.raises(ConfigurationError, match="finite"):
+        SquareLatticeSlab(k_par=math.nan)
+
+
+@pytest.mark.slow
+def test_al100_builder_accepts_k_par():
+    from repro.api.registry import resolve_system
+
+    params = {"spacing_angstrom": 1.2, "include_nonlocal": False}
+    b0 = resolve_system("al100", params)
+    bg = resolve_system("al100", {**params, "k_par": 0.0})
+    bk = resolve_system("al100", {**params, "k_par": 0.9})
+    # Γ̄ stays bit-identical (real dtype, same values)...
+    assert b0.h0.dtype == bg.h0.dtype == np.float64
+    assert (b0.h0 != bg.h0).nnz == 0 and (b0.hp != bg.hp).nnz == 0
+    # ...while a twisted column is complex, Hermitian, and different.
+    assert bk.h0.dtype == np.complex128
+    assert bk.hermiticity_defect() < 1e-12
+    assert (bk.h0 != b0.h0.astype(np.complex128)).nnz > 0
+
+
+# ----------------------------------------------------------------------
+# the (E, k∥) product grid through every engine
+# ----------------------------------------------------------------------
+
+_SLAB_BASE = dict(
+    system={"name": "square-slab", "params": {"width": 2}},
+    scan={"window": [-1.0, 0.8, 4], "n_mm": 4, "n_rh": 4, "seed": 1,
+          "linear_solver": "direct"},
+    ring={"n_int": 16},
+)
+
+
+def _per_kpar_serial_reference(job):
+    """Explicit per-k∥ serial loop: the ground truth the engines must
+    reproduce."""
+    reference = {}
+    for k in job.kpar.points():
+        calc = CBSCalculator(
+            SquareLatticeSlab(width=2, k_par=k).blocks(), job.ss_config()
+        )
+        for sl in calc.scan(job.energies()).slices:
+            reference[(k, sl.energy)] = sl
+    return reference
+
+
+def test_kpar_serial_scan_matches_explicit_loop_bit_for_bit():
+    job = CBSJob(**_SLAB_BASE, kpar=KParSpec(grid=3))
+    result = compute(job)
+    assert result.provenance["engine"] == "scan"
+    reference = _per_kpar_serial_reference(job)
+    assert len(result.slices) == len(reference) == 12
+    assert result.k_pars() == sorted(job.kpar.points())
+    for sl in result.slices:
+        ref = reference[(sl.k_par, sl.energy)]
+        assert sl.count == ref.count
+        np.testing.assert_array_equal(sl.lambdas(), ref.lambdas())
+
+
+def test_kpar_orchestrated_scan_matches_serial_loop():
+    """The acceptance criterion: 2D orchestrated ≡ per-k∥ serial ≤1e-10."""
+    job = CBSJob(
+        **_SLAB_BASE,
+        kpar=KParSpec(grid=3),
+        execution=ExecutionSpec(mode="orchestrated", workers=2),
+    )
+    result = compute(job)
+    assert result.provenance["engine"] == "orchestrator"
+    reference = _per_kpar_serial_reference(job)
+    # refinement may add slices; every base-grid point must be present
+    seen = {(s.k_par, s.energy) for s in result.slices}
+    assert set(reference) <= seen
+    for sl in result.slices:
+        if (sl.k_par, sl.energy) not in reference:
+            continue  # refinement insertion
+        ref = reference[(sl.k_par, sl.energy)]
+        assert sl.count == ref.count
+        dev = np.max(
+            np.abs(np.sort_complex(sl.lambdas())
+                   - np.sort_complex(ref.lambdas()))
+        ) if sl.count else 0.0
+        assert dev <= 1e-10, f"(k∥={sl.k_par}, E={sl.energy}): {dev:.2e}"
+    # tiles over both axes reached the report
+    assert result.provenance["report"]["n_shards"] >= 3
+
+
+def test_kpar_compute_iter_streams_in_kpar_major_order():
+    job = CBSJob(**_SLAB_BASE, kpar=KParSpec(values=(0.0, 1.0)))
+    calls = []
+    seen = [
+        (sl.k_par, sl.energy)
+        for sl in compute_iter(
+            job, progress=lambda d, t: calls.append((d, t))
+        )
+    ]
+    assert seen == sorted(seen)
+    assert calls == [(i + 1, 8) for i in range(8)]
+
+
+def test_kpar_compute_iter_cancellation_stops_early():
+    job = CBSJob(**_SLAB_BASE, kpar=KParSpec(values=(0.0, 1.0)))
+    out = []
+    for sl in compute_iter(job, should_cancel=lambda: len(out) >= 3):
+        out.append(sl)
+    assert len(out) == 3
+
+
+def test_kpar_slice_cache_is_keyed_per_momentum(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    job = CBSJob(
+        **_SLAB_BASE,
+        kpar=KParSpec(values=(0.0, 0.9)),
+        execution=ExecutionSpec(mode="serial", cache_dir=cache_dir),
+    )
+    first = compute(job)
+    # one context directory per momentum
+    contexts = [
+        d for d in os.listdir(cache_dir)
+        if os.path.isdir(os.path.join(cache_dir, d))
+    ]
+    assert len(contexts) == 2
+    second = compute(job)
+    assert sum(s.solve_seconds for s in second.slices) == 0.0
+    for a, b in zip(first.slices, second.slices):
+        assert (a.k_par, a.energy) == (b.k_par, b.energy)
+        np.testing.assert_array_equal(a.lambdas(), b.lambdas())
+        assert a.k_par is not None and b.k_par is not None
+    # the *stored* entries carry the momentum tag (read faithfully,
+    # without the serving-path restamp)
+    from repro.io.slice_cache import SliceCache
+
+    for k in job.kpar.points():
+        cache = SliceCache(
+            cache_dir, context=job.cache_context(k_par=k)
+        )
+        for energy in job.energies():
+            stored = cache.get(energy)
+            assert stored is not None
+            assert stored.k_par == k
+
+
+def test_kpar_transport_cache_stores_momentum_tag(tmp_path):
+    from repro.io.slice_cache import SliceCache
+
+    cache_dir = str(tmp_path / "tcache")
+    job = CBSJob(
+        **_TRANSPORT_BASE,
+        kpar=KParSpec(grid=2),
+        execution=ExecutionSpec(mode="serial", cache_dir=cache_dir),
+    )
+    compute(job)
+    for k, w in zip(job.kpar.points(), job.kpar.resolved_weights()):
+        cache = SliceCache(
+            cache_dir, context=job.cache_context(k_par=k)
+        )
+        for energy in job.energies():
+            stored = cache.get_transport(energy)
+            assert stored is not None
+            assert stored.k_par == k
+            assert stored.k_weight == w
+
+
+def test_kpar_requires_builder_that_accepts_the_param():
+    job = CBSJob(
+        system={"name": "chain", "params": {"hopping": -1.0}},
+        scan={"energies": (0.0,), "n_mm": 2, "n_rh": 2, "seed": 1},
+        kpar=KParSpec(grid=2),
+    )
+    with pytest.raises(ConfigurationError, match="rejected params"):
+        compute(job)
+
+
+def test_kpar_single_energy_does_not_route_to_solver():
+    job = CBSJob(
+        system={"name": "square-slab", "params": {"width": 1}},
+        scan={"energies": (0.0,), "n_mm": 2, "n_rh": 2, "seed": 1},
+        kpar=KParSpec(grid=2),
+    )
+    assert job.engine() == "scan"
+    result = compute(job)
+    assert len(result.slices) == 2
+    assert result.k_pars() == sorted(job.kpar.points())
+
+
+def test_at_kpar_selects_columns():
+    job = CBSJob(**_SLAB_BASE, kpar=KParSpec(values=(0.0, 1.2)))
+    result = compute(job)
+    col = result.at_kpar(1.2)
+    assert [s.energy for s in col.slices] == list(job.energies())
+    assert all(s.k_par == 1.2 for s in col.slices)
+    assert result.at_kpar(None).slices == []
+
+
+# ----------------------------------------------------------------------
+# k∥-summed transport
+# ----------------------------------------------------------------------
+
+_TRANSPORT_BASE = dict(
+    system={"name": "square-slab", "params": {"width": 1}},
+    scan={"window": [-0.6, 0.6, 4]},
+    transport={"eta": 1e-6, "n_cells": 2},
+)
+
+
+def _decimation_bz_reference(job, energies):
+    """Sancho-Rubio decimation baseline for the BZ-summed transmission."""
+    eta = job.transport.eta
+    totals = np.zeros(len(energies))
+    for k, w in zip(job.kpar.points(), job.kpar.resolved_weights()):
+        lead = SquareLatticeSlab(width=1, k_par=k).blocks()
+        dev = TwoProbeDevice(lead, n_cells=job.transport.n_cells)
+        for i, e in enumerate(energies):
+            sig_l, sig_r = decimation_self_energies(lead, e, eta=eta)
+            totals[i] += w * dev.transmission(e, sig_l, sig_r, eta=eta)
+    return totals
+
+
+def test_kpar_summed_transmission_matches_decimation():
+    """Acceptance: BZ-summed T(E) vs the decimation baseline ≤ 1e-8."""
+    job = CBSJob(**_TRANSPORT_BASE, kpar=KParSpec(grid=3))
+    result = compute(job)
+    assert result.provenance["engine"] == "transport"
+    assert result.k_pars() == sorted(job.kpar.points())
+    energies, totals = result.total_transmissions()
+    reference = _decimation_bz_reference(job, energies)
+    dev = np.max(np.abs(totals - reference))
+    assert dev <= 1e-8, f"max |T_ss − T_decimation| = {dev:.3e}"
+    # weights made it onto the slices
+    assert all(abs(s.k_weight - 1 / 3) < 1e-15 for s in result.slices)
+
+
+def test_kpar_transport_processes_matches_serial():
+    base = dict(_TRANSPORT_BASE, kpar=KParSpec(grid=2))
+    serial = compute(CBSJob(**base))
+    sharded = compute(
+        CBSJob(
+            **base,
+            execution=ExecutionSpec(mode="processes", workers=2),
+        )
+    )
+    assert len(serial.slices) == len(sharded.slices) == 8
+    for a, b in zip(serial.slices, sharded.slices):
+        assert (a.k_par, a.energy) == (b.k_par, b.energy)
+        assert a.k_weight == b.k_weight
+        assert abs(a.transmission - b.transmission) <= 1e-12
+
+
+def test_transport_calculator_kpar_scan_helper():
+    job = CBSJob(**_TRANSPORT_BASE, kpar=KParSpec(grid=2))
+
+    def factory(k):
+        return TwoProbeDevice(
+            SquareLatticeSlab(width=1, k_par=k).blocks(), n_cells=2
+        )
+
+    direct = TransportCalculator.kpar_scan(
+        factory,
+        job.energies(),
+        n_kpar=2,
+        config=job.transport.self_energy_config(),
+    )
+    via_job = compute(job)
+    np.testing.assert_allclose(
+        direct.total_transmissions()[1],
+        via_job.total_transmissions()[1],
+        atol=1e-12,
+    )
+    with pytest.raises(ConfigurationError, match="exactly one"):
+        TransportCalculator.kpar_scan(factory, [0.0])
+    with pytest.raises(ConfigurationError, match="implied"):
+        TransportCalculator.kpar_scan(
+            factory, [0.0], n_kpar=2, weights=[0.5, 0.5]
+        )
+    with pytest.raises(ConfigurationError, match="weights"):
+        TransportCalculator.kpar_scan(
+            factory, [0.0], k_pars=[0.0, 1.0], weights=[1.0]
+        )
+
+
+def test_plain_transport_total_equals_transmissions():
+    job = CBSJob(**_TRANSPORT_BASE)
+    result = compute(job)
+    energies, totals = result.total_transmissions()
+    np.testing.assert_array_equal(energies, result.energies)
+    np.testing.assert_array_equal(totals, result.transmissions())
+    assert result.k_pars() == []
+
+
+# ----------------------------------------------------------------------
+# persistence round-trips (hypothesis) + k∥ axis reject paths
+# ----------------------------------------------------------------------
+
+_MODE_TYPES = list(ModeType)
+_FLOATS = st.floats(-100.0, 100.0, allow_nan=False)
+_POS = st.floats(1e-6, 1e3, allow_nan=False)
+
+
+@st.composite
+def cbs_slices(draw, with_kpar):
+    energy = draw(_FLOATS)
+    k_par = draw(_FLOATS) if with_kpar else None
+    modes = [
+        CBSMode(
+            energy,
+            complex(draw(_FLOATS), draw(_FLOATS)),
+            complex(draw(_FLOATS), draw(_FLOATS)),
+            draw(st.sampled_from(_MODE_TYPES)),
+            draw(st.one_of(_POS, st.just(math.inf))),
+            draw(_POS),
+        )
+        for _ in range(draw(st.integers(0, 3)))
+    ]
+    return EnergySlice(
+        energy,
+        modes,
+        total_iterations=draw(st.integers(0, 10**6)),
+        solve_seconds=draw(_POS),
+        k_par=k_par,
+    )
+
+
+@st.composite
+def cbs_results(draw):
+    with_kpar = draw(st.booleans())
+    slices = draw(
+        st.lists(cbs_slices(with_kpar), min_size=0, max_size=4)
+    )
+    return CBSResult(
+        slices,
+        cell_length=draw(_POS),
+        provenance={"note": draw(st.text(max_size=8))},
+    )
+
+
+@st.composite
+def transport_results(draw):
+    with_kpar = draw(st.booleans())
+    n = draw(st.integers(1, 2))
+    slices = []
+    for _ in range(draw(st.integers(0, 4))):
+        sig = lambda: (  # noqa: E731
+            np.array(
+                draw(
+                    st.lists(_FLOATS, min_size=n * n, max_size=n * n)
+                ),
+                dtype=np.complex128,
+            ).reshape(n, n)
+            + 1j
+            * np.array(
+                draw(
+                    st.lists(_FLOATS, min_size=n * n, max_size=n * n)
+                )
+            ).reshape(n, n)
+        )
+        slices.append(
+            TransportSlice(
+                energy=draw(_FLOATS),
+                transmission=draw(_POS),
+                sigma_l=sig(),
+                sigma_r=sig(),
+                n_channels=draw(st.integers(0, 8)),
+                total_iterations=draw(st.integers(0, 10**6)),
+                solve_seconds=draw(_POS),
+                k_par=draw(_FLOATS) if with_kpar else None,
+                k_weight=draw(_POS) if with_kpar else 1.0,
+            )
+        )
+    return TransportResult(
+        slices,
+        cell_length=draw(_POS),
+        provenance={"note": draw(st.text(max_size=8))},
+    )
+
+
+def _assert_cbs_equal(a, b):
+    assert a.schema_version == b.schema_version
+    assert a.cell_length == b.cell_length
+    assert a.provenance == b.provenance
+    assert len(a.slices) == len(b.slices)
+    for sa, sb in zip(a.slices, b.slices):
+        assert sa.energy == sb.energy
+        assert sa.k_par == sb.k_par
+        assert sa.total_iterations == sb.total_iterations
+        assert sa.solve_seconds == sb.solve_seconds
+        assert sa.modes == sb.modes
+
+
+@settings(
+    deadline=None, max_examples=25,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(result=cbs_results())
+def test_cbs_result_round_trip_with_and_without_kpar(result, tmp_path):
+    base = tmp_path / f"cbs_{len(result.slices)}"
+    save_result(base, result)
+    _assert_cbs_equal(load_result(base), result)
+
+
+@settings(
+    deadline=None, max_examples=25,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(result=transport_results())
+def test_transport_result_round_trip_with_and_without_kpar(
+    result, tmp_path
+):
+    base = tmp_path / f"t_{len(result.slices)}"
+    save_result(base, result)
+    reloaded = load_result(base)
+    assert isinstance(reloaded, TransportResult)
+    assert reloaded.cell_length == result.cell_length
+    assert len(reloaded.slices) == len(result.slices)
+    for sa, sb in zip(reloaded.slices, result.slices):
+        assert sa.energy == sb.energy
+        assert sa.k_par == sb.k_par
+        assert sa.k_weight == sb.k_weight
+        assert sa.transmission == sb.transmission
+        np.testing.assert_array_equal(sa.sigma_l, sb.sigma_l)
+        np.testing.assert_array_equal(sa.sigma_r, sb.sigma_r)
+    ea, ta = reloaded.total_transmissions()
+    eb, tb = result.total_transmissions()
+    np.testing.assert_array_equal(ea, eb)
+    np.testing.assert_allclose(ta, tb, atol=1e-12)
+
+
+def _tamper_npz(npz_path, mutate):
+    with np.load(npz_path) as npz:
+        arrays = {k: npz[k] for k in npz.files}
+    mutate(arrays)
+    with open(npz_path, "wb") as fh:
+        np.savez(fh, **arrays)
+
+
+def _computed_kpar_results(tmp_path):
+    cbs = compute(
+        CBSJob(**_SLAB_BASE, kpar=KParSpec(values=(0.0, 1.0)))
+    )
+    transport = compute(
+        CBSJob(**_TRANSPORT_BASE, kpar=KParSpec(grid=2))
+    )
+    return cbs, transport
+
+
+def test_load_rejects_mismatched_kpar_axis_lengths(tmp_path):
+    cbs, transport = _computed_kpar_results(tmp_path)
+    for name, result in (("cbs", cbs), ("transport", transport)):
+        json_path, npz_path = save_result(tmp_path / name, result)
+        _tamper_npz(
+            npz_path, lambda a: a.update(k_par=a["k_par"][:-1])
+        )
+        with pytest.raises(ConfigurationError, match="k_par"):
+            load_result(tmp_path / name)
+    # and the transport weights axis
+    json_path, npz_path = save_result(tmp_path / "tw", transport)
+    _tamper_npz(
+        npz_path, lambda a: a.update(k_weight=a["k_weight"][:2])
+    )
+    with pytest.raises(ConfigurationError, match="k_weight"):
+        load_result(tmp_path / "tw")
+
+
+def test_computed_kpar_results_round_trip(tmp_path):
+    cbs, transport = _computed_kpar_results(tmp_path)
+    save_result(tmp_path / "cbs", cbs)
+    reloaded = load_result(tmp_path / "cbs")
+    _assert_cbs_equal(reloaded, cbs)
+    assert reloaded.k_pars() == cbs.k_pars()
+    save_result(tmp_path / "transport", transport)
+    t2 = load_result(tmp_path / "transport")
+    assert t2.k_pars() == transport.k_pars()
+    np.testing.assert_allclose(
+        t2.total_transmissions()[1],
+        transport.total_transmissions()[1],
+        atol=0,
+    )
+    assert t2.provenance["job_hash"] == transport.provenance["job_hash"]
+
+
+def _downgrade_to_v1(json_path, npz_path, drop):
+    """Rewrite a saved result as a legacy version-1 pair."""
+    with open(json_path, "r", encoding="utf-8") as fh:
+        header = json.load(fh)
+    header["schema_version"] = 1
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(header, fh)
+
+    def mutate(arrays):
+        for key in drop:
+            arrays.pop(key)
+        arrays["schema_version"] = np.int64(1)
+
+    _tamper_npz(npz_path, mutate)
+
+
+def test_legacy_v1_files_still_load(tmp_path):
+    job = CBSJob(**_SLAB_BASE)
+    result = compute(job)
+    json_path, npz_path = save_result(tmp_path / "v1", result)
+    _downgrade_to_v1(json_path, npz_path, drop=("k_par",))
+    reloaded = load_result(tmp_path / "v1")
+    assert reloaded.schema_version == 1
+    assert all(s.k_par is None for s in reloaded.slices)
+    np.testing.assert_array_equal(reloaded.energies, result.energies)
+
+    tresult = compute(CBSJob(**_TRANSPORT_BASE))
+    json_path, npz_path = save_result(tmp_path / "tv1", tresult)
+    _downgrade_to_v1(json_path, npz_path, drop=("k_par", "k_weight"))
+    t2 = load_result(tmp_path / "tv1")
+    assert t2.schema_version == 1
+    assert all(s.k_par is None and s.k_weight == 1.0 for s in t2.slices)
+    np.testing.assert_array_equal(
+        t2.transmissions(), tresult.transmissions()
+    )

@@ -64,25 +64,11 @@ def _modes_match(a, b, tol):
 # -- sharding ------------------------------------------------------------------
 
 
-def test_serial_orchestrator_equals_warm_calculator():
-    """One serial shard runs the identical warm chain as the scan API."""
-    ref = CBSCalculator(LADDER.blocks(), CFG, warm_start=True).scan(GRID)
-    scan = ScanOrchestrator(LADDER.blocks(), CFG, orch=_plain()).scan(GRID)
-    _modes_match(ref, scan.result, 1e-12)
-    assert scan.report.n_shards == 1
-    assert scan.report.solves == len(GRID)
-
-
-def test_process_sharded_scan_matches_serial_warm():
-    """The acceptance contract: process shards (chunk-local warm chains,
-    cold boundaries) match the fully serial warm scan to 1e-8."""
-    ref = CBSCalculator(LADDER.blocks(), CFG, warm_start=True).scan(GRID)
-    orc = ScanOrchestrator(
-        LADDER.blocks(), CFG, orch=_plain(executor=("processes", 2))
-    )
-    scan = orc.scan(GRID)
-    assert scan.report.n_shards == 2
-    _modes_match(ref, scan.result, 1e-8)
+# (The per-mode parity tests that used to live here — serial shard vs
+# warm calculator, process shards vs serial warm — were consolidated
+# into the cross-mode equivalence matrix in test_mode_equivalence.py,
+# which covers serial ≡ threads ≡ processes ≡ orchestrated on a full
+# (E, k∥) product grid.)
 
 
 def test_thread_and_int_executor_specs():
