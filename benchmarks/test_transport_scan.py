@@ -8,7 +8,9 @@ measured end to end:
    regions (the arXiv:1709.09324 cross-check, at production width);
 2. **throughput** — a sharded transmission scan through the declarative
    ``repro.api`` is no slower than ~the serial scan (and the report
-   records both wall times);
+   records both wall times), and on multi-core hosts (all CI runners)
+   the persistent-pool mode makes the *cold* sharded scan strictly
+   faster than serial;
 3. **cache** — rerunning the same transport job hits the persistent
    slice cache for every energy (zero solves) and is ≥ 5× faster.
 
@@ -18,6 +20,7 @@ Runs at ``REPRO_BENCH_SCALE=tiny`` in the CI tier-2 job, which uploads
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -36,6 +39,7 @@ from repro.api import (
 from repro.io.results import ExperimentRecord
 from repro.io.tables import ascii_table
 from repro.models.ladder import TransverseLadder
+from repro.parallel.executor import make_executor
 from repro.transport import decimation_self_energies
 
 WIDTH = 8 if SCALE == "tiny" else 24
@@ -120,6 +124,28 @@ def test_transport_scan_benchmark(tmp_path):
         sharded.transmissions(), serial.transmissions(), atol=1e-12
     )
 
+    # -- 2b. persistent pool: cold sharded scan must beat serial ----------
+    # One trivial map warms the shared lanes; after that every
+    # ``mode="pool"`` compute() reuses the same worker processes.
+    make_executor(("pool", 2)).map(abs, [1, -2, 3])
+    t0 = time.perf_counter()
+    pooled = compute(_job(mode="pool", workers=2))
+    t_pool = time.perf_counter() - t0
+    np.testing.assert_allclose(
+        pooled.transmissions(), serial.transmissions(), atol=1e-12
+    )
+    pool_ratio = t_serial / t_pool
+    # Transport shards are pure process parallelism (no cross-energy
+    # batching to amortise), so beating serial requires a second core —
+    # CI runners have 2-4 vCPUs.  On a single-core box the ratio is
+    # still recorded so regressions in pool overhead stay visible.
+    if (os.cpu_count() or 1) > 1:
+        assert pool_ratio > 1.0, (
+            f"cold pool-sharded transport scan lost to serial: "
+            f"{pool_ratio:.2f}x ({t_serial:.3f}s serial "
+            f"vs {t_pool:.3f}s pool)"
+        )
+
     # -- 3. persistent transport cache ------------------------------------
     cache_job = _job(tmp_path=tmp_path / "transport_cache")
     t0 = time.perf_counter()
@@ -143,6 +169,8 @@ def test_transport_scan_benchmark(tmp_path):
          f"{exactness:.1e}", f"{parity:.1e}"],
         ["process-sharded (2)", f"{t_sharded:.3f}",
          f"{t_serial / t_sharded:.2f}x", "-", "-"],
+        ["pool-sharded (2), cold", f"{t_pool:.3f}",
+         f"{pool_ratio:.2f}x", "-", "-"],
         ["cache cold run", f"{t_cold:.3f}", "-", "-", "-"],
         ["cache warm rerun", f"{t_warm:.4f}", f"{speedup:.1f}x", "-", "-"],
     ]
@@ -158,6 +186,7 @@ def test_transport_scan_benchmark(tmp_path):
     for label, wall in [
         ("serial", t_serial),
         ("sharded2", t_sharded),
+        ("pool2_cold", t_pool),
         ("cache_cold", t_cold),
         ("cache_warm", t_warm),
     ]:
@@ -171,6 +200,7 @@ def test_transport_scan_benchmark(tmp_path):
                     "sigma_parity_decimation": parity,
                     "sigma_error_analytic": exactness,
                     "cache_speedup": speedup,
+                    "pool_vs_serial_ratio": pool_ratio,
                 },
                 parameters={
                     "width": WIDTH,

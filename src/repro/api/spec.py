@@ -44,7 +44,7 @@ from repro.ss.solver import SSConfig
 #: Bump when the serialized job layout changes incompatibly.
 JOB_SPEC_VERSION = 1
 
-_EXEC_MODES = ("serial", "threads", "processes", "orchestrated")
+_EXEC_MODES = ("serial", "threads", "processes", "pool", "orchestrated")
 
 
 def _check_keys(d: Mapping[str, Any], allowed, where: str) -> None:
@@ -349,12 +349,17 @@ class ExecutionSpec:
     Attributes
     ----------
     mode:
-        ``"serial"`` | ``"threads"`` | ``"processes"`` | ``"orchestrated"``.
-        Serial/threads map the energy grid through
-        :class:`repro.cbs.CBSCalculator`; processes/orchestrated shard it
-        through :class:`repro.cbs.orchestrator.ScanOrchestrator`
+        ``"serial"`` | ``"threads"`` | ``"processes"`` | ``"pool"`` |
+        ``"orchestrated"``.  Serial/threads map the energy grid through
+        :class:`repro.cbs.CBSCalculator`; processes/pool/orchestrated
+        shard it through :class:`repro.cbs.orchestrator.ScanOrchestrator`
         (``"processes"`` with the adaptive policies off by default,
-        ``"orchestrated"`` with tuning + refinement on).
+        ``"orchestrated"`` with tuning + refinement on).  ``"pool"`` is
+        ``"processes"`` backed by the persistent shared-memory worker
+        pool (:class:`repro.parallel.pool.PersistentPool`): workers
+        survive across ``compute()`` calls and the Hamiltonian blocks
+        ship once via ``multiprocessing.shared_memory`` instead of being
+        re-pickled per shard.
     workers:
         Worker count for the chosen executor (``None`` = its default).
     n_shards:
@@ -430,6 +435,8 @@ class ExecutionSpec:
             return None
         if self.mode == "threads":
             return "threads" if self.workers is None else int(self.workers)
+        if self.mode == "pool":
+            return "pool" if self.workers is None else ("pool", int(self.workers))
         # processes / orchestrated
         if self.workers is None:
             return "processes"
@@ -874,7 +881,7 @@ class CBSJob:
         :class:`~repro.transport.TransportScanner`)."""
         if self.transport is not None:
             return "transport"
-        if self.execution.mode in ("processes", "orchestrated"):
+        if self.execution.mode in ("processes", "pool", "orchestrated"):
             return "orchestrator"
         if (
             self.kpar is None

@@ -164,6 +164,51 @@ class SliceCache:
         self.context = context
         self.dir = os.path.join(self.root, context)
         os.makedirs(self.dir, exist_ok=True)
+        self._sweep_stale_tmps()
+
+    #: Age (seconds) below which an orphaned temp file is presumed to
+    #: belong to a live concurrent writer and is left alone.
+    _TMP_GRACE_SECONDS = 300.0
+
+    def _sweep_stale_tmps(self, grace: Optional[float] = None) -> int:
+        """Remove orphaned write-temp files left by killed writers.
+
+        Atomic puts stage into dot-prefixed ``.slice_*.tmp`` /
+        ``.transport_*.tmp`` files before ``os.replace``; a writer killed
+        mid-write leaks its temp forever (it is invisible to ``__len__``/
+        :meth:`energies`, but accumulates on disk).  Each cache open
+        sweeps temps older than the grace period — young ones may belong
+        to a concurrent writer mid-``put`` and are kept.  Returns the
+        number of files removed.
+        """
+        if grace is None:
+            grace = self._TMP_GRACE_SECONDS
+        removed = 0
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            return 0
+        import time
+
+        now = time.time()
+        for name in names:
+            if not (
+                name.endswith(".tmp")
+                and (
+                    name.startswith(".slice_")
+                    or name.startswith(".transport_")
+                )
+            ):
+                continue
+            path = os.path.join(self.dir, name)
+            try:
+                if now - os.path.getmtime(path) < grace:
+                    continue
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                continue  # raced with another sweeper/writer — fine
+        return removed
 
     # ------------------------------------------------------------------
 

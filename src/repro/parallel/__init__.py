@@ -18,6 +18,7 @@ provides
 """
 
 from repro.parallel.executor import SerialExecutor, ThreadExecutor, make_executor
+from repro.parallel.pool import PersistentPool, WorkerCrashedError
 from repro.parallel.machine import MachineSpec, OAKFOREST_PACS, XEON_E5_2683V4
 from repro.parallel.hierarchy import LayerAssignment, HierarchicalLayout
 from repro.parallel.costmodel import BiCGIterationCost, IterationCostModel
@@ -27,6 +28,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "make_executor",
+    "PersistentPool",
+    "WorkerCrashedError",
     "MachineSpec",
     "OAKFOREST_PACS",
     "XEON_E5_2683V4",

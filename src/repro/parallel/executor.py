@@ -70,9 +70,11 @@ def _pool_imap(pool_cls, workers: int, fn, items) -> Iterator:
         for fut in futures:
             yield fut.result()
     finally:
-        for fut in futures:
-            fut.cancel()
-        pool.shutdown(wait=True)
+        # cancel_futures drops everything still queued before the
+        # blocking shutdown, so an early failure (or an abandoned
+        # stream) propagates promptly instead of waiting for the whole
+        # submitted backlog to run to completion.
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 class SerialExecutor:
@@ -109,7 +111,8 @@ class ThreadExecutor:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
         if self.workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
@@ -145,14 +148,16 @@ class ProcessExecutor:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
         if self.workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
         self._check_picklable(fn)
+        self._check_first_item_picklable(items)
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             return list(pool.map(fn, items))
 
-    def imap(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
         """In-order results streamed as worker processes finish them."""
         items = list(items)
         if self.workers == 1 or len(items) <= 1:
@@ -160,6 +165,7 @@ class ProcessExecutor:
                 yield fn(item)
             return
         self._check_picklable(fn)
+        self._check_first_item_picklable(items)
         yield from _pool_imap(ProcessPoolExecutor, self.workers, fn, items)
 
     @staticmethod
@@ -182,8 +188,51 @@ class ProcessExecutor:
                 f"{exc}"
             ) from exc
 
+    @staticmethod
+    def _check_first_item_picklable(items: Sequence) -> None:
+        """Probe the first task payload the same way as the callable.
+
+        Items cross the process boundary too; a payload holding a lock,
+        an open file, or a closure dies with the same opaque mid-map
+        ``PicklingError`` the callable check was built to prevent.
+        """
+        if not items:
+            return
+        try:
+            pickle.dumps(items[0])
+        except Exception as exc:
+            raise ConfigurationError(
+                f"ProcessExecutor.map requires picklable task items "
+                f"(they are shipped to worker processes); the first item "
+                f"{items[0]!r} does not pickle. Move unpicklable state "
+                f"(locks, open files, closures) out of the payload or "
+                f"use a thread/serial executor. Pickling failed with: "
+                f"{exc}"
+            ) from exc
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessExecutor(workers={self.workers})"
+
+
+def _check_worker_count(count, spec) -> int:
+    """Validate an executor-spec worker count.
+
+    ``bool`` passes ``isinstance(count, int)`` (``True == 1``), so an
+    accidental ``make_executor(True)`` used to silently build a
+    :class:`SerialExecutor`; likewise ``("processes", -3)`` silently
+    mapped to serial.  Both now fail loudly, naming the offending value.
+    """
+    if isinstance(count, bool) or not isinstance(count, int):
+        raise ConfigurationError(
+            f"executor spec {spec!r}: worker count must be an int, "
+            f"got {count!r}"
+        )
+    if count < 1:
+        raise ConfigurationError(
+            f"executor spec {spec!r}: worker count must be >= 1, "
+            f"got {count!r}"
+        )
+    return count
 
 
 def make_executor(spec) -> "SerialExecutor | ThreadExecutor | ProcessExecutor":
@@ -192,17 +241,44 @@ def make_executor(spec) -> "SerialExecutor | ThreadExecutor | ProcessExecutor":
     ``None`` or ``"serial"`` → :class:`SerialExecutor`;
     ``"threads"`` → :class:`ThreadExecutor` with the default pool;
     ``"processes"`` → :class:`ProcessExecutor` with the default pool;
+    ``"pool"`` → the shared persistent worker pool
+    (:class:`repro.parallel.pool.PersistentPool`);
     an int ``k`` → threads with ``k`` workers;
-    ``("processes", k)`` → processes with ``k`` workers.
+    ``("processes", k)`` → processes with ``k`` workers;
+    ``("pool", k)`` → the shared persistent pool with ``k`` workers.
+
+    Bools and worker counts below 1 are rejected with a
+    :class:`~repro.errors.ConfigurationError`; a count of exactly 1
+    degenerates to :class:`SerialExecutor` (no pool is worth spinning up
+    for one lane).
     """
+    if isinstance(spec, bool):
+        raise ConfigurationError(
+            f"executor spec must not be a bool, got {spec!r}; pass an "
+            f"int worker count or one of 'serial'/'threads'/'processes'/"
+            f"'pool'"
+        )
     if spec is None or spec == "serial":
         return SerialExecutor()
     if spec == "threads":
         return ThreadExecutor()
     if spec == "processes":
         return ProcessExecutor()
+    if spec == "pool":
+        from repro.parallel.pool import PersistentPool
+
+        return PersistentPool.shared()
     if isinstance(spec, tuple) and len(spec) == 2 and spec[0] == "processes":
-        return SerialExecutor() if spec[1] <= 1 else ProcessExecutor(spec[1])
+        k = _check_worker_count(spec[1], spec)
+        return SerialExecutor() if k == 1 else ProcessExecutor(k)
+    if isinstance(spec, tuple) and len(spec) == 2 and spec[0] == "pool":
+        k = _check_worker_count(spec[1], spec)
+        if k == 1:
+            return SerialExecutor()
+        from repro.parallel.pool import PersistentPool
+
+        return PersistentPool.shared(k)
     if isinstance(spec, int):
-        return SerialExecutor() if spec <= 1 else ThreadExecutor(spec)
+        k = _check_worker_count(spec, spec)
+        return SerialExecutor() if k == 1 else ThreadExecutor(k)
     raise ValueError(f"unknown executor spec {spec!r}")

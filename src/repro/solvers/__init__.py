@@ -12,7 +12,13 @@ The Sakurai-Sugiura Step 1 spends essentially all of its time here
 """
 
 from repro.solvers.bicg import bicg_dual, BiCGResult
-from repro.solvers.batched import BatchedBiCG, Step1WarmStart, run_batched_bicg
+from repro.solvers.batched import (
+    BatchedBiCG,
+    CrossEnergyBatch,
+    Step1WarmStart,
+    run_batched_bicg,
+    run_grid_bicg,
+)
 from repro.solvers.cg import conjugate_gradient, CGResult
 from repro.solvers.direct import SparseLUSolver, rcm_ordering
 from repro.solvers.registry import (
@@ -31,8 +37,10 @@ __all__ = [
     "bicg_dual",
     "BiCGResult",
     "BatchedBiCG",
+    "CrossEnergyBatch",
     "Step1WarmStart",
     "run_batched_bicg",
+    "run_grid_bicg",
     "conjugate_gradient",
     "CGResult",
     "SparseLUSolver",

@@ -35,7 +35,7 @@ adjacent-shift solves share most of their Krylov information).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -374,5 +374,179 @@ def run_batched_bicg(
                     quorum.mark_converged((int(i) + quorum_offset, int(c)))
         if quorum is not None and engine.any_active and quorum.should_stop():
             engine.stop_mask(engine.active, StopReason.QUORUM)
+    engine.stop_mask(engine.active, StopReason.MAXITER)
+    return engine
+
+
+class CrossEnergyBatch:
+    """Stacked pencil application over a flattened (energy, shift) axis.
+
+    :meth:`repro.qep.pencil.QuadraticPencil.apply_batch` already collapses
+    all shifts of *one* energy into three sparse block products; the only
+    place the energy enters is the scalar term ``E·x``.  This operator
+    exploits that: it carries a flat per-entry ``energies`` array next to
+    the flat ``shifts`` array, so one batched matvec advances an entire
+    (E, k∥-tile) × shifts product grid — ``K·S·m`` columns through each
+    of ``H0``/``H+``/``H-`` at once.
+
+    Bit-for-bit parity with the per-energy path is by construction: CSR
+    matmul treats columns independently, and the per-entry combination
+    ``E_i x_i - H0 x_i - z_i H+ x_i - z_i^{-1} H- x_i`` is elementwise,
+    so entry ``i`` sees exactly the arithmetic it would in a per-energy
+    :meth:`~repro.qep.pencil.QuadraticPencil.apply_batch` call.
+
+    Parameters
+    ----------
+    blocks:
+        The (complex) :class:`repro.qep.blocks.BlockTriple`.
+    energies, shifts:
+        Flat per-entry arrays, one ``(energy, shift)`` pair per stack
+        entry — typically ``repeat(E_grid, S)`` against ``tile(zs, K)``.
+    dual_symmetric:
+        Whether ``P(z)† = P(1/z̄)`` holds for every entry (real energies
+        on a bulk triple — :attr:`QuadraticPencil.is_dual_symmetric`).
+        Selects between the cheap dual-shift adjoint and the explicit
+        adjoint arithmetic, mirroring ``apply_adjoint_batch``.
+    """
+
+    def __init__(
+        self,
+        blocks,
+        energies: np.ndarray,
+        shifts: np.ndarray,
+        *,
+        dual_symmetric: bool,
+    ) -> None:
+        self.blocks = blocks
+        self.energies = np.atleast_1d(
+            np.asarray(energies, dtype=np.complex128)
+        )
+        self.shifts = np.atleast_1d(np.asarray(shifts, dtype=np.complex128))
+        if self.energies.shape != self.shifts.shape:
+            raise ValueError(
+                f"energies {self.energies.shape} and shifts "
+                f"{self.shifts.shape} must be flat arrays of equal length"
+            )
+        if np.any(self.shifts == 0):
+            raise ValueError("P(z) is undefined at z = 0")
+        self.dual_symmetric = bool(dual_symmetric)
+        self._es = self.energies[:, None, None]
+        # Same op order as apply_adjoint_batch's dual path: 1/conj(z).
+        self._zs = self.shifts[:, None, None]
+        self._zs_dual = (1.0 / np.conj(self.shifts))[:, None, None]
+
+    @property
+    def size(self) -> int:
+        return int(self.shifts.shape[0])
+
+    def _products(self, x: np.ndarray):
+        """The three stacked block products (each ONE sparse matmul)."""
+        from repro.qep.pencil import QuadraticPencil
+
+        b = self.blocks
+        s, n, m = x.shape
+        xm = QuadraticPencil._stack_columns(x)
+        h0x = QuadraticPencil._unstack_columns(b.h0 @ xm, s, m)
+        hpx = QuadraticPencil._unstack_columns(b.hp @ xm, s, m)
+        hmx = QuadraticPencil._unstack_columns(b.hm @ xm, s, m)
+        return h0x, hpx, hmx
+
+    def _validate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.complex128)
+        if x.ndim != 3 or x.shape[0] != self.size:
+            raise ValueError(
+                f"need x of shape (T, N, m) with T = {self.size}, "
+                f"got {x.shape}"
+            )
+        return x
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """``P_{E_i}(z_i) @ X_i`` for every flat entry ``i`` at once."""
+        x = self._validate(x)
+        h0x, hpx, hmx = self._products(x)
+        return self._es * x - h0x - self._zs * hpx - hmx / self._zs
+
+    def apply_adjoint(self, x: np.ndarray) -> np.ndarray:
+        """``P_{E_i}(z_i)† @ X_i``, mirroring ``apply_adjoint_batch``."""
+        x = self._validate(x)
+        h0x, hpx, hmx = self._products(x)
+        if self.dual_symmetric:
+            # P(z)† = P(1/z̄): real energies, so E plays the same scalar
+            # role as in the primal application.
+            zd = self._zs_dual
+            return self._es * x - h0x - zd * hpx - hmx / zd
+        zb = np.conj(self._zs)
+        return np.conj(self._es) * x - h0x - zb * hmx - hpx / zb
+
+
+def run_grid_bicg(
+    apply_batch: BatchApply,
+    apply_adjoint_batch: BatchApply,
+    b: np.ndarray,
+    b_dual: Optional[np.ndarray] = None,
+    *,
+    segments: Sequence[Tuple[int, int]],
+    rule: ResidualRule | None = None,
+    quorum_fraction: Optional[float] = None,
+    maxiter: Optional[int] = None,
+    precond: Optional[np.ndarray] = None,
+    record_history: bool = True,
+) -> BatchedBiCG:
+    """Drive one :class:`BatchedBiCG` over a cross-energy stack.
+
+    The stack's leading axis is partitioned into ``segments`` — one
+    contiguous ``(lo, hi)`` span per energy — and each segment gets its
+    **own** :class:`QuorumController` over its own ``(hi-lo)·m`` systems.
+    That replicates the bookkeeping of running ``run_batched_bicg`` once
+    per energy with a single chunk: each round every segment marks its
+    newly converged systems and, when its controller fires, quorum-stops
+    only its own stragglers.  Because the BiCG recurrences are per-system
+    independent and frozen systems are carried through untouched, every
+    system's iterates are bit-identical to the per-energy runs — extra
+    global rounds after a segment finishes are no-ops for it.
+
+    ``segments`` must partition ``range(b.shape[0])``; warm starts are
+    deliberately unsupported (the grid path replaces the warm chain —
+    all energies start cold from the shared source block).
+    """
+    rule = rule or ResidualRule()
+    b = np.asarray(b, dtype=np.complex128)
+    engine = BatchedBiCG(
+        apply_batch, apply_adjoint_batch, b, b_dual,
+        precond=precond, record_history=record_history,
+    )
+    if maxiter is None:
+        maxiter = (
+            rule.maxiter
+            if rule.maxiter is not None
+            else max(10 * b.shape[1], 100)
+        )
+    m = b.shape[2]
+    quorums = [
+        QuorumController((hi - lo) * m, quorum_fraction)
+        if quorum_fraction is not None and (hi - lo) * m > 1
+        else None
+        for lo, hi in segments
+    ]
+
+    for _round in range(maxiter):
+        if not engine.any_active:
+            break
+        engine.step()
+        newly = engine.active & engine.meets(rule)
+        if newly.any():
+            engine.stop_mask(newly, StopReason.CONVERGED)
+        for (lo, hi), quorum in zip(segments, quorums):
+            if quorum is None:
+                continue
+            seg_new = newly[lo:hi]
+            if seg_new.any():
+                for i, c in zip(*np.nonzero(seg_new)):
+                    quorum.mark_converged((int(i), int(c)))
+            seg_active = engine.active[lo:hi]
+            if seg_active.any() and quorum.should_stop():
+                mask = np.zeros(engine.code.shape, dtype=bool)
+                mask[lo:hi] = seg_active
+                engine.stop_mask(mask, StopReason.QUORUM)
     engine.stop_mask(engine.active, StopReason.MAXITER)
     return engine

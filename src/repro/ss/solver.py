@@ -44,7 +44,12 @@ from repro.errors import ConfigurationError, ExtractionError
 from repro.qep.blocks import BlockTriple
 from repro.qep.pencil import QuadraticPencil
 from repro.parallel.executor import SerialExecutor, make_executor
-from repro.solvers.batched import Step1WarmStart, run_batched_bicg
+from repro.solvers.batched import (
+    CrossEnergyBatch,
+    Step1WarmStart,
+    run_batched_bicg,
+    run_grid_bicg,
+)
 from repro.solvers.bicg import BiCGResult, BiCGStepper
 from repro.solvers.direct import SparseLUSolver, rcm_ordering
 from repro.solvers.preconditioners import jacobi_preconditioner
@@ -91,9 +96,12 @@ class SSConfig:
     linear_solver:
         A Step-1 strategy name from the solver registry — ``"direct"``
         (sparse LU), ``"bicg"`` (the paper's iterative path, one task
-        per shift×RHS), ``"bicg-batched"`` (vectorized block engine) —
-        or ``"auto"`` (direct for ``N <= direct_threshold``, batched
-        BiCG above).
+        per shift×RHS), ``"bicg-batched"`` (vectorized block engine),
+        ``"bicg-batched-grid"`` (the cross-energy engine: scans stack
+        *all* energies of a shard into one batched Step-1 via
+        :meth:`SSHankelSolver.solve_grid`; a single solve degenerates
+        to ``"bicg-batched"``) — or ``"auto"`` (direct for
+        ``N <= direct_threshold``, batched BiCG above).
     direct_threshold:
         Crossover size for ``"auto"``.
     bicg_tol / bicg_maxiter:
@@ -458,11 +466,29 @@ class SSHankelSolver:
             Optional Step-1 warm start from an adjacent energy
             (see :class:`repro.solvers.batched.Step1WarmStart`).
         """
-        cfg = self.config
         pencil, contour, acc, point_stats, times, solver_kind = (
             self.compute_moments(energy, v, warm)
         )
+        return self._extract_result(
+            energy, pencil, contour, acc, point_stats, times, solver_kind
+        )
 
+    def _extract_result(
+        self,
+        energy: float,
+        pencil: QuadraticPencil,
+        contour: AnnulusContour,
+        acc: MomentAccumulator,
+        point_stats: List["PointStats"],
+        times: PhaseTimes,
+        solver_kind: str,
+    ) -> SSResult:
+        """Step 3 on finished moments: Hankel extraction + filtering.
+
+        Shared by :meth:`solve` (one energy) and :meth:`solve_grid`
+        (one call per energy of a stacked Step-1 run).
+        """
+        cfg = self.config
         with times.phase("extract eigenpairs"):
             try:
                 extraction = extract_eigenpairs(
@@ -502,6 +528,143 @@ class SSHankelSolver:
             linear_solver=solver_kind,
             noise_floor=acc.noise_floor(),
         )
+
+    def solve_grid(self, energies) -> List[SSResult]:
+        """Solve a whole energy grid with ONE stacked Step-1 call.
+
+        The cross-energy engine (strategy ``"bicg-batched-grid"``):
+        every energy's ``N_int × N_rh`` shifted systems are flattened
+        into one ``(K·N_int, N, N_rh)`` stack advanced by
+        :class:`repro.solvers.batched.CrossEnergyBatch` — three sparse
+        block products per BiCG round for the *entire* (E, k∥-tile)
+        grid, instead of three per energy.  Convergence bookkeeping is
+        per-energy (:func:`repro.solvers.batched.run_grid_bicg`), so
+        each energy's solutions are bit-identical to a cold per-slice
+        ``"bicg-batched"`` solve with a serial executor; Steps 2–3 then
+        run per energy exactly as :meth:`solve` does.
+
+        All energies share the config's deterministic random source
+        block (what each cold per-slice solve would regenerate), so the
+        grid path trades the warm chain for cross-energy batching —
+        ``keep_step1_solutions`` is ignored and ``last_step1`` cleared.
+
+        Returns one :class:`SSResult` per energy, in input order.
+        """
+        import time as _time
+
+        cfg = self.config
+        energies = [float(e) for e in energies]
+        if not energies:
+            return []
+        if len(energies) == 1:
+            return [self.solve(energies[0])]
+
+        contour = cfg.make_contour()
+        pencils = [QuadraticPencil(self.blocks, e) for e in energies]
+        dual_flags = {p.is_dual_symmetric for p in pencils}
+        if len(dual_flags) != 1:
+            # Mixed real/complex energies — no uniform adjoint identity
+            # for the stack; fall back to per-energy solves.
+            return [self.solve(e) for e in energies]
+        use_dual = self._use_dual(pencils[0], contour)
+
+        rng = default_rng(cfg.seed)
+        v = complex_gaussian(rng, (self.blocks.n, cfg.n_rh))
+        rule = ResidualRule(cfg.bicg_tol, cfg.bicg_maxiter)
+
+        if use_dual:
+            pairs = contour.dual_pairs()
+            shifts = np.array([po.z for po, _ in pairs], dtype=np.complex128)
+        else:
+            points = contour.points()
+            shifts = np.array([pt.z for pt in points], dtype=np.complex128)
+        n_shifts = int(shifts.shape[0])
+        n_e = len(energies)
+
+        flat_shifts = np.tile(shifts, n_e)
+        flat_energies = np.repeat(
+            np.asarray(energies, dtype=np.complex128), n_shifts
+        )
+        b = np.broadcast_to(
+            v[None, :, :], (n_e * n_shifts, self.blocks.n, cfg.n_rh)
+        ).copy()
+        precond = (
+            np.concatenate([
+                np.stack([jacobi_preconditioner(p, z) for z in shifts])
+                for p in pencils
+            ])
+            if cfg.jacobi
+            else None
+        )
+        batch = CrossEnergyBatch(
+            self.blocks, flat_energies, flat_shifts,
+            dual_symmetric=pencils[0].is_dual_symmetric,
+        )
+        segments = [
+            (k * n_shifts, (k + 1) * n_shifts) for k in range(n_e)
+        ]
+        maxiter = rule.maxiter or max(10 * self.blocks.n, 100)
+
+        t0 = _time.perf_counter()
+        engine = run_grid_bicg(
+            batch.apply, batch.apply_adjoint, b,
+            b if use_dual else None,
+            segments=segments,
+            rule=rule,
+            quorum_fraction=cfg.quorum_fraction,
+            maxiter=maxiter,
+            precond=precond,
+            record_history=cfg.record_history,
+        )
+        step1_seconds = _time.perf_counter() - t0
+        self.last_step1 = None  # the grid path supersedes warm chaining
+
+        y_stack = engine.solution()
+        yd_stack = engine.solution_dual() if use_dual else None
+        solver_kind = "bicg-batched-grid"
+        results: List[SSResult] = []
+        for k, (energy, pencil) in enumerate(zip(energies, pencils)):
+            times = PhaseTimes()
+            # The stacked solve is shared work; attribute it evenly.
+            times.add("solve linear equations", step1_seconds / n_e)
+            acc = MomentAccumulator(v, cfg.n_mm)
+            stats: List[PointStats] = []
+            for i in range(n_shifts):
+                gi = k * n_shifts + i
+                iters = int(engine.iterations[gi].sum())
+                worst = float(engine.rel[gi].max())
+                worst_d = float(engine.rel_dual[gi].max()) if use_dual else 0.0
+                reason = "converged"
+                for c in range(cfg.n_rh):
+                    code_reason = engine.reason(gi, c)
+                    if code_reason is not StopReason.CONVERGED:
+                        reason = code_reason.value
+                histories = (
+                    [engine.history_for(gi, c) for c in range(cfg.n_rh)]
+                    if cfg.record_history
+                    else []
+                )
+                if use_dual:
+                    po, pi = pairs[i]
+                    acc.add(po.z, po.weight, y_stack[gi], po.sign)
+                    acc.add(pi.z, pi.weight, yd_stack[gi], pi.sign)
+                    stats.append(
+                        PointStats(po.z, po.circle, iters, worst, worst_d,
+                                   reason, histories)
+                    )
+                else:
+                    pt = points[i]
+                    acc.add(pt.z, pt.weight, y_stack[gi], pt.sign)
+                    stats.append(
+                        PointStats(pt.z, pt.circle, iters, worst, 0.0,
+                                   reason, histories)
+                    )
+            results.append(
+                self._extract_result(
+                    energy, pencil, contour, acc, stats, times, solver_kind
+                )
+            )
+        return results
 
     def _empty_result(
         self, energy: float, point_stats: List["PointStats"],
@@ -979,3 +1142,7 @@ class SSHankelSolver:
 step1_strategy("direct")(SSHankelSolver._step1_direct)
 step1_strategy("bicg")(SSHankelSolver._step1_bicg)
 step1_strategy("bicg-batched")(SSHankelSolver._step1_bicg_batched)
+# The cross-energy grid engine: a *single* solve degenerates to the
+# per-slice batched path; the scan orchestrator routes whole shards
+# through :meth:`SSHankelSolver.solve_grid` when this strategy is named.
+step1_strategy("bicg-batched-grid")(SSHankelSolver._step1_bicg_batched)

@@ -1,0 +1,203 @@
+"""The cross-(E, k∥) batched Step-1 engine (``"bicg-batched-grid"``).
+
+The contract under test, layer by layer:
+
+* :class:`repro.solvers.CrossEnergyBatch` applies ``P_{E_i}(z_i)`` (and
+  its adjoint) per flat entry **bit-identically** to the per-energy
+  :meth:`QuadraticPencil.apply_batch` path — on both the dual-symmetric
+  and the explicit-adjoint branches;
+* :meth:`SSHankelSolver.solve_grid` returns, per energy, exactly what a
+  cold per-slice ``"bicg-batched"`` solve returns (raw eigenvalues and
+  iteration counts, not just accepted pairs), with and without the
+  Jacobi preconditioner and the dual trick;
+* the strategy is registered, accepted by :class:`SSConfig`, and a
+  pool-backed api job using it equals the cold serial answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import CBSJob, ExecutionSpec, KParSpec, compute
+from repro.models.ladder import TransverseLadder
+from repro.parallel.executor import make_executor
+from repro.qep.pencil import QuadraticPencil
+from repro.solvers import CrossEnergyBatch, available_strategies
+from repro.ss.solver import SSConfig, SSHankelSolver
+
+BLOCKS = TransverseLadder(width=3).blocks()
+N = BLOCKS.n
+
+_SHIFTS = np.array(
+    [1.1 * np.exp(2j * np.pi * t / 5) for t in range(5)],
+    dtype=np.complex128,
+)
+
+
+def _flat(energies):
+    """(repeat(E, S), tile(z, K)) — the solve_grid stacking."""
+    es = np.repeat(np.asarray(energies, dtype=np.complex128), len(_SHIFTS))
+    zs = np.tile(_SHIFTS, len(energies))
+    return es, zs
+
+
+def _rand_x(n_e, m=3, seed=11):
+    rng = np.random.default_rng(seed)
+    shape = (n_e * len(_SHIFTS), N, m)
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+# ----------------------------------------------------------------------
+# CrossEnergyBatch ≡ per-energy apply_batch, bit for bit
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "energies",
+    [[0.35, -0.6, 1.2], [0.35 + 0.05j, -0.6 + 0.1j]],
+    ids=["real-dual", "complex-explicit"],
+)
+def test_apply_matches_per_energy_pencil_bitwise(energies):
+    es, zs = _flat(energies)
+    dual = all(abs(complex(e).imag) == 0.0 for e in energies)
+    batch = CrossEnergyBatch(BLOCKS, es, zs, dual_symmetric=dual)
+    x = _rand_x(len(energies))
+    out = batch.apply(x)
+    adj = batch.apply_adjoint(x)
+    S = len(_SHIFTS)
+    for k, e in enumerate(energies):
+        pencil = QuadraticPencil(BLOCKS, e)
+        assert pencil.is_dual_symmetric == dual
+        sl = slice(k * S, (k + 1) * S)
+        np.testing.assert_array_equal(
+            out[sl], pencil.apply_batch(_SHIFTS, x[sl])
+        )
+        np.testing.assert_array_equal(
+            adj[sl], pencil.apply_adjoint_batch(_SHIFTS, x[sl])
+        )
+
+
+def test_cross_energy_batch_validation():
+    es, zs = _flat([0.1, 0.2])
+    with pytest.raises(ValueError, match="equal length"):
+        CrossEnergyBatch(BLOCKS, es[:-1], zs, dual_symmetric=True)
+    with pytest.raises(ValueError, match="z = 0"):
+        CrossEnergyBatch(BLOCKS, [0.1], [0.0], dual_symmetric=True)
+    batch = CrossEnergyBatch(BLOCKS, es, zs, dual_symmetric=True)
+    assert batch.size == len(es)
+    with pytest.raises(ValueError, match="T = "):
+        batch.apply(np.zeros((3, N, 2), dtype=np.complex128))
+
+
+# ----------------------------------------------------------------------
+# solve_grid ≡ cold per-slice "bicg-batched", bit for bit
+# ----------------------------------------------------------------------
+
+_ENERGIES = [-0.75, 0.1, 0.6]
+
+
+def _cfg(solver, **kw):
+    base = dict(n_int=16, n_mm=4, n_rh=4, seed=3, linear_solver=solver)
+    base.update(kw)
+    return SSConfig(**base)
+
+
+@pytest.mark.parametrize("jacobi", [False, True], ids=["plain", "jacobi"])
+@pytest.mark.parametrize("dual", [True, False], ids=["dual", "explicit"])
+def test_solve_grid_matches_cold_per_slice_bitwise(jacobi, dual):
+    opts = dict(jacobi=jacobi, use_dual_trick=dual)
+    grid = SSHankelSolver(BLOCKS, _cfg("bicg-batched-grid", **opts))
+    results = grid.solve_grid(_ENERGIES)
+    assert [r.energy for r in results] == _ENERGIES
+    for energy, res in zip(_ENERGIES, results):
+        # a fresh solver per energy = the cold per-slice reference
+        ref = SSHankelSolver(BLOCKS, _cfg("bicg-batched", **opts)).solve(
+            energy
+        )
+        np.testing.assert_array_equal(res.raw_eigenvalues,
+                                      ref.raw_eigenvalues)
+        np.testing.assert_array_equal(res.eigenvalues, ref.eigenvalues)
+        np.testing.assert_array_equal(res.residuals, ref.residuals)
+        assert res.total_iterations() == ref.total_iterations()
+        assert res.rank == ref.rank
+        assert res.linear_solver == "bicg-batched-grid"
+        # shared Step-1 time is attributed evenly and non-trivially
+        assert res.phase_times.total > 0.0
+
+
+def test_solve_grid_point_stats_mirror_per_slice():
+    grid = SSHankelSolver(BLOCKS, _cfg("bicg-batched-grid"))
+    res = grid.solve_grid(_ENERGIES)[1]
+    ref = SSHankelSolver(BLOCKS, _cfg("bicg-batched")).solve(_ENERGIES[1])
+    assert len(res.point_stats) == len(ref.point_stats)
+    for a, b in zip(res.point_stats, ref.point_stats):
+        assert a.z == b.z
+        assert a.iterations == b.iterations
+        assert a.final_residual == b.final_residual
+        assert a.reason == b.reason
+
+
+def test_solve_grid_edges():
+    solver = SSHankelSolver(BLOCKS, _cfg("bicg-batched-grid"))
+    assert solver.solve_grid([]) == []
+    (single,) = solver.solve_grid([_ENERGIES[0]])
+    ref = SSHankelSolver(BLOCKS, _cfg("bicg-batched")).solve(_ENERGIES[0])
+    np.testing.assert_array_equal(single.eigenvalues, ref.eigenvalues)
+
+
+def test_grid_clears_warm_chain_state():
+    solver = SSHankelSolver(
+        BLOCKS, _cfg("bicg-batched-grid", keep_step1_solutions=True)
+    )
+    solver.solve_grid(_ENERGIES[:2])
+    assert solver.last_step1 is None
+
+
+# ----------------------------------------------------------------------
+# registration and api routing
+# ----------------------------------------------------------------------
+
+
+def test_grid_strategy_is_registered():
+    assert "bicg-batched-grid" in available_strategies()
+    cfg = SSConfig(linear_solver="bicg-batched-grid")
+    assert cfg.linear_solver == "bicg-batched-grid"
+
+
+_GRID_JOB_BASE = dict(
+    system={"name": "square-slab", "params": {"width": 2}},
+    scan={
+        "window": [-1.0, 0.8, 3],
+        "n_mm": 4,
+        "n_rh": 4,
+        "seed": 1,
+        "linear_solver": "bicg-batched-grid",
+    },
+    ring={"n_int": 16},
+    kpar=KParSpec(grid=2),
+)
+
+
+def test_pool_grid_job_matches_cold_serial_bitwise():
+    """The acceptance pin: pool-sharded cross-energy Step-1 returns the
+    cold serial per-slice answer exactly (the grid engine is a batching
+    of the same arithmetic, not an approximation)."""
+    serial_base = dict(_GRID_JOB_BASE)
+    serial_base["scan"] = dict(serial_base["scan"],
+                               linear_solver="bicg-batched")
+    serial = compute(CBSJob(
+        **serial_base,
+        execution=ExecutionSpec(mode="serial", warm_start=False),
+    ))
+    try:
+        pooled = compute(CBSJob(
+            **_GRID_JOB_BASE,
+            execution=ExecutionSpec(mode="pool", workers=2,
+                                    warm_start=False),
+        ))
+    finally:
+        make_executor(("pool", 2)).close()
+    ref = {(sl.k_par, sl.energy): sl.lambdas() for sl in serial.slices}
+    got = {(sl.k_par, sl.energy): sl.lambdas() for sl in pooled.slices}
+    assert set(ref) == set(got)
+    for key, lam in ref.items():
+        np.testing.assert_array_equal(got[key], lam)

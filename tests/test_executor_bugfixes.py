@@ -1,0 +1,170 @@
+"""Regression tests for the executor-layer bug fixes.
+
+Four distinct bugs, each pinned here:
+
+* ``make_executor`` accepted ``True``/``False`` as worker counts (bools
+  pass ``isinstance(spec, int)``) and silently mapped negative tuple
+  counts like ``("processes", -3)`` to serial;
+* ``ThreadExecutor.map``/``ProcessExecutor.map`` choked on generators
+  (``len(items)`` before materializing) while ``imap`` accepted them;
+* ``_pool_imap`` let the whole submitted backlog run to completion
+  after an early failure (``shutdown(wait=True)`` without cancelling);
+* ``ProcessExecutor`` pickle-checked only the callable, so an
+  unpicklable *item* still died with the opaque mid-map
+  ``PicklingError`` the check was built to prevent.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+# ----------------------------------------------------------------------
+# bug 1: bool / negative worker counts
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("spec", [True, False])
+def test_bool_spec_rejected(spec):
+    with pytest.raises(ConfigurationError, match="bool"):
+        make_executor(spec)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        ("processes", -3),
+        ("processes", 0),
+        ("processes", True),
+        ("processes", False),
+        ("pool", -1),
+        ("pool", 0),
+        ("pool", True),
+        -3,
+        0,
+    ],
+)
+def test_bad_worker_counts_rejected(spec):
+    with pytest.raises(ConfigurationError) as err:
+        make_executor(spec)
+    # The error names the offending value.
+    count = spec[1] if isinstance(spec, tuple) else spec
+    assert repr(count) in str(err.value)
+
+
+def test_valid_specs_still_work():
+    """The fix must not disturb the established routing pins."""
+    assert isinstance(make_executor(None), SerialExecutor)
+    assert isinstance(make_executor(1), SerialExecutor)
+    assert isinstance(make_executor(3), ThreadExecutor)
+    assert isinstance(make_executor(("processes", 1)), SerialExecutor)
+    assert isinstance(make_executor(("processes", 2)), ProcessExecutor)
+    with pytest.raises(ValueError):
+        make_executor("gpu")
+
+
+def test_configuration_error_is_a_value_error():
+    """Existing ``pytest.raises(ValueError)`` pins keep passing."""
+    with pytest.raises(ValueError):
+        make_executor(True)
+
+
+# ----------------------------------------------------------------------
+# bug 2: map() must accept generators (imap already did)
+# ----------------------------------------------------------------------
+
+
+def test_thread_map_accepts_generator():
+    ex = ThreadExecutor(2)
+    assert ex.map(_double, (i for i in range(6))) == [0, 2, 4, 6, 8, 10]
+
+
+def test_thread_map_accepts_generator_single_worker():
+    assert ThreadExecutor(1).map(_double, (i for i in range(3))) == [0, 2, 4]
+
+
+def test_process_map_accepts_generator():
+    ex = ProcessExecutor(2)
+    assert ex.map(_double, (i for i in range(4))) == [0, 2, 4, 6]
+
+
+def test_process_imap_accepts_generator():
+    ex = ProcessExecutor(2)
+    assert list(ex.imap(_double, (i for i in range(4)))) == [0, 2, 4, 6]
+
+
+# ----------------------------------------------------------------------
+# bug 3: early failure propagates promptly (pending futures cancelled)
+# ----------------------------------------------------------------------
+
+
+def _fail_or_sleep(item):
+    if item == 0:
+        raise RuntimeError("boom")
+    time.sleep(0.3)
+    return item
+
+
+def test_failure_propagation_is_prompt():
+    """An early failure must not wait for the whole submitted backlog.
+
+    24 items on 2 workers: item 0 fails instantly; pre-fix, shutdown
+    waited for the remaining 23 sleeps (~3.5 s on 2 lanes).  With
+    ``cancel_futures`` only the already-running sleeps finish (~0.3 s).
+    """
+    ex = ThreadExecutor(2)
+    t0 = time.perf_counter()
+    with pytest.raises(RuntimeError, match="boom"):
+        list(ex.imap(_fail_or_sleep, list(range(24))))
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 1.5, f"failure took {elapsed:.2f}s to propagate"
+
+
+def test_abandoned_stream_cancels_backlog():
+    """Closing the generator early must also drop queued work fast."""
+    ex = ThreadExecutor(2)
+    t0 = time.perf_counter()
+    it = ex.imap(_fail_or_sleep, list(range(1, 25)))
+    assert next(it) == 1
+    it.close()
+    assert time.perf_counter() - t0 < 2.0
+
+
+# ----------------------------------------------------------------------
+# bug 4: unpicklable *items* fail fast with the actionable message
+# ----------------------------------------------------------------------
+
+
+def test_unpicklable_item_rejected_with_actionable_error():
+    ex = ProcessExecutor(2)
+    items = [threading.Lock(), threading.Lock()]
+    with pytest.raises(ConfigurationError, match="task items"):
+        ex.map(_double, items)
+    with pytest.raises(ConfigurationError, match="task items"):
+        list(ex.imap(_double, items))
+
+
+def test_unpicklable_item_allowed_on_inline_paths():
+    """Single worker / single item never cross a process boundary."""
+    lock = threading.Lock()
+    assert ProcessExecutor(1).map(type, [lock]) == [type(lock)]
+    assert ProcessExecutor(4).map(type, [lock]) == [type(lock)]
+
+
+def test_unpicklable_callable_still_rejected():
+    ex = ProcessExecutor(2)
+    with pytest.raises(ConfigurationError, match="picklable"):
+        ex.map(lambda x: x, [1, 2])

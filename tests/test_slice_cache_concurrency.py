@@ -1,0 +1,156 @@
+"""SliceCache under concurrent writers + the stale-temp sweep.
+
+The cache's atomicity contract (``mkstemp`` + ``os.replace``) is what
+makes the persistent pool's sharded scans safe to point at one cache
+directory: multiple worker processes may put/get the same context —
+and even the same energy — simultaneously, and a reader must only ever
+see complete entries.  The flip side of staging through temp files is
+that a writer killed mid-``put`` leaks its ``.slice_*.tmp`` forever;
+each cache open now sweeps temps older than a grace period.
+"""
+
+import multiprocessing
+import os
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.cbs.classify import CBSMode, ModeType
+from repro.cbs.scan import EnergySlice
+from repro.io.slice_cache import SliceCache
+from repro.models.ladder import TransverseLadder
+from repro.ss.solver import SSConfig
+
+BLOCKS = TransverseLadder(width=3).blocks()
+CFG = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=5)
+
+
+def _slice(energy):
+    modes = [
+        CBSMode(energy, 0.7 + 0.1j, 0.14 + 0.35j,
+                ModeType.EVANESCENT_DECAYING, 2.86, 1e-9),
+        CBSMode(energy, np.exp(0.4j), 0.4 + 0.0j,
+                ModeType.PROPAGATING, np.inf, 3e-10),
+    ]
+    return EnergySlice(energy, modes, total_iterations=7, solve_seconds=0.1)
+
+
+def _cache(root):
+    return SliceCache(str(root), blocks=BLOCKS, config=CFG)
+
+
+def _hammer(root, own_energies, shared_energies, seed):
+    """One writer process: put its own energies plus every shared one,
+    interleaved with reads of arbitrary keys (hits, misses, and entries
+    the sibling may be replacing right now)."""
+    cache = _cache(root)
+    rng = random.Random(seed)
+    everything = list(own_energies) + list(shared_energies)
+    for e in own_energies:
+        cache.put(_slice(e))
+        probe = rng.choice(everything)
+        got = cache.get(probe)
+        if got is not None:
+            assert got.energy == probe
+            assert got.count in (0, 2)
+    for e in shared_energies:
+        cache.put(_slice(e))
+        cache.get(rng.choice(everything))
+
+
+# ----------------------------------------------------------------------
+# concurrent put/get
+# ----------------------------------------------------------------------
+
+
+def test_two_processes_hammering_one_context(tmp_path):
+    root = str(tmp_path)
+    a_energies = [0.1 * i for i in range(1, 9)]
+    b_energies = [0.1 * i + 0.05 for i in range(1, 9)]
+    shared = [3.25, 4.5]  # both processes write these keys
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+    procs = [
+        ctx.Process(target=_hammer, args=(root, a_energies, shared, 1)),
+        ctx.Process(target=_hammer, args=(root, b_energies, shared, 2)),
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    cache = _cache(root)
+    expected = sorted(a_energies + b_energies + shared)
+    assert cache.energies() == expected
+    assert len(cache) == len(expected)
+    for e in expected:
+        back = cache.get(e)
+        assert back is not None, f"E={e} unreadable after concurrent run"
+        assert back.energy == e
+        assert back.count == 2
+    # atomic staging left no temp files behind
+    leftovers = [n for n in os.listdir(cache.dir) if n.endswith(".tmp")]
+    assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# stale-temp sweep
+# ----------------------------------------------------------------------
+
+
+def _plant_tmp(cache, name, age_seconds):
+    path = os.path.join(cache.dir, name)
+    with open(path, "wb") as fh:
+        fh.write(b"torn write")
+    old = time.time() - age_seconds
+    os.utime(path, (old, old))
+    return path
+
+
+def test_stale_tmps_swept_on_open(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(_slice(0.5))
+    stale_slice = _plant_tmp(cache, ".slice_dead0.tmp", 400.0)
+    stale_transport = _plant_tmp(cache, ".transport_dead1.tmp", 400.0)
+    fresh = _plant_tmp(cache, ".slice_inflight.tmp", 1.0)
+    # temps are invisible to the read API even before the sweep
+    assert len(cache) == 1
+    assert cache.energies() == [0.5]
+    reopened = _cache(tmp_path)
+    assert not os.path.exists(stale_slice)
+    assert not os.path.exists(stale_transport)
+    # a young temp may belong to a live writer mid-put: kept
+    assert os.path.exists(fresh)
+    # the real entry survived the sweep
+    assert reopened.get(0.5) is not None
+
+
+def test_sweep_ignores_foreign_files(tmp_path):
+    cache = _cache(tmp_path)
+    foreign = _plant_tmp(cache, "notes.tmp", 400.0)  # not a staging name
+    keep = os.path.join(cache.dir, "README")
+    with open(keep, "w") as fh:
+        fh.write("not a temp")
+    assert _cache(tmp_path)._sweep_stale_tmps() == 0
+    assert os.path.exists(foreign)
+    assert os.path.exists(keep)
+
+
+def test_sweep_with_zero_grace_removes_fresh_tmps(tmp_path):
+    cache = _cache(tmp_path)
+    _plant_tmp(cache, ".slice_a.tmp", 0.0)
+    _plant_tmp(cache, ".transport_b.tmp", 0.0)
+    assert cache._sweep_stale_tmps(grace=0.0) == 2
+    assert [n for n in os.listdir(cache.dir) if n.endswith(".tmp")] == []
+
+
+def test_sweep_survives_missing_directory(tmp_path):
+    import shutil
+
+    cache = _cache(tmp_path)
+    shutil.rmtree(cache.dir)  # e.g. another process cleaned the context
+    assert cache._sweep_stale_tmps() == 0
