@@ -258,7 +258,7 @@ def _iter_transport_engine(
     """
     ex = job.execution
     ts = job.transport
-    cfg = ts.self_energy_config()
+    cfg = ts.self_energy_config(backend=ex.backend)
     device = _make_device(job, blocks)
     energies = list(job.energies())
 
@@ -359,7 +359,7 @@ def _iter_kpar_engine(
 
     if engine == "transport":
         ts = job.transport
-        cfg = ts.self_energy_config()
+        cfg = ts.self_energy_config(backend=ex.backend)
         devices = [
             (k, w, _make_device(job, blocks)) for k, w, blocks in columns
         ]

@@ -1,0 +1,75 @@
+"""Pluggable array backends for the Step-1 hot path.
+
+Step 1 — the shifted linear solves — is >99% of wall time (paper
+Table 1), and which arithmetic it runs in is a deployment decision, not
+a physics one.  This package is the seam: an :class:`ArrayBackend`
+protocol (array namespace + dtype policy + sparse/LU capabilities), a
+name registry mirroring the Step-1 strategy registry, and three
+implementations:
+
+``"numpy"``
+    The default — bit-for-bit the historical full-precision solver.
+``"numpy-mixed"``
+    complex64 BiCG iterations with complex128 iterative refinement.
+``"cupy"``
+    Device-resident kernels; registered **only when cupy imports**, so
+    accelerator-free installs degrade to the two CPU backends and a
+    request for ``"cupy"`` raises a :class:`repro.errors.
+    ConfigurationError` naming the available backends.
+
+Select per job with ``ExecutionSpec(backend=...)`` (threaded through
+``SSConfig``, orchestrator shards and pool workers), or per solver with
+``SSConfig(backend=...)``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+from repro.backends.base import ArrayBackend
+from repro.backends.dtypes import (
+    BREAKDOWN_TOL,
+    BREAKDOWN_TOL_SINGLE,
+    CODE_DTYPE,
+    COMPLEX_DTYPE,
+    COMPLEX_SINGLE_DTYPE,
+    INT_DTYPE,
+    REAL_DTYPE,
+    REAL_SINGLE_DTYPE,
+)
+from repro.backends.registry import (
+    DEFAULT_BACKEND,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends.numpy_backend import NumpyBackend, NumpyMixedBackend
+
+# The GPU backend registers itself only when its accelerator library is
+# importable; a missing (or broken) cupy leaves the registry at the two
+# CPU backends — discovery degrades, it never raises at import time.
+if importlib.util.find_spec("cupy") is not None:  # pragma: no cover
+    try:
+        from repro.backends import cupy_backend  # noqa: F401
+    except Exception:
+        pass
+
+__all__ = [
+    "ArrayBackend",
+    "DEFAULT_BACKEND",
+    "NumpyBackend",
+    "NumpyMixedBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "BREAKDOWN_TOL",
+    "BREAKDOWN_TOL_SINGLE",
+    "COMPLEX_DTYPE",
+    "COMPLEX_SINGLE_DTYPE",
+    "REAL_DTYPE",
+    "REAL_SINGLE_DTYPE",
+    "INT_DTYPE",
+    "CODE_DTYPE",
+]

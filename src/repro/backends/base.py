@@ -1,0 +1,176 @@
+"""The :class:`ArrayBackend` protocol — the seam every hot kernel uses.
+
+An array backend bundles four decisions that used to be hardwired into
+the Step-1 kernels:
+
+* **array namespace** (``xp``) — ``numpy`` today, ``cupy`` when
+  installed;
+* **dtype policy** — the accumulation dtype (always complex128: moments,
+  Hankel extraction and residual checks stay in full precision) and the
+  *solve* dtype the BiCG recurrences run in (complex64 for the mixed
+  backend, recovered to full accuracy by iterative refinement on the
+  complex128 residual — :func:`repro.solvers.refine.run_refined_bicg`);
+* **sparse block handling** — :meth:`solver_blocks` produces the CSR
+  triple the matvec kernels consume (a dtype cast, a device transfer,
+  or the identity);
+* **LU capability** — :attr:`has_sparse_lu` plus the :meth:`sparse_lu`
+  facade; backends without a native sparse LU *explicitly* fall back to
+  the numpy backend's full-precision SuperLU instead of silently
+  degrading.
+
+Backends register by name through
+:func:`repro.backends.registry.register_backend` (mirroring the Step-1
+strategy registry in :mod:`repro.solvers.registry`) and are selected
+end-to-end via ``SSConfig(backend=...)`` / ``ExecutionSpec(backend=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backends.dtypes import (
+    BREAKDOWN_TOL,
+    CODE_DTYPE,
+    COMPLEX_DTYPE,
+    INT_DTYPE,
+    REAL_DTYPE,
+)
+
+
+class ArrayBackend:
+    """Base array backend: numpy namespace, full complex128 precision.
+
+    Subclasses override the class attributes (and, for non-host
+    namespaces, the transfer methods).  All attributes are class-level
+    policy — backends are stateless singletons memoized by the registry.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"numpy-mixed"``, ``"cupy"``).
+    xp:
+        The array namespace module the hot kernels call into.
+    complex_dtype / real_dtype / int_dtype / code_dtype:
+        Accumulation and bookkeeping dtypes.  Accumulation is complex128
+        on every backend — only the inner solve iterations change
+        precision.
+    solve_dtype / solve_real_dtype:
+        The dtype the BiCG state arrays (and the solver view of the
+        Hamiltonian blocks) use.
+    breakdown_tol:
+        ρ/σ breakdown threshold matched to ``solve_dtype``.
+    refine / refine_tol / refine_sweeps:
+        Iterative-refinement policy.  When ``refine`` is true the
+        Step-1 strategies wrap the inner solver in
+        :func:`repro.solvers.refine.run_refined_bicg`: the inner BiCG
+        runs in ``solve_dtype`` down to ``refine_tol`` and an outer loop
+        on the complex128 residual restores the configured ``bicg_tol``.
+    has_sparse_lu:
+        Whether :meth:`sparse_lu` is native.  ``False`` makes
+        ``resolve_strategy("auto", ...)`` prefer the batched BiCG path
+        and routes explicit ``"direct"`` requests through the numpy
+        fallback (full precision — LU results are backend-independent).
+    bitwise_numpy:
+        Whether results are bit-for-bit those of the ``"numpy"``
+        backend.  Backends with ``True`` are excluded from
+        ``CBSJob.cache_context()`` so their cache keys stay byte-
+        identical to the pre-backend era; backends with ``False``
+        (mixed, cupy) key their own cache namespace.
+    """
+
+    name = "abstract"
+    xp = np
+
+    complex_dtype = COMPLEX_DTYPE
+    real_dtype = REAL_DTYPE
+    int_dtype = INT_DTYPE
+    code_dtype = CODE_DTYPE
+    solve_dtype = COMPLEX_DTYPE
+    solve_real_dtype = REAL_DTYPE
+    breakdown_tol = BREAKDOWN_TOL
+
+    refine = False
+    #: Inner-solve relative-residual target of one refinement sweep
+    #: (documented parity tolerance: eigenvalues of a refined backend
+    #: agree with ``"numpy"`` to ~1e-6 on the bundled models; the final
+    #: complex128 residual targets the configured ``bicg_tol``).
+    refine_tol = 1e-5
+    refine_sweeps = 4
+
+    has_sparse_lu = True
+    bitwise_numpy = True
+
+    # -- array plumbing -----------------------------------------------------
+
+    def asarray(self, x, dtype=None):
+        """``xp.asarray`` under this backend's namespace."""
+        return self.xp.asarray(x, dtype=dtype)
+
+    def to_host(self, x):
+        """Bring an array back to host numpy (identity on CPU backends)."""
+        return x
+
+    def from_host(self, x):
+        """Ship a host array into this backend's namespace."""
+        return self.xp.asarray(x)
+
+    # -- solver-side data ---------------------------------------------------
+
+    def solver_blocks(self, blocks):
+        """The block triple the matvec kernels should use.
+
+        Default: cast to :attr:`solve_dtype` when it differs from the
+        storage dtype, otherwise return the triple unchanged (the numpy
+        backend is a strict no-op, preserving object identity).
+        """
+        if self.solve_dtype == self.complex_dtype:
+            return blocks
+        import scipy.sparse as sp
+
+        from repro.qep.blocks import BlockTriple
+
+        def cast(m):
+            if sp.issparse(m):
+                return m.astype(self.solve_dtype)
+            return np.asarray(m, dtype=self.solve_dtype)
+
+        return BlockTriple(
+            cast(blocks.hm), cast(blocks.h0), cast(blocks.hp),
+            blocks.cell_length,
+        )
+
+    def sparse_lu(self, matrix, ordering: Optional[np.ndarray] = None):
+        """A factorized-``P(z)`` facade with ``solve``/``solve_adjoint``.
+
+        Backends without a native sparse LU (:attr:`has_sparse_lu`
+        false) fall back — explicitly, via this capability check — to
+        the numpy backend's full-precision SuperLU.  Direct solves are
+        therefore backend-independent: only the iterative path changes
+        precision.
+        """
+        if not self.has_sparse_lu:
+            from repro.backends.registry import get_backend
+
+            return get_backend("numpy").sparse_lu(matrix, ordering)
+        from repro.solvers.direct import SparseLUSolver
+
+        return SparseLUSolver(matrix, ordering)
+
+    # -- introspection ------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Capability row (the docs table / discovery tests)."""
+        return {
+            "name": self.name,
+            "namespace": self.xp.__name__,
+            "solve_dtype": str(np.dtype(self.solve_dtype)),
+            "accumulate_dtype": str(np.dtype(self.complex_dtype)),
+            "refine": bool(self.refine),
+            "has_sparse_lu": bool(self.has_sparse_lu),
+            "bitwise_numpy": bool(self.bitwise_numpy),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ArrayBackend {self.name!r}>"

@@ -1,0 +1,93 @@
+"""GPU backend (cupy) — registered only when ``cupy`` is installed.
+
+This module is always importable (autodoc builds on accelerator-free
+machines); the *registration* is gated: without cupy the registry
+simply does not list ``"cupy"`` and requesting it raises the registry's
+:class:`repro.errors.ConfigurationError` naming the backends that *are*
+available.  :mod:`repro.backends` additionally pre-gates its import on
+``importlib.util.find_spec``.
+
+The kernels this backend feeds are the same xp-generic code paths the
+CPU backends use: :meth:`repro.qep.pencil.QuadraticPencil.apply_batch`,
+:class:`repro.solvers.batched.BatchedBiCG` and
+:class:`repro.solvers.batched.CrossEnergyBatch` call only namespace
+functions (``xp.where``, ``xp.divide``, ``@`` on CSR blocks), all of
+which cupy/cupyx provide.  Accumulation (moments, Hankel extraction)
+stays on the host in complex128: Step-1 solutions come back through
+:meth:`to_host` once per solve.
+
+No sparse LU: cupy's SuperLU wrappers are version-dependent, so the
+backend declares ``has_sparse_lu = False`` and the direct strategy
+falls back to the host full-precision factorization.
+"""
+
+from __future__ import annotations
+
+try:
+    import cupy as _cp
+    import cupyx.scipy.sparse as _cpsp
+
+    HAVE_CUPY = True
+except ImportError:  # pragma: no cover - exercised on GPU machines only
+    _cp = _cpsp = None
+    HAVE_CUPY = False
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend
+from repro.backends.registry import register_backend
+
+
+class CupyBackend(ArrayBackend):
+    """CUDA backend: device-resident BiCG state and CSR blocks."""
+
+    name = "cupy"
+    xp = _cp
+    has_sparse_lu = False
+    bitwise_numpy = False
+
+    def asarray(self, x, dtype=None):
+        return _cp.asarray(x, dtype=dtype)
+
+    def to_host(self, x):
+        if isinstance(x, _cp.ndarray):
+            return _cp.asnumpy(x)
+        return x
+
+    def from_host(self, x):
+        return _cp.asarray(x)
+
+    def solver_blocks(self, blocks):
+        """Device CSR copies of the block triple (solve dtype).
+
+        Returns a duck-typed triple (``hm``/``h0``/``hp``/``n``/
+        ``cell_length``) rather than a :class:`repro.qep.blocks.
+        BlockTriple` — host-side validation does not apply to device
+        matrices, and the matvec kernels only need the attributes.
+        """
+        import scipy.sparse as sp
+
+        def ship(m):
+            if sp.issparse(m):
+                return _cpsp.csr_matrix(m.astype(self.solve_dtype))
+            return _cp.asarray(np.asarray(m, dtype=self.solve_dtype))
+
+        return _DeviceTriple(
+            ship(blocks.hm), ship(blocks.h0), ship(blocks.hp),
+            int(blocks.n), float(blocks.cell_length),
+        )
+
+
+class _DeviceTriple:
+    """Minimal device-resident block triple for the matvec kernels."""
+
+    __slots__ = ("hm", "h0", "hp", "n", "cell_length")
+
+    def __init__(self, hm, h0, hp, n, cell_length):
+        self.hm, self.h0, self.hp = hm, h0, hp
+        self.n = n
+        self.cell_length = cell_length
+
+
+if HAVE_CUPY:
+    register_backend("cupy")(CupyBackend)

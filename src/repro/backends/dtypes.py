@@ -1,0 +1,38 @@
+"""The single definition site for the solver dtype policy.
+
+Every hot kernel used to spell ``np.complex128`` / ``np.float64`` /
+``np.int64`` inline — ~30 scattered literals across ``qep/pencil.py``,
+``solvers/batched.py`` and ``solvers/bicg.py``.  They now all read from
+here (directly, or through the dtype attributes of an
+:class:`repro.backends.base.ArrayBackend`), so a precision policy is one
+edit, not a grep.
+
+The constants are ``np.dtype`` instances, not scalar types: ``.type``
+gives the matching zero-dimensional scalar constructor (used for NEP-50
+safe scalar × array products that must *not* upcast a complex64 stack).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Accumulation / default solve precision — the paper's arithmetic.
+COMPLEX_DTYPE = np.dtype(np.complex128)
+REAL_DTYPE = np.dtype(np.float64)
+
+#: Reduced solve precision used by the mixed backend's inner BiCG.
+COMPLEX_SINGLE_DTYPE = np.dtype(np.complex64)
+REAL_SINGLE_DTYPE = np.dtype(np.float32)
+
+#: Bookkeeping dtypes of the batched engine.
+INT_DTYPE = np.dtype(np.int64)
+CODE_DTYPE = np.dtype(np.int8)
+INDEX_DTYPE = np.dtype(np.intp)
+
+#: ρ or σ below this (relative to the RHS scale) is treated as BiCG
+#: breakdown.  The double-precision value is the historical constant of
+#: :mod:`repro.solvers.bicg`; the single-precision value is scaled to
+#: sit well below any meaningful complex64 magnitude (min normal
+#: ~1.2e-38) while still catching exact cancellation.
+BREAKDOWN_TOL = 1e-290
+BREAKDOWN_TOL_SINGLE = 1e-30

@@ -1,0 +1,90 @@
+"""Registry of array backends (mirrors :mod:`repro.solvers.registry`).
+
+Backends register by name with the :func:`register_backend` decorator;
+selection goes through :func:`get_backend` (memoized singletons) or
+:func:`resolve_backend` (accepts ``None`` → default, a name, or an
+instance).  A miss raises :class:`repro.errors.ConfigurationError`
+naming the available backends — the error surface the optional-
+dependency CI job pins: with no accelerator installed the registry
+lists exactly ``("numpy", "numpy-mixed")`` and asking for ``"cupy"``
+fails with that list, never with an ``ImportError``.
+
+>>> from repro.backends.registry import register_backend
+>>> from repro.backends.base import ArrayBackend
+>>> @register_backend("my-backend")
+... class MyBackend(ArrayBackend):
+...     name = "my-backend"
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type, Union
+
+from repro.backends.base import ArrayBackend
+from repro.errors import ConfigurationError
+
+#: The backend every config defaults to — bit-for-bit the historical
+#: behavior.
+DEFAULT_BACKEND = "numpy"
+
+_BACKENDS: Dict[str, Type[ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def register_backend(name: str):
+    """Decorator registering an :class:`ArrayBackend` subclass under
+    ``name`` (re-registration replaces, like the strategy registry)."""
+
+    def register(cls: Type[ArrayBackend]) -> Type[ArrayBackend]:
+        _BACKENDS[name] = cls
+        _INSTANCES.pop(name, None)
+        return cls
+
+    return register
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered (importable) backends, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """The memoized backend instance for ``name``.
+
+    Raises
+    ------
+    repro.errors.ConfigurationError
+        On an unknown name, listing the available backends (a backend
+        whose accelerator is not installed is *not* registered, so a
+        missing ``cupy`` surfaces here as a clear configuration error).
+    """
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown array backend {name!r}; "
+            f"available backends: {sorted(_BACKENDS)}"
+        ) from None
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        inst = _INSTANCES[name] = cls()
+    return inst
+
+
+def resolve_backend(
+    spec: Union[None, str, ArrayBackend] = None,
+) -> ArrayBackend:
+    """Coerce a backend spec to an instance.
+
+    ``None`` → the default (``"numpy"``) backend; a string → registry
+    lookup; an :class:`ArrayBackend` instance passes through.
+    """
+    if spec is None:
+        return get_backend(DEFAULT_BACKEND)
+    if isinstance(spec, str):
+        return get_backend(spec)
+    if isinstance(spec, ArrayBackend):
+        return spec
+    raise ConfigurationError(
+        f"backend must be a name, an ArrayBackend, or None, got {spec!r}"
+    )

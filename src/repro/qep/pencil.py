@@ -14,6 +14,15 @@ because ``(z H+)^† = z̄ H-`` and ``(z^{-1} H-)^† = z̄^{-1} H+``.  The
 inner-circle quadrature points of the annulus satisfy
 ``z^{(2)}_j = 1/\\bar z^{(1)}_j``, so the inner systems are exactly the
 dual (adjoint) systems of the outer ones and one BiCG run solves both.
+
+Array backend seam: the batched appliers — the per-iteration kernels of
+the batched BiCG engine — route all array arithmetic through the
+pencil's ``xp`` namespace and dtype, both supplied by an
+:class:`repro.backends.base.ArrayBackend`.  A pencil constructed without
+an explicit ``dtype`` is the host-side complex128 operator (bit-for-bit
+the historical behavior under the default ``"numpy"`` backend);
+:meth:`QuadraticPencil.solver_view` returns its reduced-precision or
+device twin for the backend's inner solves.
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import LinearOperator
 
+from repro.backends.dtypes import COMPLEX_DTYPE, REAL_DTYPE
+from repro.backends.registry import resolve_backend
 from repro.errors import ConfigurationError
 from repro.qep.blocks import BlockTriple
 
@@ -34,17 +45,46 @@ class QuadraticPencil:
     Parameters
     ----------
     blocks:
-        The unit-cell :class:`BlockTriple`.
+        The unit-cell :class:`BlockTriple` (or, for a solver view, the
+        triple returned by ``backend.solver_blocks``).
     energy:
         The real energy ``E`` at which the CBS is sought.  A complex
         energy is accepted (used for regularization probes) but disables
         the dual-system identity.
+    backend:
+        An :class:`repro.backends.base.ArrayBackend`, its registry name,
+        or ``None`` for the default ``"numpy"`` backend.
+    dtype:
+        Arithmetic dtype for the batched appliers.  ``None`` (the
+        default) selects the backend's accumulation dtype (complex128)
+        with host-numpy arithmetic; passing an explicit dtype marks this
+        pencil as a solver-side view running in the backend's ``xp``
+        namespace (the convention used by :meth:`solver_view`).
     """
 
-    def __init__(self, blocks: BlockTriple, energy: complex) -> None:
+    def __init__(
+        self,
+        blocks: BlockTriple,
+        energy: complex,
+        backend=None,
+        *,
+        dtype=None,
+    ) -> None:
+        self.backend = resolve_backend(backend)
         self.blocks = blocks
         self.energy = complex(energy)
+        self.dtype = (
+            np.dtype(dtype) if dtype is not None
+            else self.backend.complex_dtype
+        )
+        self._xp = self.backend.xp if dtype is not None else np
+        # NEP-50-safe scalars: typed zero-dim scalars keep a reduced-
+        # precision stack in its dtype where a python complex would too —
+        # but explicitly, and bit-identically for complex128.
+        self._e = self.dtype.type(self.energy)
+        self._e_conj = self.dtype.type(self.energy.conjugate())
         self._identity: Optional[sp.spmatrix | np.ndarray] = None
+        self._solver_view: Optional["QuadraticPencil"] = None
 
     # -- basic properties -----------------------------------------------------
 
@@ -65,6 +105,28 @@ class QuadraticPencil:
             raise ConfigurationError("z = 0 has no dual shift")
         return 1.0 / np.conj(z)
 
+    def solver_view(self) -> "QuadraticPencil":
+        """The pencil the backend's inner solver iterates with.
+
+        Returns ``self`` when the backend solves in this pencil's dtype
+        and namespace (the ``"numpy"`` backend — no cast, no copy,
+        bit-for-bit).  Otherwise builds (once, cached) a twin pencil on
+        ``backend.solver_blocks`` in the backend's solve dtype — the
+        complex64 operator for ``"numpy-mixed"``, the device operator
+        for ``"cupy"``.
+        """
+        be = self.backend
+        if be.solve_dtype == self.dtype and be.xp is self._xp:
+            return self
+        if self._solver_view is None:
+            self._solver_view = QuadraticPencil(
+                be.solver_blocks(self.blocks),
+                self.energy,
+                backend=be,
+                dtype=be.solve_dtype,
+            )
+        return self._solver_view
+
     # -- application -----------------------------------------------------------
 
     def apply(self, z: complex, x: np.ndarray) -> np.ndarray:
@@ -76,7 +138,7 @@ class QuadraticPencil:
         if z == 0:
             raise ConfigurationError("P(z) is undefined at z = 0")
         b = self.blocks
-        return self.energy * x - (b.h0 @ x) - z * (b.hp @ x) - (b.hm @ x) / z
+        return self._e * x - (b.h0 @ x) - z * (b.hp @ x) - (b.hm @ x) / z
 
     def apply_adjoint(self, z: complex, x: np.ndarray) -> np.ndarray:
         """``P(z)^† @ x``.
@@ -88,10 +150,10 @@ class QuadraticPencil:
         """
         if self.is_dual_symmetric:
             return self.apply(self.dual_shift(z), x)
-        zb = np.conj(complex(z))
+        zb = complex(z).conjugate()
         b = self.blocks
         return (
-            np.conj(self.energy) * x
+            self._e_conj * x
             - (b.h0 @ x)
             - zb * (b.hm @ x)
             - (b.hp @ x) / zb
@@ -100,16 +162,17 @@ class QuadraticPencil:
     # -- batched application ---------------------------------------------------
 
     @staticmethod
-    def _stack_columns(x: np.ndarray) -> np.ndarray:
+    def _stack_columns(x, xp):
         """Reorder a stack ``(S, N, m)`` into one matvec block ``(N, S*m)``."""
         s, n, m = x.shape
-        return np.moveaxis(x, 0, 1).reshape(n, s * m)
+        return xp.moveaxis(x, 0, 1).reshape(n, s * m)
 
     @staticmethod
-    def _unstack_columns(x: np.ndarray, s: int, m: int) -> np.ndarray:
+    def _unstack_columns(x, s: int, m: int, xp):
         """Inverse of :meth:`_stack_columns`."""
+        x = xp.asarray(x)
         n = x.shape[0]
-        return np.moveaxis(np.asarray(x).reshape(n, s, m), 1, 0)
+        return xp.moveaxis(x.reshape(n, s, m), 1, 0)
 
     def apply_batch(self, zs: np.ndarray, x: np.ndarray) -> np.ndarray:
         """``P(z_i) @ X_i`` for a whole stack of shifts in one sweep.
@@ -129,23 +192,24 @@ class QuadraticPencil:
         calls (the paper's middle/top parallel layers collapsed into
         BLAS-width work).
         """
-        zs = np.atleast_1d(np.asarray(zs, dtype=np.complex128))
-        x = np.asarray(x, dtype=np.complex128)
+        xp = self._xp
+        zs = xp.atleast_1d(xp.asarray(zs, dtype=self.dtype))
+        x = xp.asarray(x, dtype=self.dtype)
         if x.ndim != 3 or x.shape[0] != zs.shape[0]:
             raise ConfigurationError(
                 f"need x of shape (S, N, m) with S = {zs.shape[0]}, "
                 f"got {x.shape}"
             )
-        if np.any(zs == 0):
+        if bool(xp.any(zs == 0)):
             raise ConfigurationError("P(z) is undefined at z = 0")
         b = self.blocks
         s, n, m = x.shape
-        xm = self._stack_columns(x)
-        h0x = self._unstack_columns(b.h0 @ xm, s, m)
-        hpx = self._unstack_columns(b.hp @ xm, s, m)
-        hmx = self._unstack_columns(b.hm @ xm, s, m)
+        xm = self._stack_columns(x, xp)
+        h0x = self._unstack_columns(b.h0 @ xm, s, m, xp)
+        hpx = self._unstack_columns(b.hp @ xm, s, m, xp)
+        hmx = self._unstack_columns(b.hm @ xm, s, m, xp)
         z = zs[:, None, None]
-        return self.energy * x - h0x - z * hpx - hmx / z
+        return self._e * x - h0x - z * hpx - hmx / z
 
     def apply_adjoint_batch(self, zs: np.ndarray, x: np.ndarray) -> np.ndarray:
         """``P(z_i)^† @ X_i`` over a stack of shifts (see :meth:`apply_batch`).
@@ -154,12 +218,13 @@ class QuadraticPencil:
         the explicit adjoint arithmetic with ``H+† = H-`` assumed by the
         bulk validation, exactly mirroring :meth:`apply_adjoint`.
         """
-        zs = np.atleast_1d(np.asarray(zs, dtype=np.complex128))
-        if np.any(zs == 0):
+        xp = self._xp
+        zs = xp.atleast_1d(xp.asarray(zs, dtype=self.dtype))
+        if bool(xp.any(zs == 0)):
             raise ConfigurationError("P(z) is undefined at z = 0")
         if self.is_dual_symmetric:
-            return self.apply_batch(1.0 / np.conj(zs), x)
-        x = np.asarray(x, dtype=np.complex128)
+            return self.apply_batch(1.0 / xp.conj(zs), x)
+        x = xp.asarray(x, dtype=self.dtype)
         if x.ndim != 3 or x.shape[0] != zs.shape[0]:
             raise ConfigurationError(
                 f"need x of shape (S, N, m) with S = {zs.shape[0]}, "
@@ -167,19 +232,19 @@ class QuadraticPencil:
             )
         b = self.blocks
         s, n, m = x.shape
-        xm = self._stack_columns(x)
-        h0x = self._unstack_columns(b.h0 @ xm, s, m)
-        hpx = self._unstack_columns(b.hp @ xm, s, m)
-        hmx = self._unstack_columns(b.hm @ xm, s, m)
-        zb = np.conj(zs)[:, None, None]
-        return np.conj(self.energy) * x - h0x - zb * hmx - hpx / zb
+        xm = self._stack_columns(x, xp)
+        h0x = self._unstack_columns(b.h0 @ xm, s, m, xp)
+        hpx = self._unstack_columns(b.hp @ xm, s, m, xp)
+        hmx = self._unstack_columns(b.hm @ xm, s, m, xp)
+        zb = xp.conj(zs)[:, None, None]
+        return self._e_conj * x - h0x - zb * hmx - hpx / zb
 
     def as_linear_operator(self, z: complex) -> LinearOperator:
         """A scipy ``LinearOperator`` for ``P(z)`` with adjoint support."""
         z = complex(z)
         return LinearOperator(
             shape=(self.n, self.n),
-            dtype=np.complex128,
+            dtype=COMPLEX_DTYPE,
             matvec=lambda x: self.apply(z, x),
             rmatvec=lambda x: self.apply_adjoint(z, x),
         )
@@ -196,10 +261,10 @@ class QuadraticPencil:
             raise ConfigurationError("P(z) is undefined at z = 0")
         b = self.blocks
         if b.is_sparse:
-            eye = sp.identity(self.n, dtype=np.complex128, format="csr")
+            eye = sp.identity(self.n, dtype=COMPLEX_DTYPE, format="csr")
             p = (self.energy * eye) - b.h0 - z * b.hp - (1.0 / z) * b.hm
             return p.tocsr()
-        eye = np.eye(self.n, dtype=np.complex128)
+        eye = np.eye(self.n, dtype=COMPLEX_DTYPE)
         return self.energy * eye - b.h0 - z * b.hp - (1.0 / z) * b.hm
 
     def diagonal(self, z: complex) -> np.ndarray:
@@ -213,7 +278,7 @@ class QuadraticPencil:
             - diag_of(b.h0)
             - z * diag_of(b.hp)
             - diag_of(b.hm) / z
-        ).astype(np.complex128)
+        ).astype(COMPLEX_DTYPE)
 
     # -- diagnostics --------------------------------------------------------------
 
@@ -232,7 +297,7 @@ class QuadraticPencil:
     def residuals(self, lams: np.ndarray, psis: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`residual` over eigenpair columns."""
         lams = np.atleast_1d(lams)
-        out = np.empty(lams.shape[0], dtype=np.float64)
+        out = np.empty(lams.shape[0], dtype=REAL_DTYPE)
         for i, lam in enumerate(lams):
             out[i] = self.residual(lam, psis[:, i])
         return out

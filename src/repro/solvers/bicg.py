@@ -37,12 +37,13 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.backends.dtypes import (
+    BREAKDOWN_TOL,  # noqa: F401 — canonical home moved to repro.backends
+    COMPLEX_DTYPE,
+)
 from repro.solvers.stopping import QuorumController, ResidualRule, StopReason
 
 Apply = Callable[[np.ndarray], np.ndarray]
-
-#: ρ or σ below this (relative to the RHS scale) is treated as breakdown.
-BREAKDOWN_TOL = 1e-290
 
 
 @dataclass
@@ -111,11 +112,11 @@ class BiCGStepper:
     ) -> None:
         self._apply_a = _as_apply(apply_a)
         self._apply_ah = _as_apply(apply_ah)
-        b = np.asarray(b, dtype=np.complex128)
+        b = np.asarray(b, dtype=COMPLEX_DTYPE)
         self.n = b.shape[0]
         self.want_dual = b_dual is not None
         bd = (
-            np.asarray(b_dual, dtype=np.complex128)
+            np.asarray(b_dual, dtype=COMPLEX_DTYPE)
             if self.want_dual
             else np.conj(b)
         )
@@ -127,18 +128,18 @@ class BiCGStepper:
         self.history_dual: List[float] = []
 
         if x0 is None:
-            self.x = np.zeros(self.n, dtype=np.complex128)
+            self.x = np.zeros(self.n, dtype=COMPLEX_DTYPE)
             self.r = b.copy()
         else:
-            self.x = np.asarray(x0, dtype=np.complex128).copy()
+            self.x = np.asarray(x0, dtype=COMPLEX_DTYPE).copy()
             self.r = b - self._apply_a(self.x)
-        self.xd = np.zeros(self.n, dtype=np.complex128)
+        self.xd = np.zeros(self.n, dtype=COMPLEX_DTYPE)
         self.rt = bd.copy()
 
         self._inv_diag = None
         self._inv_diag_conj = None
         if precond is not None:
-            diag = np.asarray(precond, dtype=np.complex128)
+            diag = np.asarray(precond, dtype=COMPLEX_DTYPE)
             if np.any(diag == 0.0):
                 raise ValueError("Jacobi preconditioner has zero entries")
             self._inv_diag = 1.0 / diag
@@ -324,13 +325,13 @@ def bicg_block(
     Returns ``(Y, Y_dual, results)`` with one :class:`BiCGResult` per
     column.
     """
-    B = np.asarray(B, dtype=np.complex128)
+    B = np.asarray(B, dtype=COMPLEX_DTYPE)
     if B.ndim == 1:
         B = B[:, None]
     n, nrhs = B.shape
-    Y = np.empty((n, nrhs), dtype=np.complex128)
+    Y = np.empty((n, nrhs), dtype=COMPLEX_DTYPE)
     want_dual = B_dual is not None
-    Yd = np.empty((n, nrhs), dtype=np.complex128) if want_dual else None
+    Yd = np.empty((n, nrhs), dtype=COMPLEX_DTYPE) if want_dual else None
     results: List[BiCGResult] = []
     for j in range(nrhs):
         bd = B_dual[:, j] if want_dual else None

@@ -1,0 +1,212 @@
+"""Mixed-precision iterative refinement around the batched BiCG engines.
+
+The classical scheme, lifted to stacked ``(S, N, m)`` Step-1 systems:
+
+1. compute the **complex128** residual ``R = B - A Y`` (one batched
+   full-precision matvec per sweep);
+2. solve the correction systems ``A ΔY = R`` with the backend's
+   reduced-precision inner engine (complex64 BiCG down to the backend's
+   ``refine_tol``);
+3. accumulate ``Y += ΔY`` in complex128 and repeat until the
+   full-precision relative residual meets the configured ``bicg_tol``
+   (or the sweep budget / a stagnation check stops it).
+
+Dual systems refine identically against ``A^†``.  Systems already
+converged have their residual rows zeroed before the inner solve, so
+the inner engine freezes them immediately (a zero RHS is born
+converged) — sweeps cost only the stragglers.
+
+The returned :class:`RefinedSolve` is interface-compatible with
+:class:`repro.solvers.batched.BatchedBiCG` for everything the Step-1
+statistics folding consumes (``solution``, ``solution_dual``,
+``iterations``, ``rel``, ``rel_dual``, ``reason``, ``history_for``), so
+the SS solver treats a refined run and a plain batched run uniformly.
+
+Quorum note: the quorum rule is a load-balancing device for the cold
+full-precision batch; refinement convergence is governed by the outer
+complex128 residual, so inner sweeps run without a quorum controller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend
+from repro.backends.dtypes import (
+    CODE_DTYPE,
+    COMPLEX_DTYPE,
+    INT_DTYPE,
+    REAL_DTYPE,
+)
+from repro.solvers.batched import (
+    BatchedBiCG,
+    CONVERGED,
+    MAXITER,
+    Step1WarmStart,
+    _CODE_TO_REASON,
+    _batch_norm,
+)
+from repro.solvers.stopping import ResidualRule, StopReason
+
+#: ``inner_solve(rhs, rhs_dual, inner_rule) -> BatchedBiCG`` — a closure
+#: over the backend's reduced-precision appliers and preconditioner.
+InnerSolve = Callable[
+    [np.ndarray, Optional[np.ndarray], ResidualRule], BatchedBiCG
+]
+
+
+class RefinedSolve:
+    """Aggregate result of an iterative-refinement run.
+
+    Exposes the :class:`repro.solvers.batched.BatchedBiCG` result
+    surface; ``iterations`` sums the inner iterations over all sweeps
+    (the honest cost measure) and ``rel``/``rel_dual`` are the final
+    **complex128** relative residuals — not the inner recurrence values.
+    """
+
+    def __init__(self, shape, want_dual: bool) -> None:
+        s, _n, m = shape
+        self.shape = tuple(shape)
+        self.want_dual = bool(want_dual)
+        self.x = np.zeros(shape, dtype=COMPLEX_DTYPE)
+        self.xd = np.zeros(shape, dtype=COMPLEX_DTYPE) if want_dual else None
+        self.iterations = np.zeros((s, m), dtype=INT_DTYPE)
+        self.rel = np.zeros((s, m), dtype=REAL_DTYPE)
+        self.rel_dual = np.zeros((s, m), dtype=REAL_DTYPE)
+        self.code = np.full((s, m), MAXITER, dtype=CODE_DTYPE)
+        self.sweeps = 0
+        self._inner: List[BatchedBiCG] = []
+
+    def solution(self) -> np.ndarray:
+        return self.x
+
+    def solution_dual(self) -> Optional[np.ndarray]:
+        return self.xd if self.want_dual else None
+
+    def reason(self, i: int, c: int) -> StopReason:
+        return _CODE_TO_REASON.get(int(self.code[i, c]), StopReason.MAXITER)
+
+    def history_for(self, i: int, c: int) -> List[float]:
+        """Concatenated inner residual histories across sweeps.
+
+        Each sweep's history is relative to *that sweep's* residual RHS
+        — useful as a convergence diagnostic, not as an absolute
+        residual curve.
+        """
+        out: List[float] = []
+        for eng in self._inner:
+            out.extend(eng.history_for(i, c))
+        return out
+
+
+def _rel_residual(r: np.ndarray, norm: np.ndarray) -> np.ndarray:
+    out = np.zeros(norm.shape, dtype=REAL_DTYPE)
+    np.divide(_batch_norm(np, r), norm, out=out, where=norm > 0.0)
+    return out
+
+
+def run_refined_bicg(
+    backend: ArrayBackend,
+    apply_full,
+    apply_full_h,
+    inner_solve: InnerSolve,
+    b: np.ndarray,
+    b_dual: Optional[np.ndarray] = None,
+    *,
+    rule: ResidualRule | None = None,
+    warm: Optional[Step1WarmStart] = None,
+) -> RefinedSolve:
+    """Drive reduced-precision inner solves to a full-precision target.
+
+    Parameters
+    ----------
+    backend:
+        Supplies the refinement policy (``refine_tol``, sweep budget)
+        and the device→host transfer for inner solutions.
+    apply_full, apply_full_h:
+        **complex128** stacked appliers for ``A`` / ``A^†`` (the
+        residual arithmetic that makes refinement work).
+    inner_solve:
+        Closure running one reduced-precision batched solve on a given
+        (residual) RHS stack; receives the inner stopping rule.
+    b, b_dual:
+        Full-precision stacked right-hand sides.
+    rule:
+        The *outer* stopping rule — the same ``bicg_tol`` the
+        full-precision path would use.
+    warm:
+        Optional warm start (complex128 accumulators start from it).
+    """
+    rule = rule or ResidualRule()
+    b = np.asarray(b, dtype=COMPLEX_DTYPE)
+    want_dual = b_dual is not None
+    bd = np.asarray(b_dual, dtype=COMPLEX_DTYPE) if want_dual else None
+
+    agg = RefinedSolve(b.shape, want_dual)
+    y = np.zeros_like(b)
+    yd = np.zeros_like(b) if want_dual else None
+    if warm is not None and warm.matches(b.shape):
+        y = np.array(warm.y0, dtype=COMPLEX_DTYPE, copy=True)
+        if want_dual and warm.yd0 is not None:
+            yd = np.array(warm.yd0, dtype=COMPLEX_DTYPE, copy=True)
+
+    norm_b = _batch_norm(np, b)
+    norm_bd = _batch_norm(np, bd) if want_dual else None
+    inner_rule = ResidualRule(
+        max(float(backend.refine_tol), rule.tol), rule.maxiter
+    )
+
+    rel = rel_dual = None
+    prev_worst = np.inf
+    for _sweep in range(max(1, int(backend.refine_sweeps))):
+        r = b - apply_full(y)
+        rel = _rel_residual(r, norm_b)
+        ok = rel <= rule.tol
+        if want_dual:
+            rd = bd - apply_full_h(yd)
+            rel_dual = _rel_residual(rd, norm_bd)
+            ok = ok & (rel_dual <= rule.tol)
+        if bool(np.all(ok)):
+            break
+        worst = float(rel.max() if not want_dual
+                      else np.maximum(rel, rel_dual).max())
+        if worst >= 0.9 * prev_worst:
+            break  # stagnated — more sweeps cannot help
+        prev_worst = worst
+
+        mask = ok[:, None, :]
+        rhs = np.where(mask, 0.0, r)
+        rhs_d = np.where(mask, 0.0, rd) if want_dual else None
+        engine = inner_solve(rhs, rhs_d, inner_rule)
+        agg.sweeps += 1
+        agg._inner.append(engine)
+        agg.iterations += np.asarray(
+            backend.to_host(engine.iterations), dtype=INT_DTYPE
+        )
+        y = y + np.asarray(
+            backend.to_host(engine.solution()), dtype=COMPLEX_DTYPE
+        )
+        if want_dual:
+            yd = yd + np.asarray(
+                backend.to_host(engine.solution_dual()), dtype=COMPLEX_DTYPE
+            )
+
+    # Final full-precision residuals decide the per-system verdict.
+    r = b - apply_full(y)
+    rel = _rel_residual(r, norm_b)
+    ok = rel <= rule.tol
+    if want_dual:
+        rd = bd - apply_full_h(yd)
+        rel_dual = _rel_residual(rd, norm_bd)
+        ok = ok & (rel_dual <= rule.tol)
+
+    agg.x = y
+    agg.xd = yd
+    agg.rel = rel
+    agg.rel_dual = (
+        rel_dual if want_dual else np.zeros_like(rel)
+    )
+    agg.code = np.where(ok, CONVERGED, MAXITER).astype(CODE_DTYPE)
+    return agg

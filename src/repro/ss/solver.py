@@ -40,6 +40,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backends.dtypes import COMPLEX_DTYPE, REAL_DTYPE
+from repro.backends.registry import available_backends, get_backend
 from repro.errors import ConfigurationError, ExtractionError
 from repro.qep.blocks import BlockTriple
 from repro.qep.pencil import QuadraticPencil
@@ -51,8 +53,9 @@ from repro.solvers.batched import (
     run_grid_bicg,
 )
 from repro.solvers.bicg import BiCGResult, BiCGStepper
-from repro.solvers.direct import SparseLUSolver, rcm_ordering
+from repro.solvers.direct import rcm_ordering
 from repro.solvers.preconditioners import jacobi_preconditioner
+from repro.solvers.refine import run_refined_bicg
 from repro.solvers.registry import (
     available_strategies,
     get_step1_strategy,
@@ -137,6 +140,13 @@ class SSConfig:
         On the direct path, compute a fill-reducing ordering from the
         (shift- and energy-independent) pencil sparsity pattern once and
         reuse it for every factorization of a scan.
+    backend:
+        Array-backend name from :mod:`repro.backends` — ``"numpy"``
+        (default, bit-for-bit the historical full-precision solver),
+        ``"numpy-mixed"`` (complex64 BiCG + complex128 iterative
+        refinement), or ``"cupy"`` when installed.  Selects the
+        arithmetic of the Step-1 hot path only; Steps 2-3 always run in
+        complex128 on the host.
     """
 
     n_int: int = 32
@@ -159,6 +169,7 @@ class SSConfig:
     record_history: bool = True
     keep_step1_solutions: bool = False
     lu_ordering_cache: bool = False
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.n_int < 2:
@@ -219,6 +230,11 @@ class SSConfig:
             raise ConfigurationError(
                 f"annulus_margin must be in [0,1), got {self.annulus_margin}"
             )
+        if self.backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown array backend {self.backend!r}; "
+                f"available backends: {sorted(available_backends())}"
+            )
 
     @property
     def subspace_capacity(self) -> int:
@@ -243,7 +259,9 @@ class SSConfig:
         keys, reports, and re-solves all name the strategy that actually
         ran instead of the placeholder.
         """
-        name = resolve_strategy(self.linear_solver, n, self.direct_threshold)
+        name = resolve_strategy(
+            self.linear_solver, n, self.direct_threshold, self.backend
+        )
         if name == self.linear_solver:
             return self
         return replace(self, linear_solver=name)
@@ -286,6 +304,8 @@ class SSResult:
     #: Magnitude below which Hankel singular values are quadrature-
     #: cancellation noise (see :meth:`MomentAccumulator.noise_floor`).
     noise_floor: float = 0.0
+    #: Name of the array backend the Step-1 hot path ran on.
+    backend: str = "numpy"
 
     @property
     def count(self) -> int:
@@ -332,9 +352,9 @@ class SSResult:
         ``(0,)`` complex array without touching ``log``, and suppresses
         the ``log(0)`` warning for any (diagnostic) zero eigenvalue.
         """
-        lam = np.asarray(self.eigenvalues, dtype=np.complex128)
+        lam = np.asarray(self.eigenvalues, dtype=COMPLEX_DTYPE)
         if lam.size == 0:
-            return np.empty(0, dtype=np.complex128)
+            return np.empty(0, dtype=COMPLEX_DTYPE)
         with np.errstate(divide="ignore", invalid="ignore"):
             return -1j * np.log(lam) / cell_length
 
@@ -403,6 +423,8 @@ class SSHankelSolver:
         self.config = config or SSConfig()
         if validate:
             self.blocks.validate_bulk(tol=1e-8)
+        #: The array backend the Step-1 hot path runs on.
+        self.backend = get_backend(self.config.backend)
         self._executor = make_executor(self.config.executor)
         #: Stacked Step-1 solutions of the most recent solve (populated
         #: only when ``config.keep_step1_solutions``); energy scans pass
@@ -428,14 +450,14 @@ class SSHankelSolver:
         """
         cfg = self.config
         times = PhaseTimes()
-        pencil = QuadraticPencil(self.blocks, energy)
+        pencil = QuadraticPencil(self.blocks, energy, self.backend)
         contour = cfg.make_contour()
 
         if v is None:
             rng = default_rng(cfg.seed)
             v = complex_gaussian(rng, (self.blocks.n, cfg.n_rh))
         else:
-            v = np.asarray(v, dtype=np.complex128)
+            v = np.asarray(v, dtype=COMPLEX_DTYPE)
             if v.shape != (self.blocks.n, cfg.n_rh):
                 raise ConfigurationError(
                     f"V must have shape {(self.blocks.n, cfg.n_rh)}, "
@@ -527,6 +549,7 @@ class SSHankelSolver:
             memory=memory,
             linear_solver=solver_kind,
             noise_floor=acc.noise_floor(),
+            backend=cfg.backend,
         )
 
     def solve_grid(self, energies) -> List[SSResult]:
@@ -560,7 +583,9 @@ class SSHankelSolver:
             return [self.solve(energies[0])]
 
         contour = cfg.make_contour()
-        pencils = [QuadraticPencil(self.blocks, e) for e in energies]
+        pencils = [
+            QuadraticPencil(self.blocks, e, self.backend) for e in energies
+        ]
         dual_flags = {p.is_dual_symmetric for p in pencils}
         if len(dual_flags) != 1:
             # Mixed real/complex energies — no uniform adjoint identity
@@ -574,16 +599,16 @@ class SSHankelSolver:
 
         if use_dual:
             pairs = contour.dual_pairs()
-            shifts = np.array([po.z for po, _ in pairs], dtype=np.complex128)
+            shifts = np.array([po.z for po, _ in pairs], dtype=COMPLEX_DTYPE)
         else:
             points = contour.points()
-            shifts = np.array([pt.z for pt in points], dtype=np.complex128)
+            shifts = np.array([pt.z for pt in points], dtype=COMPLEX_DTYPE)
         n_shifts = int(shifts.shape[0])
         n_e = len(energies)
 
         flat_shifts = np.tile(shifts, n_e)
         flat_energies = np.repeat(
-            np.asarray(energies, dtype=np.complex128), n_shifts
+            np.asarray(energies, dtype=COMPLEX_DTYPE), n_shifts
         )
         b = np.broadcast_to(
             v[None, :, :], (n_e * n_shifts, self.blocks.n, cfg.n_rh)
@@ -599,6 +624,7 @@ class SSHankelSolver:
         batch = CrossEnergyBatch(
             self.blocks, flat_energies, flat_shifts,
             dual_symmetric=pencils[0].is_dual_symmetric,
+            backend=self.backend,
         )
         segments = [
             (k * n_shifts, (k + 1) * n_shifts) for k in range(n_e)
@@ -606,21 +632,45 @@ class SSHankelSolver:
         maxiter = rule.maxiter or max(10 * self.blocks.n, 100)
 
         t0 = _time.perf_counter()
-        engine = run_grid_bicg(
-            batch.apply, batch.apply_adjoint, b,
-            b if use_dual else None,
-            segments=segments,
-            rule=rule,
-            quorum_fraction=cfg.quorum_fraction,
-            maxiter=maxiter,
-            precond=precond,
-            record_history=cfg.record_history,
-        )
+        sbatch = batch.solver_view()
+        if self.backend.refine:
+            # Mixed precision: reduced-precision inner solves on the
+            # solver view, complex128 refinement on the full operator.
+            # Refinement convergence is governed by the outer residual,
+            # so the inner sweeps run without the per-energy quorums.
+            def inner(rhs, rhs_d, inner_rule):
+                return run_batched_bicg(
+                    sbatch.apply, sbatch.apply_adjoint, rhs, rhs_d,
+                    rule=inner_rule, maxiter=maxiter, precond=precond,
+                    record_history=cfg.record_history,
+                    backend=self.backend,
+                )
+
+            engine = run_refined_bicg(
+                self.backend, batch.apply, batch.apply_adjoint, inner,
+                b, b if use_dual else None, rule=rule,
+            )
+        else:
+            engine = run_grid_bicg(
+                sbatch.apply, sbatch.apply_adjoint, b,
+                b if use_dual else None,
+                segments=segments,
+                rule=rule,
+                quorum_fraction=cfg.quorum_fraction,
+                maxiter=maxiter,
+                precond=precond,
+                record_history=cfg.record_history,
+                backend=self.backend,
+            )
         step1_seconds = _time.perf_counter() - t0
         self.last_step1 = None  # the grid path supersedes warm chaining
 
-        y_stack = engine.solution()
-        yd_stack = engine.solution_dual() if use_dual else None
+        y_stack = np.asarray(self.backend.to_host(engine.solution()))
+        yd_stack = (
+            np.asarray(self.backend.to_host(engine.solution_dual()))
+            if use_dual
+            else None
+        )
         solver_kind = "bicg-batched-grid"
         results: List[SSResult] = []
         for k, (energy, pencil) in enumerate(zip(energies, pencils)):
@@ -672,12 +722,12 @@ class SSHankelSolver:
     ) -> SSResult:
         """A structurally valid result with zero accepted eigenpairs."""
         n = self.blocks.n
-        empty_c = np.empty(0, dtype=np.complex128)
-        empty_f = np.empty(0, dtype=np.float64)
+        empty_c = np.empty(0, dtype=COMPLEX_DTYPE)
+        empty_f = np.empty(0, dtype=REAL_DTYPE)
         return SSResult(
             energy=float(energy),
             eigenvalues=empty_c.copy(),
-            vectors=np.empty((n, 0), dtype=np.complex128),
+            vectors=np.empty((n, 0), dtype=COMPLEX_DTYPE),
             residuals=empty_f.copy(),
             raw_eigenvalues=empty_c.copy(),
             raw_residuals=empty_f.copy(),
@@ -688,6 +738,7 @@ class SSHankelSolver:
             memory=self._memory_report(acc, 0),
             linear_solver=solver_kind,
             noise_floor=acc.noise_floor(),
+            backend=self.config.backend,
         )
 
     # ------------------------------------------------------------------
@@ -752,7 +803,8 @@ class SSHankelSolver:
     def _pick_solver(self) -> str:
         cfg = self.config
         return resolve_strategy(
-            cfg.linear_solver, self.blocks.n, cfg.direct_threshold
+            cfg.linear_solver, self.blocks.n, cfg.direct_threshold,
+            self.backend,
         )
 
     def _use_dual(self, pencil: QuadraticPencil, contour: AnnulusContour) -> bool:
@@ -801,7 +853,7 @@ class SSHankelSolver:
 
             def task(pair):
                 po, pi = pair
-                lu = SparseLUSolver(pencil.assemble(po.z), ordering)
+                lu = self.backend.sparse_lu(pencil.assemble(po.z), ordering)
                 y_out = lu.solve(v)
                 y_in = lu.solve_adjoint(v)  # = P(z_in)^{-1} V via duality
                 return po, pi, y_out, y_in
@@ -815,7 +867,7 @@ class SSHankelSolver:
             ordering = self._symbolic_ordering(pencil, points[0].z)
 
             def task(pt):
-                lu = SparseLUSolver(pencil.assemble(pt.z), ordering)
+                lu = self.backend.sparse_lu(pencil.assemble(pt.z), ordering)
                 return pt, lu.solve(v)
 
             for pt, y in self._executor.map(task, points):
@@ -881,7 +933,7 @@ class SSHankelSolver:
         # Fold solutions into the moments and collect statistics.
         stats: List[PointStats] = []
         for i, z in enumerate(shifts):
-            y = np.empty((self.blocks.n, n_rh), dtype=np.complex128)
+            y = np.empty((self.blocks.n, n_rh), dtype=COMPLEX_DTYPE)
             yd = np.empty_like(y) if use_dual else None
             iters = 0
             worst = 0.0
@@ -1015,10 +1067,10 @@ class SSHankelSolver:
 
         if use_dual:
             pairs = contour.dual_pairs()
-            shifts = np.array([po.z for po, _ in pairs], dtype=np.complex128)
+            shifts = np.array([po.z for po, _ in pairs], dtype=COMPLEX_DTYPE)
         else:
             points = contour.points()
-            shifts = np.array([pt.z for pt in points], dtype=np.complex128)
+            shifts = np.array([pt.z for pt in points], dtype=COMPLEX_DTYPE)
         n_shifts = shifts.shape[0]
         maxiter = rule.maxiter or max(10 * self.blocks.n, 100)
 
@@ -1051,6 +1103,9 @@ class SSHankelSolver:
                 return None
             return QuorumController(n_systems, cfg.quorum_fraction)
 
+        backend = self.backend
+        spencil = pencil.solver_view()
+
         def run_chunk(span):
             lo, hi = span
             zs = shifts[lo:hi]
@@ -1060,18 +1115,47 @@ class SSHankelSolver:
                     warm.y0[lo:hi],
                     warm.yd0[lo:hi] if warm.yd0 is not None else None,
                 )
+            chunk_precond = precond[lo:hi] if precond is not None else None
+            if backend.refine:
+                # Mixed precision: the inner engine iterates the
+                # reduced-precision solver view; the outer loop refines
+                # on the complex128 pencil (no quorum — see
+                # repro.solvers.refine).
+                def inner(rhs, rhs_d, inner_rule):
+                    return run_batched_bicg(
+                        lambda x, zs=zs: spencil.apply_batch(zs, x),
+                        lambda x, zs=zs: spencil.apply_adjoint_batch(zs, x),
+                        rhs, rhs_d,
+                        rule=inner_rule,
+                        maxiter=maxiter,
+                        precond=chunk_precond,
+                        record_history=cfg.record_history,
+                        backend=backend,
+                    )
+
+                return run_refined_bicg(
+                    backend,
+                    lambda x, zs=zs: pencil.apply_batch(zs, x),
+                    lambda x, zs=zs: pencil.apply_adjoint_batch(zs, x),
+                    inner,
+                    b[lo:hi],
+                    b[lo:hi] if use_dual else None,
+                    rule=rule,
+                    warm=chunk_warm,
+                )
             return run_batched_bicg(
-                lambda x, zs=zs: pencil.apply_batch(zs, x),
-                lambda x, zs=zs: pencil.apply_adjoint_batch(zs, x),
+                lambda x, zs=zs: spencil.apply_batch(zs, x),
+                lambda x, zs=zs: spencil.apply_adjoint_batch(zs, x),
                 b[lo:hi],
                 b[lo:hi] if use_dual else None,
                 rule=rule,
                 quorum=chunk_quorum((hi - lo) * n_rh),
                 quorum_offset=lo,
                 maxiter=maxiter,
-                precond=precond[lo:hi] if precond is not None else None,
+                precond=chunk_precond,
                 warm=chunk_warm,
                 record_history=cfg.record_history,
+                backend=backend,
             )
 
         engines = self._executor.map(run_chunk, chunks)
@@ -1079,9 +1163,16 @@ class SSHankelSolver:
         # Fold solutions into the moments and collect statistics, shift
         # by shift, exactly as the lockstep path does.
         stats: List[PointStats] = []
-        y_stack = np.concatenate([e.solution() for e in engines], axis=0)
+        y_stack = np.concatenate(
+            [np.asarray(backend.to_host(e.solution())) for e in engines],
+            axis=0,
+        )
         yd_stack = (
-            np.concatenate([e.solution_dual() for e in engines], axis=0)
+            np.concatenate(
+                [np.asarray(backend.to_host(e.solution_dual()))
+                 for e in engines],
+                axis=0,
+            )
             if use_dual
             else None
         )

@@ -1,0 +1,160 @@
+"""Static guarantees of the array-backend seam.
+
+The hot kernels — the per-BiCG-round functions that dominate Step-1
+wall time — must call only through the backend's ``xp`` namespace so
+that the mixed-precision and GPU backends are drop-in.  These tests
+enforce that with AST inspection rather than runtime mocks: a direct
+``np.``/``numpy`` reference inside a designated kernel is a seam leak
+even if every current backend happens to alias numpy.
+
+Also pins the dtype-literal centralization: the solver modules must
+take their dtypes from :mod:`repro.backends.dtypes` instead of
+scattering ``np.complex128``-style literals.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+
+import numpy as np
+import pytest
+
+import repro.qep.pencil as pencil_mod
+import repro.solvers.batched as batched_mod
+import repro.solvers.bicg as bicg_mod
+from repro.backends import get_backend
+from repro.qep.pencil import QuadraticPencil
+from repro.solvers.batched import BatchedBiCG, CrossEnergyBatch
+
+#: The designated hot-kernel functions: everything executed per BiCG
+#: round (or per batched pencil application).  Module-level helpers are
+#: referenced by (module, name); methods by (class, name).
+HOT_KERNELS = [
+    (BatchedBiCG, "step"),
+    (BatchedBiCG, "_prec"),
+    (BatchedBiCG, "_prec_h"),
+    (CrossEnergyBatch, "apply"),
+    (CrossEnergyBatch, "apply_adjoint"),
+    (CrossEnergyBatch, "_products"),
+    (CrossEnergyBatch, "_validate"),
+    (batched_mod, "_batch_norm"),
+    (batched_mod, "_batch_inner"),
+    (QuadraticPencil, "apply_batch"),
+    (QuadraticPencil, "apply_adjoint_batch"),
+    (QuadraticPencil, "_stack_columns"),
+    (QuadraticPencil, "_unstack_columns"),
+]
+
+#: Modules whose sources must not contain raw numpy dtype literals
+#: (the single definition site is repro/backends/dtypes.py).
+DTYPE_CLEAN_MODULES = [batched_mod, bicg_mod, pencil_mod]
+
+BANNED_DTYPE_ATTRS = {
+    "complex128", "complex64", "float64", "float32", "int64", "int8",
+}
+
+
+def _strip_annotations(tree: ast.AST) -> ast.AST:
+    """Drop type annotations: ``zs: np.ndarray`` is documentation, not
+    an array operation, so it is exempt from the namespace ban."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            node.returns = None
+            args = node.args
+            for arg in (
+                args.posonlyargs + args.args + args.kwonlyargs
+                + [a for a in (args.vararg, args.kwarg) if a is not None]
+            ):
+                arg.annotation = None
+    return tree
+
+
+def _numpy_references(tree: ast.AST):
+    """Yield (lineno, description) for every direct numpy reference."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id in ("np", "numpy"):
+            yield node.lineno, f"name {node.id!r}"
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "numpy":
+                    yield node.lineno, f"import {alias.name}"
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "").split(".")[0] == "numpy":
+                yield node.lineno, f"from {node.module} import ..."
+
+
+def _kernel_source(owner, name: str) -> str:
+    fn = getattr(owner, name)
+    fn = inspect.unwrap(fn)
+    return textwrap.dedent(inspect.getsource(fn))
+
+
+@pytest.mark.parametrize(
+    "owner, name",
+    HOT_KERNELS,
+    ids=[f"{getattr(o, '__name__', o)}.{n}" for o, n in HOT_KERNELS],
+)
+def test_hot_kernel_is_numpy_free(owner, name):
+    tree = _strip_annotations(ast.parse(_kernel_source(owner, name)))
+    leaks = list(_numpy_references(tree))
+    assert not leaks, (
+        f"{name} must route arrays through the backend namespace (xp), "
+        f"but references numpy directly: {leaks}"
+    )
+
+
+@pytest.mark.parametrize(
+    "mod", DTYPE_CLEAN_MODULES, ids=lambda m: m.__name__
+)
+def test_no_raw_dtype_literals(mod):
+    tree = ast.parse(inspect.getsource(mod))
+    hits = [
+        (node.lineno, f"np.{node.attr}")
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+        and node.attr in BANNED_DTYPE_ATTRS
+    ]
+    assert not hits, (
+        f"{mod.__name__} must take dtypes from repro.backends.dtypes, "
+        f"found raw literals: {hits}"
+    )
+
+
+def test_kernels_run_under_foreign_namespace():
+    """Runtime cross-check of the static ban: the batched engine works
+    with a namespace object that is *not* the numpy module (a recording
+    proxy), proving the kernels never bypass ``self._xp``."""
+    calls = []
+
+    class RecordingNamespace:
+        def __getattr__(self, attr):
+            calls.append(attr)
+            return getattr(np, attr)
+
+    class RecordingBackend(type(get_backend("numpy"))):
+        xp = RecordingNamespace()
+
+    be = RecordingBackend()
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(2, 5, 5)) + 1j * rng.normal(size=(2, 5, 5))
+    a = a + np.conj(np.moveaxis(a, 1, 2)) + 10.0 * np.eye(5)
+    b = rng.normal(size=(2, 5, 3)) + 1j * rng.normal(size=(2, 5, 3))
+
+    engine = BatchedBiCG(
+        lambda x: np.einsum("sij,sjm->sim", a, x),
+        lambda x: np.einsum("sij,sjm->sim", np.conj(np.moveaxis(a, 1, 2)), x),
+        b,
+        backend=be,
+    )
+    for _ in range(30):
+        engine.step()
+        if not engine.any_active:
+            break
+    assert calls, "the engine never touched the backend namespace"
+    x = engine.solution()
+    res = b - np.einsum("sij,sjm->sim", a, x)
+    assert float(np.abs(res).max()) < 1e-8

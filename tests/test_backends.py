@@ -1,0 +1,564 @@
+"""The array-backend registry, parity, and bit-identity guarantees.
+
+Three layers of protection:
+
+1. **Registry semantics** — discovery, capability flags, the
+   :class:`~repro.errors.ConfigurationError` naming available backends
+   on a miss, graceful degradation when cupy is absent.
+2. **Bit-for-bit default** — ``backend="numpy"`` must reproduce the
+   pre-refactor solver exactly: eigenvalues, BiCG iteration counts,
+   ``job_hash``/``cache_context`` digests are pinned against literals
+   captured *before* the backend seam existed.
+3. **Mixed-precision parity** — ``"numpy-mixed"`` must agree with
+   ``"numpy"`` within its documented tolerance (complex64 iterations +
+   complex128 iterative refinement to the same ``bicg_tol``) on the
+   bundled models, including through the grid engine, the process
+   pool, and the slice cache (which must key mixed runs separately).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import (
+    ArrayBackend,
+    COMPLEX_DTYPE,
+    COMPLEX_SINGLE_DTYPE,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends.registry import _BACKENDS, _INSTANCES
+from repro.api import CBSJob, ExecutionSpec
+from repro.errors import ConfigurationError
+from repro.models import DiatomicChain, MonatomicChain, TransverseLadder
+from repro.qep.pencil import QuadraticPencil
+from repro.solvers.batched import CrossEnergyBatch
+from repro.solvers.refine import run_refined_bicg
+from repro.solvers.registry import resolve_strategy
+from repro.solvers.stopping import ResidualRule
+from repro.ss import SSConfig, SSHankelSolver
+
+HAVE_CUPY = importlib.util.find_spec("cupy") is not None
+
+MODELS = {
+    "chain": lambda: MonatomicChain(hopping=-1.0).blocks(),
+    "diatomic": lambda: DiatomicChain().blocks(),
+    "ladder": lambda: TransverseLadder(width=3).blocks(),
+}
+
+
+def _solve(blocks, backend, energy=0.3, **kw):
+    cfg = SSConfig(
+        n_int=16, n_mm=4, n_rh=4, seed=11,
+        linear_solver=kw.pop("linear_solver", "bicg-batched"),
+        backend=backend, **kw,
+    )
+    return SSHankelSolver(blocks, cfg).solve(energy)
+
+
+# ---------------------------------------------------------------------------
+# registry semantics
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_cpu_backends_always_available(self):
+        names = available_backends()
+        assert "numpy" in names and "numpy-mixed" in names
+
+    def test_unknown_backend_names_available(self):
+        with pytest.raises(ConfigurationError) as exc:
+            get_backend("no-such-backend")
+        msg = str(exc.value)
+        assert "no-such-backend" in msg
+        assert "numpy" in msg and "numpy-mixed" in msg
+
+    @pytest.mark.skipif(HAVE_CUPY, reason="cupy installed")
+    def test_cupy_absent_degrades_cleanly(self):
+        assert "cupy" not in available_backends()
+        with pytest.raises(ConfigurationError) as exc:
+            get_backend("cupy")
+        assert "'cupy'" in str(exc.value)
+
+    def test_resolve_backend_forms(self):
+        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend("numpy-mixed").name == "numpy-mixed"
+        be = get_backend("numpy")
+        assert resolve_backend(be) is be
+        with pytest.raises(ConfigurationError):
+            resolve_backend(3.14)
+
+    def test_get_backend_memoized(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_capability_flags(self):
+        np_be = get_backend("numpy")
+        mx_be = get_backend("numpy-mixed")
+        assert np_be.bitwise_numpy and not mx_be.bitwise_numpy
+        assert np_be.has_sparse_lu and not mx_be.has_sparse_lu
+        assert not np_be.refine and mx_be.refine
+        assert np_be.solve_dtype == COMPLEX_DTYPE
+        assert mx_be.solve_dtype == COMPLEX_SINGLE_DTYPE
+        assert mx_be.complex_dtype == COMPLEX_DTYPE  # accumulation
+
+    def test_describe_is_json_shaped(self):
+        d = get_backend("numpy-mixed").describe()
+        assert d["name"] == "numpy-mixed"
+        assert d["solve_dtype"] == "complex64"
+        assert d["accumulate_dtype"] == "complex128"
+        assert d["refine"] is True and d["has_sparse_lu"] is False
+
+    def test_register_backend_replaces_and_cleans_instance(self):
+        try:
+
+            @register_backend("test-backend")
+            class _A(ArrayBackend):
+                name = "test-backend"
+
+            first = get_backend("test-backend")
+
+            @register_backend("test-backend")
+            class _B(ArrayBackend):
+                name = "test-backend"
+
+            second = get_backend("test-backend")
+            assert type(second) is _B and first is not second
+        finally:
+            _BACKENDS.pop("test-backend", None)
+            _INSTANCES.pop("test-backend", None)
+
+    def test_mixed_sparse_lu_falls_back_to_host(self):
+        import scipy.sparse as sp
+
+        from repro.solvers.direct import SparseLUSolver
+
+        a = sp.csr_matrix(np.diag([2.0, 3.0, 4.0]).astype(complex))
+        lu = get_backend("numpy-mixed").sparse_lu(a)
+        assert isinstance(lu, SparseLUSolver)
+        b = np.ones(3, dtype=complex)
+        np.testing.assert_allclose(lu.solve(b), [0.5, 1 / 3, 0.25])
+
+
+# ---------------------------------------------------------------------------
+# the solver-view seam
+# ---------------------------------------------------------------------------
+
+
+class TestSolverViews:
+    def test_numpy_pencil_view_is_itself(self):
+        p = QuadraticPencil(MODELS["ladder"](), 0.3, "numpy")
+        assert p.solver_view() is p
+
+    def test_mixed_pencil_view_is_complex64_and_cached(self):
+        p = QuadraticPencil(MODELS["ladder"](), 0.3, "numpy-mixed")
+        view = p.solver_view()
+        assert view is not p
+        assert view.dtype == COMPLEX_SINGLE_DTYPE
+        assert view.blocks.h0.dtype == COMPLEX_SINGLE_DTYPE
+        assert p.solver_view() is view  # cached
+        assert view.solver_view() is view  # the view is its own view
+
+    def test_mixed_batch_apply_stays_single(self):
+        p = QuadraticPencil(MODELS["chain"](), 0.3, "numpy-mixed")
+        view = p.solver_view()
+        x = np.ones((2, p.n, 3), dtype=COMPLEX_SINGLE_DTYPE)
+        out = view.apply_batch(np.array([0.5 + 0.1j, 2.0j]), x)
+        assert out.dtype == COMPLEX_SINGLE_DTYPE
+
+    def test_cross_energy_solver_view(self):
+        blocks = MODELS["chain"]()
+        batch = CrossEnergyBatch(
+            blocks, [0.2, 0.3], [0.5j, 1.5j], dual_symmetric=True,
+            backend="numpy-mixed",
+        )
+        view = batch.solver_view()
+        assert view is not batch and view.dtype == COMPLEX_SINGLE_DTYPE
+        numpy_batch = CrossEnergyBatch(
+            blocks, [0.2, 0.3], [0.5j, 1.5j], dual_symmetric=True,
+        )
+        assert numpy_batch.solver_view() is numpy_batch
+
+
+# ---------------------------------------------------------------------------
+# bit-for-bit default (pinned before the refactor)
+# ---------------------------------------------------------------------------
+
+#: Captured on the pre-backend tree: (count, total BiCG iterations,
+#: repr of every accepted eigenvalue in result order).
+PINNED_SOLVES = {
+    "chain": (2, 64, [
+        "(-0.15000000000000294-0.9886859966642578j)",
+        "(-0.14999999999999958+0.988685996664266j)",
+    ]),
+    "diatomic": (2, 128, [
+        "(-0.711822951895163-5.5468162615118777e-14j)",
+        "(-1.404843714771519+6.827871601444713e-15j)",
+    ]),
+    "ladder": (6, 192, [
+        "(0.20355339059327435+0.979063847344988j)",
+        "(-0.503553390593274+0.8639641096839669j)",
+        "(-0.5035533905932731-0.8639641096839693j)",
+        "(-0.15000000000000246-0.9886859966642575j)",
+        "(0.20355339059327704-0.9790638473449962j)",
+        "(-0.14999999999999947+0.9886859966642659j)",
+    ]),
+}
+
+#: (job kwargs, job_hash, cache_context, cache_context(k_par=0.5)) —
+#: captured on the pre-backend tree; ``backend="numpy"`` must never
+#: perturb these digests.
+PINNED_JOBS = [
+    (
+        dict(system={"name": "ladder", "params": {"width": 2}},
+             scan={"window": [-1.0, 1.0, 5], "n_mm": 4, "n_rh": 4,
+                   "seed": 7}),
+        "a82a0847f81ad0447f05d1ea",
+        "a269e5387d6a751d6ff30d8d",
+        "32a1ce1fa0ad2854314428dd",
+    ),
+    (
+        dict(system={"name": "chain", "params": {"hopping": -1.0}},
+             scan={"energies": [0.25, 0.5], "n_mm": 4, "n_rh": 4,
+                   "seed": 3},
+             execution={"mode": "orchestrated", "workers": 2}),
+        "1988c260afe4c3ff13868092",
+        "a41a5baad1716b7ae465fc95",
+        "18aa529900603d7493a3d90e",
+    ),
+    (
+        dict(system={"name": "chain", "params": {"hopping": -1.0}},
+             scan={"window": [-1.5, 1.5, 7]},
+             transport={"eta": 1e-7, "n_cells": 2}),
+        "a931c1d2f686e13d9bc4a642",
+        "9343cc5ebb95dbc73e30ce25",
+        "660c1786d6186c98384a5f90",
+    ),
+]
+
+
+class TestBitwiseDefault:
+    @pytest.mark.parametrize("model", sorted(PINNED_SOLVES))
+    def test_solver_bitwise_identical(self, model):
+        count, iters, eigs = PINNED_SOLVES[model]
+        r = _solve(MODELS[model](), "numpy")
+        assert r.count == count
+        assert r.total_iterations() == iters
+        assert [repr(complex(x)) for x in r.eigenvalues] == eigs
+        assert r.backend == "numpy"
+
+    @pytest.mark.parametrize(
+        "kwargs, job_hash, ctx, ctx_k", PINNED_JOBS,
+        ids=["plain", "orchestrated", "transport"],
+    )
+    def test_job_digests_pinned(self, kwargs, job_hash, ctx, ctx_k):
+        job = CBSJob(**kwargs)
+        assert job.job_hash() == job_hash
+        assert job.cache_context() == ctx
+        assert job.cache_context(k_par=0.5) == ctx_k
+
+    def test_explicit_numpy_backend_same_digests(self):
+        kwargs, job_hash, ctx, _ = PINNED_JOBS[0]
+        job = CBSJob(**kwargs, execution={"backend": "numpy"})
+        assert job.job_hash() == job_hash
+        assert job.cache_context() == ctx
+
+    def test_mixed_backend_changes_cache_context_not_layout(self):
+        kwargs, job_hash, ctx, _ = PINNED_JOBS[0]
+        job = CBSJob(**kwargs, execution={"backend": "numpy-mixed"})
+        assert job.job_hash() != job_hash
+        assert job.cache_context() != ctx
+        assert job.execution.to_dict()["backend"] == "numpy-mixed"
+
+    def test_transport_mixed_backend_changes_cache_context(self):
+        kwargs, _h, ctx, _ = PINNED_JOBS[2]
+        job = CBSJob(**kwargs, execution={"backend": "numpy-mixed"})
+        assert job.cache_context() != ctx
+
+
+# ---------------------------------------------------------------------------
+# spec plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestSpecPlumbing:
+    def test_execution_spec_roundtrip(self):
+        ex = ExecutionSpec(mode="threads", workers=2, backend="numpy-mixed")
+        d = ex.to_dict()
+        assert d["backend"] == "numpy-mixed"
+        assert ExecutionSpec.from_dict(d) == ex
+
+    def test_default_backend_omitted_from_dict(self):
+        d = ExecutionSpec().to_dict()
+        assert "backend" not in d
+        assert ExecutionSpec.from_dict(d).backend == "numpy"
+
+    def test_unknown_backend_rejected_everywhere(self):
+        with pytest.raises(ConfigurationError, match="available backends"):
+            ExecutionSpec(backend="fortran")
+        with pytest.raises(ConfigurationError, match="available backends"):
+            SSConfig(backend="fortran")
+
+    def test_unknown_key_still_strict(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            ExecutionSpec.from_dict({"backnd": "numpy"})
+
+    def test_ss_config_carries_backend(self):
+        job = CBSJob(
+            system={"name": "chain"},
+            scan={"energies": [0.3], "n_mm": 2, "n_rh": 2},
+            execution={"backend": "numpy-mixed"},
+        )
+        assert job.ss_config().backend == "numpy-mixed"
+        assert job.ss_config().resolved(4).backend == "numpy-mixed"
+
+    def test_transport_spec_backend_threading(self):
+        job = CBSJob(
+            system={"name": "chain"},
+            scan={"window": [-1.0, 1.0, 3]},
+            transport={"eta": 1e-6},
+            execution={"backend": "numpy-mixed"},
+        )
+        cfg = job.transport.self_energy_config(
+            backend=job.execution.backend
+        )
+        assert cfg.backend == "numpy-mixed"
+
+    def test_resolve_strategy_backend_dimension(self):
+        # numpy keeps the size-based crossover…
+        assert resolve_strategy("auto", 10) == "direct"
+        assert resolve_strategy("auto", 10, backend="numpy") == "direct"
+        assert resolve_strategy("auto", 10**6) == "bicg-batched"
+        # …while LU-less backends never pick direct under "auto"…
+        assert (
+            resolve_strategy("auto", 10, backend="numpy-mixed")
+            == "bicg-batched"
+        )
+        # …but an explicit request passes through (host fallback).
+        assert (
+            resolve_strategy("direct", 10, backend="numpy-mixed")
+            == "direct"
+        )
+
+    def test_ss_config_auto_resolution_respects_backend(self):
+        cfg = SSConfig(linear_solver="auto", backend="numpy-mixed")
+        assert cfg.resolved(10).linear_solver == "bicg-batched"
+        assert SSConfig(linear_solver="auto").resolved(10).linear_solver \
+            == "direct"
+
+
+# ---------------------------------------------------------------------------
+# mixed-precision parity
+# ---------------------------------------------------------------------------
+
+
+def _match_eigenvalues(lam_ref, lam_test, tol):
+    """Greedy nearest matching; asserts same count and per-pair error."""
+    assert lam_ref.shape == lam_test.shape
+    remaining = list(lam_test)
+    for lr in lam_ref:
+        err = [abs(lt - lr) for lt in remaining]
+        k = int(np.argmin(err))
+        assert err[k] < tol, f"{lr} unmatched (best {err[k]:.2e})"
+        remaining.pop(k)
+
+
+MIXED_TOL = 1e-6  # documented eigenvalue parity of "numpy-mixed"
+
+
+class TestMixedParity:
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_eigenvalue_parity(self, model):
+        blocks = MODELS[model]()
+        ref = _solve(blocks, "numpy")
+        mix = _solve(blocks, "numpy-mixed")
+        assert mix.backend == "numpy-mixed"
+        _match_eigenvalues(ref.eigenvalues, mix.eigenvalues, MIXED_TOL)
+        # Accepted modes still satisfy the complex128 acceptance gate.
+        assert (mix.residuals <= 1e-6).all()
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        model=st.sampled_from(sorted(MODELS)),
+        energy=st.floats(-1.2, 1.2).map(lambda e: round(e, 3)),
+    )
+    def test_parity_over_energies(self, model, energy):
+        blocks = MODELS[model]()
+        ref = _solve(blocks, "numpy", energy=energy)
+        mix = _solve(blocks, "numpy-mixed", energy=energy)
+        assert mix.count == ref.count
+        _match_eigenvalues(ref.eigenvalues, mix.eigenvalues, MIXED_TOL)
+
+    def test_direct_fallback_bitwise_equal(self):
+        """Mixed "direct" falls back to the host full-precision LU, so
+        its results are *bitwise* those of the numpy direct path."""
+        blocks = MODELS["ladder"]()
+        ref = _solve(blocks, "numpy", linear_solver="direct")
+        mix = _solve(blocks, "numpy-mixed", linear_solver="direct")
+        np.testing.assert_array_equal(ref.eigenvalues, mix.eigenvalues)
+        np.testing.assert_array_equal(ref.vectors, mix.vectors)
+
+    def test_grid_engine_parity(self):
+        blocks = MODELS["chain"]()
+        energies = [0.1, 0.3, 0.7]
+
+        def grid(backend):
+            cfg = SSConfig(
+                n_int=16, n_mm=4, n_rh=4, seed=11, backend=backend,
+            )
+            return SSHankelSolver(blocks, cfg).solve_grid(energies)
+
+        for ref, mix in zip(grid("numpy"), grid("numpy-mixed")):
+            assert mix.count == ref.count
+            _match_eigenvalues(ref.eigenvalues, mix.eigenvalues, MIXED_TOL)
+
+    def test_mixed_iterations_counted_in_single_precision(self):
+        """The mixed path reports *inner* (complex64) iterations — they
+        must be > 0 and differ from the full-precision count (the
+        engines genuinely ran different arithmetic)."""
+        blocks = MODELS["chain"]()
+        ref = _solve(blocks, "numpy")
+        mix = _solve(blocks, "numpy-mixed")
+        assert mix.total_iterations() > 0
+        assert mix.total_iterations() != ref.total_iterations()
+
+    def test_warm_start_chain_mixed(self):
+        blocks = MODELS["ladder"]()
+        cfg = SSConfig(
+            n_int=16, n_mm=4, n_rh=4, seed=11,
+            linear_solver="bicg-batched", backend="numpy-mixed",
+            keep_step1_solutions=True,
+        )
+        solver = SSHankelSolver(blocks, cfg)
+        r1 = solver.solve(0.3)
+        warm = solver.last_step1
+        assert warm is not None
+        r2 = solver.solve(0.31, warm=warm)
+        cold = SSHankelSolver(blocks, cfg).solve(0.31)
+        _match_eigenvalues(cold.eigenvalues, r2.eigenvalues, MIXED_TOL)
+        assert r2.total_iterations() <= cold.total_iterations()
+        assert r1.count == cold.count
+
+
+# ---------------------------------------------------------------------------
+# the refinement driver
+# ---------------------------------------------------------------------------
+
+
+class TestRefinementDriver:
+    def test_refines_to_full_precision_tolerance(self):
+        rng = np.random.default_rng(5)
+        s, n, m = 3, 24, 4
+        a = rng.normal(size=(s, n, n)) + 1j * rng.normal(size=(s, n, n))
+        a = a + np.conj(np.moveaxis(a, 1, 2)) + 2 * n * np.eye(n)
+        b = rng.normal(size=(s, n, m)) + 1j * rng.normal(size=(s, n, m))
+        be = get_backend("numpy-mixed")
+
+        def apply_full(x):
+            return np.einsum("sij,sjm->sim", a, x)
+
+        def apply_full_h(x):
+            return np.einsum(
+                "sij,sjm->sim", np.conj(np.moveaxis(a, 1, 2)), x
+            )
+
+        a32 = a.astype(COMPLEX_SINGLE_DTYPE)
+
+        def inner(rhs, rhs_d, inner_rule):
+            from repro.solvers.batched import run_batched_bicg
+
+            return run_batched_bicg(
+                lambda x: np.einsum("sij,sjm->sim", a32, x),
+                lambda x: np.einsum(
+                    "sij,sjm->sim", np.conj(np.moveaxis(a32, 1, 2)), x
+                ),
+                rhs, rhs_d, rule=inner_rule, backend=be,
+            )
+
+        rule = ResidualRule(1e-10, 400)
+        out = run_refined_bicg(
+            be, apply_full, apply_full_h, inner, b, b, rule=rule
+        )
+        assert out.x.dtype == COMPLEX_DTYPE
+        assert (out.rel <= 1e-10).all()
+        assert (out.rel_dual <= 1e-10).all()
+        assert out.sweeps >= 2  # single precision cannot reach 1e-10 alone
+        res = b - apply_full(out.x)
+        rel = np.abs(res).max() / np.abs(b).max()
+        assert rel < 1e-9
+
+    def test_refinement_skips_converged_rows(self):
+        """A warm start that already solves the system exactly must
+        converge with zero inner iterations."""
+        rng = np.random.default_rng(6)
+        n = 8
+        a = np.eye(n)[None] * 2.0
+        x_true = (
+            rng.normal(size=(1, n, 2)) + 1j * rng.normal(size=(1, n, 2))
+        )
+        b = 2.0 * x_true
+        be = get_backend("numpy-mixed")
+
+        def inner(rhs, rhs_d, inner_rule):
+            from repro.solvers.batched import run_batched_bicg
+
+            return run_batched_bicg(
+                lambda x: 2.0 * x, lambda x: 2.0 * x, rhs, rhs_d,
+                rule=inner_rule, backend=be,
+            )
+
+        from repro.solvers.batched import Step1WarmStart
+
+        out = run_refined_bicg(
+            be, lambda x: 2.0 * x, lambda x: 2.0 * x, inner, b,
+            rule=ResidualRule(1e-10, 100),
+            warm=Step1WarmStart(x_true),
+        )
+        assert int(out.iterations.sum()) == 0
+        assert (out.rel <= 1e-10).all()
+
+
+# ---------------------------------------------------------------------------
+# executor propagation (shards/pool workers pickle the config)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestExecutorPropagation:
+    def _compute(self, mode, backend, workers=2):
+        from repro.api import compute
+
+        job = CBSJob(
+            system={"name": "chain", "params": {"hopping": -1.0}},
+            scan={"energies": [0.25, 0.45], "n_mm": 4, "n_rh": 4,
+                  "seed": 3, "linear_solver": "bicg-batched"},
+            execution={"mode": mode, "workers": workers,
+                       "backend": backend},
+        )
+        return compute(job)
+
+    def test_pool_workers_run_requested_backend(self):
+        serial_mixed = self._compute("serial", "numpy-mixed")
+        pool_mixed = self._compute("pool", "numpy-mixed")
+        serial_numpy = self._compute("serial", "numpy")
+
+        for s_sl, p_sl, n_sl in zip(
+            serial_mixed.slices, pool_mixed.slices, serial_numpy.slices
+        ):
+            # Worker processes must produce exactly the serial mixed
+            # numbers (same engine, same arithmetic)…
+            np.testing.assert_array_equal(s_sl.lambdas(), p_sl.lambdas())
+            assert s_sl.total_iterations == p_sl.total_iterations
+            # …which are *not* the full-precision numbers — proof the
+            # backend actually propagated instead of silently resetting
+            # to the default in the workers.
+            assert s_sl.total_iterations != n_sl.total_iterations
+            _match_eigenvalues(
+                n_sl.lambdas(), s_sl.lambdas(), MIXED_TOL
+            )
