@@ -1,0 +1,187 @@
+"""Service smoke benchmark: dedup under concurrent load, warm serving.
+
+The tier-2 ``service-smoke`` CI job runs this file at tiny scale.  It
+starts the full HTTP stack, throws 8 concurrent identical submissions
+plus 4 distinct ones at it, and pins the service's economics:
+
+* exactly **5** solves for 12 submissions (one for the identical batch
+  of 8, one per distinct job);
+* every one of the 8 identical clients receives the complete
+  energy-ordered slice stream;
+* a warm resubmission of the whole batch is served entirely from the
+  result store — zero additional solves;
+* the measured wall times land in ``bench_results/service_bench.*``
+  alongside the other benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from conftest import register_report
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _common import SCALE, save_records  # noqa: E402
+
+from repro.io.results import ExperimentRecord
+from repro.io.tables import ascii_table
+from repro.service import ServiceServer
+
+N_IDENTICAL = 8
+N_DISTINCT = 4
+N_ENERGIES = 5 if SCALE == "tiny" else 13
+
+
+def _job(seed: int) -> dict:
+    return {
+        "system": {"name": "ladder", "params": {"width": 3}},
+        "scan": {
+            "window": [-1.6, 1.6, N_ENERGIES],
+            "n_mm": 4,
+            "n_rh": 4,
+            "seed": seed,
+            "linear_solver": "direct",
+        },
+        "ring": {"n_int": 16},
+    }
+
+
+def _request(addr, method, path, body=None, client="bench"):
+    conn = http.client.HTTPConnection(*addr, timeout=300)
+    conn.request(method, path, body=body, headers={"X-CBS-Client": client})
+    resp = conn.getresponse()
+    payload = json.loads(resp.read())
+    conn.close()
+    return resp.status, payload
+
+
+def _submit_and_stream(addr, job, client):
+    """One client's full interaction: submit, then consume the stream."""
+    status, ticket = _request(
+        addr, "POST", "/v1/jobs", json.dumps(job), client=client
+    )
+    assert status == 200, ticket
+    job_id = ticket["job_id"]
+    conn = http.client.HTTPConnection(*addr, timeout=300)
+    conn.request(
+        "GET", f"/v1/jobs/{job_id}/stream",
+        headers={"X-CBS-Client": client},
+    )
+    resp = conn.getresponse()
+    energies = []
+    while True:
+        line = resp.readline()
+        if not line:
+            break
+        event = json.loads(line)
+        if event.get("event") == "end":
+            assert event["state"] == "done", event
+            break
+        energies.append(event["energy"])
+    conn.close()
+    return ticket, energies
+
+
+def test_service_smoke():
+    records = []
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServiceServer(
+            os.path.join(tmp, "store"), max_queue=32, max_running=2,
+            client_quota=32,
+        ) as server:
+            addr = server.address
+
+            # -- cold: 8 identical + 4 distinct, all concurrent --------
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=N_IDENTICAL + N_DISTINCT) as ex:
+                identical = [
+                    ex.submit(_submit_and_stream, addr, _job(7), f"same-{i}")
+                    for i in range(N_IDENTICAL)
+                ]
+                distinct = [
+                    ex.submit(
+                        _submit_and_stream, addr, _job(100 + i), f"diff-{i}"
+                    )
+                    for i in range(N_DISTINCT)
+                ]
+                identical = [f.result() for f in identical]
+                distinct = [f.result() for f in distinct]
+            cold_seconds = time.perf_counter() - t0
+
+            grid = sorted(identical[0][1])
+            assert len(grid) == N_ENERGIES
+            for _ticket, energies in identical:
+                assert energies == grid  # full stream, energy-ordered
+            assert len({t["job_id"] for t, _ in identical}) == 1
+            assert len({t["job_id"] for t, _ in distinct}) == N_DISTINCT
+
+            _, metrics = _request(addr, "GET", "/v1/metrics")
+            # Exactly one solve for the identical batch, one per distinct.
+            assert metrics["solves_started"] == 1 + N_DISTINCT, metrics
+            assert metrics["deduped"] == N_IDENTICAL - 1
+
+            # -- warm: resubmit everything; the store serves it all ----
+            t0 = time.perf_counter()
+            for i in range(N_IDENTICAL):
+                ticket, energies = _submit_and_stream(
+                    addr, _job(7), f"warm-{i}"
+                )
+                assert energies == grid
+            for i in range(N_DISTINCT):
+                _submit_and_stream(addr, _job(100 + i), f"warm-d{i}")
+            warm_seconds = time.perf_counter() - t0
+
+            _, metrics = _request(addr, "GET", "/v1/metrics")
+            assert metrics["solves_started"] == 1 + N_DISTINCT, (
+                "warm resubmits must not solve"
+            )
+            assert metrics["store"]["hits"] > 0
+            store_stats = metrics["store"]
+
+    records.append(
+        ExperimentRecord(
+            "service_smoke",
+            system="ladder w=3",
+            method="cold-concurrent",
+            metrics={
+                "seconds": cold_seconds,
+                "submissions": N_IDENTICAL + N_DISTINCT,
+                "solves": 1 + N_DISTINCT,
+                "deduped": N_IDENTICAL - 1,
+            },
+            parameters={"n_energies": N_ENERGIES, "scale": SCALE},
+        )
+    )
+    records.append(
+        ExperimentRecord(
+            "service_smoke",
+            system="ladder w=3",
+            method="warm-resubmit",
+            metrics={
+                "seconds": warm_seconds,
+                "submissions": N_IDENTICAL + N_DISTINCT,
+                "solves": 0,
+                "store_hits": store_stats["hits"],
+                "store_bytes": store_stats["bytes"],
+            },
+            parameters={"n_energies": N_ENERGIES, "scale": SCALE},
+        )
+    )
+    save_records("service_bench", records)
+    rows = [
+        [r.method, f"{r.metrics['seconds']:.2f}",
+         r.metrics["submissions"], r.metrics["solves"]]
+        for r in records
+    ]
+    register_report(
+        "Service smoke: dedup + store-served resubmits",
+        ascii_table(
+            ["phase", "seconds", "submissions", "solves"], rows
+        ),
+    )

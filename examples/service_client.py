@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CBS-as-a-service: submit over HTTP, stream slices, save the result.
+
+The service front end (`python -m repro.service`) speaks plain JSON
+over HTTP, so a complete client needs nothing beyond the stdlib.  This
+example runs the whole loop in one process:
+
+    start a ServiceServer  →  POST the job  →  stream NDJSON slices
+    →  GET the result  →  rebuild it with result_from_wire
+    →  save_result / load_result round-trip
+    →  resubmit: dedup + the result store serve it with zero solves
+
+Run:  python examples/service_client.py
+"""
+
+import http.client
+import json
+import os
+import tempfile
+
+from repro.api import load_result, save_result
+from repro.service import ServiceServer, result_from_wire
+
+
+JOB = {
+    "system": {"name": "ladder", "params": {"width": 3}},
+    "scan": {"window": [-1.6, 1.6, 9], "n_mm": 4, "n_rh": 4, "seed": 7,
+             "linear_solver": "direct"},
+    "ring": {"n_int": 16},
+}
+
+
+def _request(addr, method, path, body=None, client="demo"):
+    conn = http.client.HTTPConnection(*addr, timeout=120)
+    conn.request(method, path, body=body, headers={"X-CBS-Client": client})
+    resp = conn.getresponse()
+    payload = json.loads(resp.read())
+    conn.close()
+    return resp.status, payload
+
+
+def submit_and_stream(addr) -> str:
+    """POST the job, then follow its NDJSON slice stream live."""
+    status, ticket = _request(addr, "POST", "/v1/jobs", json.dumps(JOB))
+    assert status == 200, ticket
+    job_id = ticket["job_id"]
+    print(f"submitted: job {job_id[:12]}… state={ticket['state']} "
+          f"(deduped={ticket['deduped']}, from_store={ticket['from_store']})")
+
+    conn = http.client.HTTPConnection(*addr, timeout=120)
+    conn.request("GET", f"/v1/jobs/{job_id}/stream",
+                 headers={"X-CBS-Client": "demo"})
+    resp = conn.getresponse()
+    print("streaming slices:")
+    while True:
+        line = resp.readline()
+        if not line:
+            break
+        event = json.loads(line)
+        if event.get("event") == "end":
+            print(f"  … end: state={event['state']} "
+                  f"({event['n_slices']} slices)")
+            break
+        n_prop = sum(
+            m["mode_type"] == "propagating" for m in event["modes"]
+        )
+        print(f"  E = {event['energy']:+6.3f}  modes = "
+              f"{len(event['modes']):2d}  propagating = {n_prop}")
+    conn.close()
+    return job_id
+
+
+def fetch_and_save(addr, job_id, out_dir) -> None:
+    """GET the finished result, rebuild it, persist it, read it back."""
+    status, wire = _request(addr, "GET", f"/v1/jobs/{job_id}/result")
+    assert status == 200, wire
+    result = result_from_wire(wire)
+    print(f"result: {len(result.slices)} slices, cell a = "
+          f"{result.cell_length}, engine = {result.provenance['engine']}")
+
+    base = os.path.join(out_dir, "service_result")
+    json_path, npz_path = save_result(base, result)
+    back = load_result(base)
+    assert len(back.slices) == len(result.slices)
+    assert back.provenance["job_hash"] == job_id
+    print(f"saved + reloaded: {os.path.basename(json_path)} / "
+          f"{os.path.basename(npz_path)}")
+
+
+def resubmit_demo(addr) -> None:
+    """The same job again: the store serves it without a solve."""
+    status, ticket = _request(addr, "POST", "/v1/jobs", json.dumps(JOB))
+    assert status == 200 and ticket["state"] == "done"
+    _, metrics = _request(addr, "GET", "/v1/metrics")
+    print(f"resubmit: from_store={ticket['from_store']} — "
+          f"solves_started={metrics['solves_started']}, "
+          f"store hits={metrics['store']['hits']}, "
+          f"bytes={metrics['store']['bytes']}")
+    assert metrics["solves_started"] == 1  # the first run, and only it
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as tmp:
+        store_root = os.path.join(tmp, "store")
+        with ServiceServer(store_root, max_queue=8) as server:
+            job_id = submit_and_stream(server.address)
+            fetch_and_save(server.address, job_id, tmp)
+            resubmit_demo(server.address)
+    print("done: one solve served every client, the second submit none.")

@@ -67,11 +67,16 @@ from repro.ss.solver import SSConfig, SSHankelSolver, SSResult
 ProgressFn = Callable[[int, int], None]
 
 #: Cancellation callback ``should_cancel() -> bool``: polled *between*
-#: slices/shards (never mid-solve).  Returning ``True`` ends the stream
-#: early; everything already yielded stays valid, and the blocking
-#: :func:`repro.api.compute` returns the partial, energy-ordered,
-#: provenance-stamped result.  Shared by the same entry points as
-#: :data:`ProgressFn`.
+#: units of work, never mid-solve.  The poll points are: after every
+#: consumed base-grid shard, at the start of every refinement round
+#: *and* after every shard within a round, and before every k∥
+#: column's refinement — so a cancel lands within one shard's latency
+#: wherever the scan happens to be.  Returning ``True`` ends the
+#: stream early; everything already yielded stays valid (a partially
+#: consumed refinement round is dropped whole, so the stream never
+#: carries a torn round), and the blocking :func:`repro.api.compute`
+#: returns the partial, energy-ordered, provenance-stamped result.
+#: Shared by the same entry points as :data:`ProgressFn`.
 CancelFn = Callable[[], bool]
 
 #: Sentinel distinguishing "use the orchestrator's own cache context"
@@ -913,6 +918,8 @@ class ScanOrchestrator:
                     return
 
             for ci, (k, blk) in enumerate(columns):
+                if should_cancel is not None and should_cancel():
+                    return
                 column = sorted(col_slices[ci], key=lambda s: s.energy)
                 for new_slices in self._iter_refine(
                     column,
@@ -928,8 +935,6 @@ class ScanOrchestrator:
                         if progress is not None:
                             progress(done, total)
                         yield sl
-                if should_cancel is not None and should_cancel():
-                    return
         finally:
             report.wall_seconds = time.perf_counter() - t0
 
@@ -1013,6 +1018,12 @@ class ScanOrchestrator:
             for shard_slices, stats in self._imap_shards(specs):
                 round_slices.extend(shard_slices)
                 report.absorb(stats)
+                if should_cancel is not None and should_cancel():
+                    # Mid-round cancel: drop the partial round entirely
+                    # (nothing from it was yielded, so the caller's
+                    # stream stays consistent; the finished shard
+                    # solves are still in the slice cache).
+                    return
             solved.update(mids)
             report.refined_energies.extend(mids)
             report.refine_rounds += 1

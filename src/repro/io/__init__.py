@@ -8,12 +8,13 @@ from repro.io.results import (
     write_json,
     write_csv,
 )
-from repro.io.slice_cache import SliceCache, context_key
+from repro.io.slice_cache import CacheStats, SliceCache, context_key
 from repro.io.tables import ascii_table
 
 __all__ = [
     "save_blocks",
     "load_blocks",
+    "CacheStats",
     "SliceCache",
     "context_key",
     "ExperimentRecord",

@@ -31,7 +31,8 @@ import hashlib
 import os
 import struct
 import tempfile
-from typing import List, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
@@ -128,6 +129,69 @@ def _energy_key(energy: float) -> str:
     return np.float64(energy).tobytes().hex()
 
 
+@dataclass
+class CacheStats:
+    """Observable cache behavior: hits, misses, evictions, bytes.
+
+    Every :class:`SliceCache` carries one (``cache.stats``) counting its
+    own reads and the stale-temp files swept at open;
+    :class:`repro.service.ResultStore` aggregates the stats of all its
+    namespaces plus its own eviction and byte counters, and the service
+    metrics endpoint reports the merged view.
+
+    Attributes
+    ----------
+    hits:
+        Reads that returned a complete entry (:meth:`SliceCache.get` /
+        :meth:`~SliceCache.get_transport` and their ``_hit`` variants).
+    misses:
+        Reads that found nothing (including corrupt/partial/foreign
+        entries, which the cache treats as misses by contract).
+    evictions:
+        Entries removed by a byte-budget eviction pass (counted by the
+        owning :class:`repro.service.ResultStore`; a bare
+        :class:`SliceCache` never evicts).
+    swept_tmps:
+        Orphaned write-temp files removed by
+        :meth:`SliceCache._sweep_stale_tmps` (previously computed and
+        dropped).
+    bytes:
+        Bytes currently held (filled in by the aggregating store; a
+        bare cache leaves it zero rather than re-scanning on every
+        update).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    swept_tmps: int = 0
+    bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def absorb(self, other: "CacheStats") -> None:
+        """Fold another counter set into this one (``bytes`` adds too)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.swept_tmps += other.swept_tmps
+        self.bytes += other.bytes
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-JSON view (what the metrics endpoint ships)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "swept_tmps": self.swept_tmps,
+            "bytes": self.bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
 class SliceCache:
     """Directory-backed cache of :class:`EnergySlice` objects.
 
@@ -163,8 +227,12 @@ class SliceCache:
         self.root = os.fspath(root)
         self.context = context
         self.dir = os.path.join(self.root, context)
+        #: Public :class:`CacheStats` counters for this cache object
+        #: (per-instance, in-memory; concurrent opens each count their
+        #: own reads).
+        self.stats = CacheStats()
         os.makedirs(self.dir, exist_ok=True)
-        self._sweep_stale_tmps()
+        self.stats.swept_tmps += self._sweep_stale_tmps()
 
     #: Age (seconds) below which an orphaned temp file is presumed to
     #: belong to a live concurrent writer and is left alone.
@@ -301,7 +369,16 @@ class SliceCache:
 
     def get(self, energy: float) -> Optional["EnergySlice"]:
         """Load a cached slice, or ``None`` on a miss (including any
-        corrupt/partial/foreign-format entry)."""
+        corrupt/partial/foreign-format entry).  Counts into
+        :attr:`stats`."""
+        sl = self._read_slice(energy)
+        if sl is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return sl
+
+    def _read_slice(self, energy: float) -> Optional["EnergySlice"]:
         from repro.cbs.classify import CBSMode, ModeType
         from repro.cbs.scan import EnergySlice
 
@@ -398,7 +475,16 @@ class SliceCache:
 
     def get_transport(self, energy: float) -> Optional["TransportSlice"]:
         """Load a transport entry, or ``None`` on a miss (including any
-        corrupt/partial/foreign-format entry)."""
+        corrupt/partial/foreign-format entry).  Counts into
+        :attr:`stats`."""
+        sl = self._read_transport(energy)
+        if sl is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return sl
+
+    def _read_transport(self, energy: float) -> Optional["TransportSlice"]:
         from repro.transport.scan import TransportSlice
 
         path = self.transport_path_for(energy)

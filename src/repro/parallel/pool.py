@@ -306,17 +306,33 @@ class PersistentPool:
     # -- shared registry ---------------------------------------------------
 
     @classmethod
-    def shared(cls, workers: Optional[int] = None) -> "PersistentPool":
+    def shared(
+        cls,
+        workers: Optional[int] = None,
+        *,
+        idle_timeout: Optional[float] = None,
+    ) -> "PersistentPool":
         """The process-wide pool for ``workers`` lanes — this is what
         ``make_executor("pool")`` returns, so repeated ``compute()``
-        calls reuse one set of warm workers."""
+        calls reuse one set of warm workers.
+
+        ``idle_timeout`` (seconds; ``None`` leaves the pool's current
+        setting untouched) adjusts how long the shared pool keeps idle
+        workers alive.  Long-lived callers — the job service keeps one
+        warm pool across requests — pass a generous timeout so workers
+        survive gaps between jobs; one-shot scripts keep the default."""
         if workers is None:
             workers = min(os.cpu_count() or 1, 16)
         with cls._instances_lock:
             pool = cls._instances.get(workers)
             if pool is None or pool._closed:
-                pool = cls(workers)
+                if idle_timeout is None:
+                    pool = cls(workers)
+                else:
+                    pool = cls(workers, idle_timeout=idle_timeout)
                 cls._instances[workers] = pool
+            elif idle_timeout is not None:
+                pool.idle_timeout = idle_timeout
         return pool
 
     @classmethod

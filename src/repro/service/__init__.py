@@ -1,0 +1,62 @@
+"""repro.service — CBS-as-a-service over :class:`repro.api.CBSJob`.
+
+The library ends at :func:`repro.api.compute`; this package is the
+subsystem that multiplexes many clients onto it:
+
+* :class:`JobService` — an asyncio job service with
+  ``submit/status/stream/result/cancel``.  Submissions validate through
+  :meth:`repro.api.CBSJob.from_dict`, identical in-flight jobs dedup by
+  :meth:`~repro.api.CBSJob.job_hash` (N concurrent submits attach N
+  subscribers to ONE running computation), and completed slice streams
+  fan out in energy order to every subscriber.
+* :class:`ResultStore` — a concurrency-safe, size-bounded, multi-tenant
+  result store grown from :class:`repro.io.slice_cache.SliceCache`:
+  namespaced by ``cache_context``, LRU-evicted by byte budget, with a
+  :class:`repro.io.CacheStats` metrics surface and pinned (never
+  evicted) active readers.
+* an execution bridge that runs :func:`repro.api.compute_iter` on a
+  worker thread via ``run_in_executor`` — jobs declaring
+  ``mode="pool"`` ride the shared
+  :class:`repro.parallel.pool.PersistentPool`, kept warm for the
+  server's lifetime — honoring :data:`repro.api.CancelFn` so a client
+  disconnect stops the (non-shared) solve between slices.
+* admission control — a bounded job queue with backpressure
+  (reject-with-``retry_after`` when full) and per-client quotas.
+* a thin stdlib JSON-over-HTTP front end (:func:`serve`,
+  :class:`ServiceServer`) plus a ``python -m repro.service``
+  entrypoint; :mod:`repro.service.protocol` defines the
+  schema-versioned wire encoding.
+
+Start a server::
+
+    python -m repro.service --port 8750 --store /tmp/cbs-store
+
+and talk to it with nothing but the standard library — see
+``examples/service_client.py`` and :doc:`the service guide </service>`.
+"""
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ServiceRejected,
+    result_from_wire,
+    result_to_wire,
+    slice_from_wire,
+    slice_to_wire,
+)
+from repro.service.service import JobService, JobTicket
+from repro.service.store import ResultStore
+from repro.service.http import ServiceServer, serve
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "JobService",
+    "JobTicket",
+    "ResultStore",
+    "ServiceRejected",
+    "ServiceServer",
+    "result_from_wire",
+    "result_to_wire",
+    "serve",
+    "slice_from_wire",
+    "slice_to_wire",
+]

@@ -1,0 +1,67 @@
+"""``python -m repro.service`` — run the CBS job service.
+
+Example::
+
+    python -m repro.service --store /tmp/cbs-store --port 8787 \
+        --max-store-mb 256 --max-queue 8 --client-quota 4
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.service.http import serve
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="JSON-over-HTTP complex-band-structure job service",
+    )
+    parser.add_argument(
+        "--store", required=True, help="result-store root directory"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument(
+        "--max-store-mb",
+        type=float,
+        default=None,
+        help="store eviction budget in MiB (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        help="admission bound: jobs queued or running at once",
+    )
+    parser.add_argument(
+        "--max-running",
+        type=int,
+        default=2,
+        help="concurrent solves",
+    )
+    parser.add_argument(
+        "--client-quota",
+        type=int,
+        default=4,
+        help="distinct active jobs one client may hold",
+    )
+    args = parser.parse_args(argv)
+    serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        max_store_bytes=(
+            None
+            if args.max_store_mb is None
+            else int(args.max_store_mb * 1024 * 1024)
+        ),
+        max_queue=args.max_queue,
+        max_running=args.max_running,
+        client_quota=args.client_quota,
+    )
+
+
+if __name__ == "__main__":
+    main()

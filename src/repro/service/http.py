@@ -1,0 +1,474 @@
+"""Thin JSON-over-HTTP front end for :class:`repro.service.JobService`.
+
+Pure stdlib (``asyncio.start_server`` + hand-rolled HTTP/1.1 parsing —
+no new dependencies), exposing the service as six endpoints:
+
+========  =============================  =====================================
+method    path                           meaning
+========  =============================  =====================================
+POST      ``/v1/jobs``                   submit a job dict; returns the ticket
+GET       ``/v1/jobs/<id>``              lifecycle status snapshot
+GET       ``/v1/jobs/<id>/stream``       NDJSON slice stream (close-delimited)
+GET       ``/v1/jobs/<id>/result``       the finished job's full wire result
+DELETE    ``/v1/jobs/<id>``              detach this client (cancel if last)
+GET       ``/v1/metrics``                service counters + store stats
+GET       ``/v1/healthz``                liveness probe
+========  =============================  =====================================
+
+Clients identify themselves with the ``X-CBS-Client`` header (or a
+``?client=`` query parameter); quotas and cancellation interest are
+keyed by that name, defaulting to ``"anon"``.  Every refusal is a
+:class:`repro.service.ServiceRejected` mapped to its HTTP status with
+the structured JSON error envelope as the body; admission backpressure
+additionally sets a ``Retry-After`` header.
+
+The stream endpoint sends one JSON line per slice
+(:func:`repro.service.protocol.slice_to_wire` plus a ``seq`` counter)
+and a final ``{"event": "end", "state": ...}`` line, then closes.  A
+client that disconnects mid-stream is detached from the job exactly as
+if it had called DELETE — a solve nobody else shares stops at the next
+cancellation poll point.
+
+Two entry points: :func:`serve` (blocking; what ``python -m
+repro.service`` runs) and :class:`ServiceServer` (a thread harness that
+runs the loop in the background — what the tests, the example client,
+and the benchmark use).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ServiceRejected,
+    encode_line,
+    error_payload,
+    slice_to_wire,
+)
+from repro.service.service import JobService
+from repro.service.store import ResultStore
+
+__all__ = ["ServiceServer", "serve"]
+
+#: Request head size bound (request line + headers).
+_MAX_HEAD = 64 * 1024
+#: Request body size bound (job dicts are small).
+_MAX_BODY = 4 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _head(
+    status: int, *, content_length: Optional[int], extra: Dict[str, str]
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        "Connection: close",
+    ]
+    if content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    for k, v in extra.items():
+        lines.append(f"{k}: {v}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+class _Frontend:
+    """One service bound to one asyncio server (internal)."""
+
+    def __init__(self, service: JobService) -> None:
+        self.service = service
+
+    # -- response helpers ----------------------------------------------
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        obj: Dict[str, Any],
+        *,
+        extra: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(obj, sort_keys=True).encode("utf-8")
+        writer.write(
+            _head(status, content_length=len(body), extra=extra or {})
+        )
+        writer.write(body)
+        await writer.drain()
+
+    async def _send_reject(
+        self, writer: asyncio.StreamWriter, exc: ServiceRejected
+    ) -> None:
+        extra = {}
+        if exc.retry_after is not None:
+            extra["Retry-After"] = f"{exc.retry_after:g}"
+        await self._send_json(writer, exc.status, exc.payload(), extra=extra)
+
+    # -- connection handler --------------------------------------------
+
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._handle(reader, writer)
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # peer went away mid-request; nothing to answer
+        except Exception as e:  # never let one request kill the server
+            try:
+                await self._send_json(
+                    writer,
+                    500,
+                    error_payload("internal", f"{type(e).__name__}: {e}"),
+                )
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > _MAX_HEAD:
+            raise ServiceRejected(
+                "invalid-request", "request head too large", status=413
+            )
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3:
+            await self._send_json(
+                writer,
+                400,
+                error_payload("invalid-request", "malformed request line"),
+            )
+            return
+        method, target, _version = parts
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                k, v = line.split(":", 1)
+                headers[k.strip().lower()] = v.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            await self._send_json(
+                writer,
+                413,
+                error_payload("invalid-request", "request body too large"),
+            )
+            return
+        body = await reader.readexactly(length) if length else b""
+
+        url = urlsplit(target)
+        query = parse_qs(url.query)
+        client = headers.get(
+            "x-cbs-client", query.get("client", ["anon"])[0]
+        )
+        try:
+            await self._route(
+                writer, method.upper(), url.path, client, body
+            )
+        except ServiceRejected as exc:
+            await self._send_reject(writer, exc)
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        client: str,
+        body: bytes,
+    ) -> None:
+        service = self.service
+        if path == "/v1/healthz" and method == "GET":
+            await self._send_json(
+                writer,
+                200,
+                {"protocol_version": PROTOCOL_VERSION, "status": "ok"},
+            )
+            return
+        if path == "/v1/metrics" and method == "GET":
+            await self._send_json(writer, 200, service.metrics())
+            return
+        if path == "/v1/jobs" and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as e:
+                raise ServiceRejected(
+                    "invalid-job", f"body is not JSON: {e}", status=400
+                ) from e
+            ticket = await service.submit(payload, client=client)
+            await self._send_json(writer, 200, ticket.as_dict())
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, verb = rest.partition("/")
+            if not job_id or "/" in verb:
+                raise ServiceRejected(
+                    "unknown-job", f"no route {path!r}", status=404
+                )
+            if method == "GET" and verb == "":
+                await self._send_json(
+                    writer, 200, await service.status(job_id)
+                )
+                return
+            if method == "GET" and verb == "result":
+                await self._send_json(
+                    writer, 200, await service.result(job_id)
+                )
+                return
+            if method == "GET" and verb == "stream":
+                await self._stream(writer, job_id, client)
+                return
+            if method == "DELETE" and verb == "":
+                await self._send_json(
+                    writer, 200, await service.cancel(job_id, client=client)
+                )
+                return
+        raise ServiceRejected(
+            "unknown-route", f"no route {method} {path!r}", status=404
+        )
+
+    async def _stream(
+        self, writer: asyncio.StreamWriter, job_id: str, client: str
+    ) -> None:
+        service = self.service
+        # Raises unknown-job before any bytes are written.
+        status = await service.status(job_id)
+        writer.write(_head(200, content_length=None, extra={}))
+        seq = 0
+        try:
+            async for sl in service.stream(job_id):
+                line = slice_to_wire(sl)
+                line["event"] = "slice"
+                line["seq"] = seq
+                seq += 1
+                writer.write(encode_line(line))
+                await writer.drain()
+            status = await service.status(job_id)
+            writer.write(
+                encode_line(
+                    {
+                        "event": "end",
+                        "protocol_version": PROTOCOL_VERSION,
+                        "job_id": job_id,
+                        "state": status["state"],
+                        "n_slices": seq,
+                        "error": status["error"],
+                    }
+                )
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            # The peer vanished mid-stream: detach it — the same path
+            # as an explicit DELETE, so an unshared solve stops at the
+            # next cancellation poll point.
+            await service.cancel(job_id, client=client)
+            raise
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+async def _amain(
+    store_root: str,
+    *,
+    host: str,
+    port: int,
+    max_store_bytes: Optional[int],
+    ready: Optional["_Ready"] = None,
+    service_kwargs: Optional[Dict[str, Any]] = None,
+) -> None:
+    store = ResultStore(store_root, max_bytes=max_store_bytes)
+    service = JobService(store, **(service_kwargs or {}))
+    frontend = _Frontend(service)
+    server = await asyncio.start_server(
+        frontend.handle, host, port, limit=_MAX_HEAD
+    )
+    bound = server.sockets[0].getsockname()
+    stop = asyncio.Event()
+    if ready is not None:
+        ready.publish(
+            loop=asyncio.get_running_loop(),
+            stop=stop,
+            service=service,
+            address=(bound[0], bound[1]),
+        )
+    else:
+        print(f"repro.service listening on http://{bound[0]}:{bound[1]}")
+    async with server:
+        await stop.wait()
+    await service.aclose()
+
+
+class _Ready:
+    """Cross-thread rendezvous for :class:`ServiceServer` (internal)."""
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self.stop: Optional[asyncio.Event] = None
+        self.service: Optional[JobService] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    def publish(self, *, loop, stop, service, address) -> None:
+        self.loop = loop
+        self.stop = stop
+        self.service = service
+        self.address = address
+        self.event.set()
+
+
+def serve(
+    store_root: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    max_store_bytes: Optional[int] = None,
+    **service_kwargs: Any,
+) -> None:
+    """Run the service in the foreground until interrupted.
+
+    This is what ``python -m repro.service`` calls; extra keyword
+    arguments configure the :class:`~repro.service.JobService`
+    (``max_queue``, ``max_running``, ``client_quota``, ...).
+    """
+    try:
+        asyncio.run(
+            _amain(
+                store_root,
+                host=host,
+                port=port,
+                max_store_bytes=max_store_bytes,
+                service_kwargs=service_kwargs,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+
+
+class ServiceServer:
+    """A background-thread service harness.
+
+    Runs the full stack — store, :class:`~repro.service.JobService`,
+    HTTP front end — on a private event loop in a daemon thread, so
+    synchronous code (tests, the example client, the benchmark) can
+    talk to it with plain :mod:`http.client`.
+
+    Parameters
+    ----------
+    store_root : str
+        The :class:`~repro.service.ResultStore` root directory.
+    host, port : str, int, optional
+        Bind address; ``port=0`` (default) picks a free port, exposed
+        as :attr:`address` after :meth:`start`.
+    max_store_bytes : int or None, optional
+        The store's eviction budget.
+    **service_kwargs
+        Forwarded to :class:`~repro.service.JobService`.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> with ServiceServer(tempfile.mkdtemp()) as server:
+    ...     host, port = server.address
+    """
+
+    def __init__(
+        self,
+        store_root: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_store_bytes: Optional[int] = None,
+        **service_kwargs: Any,
+    ) -> None:
+        self.store_root = store_root
+        self.host = host
+        self.port = port
+        self.max_store_bytes = max_store_bytes
+        self.service_kwargs = service_kwargs
+        self._ready = _Ready()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ServiceServer":
+        """Launch the server thread; returns once it is accepting."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._thread_main, name="cbs-service-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.event.wait(timeout=30.0):
+            raise RuntimeError("service thread failed to start in 30 s")
+        return self
+
+    def _thread_main(self) -> None:
+        asyncio.run(
+            _amain(
+                self.store_root,
+                host=self.host,
+                port=self.port,
+                max_store_bytes=self.max_store_bytes,
+                ready=self._ready,
+                service_kwargs=self.service_kwargs,
+            )
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (after :meth:`start`)."""
+        if self._ready.address is None:
+            raise RuntimeError("ServiceServer not started")
+        return self._ready.address
+
+    @property
+    def service(self) -> JobService:
+        """The in-process :class:`~repro.service.JobService` (metrics
+        inspection in tests; counters are loop-thread state — read them
+        only once the traffic you sent has settled)."""
+        if self._ready.service is None:
+            raise RuntimeError("ServiceServer not started")
+        return self._ready.service
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._thread is None:
+            return
+        loop, stop = self._ready.loop, self._ready.stop
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already gone
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,340 @@
+"""The service wire protocol: JSON encodings and structured rejects.
+
+Everything the HTTP front end ships is defined here, so the service,
+the tests, and any client agree on one schema:
+
+* :func:`slice_to_wire` / :func:`slice_from_wire` — one
+  :class:`repro.cbs.EnergySlice` or
+  :class:`repro.transport.TransportSlice` as a pure-JSON dict
+  (complex numbers as ``[re, im]`` pairs, ``inf`` as ``null``);
+* :func:`result_to_wire` / :func:`result_from_wire` — a whole
+  schema-versioned :class:`repro.cbs.CBSResult` /
+  :class:`repro.transport.TransportResult` including its provenance
+  block, so a client can rebuild the exact result object and hand it
+  to :func:`repro.api.save_result`;
+* :class:`ServiceRejected` + :func:`error_payload` — the structured
+  reject every refusal path uses (admission backpressure carries
+  ``retry_after``; quota, validation, and routing errors carry a
+  machine-readable ``code``).
+
+The protocol is versioned (:data:`PROTOCOL_VERSION`): every response
+envelope carries it, and :func:`result_from_wire` rejects payloads from
+a different protocol or result schema instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.cbs.classify import CBSMode, ModeType
+from repro.cbs.scan import CBS_RESULT_SCHEMA_VERSION, CBSResult, EnergySlice
+from repro.transport.scan import (
+    TRANSPORT_RESULT_SCHEMA_VERSION,
+    TransportResult,
+    TransportSlice,
+)
+
+#: Bump when the wire layout changes incompatibly; responses carry it
+#: and :func:`result_from_wire` rejects foreign versions.
+PROTOCOL_VERSION = 1
+
+#: The job lifecycle states a :class:`repro.service.JobService` reports.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+class ServiceRejected(Exception):
+    """A structured service refusal (never a crash).
+
+    Parameters
+    ----------
+    code:
+        Machine-readable reject code (``"busy"``, ``"quota"``,
+        ``"invalid-job"``, ``"unknown-job"``, ``"not-done"``,
+        ``"failed"``).
+    message:
+        Human-readable explanation.
+    retry_after:
+        Seconds after which a retry may succeed (admission
+        backpressure); ``None`` when retrying won't help by waiting.
+    status:
+        The HTTP status the front end maps this reject to.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        retry_after: Optional[float] = None,
+        status: int = 400,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+        self.status = status
+
+    def payload(self) -> Dict[str, Any]:
+        return error_payload(
+            self.code, self.message, retry_after=self.retry_after
+        )
+
+
+def error_payload(
+    code: str, message: str, *, retry_after: Optional[float] = None
+) -> Dict[str, Any]:
+    """The one reject envelope every refusal path ships."""
+    err: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after is not None:
+        err["retry_after"] = float(retry_after)
+    return {"protocol_version": PROTOCOL_VERSION, "error": err}
+
+
+def encode_line(obj: Dict[str, Any]) -> bytes:
+    """One NDJSON line (the streaming endpoint's unit)."""
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# scalar helpers
+# ---------------------------------------------------------------------------
+
+
+def _c2w(z: complex) -> List[float]:
+    return [float(z.real), float(z.imag)]
+
+
+def _w2c(v) -> complex:
+    return complex(float(v[0]), float(v[1]))
+
+
+def _f2w(x: float) -> Optional[float]:
+    """JSON-safe float: ``inf`` → ``None`` (strict-JSON friendly)."""
+    x = float(x)
+    return None if math.isinf(x) else x
+
+
+def _w2f(v) -> float:
+    return math.inf if v is None else float(v)
+
+
+def _matrix_to_wire(m: np.ndarray) -> Dict[str, Any]:
+    a = np.asarray(m, dtype=np.complex128)
+    return {
+        "shape": list(a.shape),
+        "re": a.real.ravel().tolist(),
+        "im": a.imag.ravel().tolist(),
+    }
+
+
+def _matrix_from_wire(d) -> np.ndarray:
+    shape = tuple(int(s) for s in d["shape"])
+    re = np.asarray(d["re"], dtype=np.float64).reshape(shape)
+    im = np.asarray(d["im"], dtype=np.float64).reshape(shape)
+    return re + 1j * im
+
+
+# ---------------------------------------------------------------------------
+# slices
+# ---------------------------------------------------------------------------
+
+
+def slice_to_wire(
+    sl: Union[EnergySlice, TransportSlice]
+) -> Dict[str, Any]:
+    """One slice as a pure-JSON dict (round-trips via
+    :func:`slice_from_wire`).
+
+    Parameters
+    ----------
+    sl : EnergySlice or TransportSlice
+        The slice to encode; the returned dict's ``"kind"`` key
+        (``"cbs"`` / ``"transport"``) records which family it was.
+
+    Returns
+    -------
+    dict
+        JSON-safe payload: complex values as ``[re, im]`` pairs,
+        infinite decay lengths as ``null``.
+    """
+    if isinstance(sl, TransportSlice):
+        return {
+            "kind": "transport",
+            "energy": float(sl.energy),
+            "transmission": float(sl.transmission),
+            "sigma_l": _matrix_to_wire(sl.sigma_l),
+            "sigma_r": _matrix_to_wire(sl.sigma_r),
+            "n_channels": int(sl.n_channels),
+            "total_iterations": int(sl.total_iterations),
+            "solve_seconds": float(sl.solve_seconds),
+            "k_par": None if sl.k_par is None else float(sl.k_par),
+            "k_weight": float(sl.k_weight),
+        }
+    return {
+        "kind": "cbs",
+        "energy": float(sl.energy),
+        "total_iterations": int(sl.total_iterations),
+        "solve_seconds": float(sl.solve_seconds),
+        "k_par": None if sl.k_par is None else float(sl.k_par),
+        "modes": [
+            {
+                "lam": _c2w(m.lam),
+                "k": _c2w(m.k),
+                "mode_type": m.mode_type.value,
+                "decay_length": _f2w(m.decay_length),
+                "residual": float(m.residual),
+            }
+            for m in sl.modes
+        ],
+    }
+
+
+def slice_from_wire(d: Dict[str, Any]) -> Union[EnergySlice, TransportSlice]:
+    """Inverse of :func:`slice_to_wire`.
+
+    Parameters
+    ----------
+    d : dict
+        A wire dict whose ``"kind"`` is ``"cbs"`` or ``"transport"``.
+
+    Returns
+    -------
+    EnergySlice or TransportSlice
+
+    Raises
+    ------
+    ServiceRejected
+        For an unknown ``kind`` (code ``"invalid-payload"``).
+    """
+    kind = d.get("kind")
+    if kind == "transport":
+        return TransportSlice(
+            energy=float(d["energy"]),
+            transmission=float(d["transmission"]),
+            sigma_l=_matrix_from_wire(d["sigma_l"]),
+            sigma_r=_matrix_from_wire(d["sigma_r"]),
+            n_channels=int(d["n_channels"]),
+            total_iterations=int(d["total_iterations"]),
+            solve_seconds=float(d["solve_seconds"]),
+            k_par=None if d["k_par"] is None else float(d["k_par"]),
+            k_weight=float(d["k_weight"]),
+        )
+    if kind == "cbs":
+        energy = float(d["energy"])
+        modes = [
+            CBSMode(
+                energy,
+                _w2c(m["lam"]),
+                _w2c(m["k"]),
+                ModeType(m["mode_type"]),
+                _w2f(m["decay_length"]),
+                float(m["residual"]),
+            )
+            for m in d["modes"]
+        ]
+        return EnergySlice(
+            energy,
+            modes,
+            total_iterations=int(d["total_iterations"]),
+            solve_seconds=float(d["solve_seconds"]),
+            k_par=None if d["k_par"] is None else float(d["k_par"]),
+        )
+    raise ServiceRejected(
+        "invalid-payload", f"unknown slice kind {kind!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# whole results
+# ---------------------------------------------------------------------------
+
+
+def result_to_wire(
+    result: Union[CBSResult, TransportResult]
+) -> Dict[str, Any]:
+    """A whole result — slices, cell length, provenance — as JSON.
+
+    The envelope carries :data:`PROTOCOL_VERSION`, the result family
+    (``"cbs"``/``"transport"``), and the result's own
+    ``schema_version``, all of which :func:`result_from_wire`
+    validates.
+
+    Parameters
+    ----------
+    result : CBSResult or TransportResult
+        The result to encode.
+
+    Returns
+    -------
+    dict
+        JSON-safe payload round-tripping through
+        :func:`result_from_wire`.
+    """
+    kind = "transport" if isinstance(result, TransportResult) else "cbs"
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "kind": kind,
+        "schema_version": int(result.schema_version),
+        "cell_length": float(result.cell_length),
+        "provenance": result.provenance,
+        "slices": [slice_to_wire(sl) for sl in result.slices],
+    }
+
+
+def result_from_wire(
+    d: Dict[str, Any]
+) -> Union[CBSResult, TransportResult]:
+    """Rebuild the exact result object a wire payload describes.
+
+    Parameters
+    ----------
+    d : dict
+        A :func:`result_to_wire` payload.
+
+    Returns
+    -------
+    CBSResult or TransportResult
+        Ready for :func:`repro.api.save_result`.
+
+    Raises
+    ------
+    ServiceRejected
+        On a foreign protocol version, an unknown result kind, or a
+        result schema version this build does not read.
+    """
+    version = d.get("protocol_version")
+    if version != PROTOCOL_VERSION:
+        raise ServiceRejected(
+            "invalid-payload",
+            f"unsupported protocol_version {version!r}; this build "
+            f"speaks version {PROTOCOL_VERSION}",
+        )
+    kind = d.get("kind")
+    if kind == "cbs":
+        expected = CBS_RESULT_SCHEMA_VERSION
+        cls: Any = CBSResult
+    elif kind == "transport":
+        expected = TRANSPORT_RESULT_SCHEMA_VERSION
+        cls = TransportResult
+    else:
+        raise ServiceRejected(
+            "invalid-payload", f"unknown result kind {kind!r}"
+        )
+    schema = d.get("schema_version")
+    if schema != expected:
+        raise ServiceRejected(
+            "invalid-payload",
+            f"unsupported {kind} result schema_version {schema!r}; "
+            f"this build reads version {expected}",
+        )
+    slices = [slice_from_wire(s) for s in d["slices"]]
+    return cls(
+        slices,
+        float(d["cell_length"]),
+        schema_version=int(schema),
+        provenance=dict(d.get("provenance") or {}),
+    )

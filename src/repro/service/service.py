@@ -1,0 +1,554 @@
+"""The asyncio job service: submit, dedup, stream, cancel.
+
+:class:`JobService` turns :func:`repro.api.compute_iter` into a
+long-lived, multi-client server core:
+
+* **submit** validates a job payload through
+  :meth:`repro.api.CBSJob.from_dict` and keys it by
+  :meth:`~repro.api.CBSJob.job_hash` — the job's provenance identity
+  *is* its job id;
+* **in-flight dedup** — N concurrent submissions of the same job
+  attach N subscribers to ONE running computation (exactly one
+  ``compute_iter`` run; the ``solves_started`` metric pins it);
+* **warm resubmit** — a completed job's slice set is recorded in the
+  :class:`repro.service.ResultStore` under its hash, so an identical
+  later submission is served entirely from the store (zero solves) and
+  falls back to solving only if eviction broke the set;
+* **streaming fan-out** — every subscriber receives the full slice
+  stream in arrival order (base grid ascending in energy, refinement
+  insertions after), late subscribers replay the finished prefix first;
+* **backpressure + quotas** — a bounded admission queue rejects with a
+  structured ``retry_after`` when full, and per-client quotas bound how
+  many distinct jobs one client may have active;
+* **cancellation** — a client detaching from a job releases its
+  interest; the solve is stopped (via the
+  :data:`repro.cbs.orchestrator.CancelFn` contract, between slices /
+  shards / refinement rounds, never mid-solve) only when *no* client
+  remains interested, so shared solves keep running.
+
+Threading model: all service state lives on the event loop; the
+blocking ``compute_iter`` drive runs on a small
+:class:`~concurrent.futures.ThreadPoolExecutor` via
+``run_in_executor`` and hands each slice back with
+``loop.call_soon_threadsafe``.  Jobs whose execution mode is ``"pool"``
+solve on the process-wide :meth:`repro.parallel.PersistentPool.shared`
+workers, which the service warms with a long ``idle_timeout`` so the
+fork cost is paid once per process, not once per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.api.facade import _provenance, compute_iter
+from repro.api.spec import CBSJob
+from repro.cbs.scan import CBSResult
+from repro.errors import ConfigurationError
+from repro.parallel.pool import PersistentPool
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ServiceRejected,
+    result_to_wire,
+)
+from repro.service.store import ResultStore
+from repro.transport.scan import TransportResult
+
+__all__ = ["JobService", "JobTicket"]
+
+
+def _sorted_slices(slices):
+    """Canonical result ordering: (k∥, E) for k∥-resolved slices,
+    ascending energy otherwise (matches :func:`repro.api.compute`)."""
+    return sorted(
+        slices,
+        key=lambda s: (
+            0.0 if getattr(s, "k_par", None) is None else float(s.k_par),
+            float(s.energy),
+        ),
+    )
+
+#: How long the service keeps the shared PersistentPool's workers warm
+#: between jobs (seconds).
+SERVICE_POOL_IDLE_TIMEOUT = 600.0
+
+
+@dataclass
+class JobTicket:
+    """What :meth:`JobService.submit` hands back.
+
+    Attributes
+    ----------
+    job_id:
+        The job's :meth:`~repro.api.CBSJob.job_hash` — also the handle
+        for ``status``/``stream``/``result``/``cancel``.
+    state:
+        Lifecycle state at submission time (one of
+        :data:`repro.service.protocol.JOB_STATES`).
+    deduped:
+        ``True`` when this submission attached to an already-running
+        identical job instead of starting a new solve.
+    from_store:
+        ``True`` when the job was served entirely from the
+        :class:`~repro.service.ResultStore` (zero solves).
+    """
+
+    job_id: str
+    state: str
+    deduped: bool = False
+    from_store: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "job_id": self.job_id,
+            "state": self.state,
+            "deduped": self.deduped,
+            "from_store": self.from_store,
+        }
+
+
+@dataclass
+class _JobRecord:
+    """One job's event-loop-confined state (internal)."""
+
+    job_id: str
+    job: CBSJob
+    transport: bool
+    state: str = "queued"
+    clients: Set[str] = field(default_factory=set)
+    slices: List[Any] = field(default_factory=list)
+    subscribers: List["asyncio.Queue"] = field(default_factory=list)
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    result: Optional[Any] = None
+    error: Optional[str] = None
+    task: Optional["asyncio.Task"] = None
+
+
+class JobService:
+    """The CBS job service core (front-end agnostic; see
+    :mod:`repro.service.http` for the wire front end).
+
+    Parameters
+    ----------
+    store : ResultStore
+        The multi-tenant result store backing warm resubmits and slice
+        persistence.
+    max_queue : int, optional
+        Admission bound: the maximum number of jobs queued *or* running
+        at once.  A submission beyond it is rejected with code
+        ``"busy"`` and a ``retry_after`` hint (backpressure, not an
+        error page).
+    max_running : int, optional
+        How many solves may run concurrently (an
+        :class:`asyncio.Semaphore`; the rest wait in the queue).
+    client_quota : int, optional
+        Per-client bound on *distinct* active jobs.  Dedup attachments
+        to a job the client already holds are free; a client at quota is
+        refused (code ``"quota"``) while other clients proceed.
+    retry_after : float, optional
+        The backpressure hint (seconds) shipped with ``"busy"``
+        rejects.
+    solver_threads : int, optional
+        Size of the executor-bridge thread pool driving
+        ``compute_iter`` (each running job occupies one thread between
+        slices; the heavy lifting is in solver processes when the job's
+        execution mode says so).
+
+    Notes
+    -----
+    Every public method must be called on the service's event loop
+    (they are ``async`` or, like the internal publish hooks, scheduled
+    onto the loop).  The thread-safety boundary is exactly
+    ``loop.call_soon_threadsafe``.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        max_queue: int = 8,
+        max_running: int = 2,
+        client_quota: int = 4,
+        retry_after: float = 1.0,
+        solver_threads: int = 4,
+    ) -> None:
+        if max_queue < 1:
+            raise ConfigurationError(
+                f"JobService max_queue must be >= 1, got {max_queue}"
+            )
+        if max_running < 1:
+            raise ConfigurationError(
+                f"JobService max_running must be >= 1, got {max_running}"
+            )
+        if client_quota < 1:
+            raise ConfigurationError(
+                f"JobService client_quota must be >= 1, got {client_quota}"
+            )
+        self.store = store
+        self.max_queue = max_queue
+        self.client_quota = client_quota
+        self.retry_after = float(retry_after)
+        self._sem = asyncio.Semaphore(max_running)
+        self._executor = ThreadPoolExecutor(
+            max_workers=solver_threads, thread_name_prefix="cbs-service"
+        )
+        self._jobs: Dict[str, _JobRecord] = {}
+        self._active: Set[str] = set()
+        self.metrics_counters: Dict[str, int] = {
+            "submitted": 0,
+            "deduped": 0,
+            "served_from_store": 0,
+            "solves_started": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "rejected_busy": 0,
+            "rejected_quota": 0,
+        }
+        # Keep the shared pool's forked workers warm across requests.
+        PersistentPool.shared(idle_timeout=SERVICE_POOL_IDLE_TIMEOUT)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    async def submit(self, payload, client: str = "anon") -> JobTicket:
+        """Admit one job; returns its :class:`JobTicket`.
+
+        ``payload`` is a job dict (validated through
+        :meth:`CBSJob.from_dict`) or a ready :class:`CBSJob`.
+
+        Raises
+        ------
+        ServiceRejected
+            ``"invalid-job"`` (400) for a payload that does not
+            validate; ``"busy"`` (429, with ``retry_after``) when the
+            admission queue is full; ``"quota"`` (429) when *this*
+            client is at its distinct-active-jobs quota.
+        """
+        if isinstance(payload, CBSJob):
+            job = payload
+        else:
+            try:
+                job = CBSJob.from_dict(payload)
+            except (ConfigurationError, TypeError, ValueError, KeyError) as e:
+                raise ServiceRejected(
+                    "invalid-job", f"job payload rejected: {e}", status=400
+                ) from e
+        job_id = job.job_hash()
+        self.metrics_counters["submitted"] += 1
+
+        # In-flight dedup: attach, don't re-solve.
+        rec = self._jobs.get(job_id)
+        if rec is not None and rec.state in ("queued", "running"):
+            self._check_quota(client, job_id)
+            rec.clients.add(client)
+            self.metrics_counters["deduped"] += 1
+            return JobTicket(job_id, rec.state, deduped=True)
+
+        # Warm resubmit: the store can serve the whole job without a
+        # single solve — unless eviction broke the set.
+        warm = self._from_store(job_id, job)
+        if warm is not None:
+            self._jobs[job_id] = warm
+            self.metrics_counters["served_from_store"] += 1
+            return JobTicket(job_id, "done", from_store=True)
+
+        # Admission control: backpressure first, then the per-client
+        # quota (a full queue is everyone's problem; quota is yours).
+        if len(self._active) >= self.max_queue:
+            self.metrics_counters["rejected_busy"] += 1
+            raise ServiceRejected(
+                "busy",
+                f"admission queue full ({len(self._active)}/"
+                f"{self.max_queue} jobs active); retry later",
+                retry_after=self.retry_after,
+                status=429,
+            )
+        self._check_quota(client, job_id)
+
+        rec = _JobRecord(
+            job_id=job_id,
+            job=job,
+            transport=job.engine() == "transport",
+            clients={client},
+        )
+        self._jobs[job_id] = rec
+        self._active.add(job_id)
+        rec.task = asyncio.get_running_loop().create_task(self._run(rec))
+        return JobTicket(job_id, "queued")
+
+    def _check_quota(self, client: str, job_id: str) -> None:
+        held = {
+            jid
+            for jid in self._active
+            if jid != job_id and client in self._jobs[jid].clients
+        }
+        if len(held) >= self.client_quota:
+            self.metrics_counters["rejected_quota"] += 1
+            raise ServiceRejected(
+                "quota",
+                f"client {client!r} already holds {len(held)} active "
+                f"jobs (quota {self.client_quota})",
+                status=429,
+            )
+
+    def _from_store(self, job_id: str, job: CBSJob) -> Optional[_JobRecord]:
+        """A fully store-served done record, or ``None`` if the store
+        cannot cover the job (no manifest, or an entry was evicted)."""
+        manifest = self.store.get_manifest(job_id)
+        if manifest is None:
+            return None
+        transport = manifest.get("kind") == "transport"
+        slices = []
+        for context, energy in manifest.get("entries", []):
+            sl = self.store.get(context, float(energy), transport=transport)
+            if sl is None:
+                return None
+            slices.append(sl)
+        slices = _sorted_slices(slices)
+        cls = TransportResult if transport else CBSResult
+        result = cls(slices, float(manifest["cell_length"]))
+        result.provenance = dict(manifest.get("provenance") or {})
+        return _JobRecord(
+            job_id=job_id,
+            job=job,
+            transport=transport,
+            state="done",
+            slices=slices,
+            result=result,
+        )
+
+    # ------------------------------------------------------------------
+    # execution bridge
+    # ------------------------------------------------------------------
+
+    async def _run(self, rec: _JobRecord) -> None:
+        async with self._sem:
+            if rec.cancel_event.is_set():
+                self._settle(rec, "cancelled")
+                return
+            rec.state = "running"
+            self.metrics_counters["solves_started"] += 1
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(
+                    self._executor, self._solve, rec, loop
+                )
+            except Exception as e:  # belt-and-braces; _solve catches too
+                self._fail(rec, f"{type(e).__name__}: {e}")
+
+    def _solve(self, rec: _JobRecord, loop) -> None:
+        """Drive ``compute_iter`` to completion (solver thread)."""
+        job = rec.job
+        entries: List[List[Any]] = []
+        solved: List[Any] = []
+        try:
+            stream = compute_iter(
+                job, should_cancel=rec.cancel_event.is_set
+            )
+            for sl in stream:
+                context = (
+                    job.cache_context(k_par=sl.k_par)
+                    if job.kpar is not None
+                    else job.cache_context()
+                )
+                self.store.put(context, sl, transport=rec.transport)
+                entries.append([context, float(sl.energy)])
+                solved.append(sl)
+                loop.call_soon_threadsafe(self._publish, rec, sl)
+            if rec.cancel_event.is_set():
+                loop.call_soon_threadsafe(self._settle, rec, "cancelled")
+                return
+            result = self._build_result(rec, entries, solved)
+            loop.call_soon_threadsafe(self._complete, rec, result)
+        except Exception as e:
+            loop.call_soon_threadsafe(
+                self._fail, rec, f"{type(e).__name__}: {e}"
+            )
+
+    def _build_result(self, rec: _JobRecord, entries, solved):
+        """Assemble the result object and persist the job manifest
+        (solver thread; touches only thread-safe store state)."""
+        job = rec.job
+        slices = _sorted_slices(solved)
+        cell_length = job.system.build().cell_length
+        if rec.transport:
+            result: Any = TransportResult(slices, cell_length)
+        else:
+            result = CBSResult(slices, cell_length)
+        result.provenance = _provenance(job, job.engine())
+        self.store.put_manifest(
+            rec.job_id,
+            {
+                "kind": "transport" if rec.transport else "cbs",
+                "cell_length": float(cell_length),
+                "provenance": result.provenance,
+                "entries": entries,
+            },
+        )
+        return result
+
+    # -- loop-side settlement ------------------------------------------
+
+    def _publish(self, rec: _JobRecord, sl) -> None:
+        rec.slices.append(sl)
+        for q in rec.subscribers:
+            q.put_nowait(("slice", sl))
+
+    def _complete(self, rec: _JobRecord, result) -> None:
+        rec.result = result
+        self._settle(rec, "done")
+
+    def _fail(self, rec: _JobRecord, message: str) -> None:
+        rec.error = message
+        self._settle(rec, "failed")
+
+    def _settle(self, rec: _JobRecord, state: str) -> None:
+        rec.state = state
+        self.metrics_counters[
+            {"done": "completed", "failed": "failed", "cancelled": "cancelled"}[
+                state
+            ]
+        ] += 1
+        self._active.discard(rec.job_id)
+        for q in rec.subscribers:
+            q.put_nowait(("end", None))
+        rec.subscribers.clear()
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def _record(self, job_id: str) -> _JobRecord:
+        rec = self._jobs.get(job_id)
+        if rec is None:
+            raise ServiceRejected(
+                "unknown-job", f"no job {job_id!r}", status=404
+            )
+        return rec
+
+    async def status(self, job_id: str) -> Dict[str, Any]:
+        """One job's lifecycle snapshot (state, slices so far, error)."""
+        rec = self._record(job_id)
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "job_id": job_id,
+            "state": rec.state,
+            "n_slices": len(rec.slices),
+            "clients": len(rec.clients),
+            "error": rec.error,
+        }
+
+    async def stream(self, job_id: str):
+        """Async-iterate the job's slices: finished prefix first, then
+        live fan-out until the job settles.
+
+        The snapshot and the subscription happen atomically (no await
+        between them), so no slice is ever dropped or duplicated
+        however late the subscriber arrives.
+        """
+        rec = self._record(job_id)
+        q: asyncio.Queue = asyncio.Queue()
+        snapshot = list(rec.slices)
+        live = rec.state in ("queued", "running")
+        if live:
+            rec.subscribers.append(q)
+        try:
+            for sl in snapshot:
+                yield sl
+            if not live:
+                return
+            while True:
+                kind, sl = await q.get()
+                if kind == "end":
+                    return
+                yield sl
+        finally:
+            if q in rec.subscribers:
+                rec.subscribers.remove(q)
+
+    async def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's full wire result
+        (:func:`repro.service.protocol.result_to_wire`).
+
+        Raises
+        ------
+        ServiceRejected
+            ``"not-done"`` (409) while queued/running or after a
+            cancel; ``"failed"`` (500) carrying the error message.
+        """
+        rec = self._record(job_id)
+        if rec.state == "failed":
+            raise ServiceRejected(
+                "failed", rec.error or "job failed", status=500
+            )
+        if rec.state != "done" or rec.result is None:
+            raise ServiceRejected(
+                "not-done",
+                f"job {job_id!r} is {rec.state}; no result yet",
+                status=409,
+            )
+        return result_to_wire(rec.result)
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+
+    async def cancel(self, job_id: str, client: str = "anon") -> Dict[str, Any]:
+        """Detach one client from a job.
+
+        The solve is told to stop (between slices/shards/refinement
+        rounds — the :data:`~repro.cbs.orchestrator.CancelFn` contract)
+        only when no interested client remains; a job other clients
+        share keeps running.  Already-settled jobs are a no-op.
+        """
+        rec = self._record(job_id)
+        rec.clients.discard(client)
+        stopping = False
+        if rec.state in ("queued", "running") and not rec.clients:
+            # _run polls the event at its semaphore turn (queued) and
+            # compute_iter polls it between slices (running).
+            rec.cancel_event.set()
+            stopping = True
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "job_id": job_id,
+            "state": rec.state,
+            "detached": client,
+            "stopping": stopping,
+        }
+
+    # ------------------------------------------------------------------
+    # metrics / lifecycle
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """Service counters plus the store's merged
+        :class:`repro.io.CacheStats`."""
+        out: Dict[str, Any] = {
+            "protocol_version": PROTOCOL_VERSION,
+            "active": len(self._active),
+            "jobs": len(self._jobs),
+        }
+        out.update(self.metrics_counters)
+        out["store"] = self.store.stats().as_dict()
+        return out
+
+    async def aclose(self) -> None:
+        """Stop every active job and release the solver threads."""
+        for job_id in list(self._active):
+            rec = self._jobs[job_id]
+            rec.cancel_event.set()
+        tasks = [
+            rec.task
+            for rec in self._jobs.values()
+            if rec.task is not None and not rec.task.done()
+        ]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._executor.shutdown(wait=True)

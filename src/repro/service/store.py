@@ -1,0 +1,332 @@
+"""The multi-tenant, size-bounded service result store.
+
+:class:`ResultStore` grows :class:`repro.io.slice_cache.SliceCache`
+from a single-context directory cache into the store a long-lived
+service needs:
+
+* **multi-tenant** — one store root holds many *namespaces*, one per
+  :meth:`repro.api.CBSJob.cache_context` (the physics-only identity),
+  so jobs that share physics share entries and jobs that don't can
+  never collide;
+* **concurrency-safe** — all store bookkeeping is behind one lock, and
+  the on-disk format inherits the ``SliceCache`` atomicity contract
+  (``mkstemp`` + ``os.replace``; a torn write is a miss), so multiple
+  processes may hammer one root;
+* **size-bounded** — an optional byte budget with LRU eviction:
+  every read-hit refreshes its entry's recency (``os.utime``), and an
+  over-budget put evicts least-recently-hit entries first.  Entries
+  with an **active reader** (:meth:`reading`) are pinned and never
+  evicted mid-read;
+* **observable** — :meth:`stats` merges every namespace's
+  :class:`repro.io.CacheStats` with the store's own eviction/byte
+  counters (the service metrics endpoint reports it);
+* **manifests** — a completed job's slice set is recorded under its
+  ``job_hash`` (:meth:`put_manifest`), so an identical resubmission is
+  served entirely from the store — and falls back to solving the
+  moment any constituent entry has been evicted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.io.slice_cache import CacheStats, SliceCache
+
+__all__ = ["ResultStore"]
+
+#: Subdirectory of the store root holding job manifests (tiny JSON
+#: headers, exempt from the byte budget).
+_MANIFEST_DIR = "_manifests"
+
+
+def _entry_files(directory: str) -> List[Tuple[str, float, int]]:
+    """``(path, mtime, size)`` of every slice/transport entry in one
+    namespace directory (missing/raced files skipped)."""
+    out = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return out
+    for name in names:
+        if not name.endswith(".npz"):
+            continue
+        if not (name.startswith("slice_") or name.startswith("transport_")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            st = os.stat(path)
+        except OSError:
+            continue
+        out.append((path, st.st_mtime, st.st_size))
+    return out
+
+
+class ResultStore:
+    """Concurrency-safe, LRU-evicting, namespaced slice store.
+
+    Parameters
+    ----------
+    root : str
+        Store root directory (created on demand).  Namespaces live in
+        disjoint subdirectories; manifests under ``_manifests/``.
+    max_bytes : int or None, optional
+        Byte budget over all slice/transport entries (manifests are
+        exempt — they are tiny and cheap to keep).  ``None`` disables
+        eviction.  The budget is enforced after every put: entries are
+        removed least-recently-hit first until the store fits, skipping
+        entries pinned by an active :meth:`reading` context.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.cbs.scan import EnergySlice
+    >>> store = ResultStore(tempfile.mkdtemp(), max_bytes=1 << 20)
+    >>> _ = store.put("ctx-a", EnergySlice(0.5, []))
+    >>> store.get("ctx-a", 0.5).energy
+    0.5
+    >>> store.get("ctx-b", 0.5) is None
+    True
+    """
+
+    def __init__(self, root: str, *, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(
+                f"ResultStore max_bytes must be >= 0 or None, got {max_bytes}"
+            )
+        self.root = os.fspath(root)
+        self.max_bytes = max_bytes
+        os.makedirs(os.path.join(self.root, _MANIFEST_DIR), exist_ok=True)
+        self._lock = threading.RLock()
+        self._caches: Dict[str, SliceCache] = {}
+        self._pins: Dict[str, int] = {}
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # namespaces
+    # ------------------------------------------------------------------
+
+    def namespace(self, context: str) -> SliceCache:
+        """The :class:`SliceCache` for one ``cache_context`` (created on
+        first use and reused afterwards)."""
+        with self._lock:
+            cache = self._caches.get(context)
+            if cache is None:
+                cache = SliceCache(self.root, context=context)
+                self._caches[context] = cache
+            return cache
+
+    def contexts(self) -> List[str]:
+        """Namespaces currently present on disk (sorted)."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(
+            n
+            for n in names
+            if n != _MANIFEST_DIR
+            and os.path.isdir(os.path.join(self.root, n))
+        )
+
+    # ------------------------------------------------------------------
+    # put / get
+    # ------------------------------------------------------------------
+
+    def put(self, context: str, sl, *, transport: bool = False) -> str:
+        """Persist one slice into ``context``; enforce the byte budget.
+
+        Parameters
+        ----------
+        context : str
+            The namespace (a :meth:`repro.api.CBSJob.cache_context`).
+        sl : EnergySlice or TransportSlice
+            The slice to store.
+        transport : bool, optional
+            Store as a transport entry (``Σ_L/Σ_R/T``) instead of a CBS
+            slice.
+
+        Returns
+        -------
+        str
+            Path of the written entry.
+        """
+        with self._lock:
+            cache = self.namespace(context)
+            path = cache.put_transport(sl) if transport else cache.put(sl)
+            self._evict_over_budget()
+            return path
+
+    def get(self, context: str, energy: float, *, transport: bool = False):
+        """Fetch a slice (``None`` on miss) and refresh its LRU recency.
+
+        Hits return with ``solve_seconds`` zeroed (the store did no
+        solve work — same contract as :meth:`SliceCache.get_hit`) and
+        touch the entry's mtime, which is the store's last-hit ordering.
+        """
+        with self._lock:
+            cache = self.namespace(context)
+            sl = (
+                cache.get_transport_hit(energy)
+                if transport
+                else cache.get_hit(energy)
+            )
+            if sl is not None:
+                path = (
+                    cache.transport_path_for(energy)
+                    if transport
+                    else cache.path_for(energy)
+                )
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass  # evicted/raced between read and touch — still a hit
+            return sl
+
+    @contextmanager
+    def reading(self, context: str, energy: float, *, transport: bool = False):
+        """Pinned read: the entry cannot be evicted while the context
+        manager is open.
+
+        Yields the slice (or ``None`` on a miss).  Pinning is
+        in-process bookkeeping — eviction passes of *this* store object
+        skip pinned paths — which is exactly the guarantee the service
+        needs: the store that serves a streaming client is the store
+        whose eviction could otherwise pull the entry out from under
+        it.
+        """
+        cache = self.namespace(context)
+        path = (
+            cache.transport_path_for(energy)
+            if transport
+            else cache.path_for(energy)
+        )
+        with self._lock:
+            self._pins[path] = self._pins.get(path, 0) + 1
+        try:
+            yield self.get(context, energy, transport=transport)
+        finally:
+            with self._lock:
+                n = self._pins.get(path, 0) - 1
+                if n <= 0:
+                    self._pins.pop(path, None)
+                else:
+                    self._pins[path] = n
+
+    def pinned_paths(self) -> List[str]:
+        """Paths currently pinned by active readers (diagnostic)."""
+        with self._lock:
+            return sorted(self._pins)
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by slice/transport entries (scanned)."""
+        return sum(
+            size
+            for context in self.contexts()
+            for _path, _mtime, size in _entry_files(
+                os.path.join(self.root, context)
+            )
+        )
+
+    def _evict_over_budget(self) -> int:
+        """Remove least-recently-hit unpinned entries until the store
+        fits ``max_bytes``; returns the number evicted.  Caller holds
+        the lock."""
+        if self.max_bytes is None:
+            return 0
+        entries = [
+            e
+            for context in self.contexts()
+            for e in _entry_files(os.path.join(self.root, context))
+        ]
+        total = sum(size for _p, _m, size in entries)
+        if total <= self.max_bytes:
+            return 0
+        removed = 0
+        entries.sort(key=lambda e: e[1])  # oldest last-hit first
+        for path, _mtime, size in entries:
+            if total <= self.max_bytes:
+                break
+            if self._pins.get(path):
+                continue  # an active reader holds it — never evict
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # a concurrent evictor/replacer got there first
+            total -= size
+            removed += 1
+        self._evictions += removed
+        return removed
+
+    # ------------------------------------------------------------------
+    # manifests (whole-job completion records)
+    # ------------------------------------------------------------------
+
+    def _manifest_path(self, job_hash: str) -> str:
+        safe = "".join(c for c in job_hash if c.isalnum() or c in "-_")
+        return os.path.join(self.root, _MANIFEST_DIR, f"{safe}.json")
+
+    def put_manifest(self, job_hash: str, manifest: Dict[str, Any]) -> str:
+        """Atomically record a completed job's slice set.
+
+        ``manifest`` is a plain-JSON dict; the service stores the
+        result kind, cell length, provenance, and one
+        ``(context, energy)`` pair per slice.  Returns the written
+        path.
+        """
+        path = self._manifest_path(job_hash)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".manifest_", suffix=".tmp",
+            dir=os.path.dirname(path),
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_manifest(self, job_hash: str) -> Optional[Dict[str, Any]]:
+        """Load a job's completion record (``None`` if absent or
+        unreadable — same corrupt-is-a-miss contract as the cache)."""
+        try:
+            with open(
+                self._manifest_path(job_hash), encoding="utf-8"
+            ) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """The merged :class:`repro.io.CacheStats` of this store.
+
+        Namespace hit/miss/sweep counters plus the store's eviction
+        count and current byte footprint.
+        """
+        merged = CacheStats(
+            evictions=self._evictions, bytes=self.total_bytes()
+        )
+        with self._lock:
+            caches = list(self._caches.values())
+        for cache in caches:
+            merged.hits += cache.stats.hits
+            merged.misses += cache.stats.misses
+            merged.swept_tmps += cache.stats.swept_tmps
+        return merged

@@ -67,6 +67,12 @@ def test_reference_pages_cover_required_packages():
             "repro.transport.device",
             "repro.transport.scan",
         ],
+        "service.rst": [
+            "repro.service.service",
+            "repro.service.store",
+            "repro.service.http",
+            "repro.service.protocol",
+        ],
     }.items():
         text = _read("reference", page)
         for module in modules:

@@ -367,6 +367,73 @@ def test_iter_scan_cancellation_stops_early():
     assert report.refined_energies == []
 
 
+def test_cancel_mid_refinement_drops_partial_round():
+    """Cancellation is polled between shards *within* a refinement
+    round: a cancel landing mid-round ends the stream there, and the
+    torn round is dropped whole — nothing from it is yielded or
+    recorded as refined, while the shard solve that already ran still
+    counts in the telemetry."""
+    from repro.cbs.orchestrator import ScanReport
+
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=7, linear_solver="direct")
+    orc = ScanOrchestrator(
+        lad.blocks(),
+        cfg,
+        orch=_plain(
+            n_shards=2, refine=RefinePolicy(min_de=0.02, max_depth=5)
+        ),
+    )
+    report = ScanReport()
+    # Serial poll sequence: base shards (solves 1, 2), round-1 shard
+    # (solves 3), round-2 shard (solves 4) -> first True lands at the
+    # within-round poll after round 2's shard.
+    slices = list(
+        orc.iter_scan(
+            [1.1, 1.74],
+            report=report,
+            should_cancel=lambda: report.solves >= 4,
+        )
+    )
+    assert [s.energy for s in slices] == [1.1, 1.74, 1.42]
+    assert report.refine_rounds == 1
+    assert report.refined_energies == [1.42]
+    # Round 2's shard was solved before the poll, then dropped whole.
+    assert report.solves == 4
+
+
+def test_kpar_cancel_mid_refinement_skips_later_columns():
+    """A cancel during one k-parallel column's refinement ends the
+    stream before the next column refines at all."""
+    from repro.cbs.orchestrator import ScanReport
+
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=7, linear_solver="direct")
+    orc = ScanOrchestrator(
+        lad.blocks(),
+        cfg,
+        orch=_plain(
+            n_shards=2, refine=RefinePolicy(min_de=0.02, max_depth=5)
+        ),
+    )
+    report = ScanReport()
+    columns = [(0.0, lad.blocks()), (0.5, lad.blocks())]
+    slices = list(
+        orc.iter_kpar_scan(
+            [1.1, 1.74],
+            columns,
+            report=report,
+            should_cancel=lambda: len(report.refined_energies) >= 1,
+        )
+    )
+    # 4 base slices (2 energies x 2 columns) + exactly one refined
+    # round from column 0; column 1 never refines.
+    assert len(slices) == 5
+    assert report.refine_rounds == 1
+    refined = [s for s in slices if s.energy == 1.42]
+    assert [s.k_par for s in refined] == [0.0]
+
+
 # -- calculator integration ----------------------------------------------------
 
 

@@ -1,0 +1,278 @@
+"""ResultStore: multi-tenant namespaces, LRU eviction, pins, stats.
+
+The service's store grows ``SliceCache`` into what a long-lived server
+needs, and these are its load-bearing contracts:
+
+* namespaces (one per ``cache_context``) never leak entries into each
+  other;
+* eviction is LRU **by last hit** (a read refreshes recency), bounded
+  by the byte budget, and an entry with an active ``reading()`` pin is
+  never evicted;
+* the merged ``CacheStats`` surface counts hits/misses/evictions/swept
+  temps instead of dropping them on the floor;
+* job manifests round-trip atomically and a broken one is a miss, not
+  a crash;
+* many processes hammering one store root stay torn-write-free (the
+  ``SliceCache`` atomicity contract survives the wrapping).
+"""
+
+import json
+import multiprocessing
+import os
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.cbs.classify import CBSMode, ModeType
+from repro.cbs.scan import EnergySlice
+from repro.io import CacheStats
+from repro.io.slice_cache import SliceCache
+from repro.service import ResultStore
+
+
+def _slice(energy, n_modes=2):
+    modes = [
+        CBSMode(energy, 0.7 + 0.1j * (i + 1), 0.14 + 0.35j,
+                ModeType.EVANESCENT_DECAYING, 2.86, 1e-9)
+        for i in range(n_modes)
+    ]
+    return EnergySlice(energy, modes, total_iterations=7, solve_seconds=0.1)
+
+
+# ----------------------------------------------------------------------
+# namespaces
+# ----------------------------------------------------------------------
+
+
+def test_namespaces_are_disjoint(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.put("ctx-a", _slice(0.5))
+    store.put("ctx-b", _slice(0.5, n_modes=1))
+    a = store.get("ctx-a", 0.5)
+    b = store.get("ctx-b", 0.5)
+    assert a.count == 2 and b.count == 1
+    assert store.contexts() == ["ctx-a", "ctx-b"]
+    assert store.get("ctx-c", 0.5) is None
+
+
+def test_get_zeroes_solve_seconds_like_cache_hits(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.put("ctx", _slice(0.5))
+    assert store.get("ctx", 0.5).solve_seconds == 0.0
+
+
+# ----------------------------------------------------------------------
+# LRU eviction by last hit
+# ----------------------------------------------------------------------
+
+
+def _age(path, seconds):
+    old = time.time() - seconds
+    os.utime(path, (old, old))
+
+
+def test_eviction_is_lru_by_last_hit(tmp_path):
+    store = ResultStore(str(tmp_path))
+    pa = store.put("ctx", _slice(0.1))
+    pb = store.put("ctx", _slice(0.2))
+    pc = store.put("ctx", _slice(0.3))
+    size = os.path.getsize(pa)
+    # Oldest write is A, then B, then C ...
+    _age(pa, 300)
+    _age(pb, 200)
+    _age(pc, 100)
+    # ... but A was hit most recently, so B is now least-recently-used.
+    store.max_bytes = int(3.5 * size)  # fits three entries, not four
+    assert store.get("ctx", 0.1) is not None  # refreshes A's recency
+    store.put("ctx", _slice(0.4))  # over budget by one entry
+    assert not os.path.exists(pb), "LRU order must follow last hit"
+    assert os.path.exists(pa) and os.path.exists(pc)
+    assert store.get("ctx", 0.2) is None
+    assert store.stats().evictions == 1
+
+
+def test_eviction_spans_namespaces(tmp_path):
+    store = ResultStore(str(tmp_path))
+    pa = store.put("ctx-a", _slice(0.1))
+    size = os.path.getsize(pa)
+    _age(pa, 300)
+    store.max_bytes = int(1.5 * size)
+    store.put("ctx-b", _slice(0.2))
+    assert not os.path.exists(pa)  # the other tenant's stale entry went
+    assert store.get("ctx-b", 0.2) is not None
+
+
+def test_active_reader_is_never_evicted(tmp_path):
+    store = ResultStore(str(tmp_path))
+    pa = store.put("ctx", _slice(0.1))
+    _age(pa, 300)  # oldest by far: first in line for eviction
+    store.max_bytes = os.path.getsize(pa)  # budget fits ~one entry
+    with store.reading("ctx", 0.1) as sl:
+        assert sl is not None
+        store.put("ctx", _slice(0.2))  # forces an eviction pass
+        assert os.path.exists(pa), "pinned entry evicted under a reader"
+        assert store.pinned_paths() == [pa]
+    assert store.pinned_paths() == []
+    # Unpinned now: the next over-budget put may take it.
+    store.put("ctx", _slice(0.3))
+    assert not os.path.exists(pa)
+
+
+def test_zero_budget_keeps_nothing_unpinned(tmp_path):
+    store = ResultStore(str(tmp_path), max_bytes=0)
+    pa = store.put("ctx", _slice(0.1))
+    assert not os.path.exists(pa)
+    assert store.total_bytes() == 0
+
+
+def test_negative_budget_rejected(tmp_path):
+    with pytest.raises(ValueError, match="max_bytes"):
+        ResultStore(str(tmp_path), max_bytes=-1)
+
+
+# ----------------------------------------------------------------------
+# CacheStats surface
+# ----------------------------------------------------------------------
+
+
+def test_store_stats_merge_namespace_counters(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.put("ctx-a", _slice(0.1))
+    assert store.get("ctx-a", 0.1) is not None  # hit
+    assert store.get("ctx-a", 9.9) is None      # miss
+    assert store.get("ctx-b", 0.1) is None      # miss, other tenant
+    stats = store.stats()
+    assert isinstance(stats, CacheStats)
+    assert stats.hits == 1 and stats.misses == 2
+    assert stats.bytes == store.total_bytes() > 0
+    assert stats.hit_rate == pytest.approx(1 / 3)
+    d = stats.as_dict()
+    assert d["hits"] == 1 and d["hit_rate"] == pytest.approx(1 / 3)
+
+
+def test_cache_stats_absorb_and_empty_rate():
+    a = CacheStats(hits=2, misses=1, evictions=1, swept_tmps=3, bytes=10)
+    b = CacheStats(hits=1, misses=1)
+    a.absorb(b)
+    assert (a.hits, a.misses, a.evictions, a.swept_tmps) == (3, 2, 1, 3)
+    assert CacheStats().hit_rate == 0.0
+
+
+def test_slice_cache_counts_swept_tmps_on_open(tmp_path):
+    cache = SliceCache(str(tmp_path), context="ctx")
+    stale = os.path.join(cache.dir, ".slice_dead.tmp")
+    with open(stale, "wb") as fh:
+        fh.write(b"torn")
+    _age(stale, 400)
+    reopened = SliceCache(str(tmp_path), context="ctx")
+    assert reopened.stats.swept_tmps == 1
+    assert not os.path.exists(stale)
+
+
+def test_slice_cache_counts_hits_and_misses(tmp_path):
+    cache = SliceCache(str(tmp_path), context="ctx")
+    cache.put(_slice(0.5))
+    assert cache.get(0.5) is not None
+    assert cache.get_hit(0.5) is not None
+    assert cache.get(1.5) is None
+    assert cache.get_transport(0.5) is None
+    assert cache.stats.hits == 2
+    assert cache.stats.misses == 2
+
+
+# ----------------------------------------------------------------------
+# manifests
+# ----------------------------------------------------------------------
+
+
+def test_manifest_roundtrip_and_corruption(tmp_path):
+    store = ResultStore(str(tmp_path))
+    manifest = {
+        "kind": "cbs",
+        "cell_length": 1.0,
+        "entries": [["ctx", 0.5]],
+        "provenance": {"job_hash": "abc"},
+    }
+    path = store.put_manifest("abc123", manifest)
+    assert store.get_manifest("abc123") == manifest
+    assert store.get_manifest("missing") is None
+    with open(path, "w") as fh:
+        fh.write("{torn")
+    assert store.get_manifest("abc123") is None  # corrupt == miss
+
+
+def test_manifest_ids_are_sanitised(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.put_manifest("../../evil", {"kind": "cbs"})
+    names = os.listdir(os.path.join(str(tmp_path), "_manifests"))
+    assert names == ["evil.json"]
+
+
+def test_manifests_exempt_from_budget(tmp_path):
+    store = ResultStore(str(tmp_path), max_bytes=0)
+    store.put_manifest("abc", {"kind": "cbs", "entries": []})
+    assert store.get_manifest("abc") is not None
+    assert store.total_bytes() == 0
+
+
+# ----------------------------------------------------------------------
+# contention: many processes, one root
+# ----------------------------------------------------------------------
+
+
+def _hammer(root, context, own_energies, shared_energies, seed):
+    """One process: put its energies + the shared ones into a
+    budget-bounded store, interleaved with reads of arbitrary keys.
+    Reads may miss (a sibling's eviction won) but must never tear."""
+    store = ResultStore(root, max_bytes=64 * 1024)
+    rng = random.Random(seed)
+    everything = list(own_energies) + list(shared_energies)
+    for e in own_energies:
+        store.put(context, _slice(e))
+        probe = rng.choice(everything)
+        got = store.get(context, probe)
+        if got is not None:
+            assert got.energy == probe
+            assert got.count == 2
+    for e in shared_energies:
+        store.put(context, _slice(e))
+        with store.reading(context, rng.choice(everything)) as got:
+            if got is not None:
+                assert got.count == 2
+
+
+def test_processes_hammering_one_store(tmp_path):
+    root = str(tmp_path)
+    a = [0.1 * i for i in range(1, 9)]
+    b = [0.1 * i + 0.05 for i in range(1, 9)]
+    shared = [3.25, 4.5]
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+    procs = [
+        ctx.Process(target=_hammer, args=(root, "ctx-a", a, shared, 1)),
+        ctx.Process(target=_hammer, args=(root, "ctx-b", b, shared, 2)),
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    # Whatever survived the racing evictions must be whole.
+    store = ResultStore(root)
+    for context, energies in (("ctx-a", a + shared), ("ctx-b", b + shared)):
+        for e in energies:
+            got = store.get(context, e)
+            if got is not None:
+                assert got.energy == e
+                assert got.count == 2
+    leftovers = [
+        n
+        for c in store.contexts()
+        for n in os.listdir(os.path.join(root, c))
+        if n.endswith(".tmp")
+    ]
+    assert leftovers == []
