@@ -47,24 +47,31 @@ def _config(linear_solver):
     )
 
 
+REPEATS = 3  # best-of-N wall clock; single-shot timings flake under load
+
+
 def test_batched_grid_benchmark():
     blocks = TransverseLadder(width=WIDTH).blocks()
     energies = [float(e) for e in GRID]
 
     # cold per-slice reference: a fresh solver per energy, exactly what
     # a sharded scan without the grid engine does
-    t0 = time.perf_counter()
-    per_slice = [
-        SSHankelSolver(blocks, _config("bicg-batched")).solve(e)
-        for e in energies
-    ]
-    t_slice = time.perf_counter() - t0
+    t_slice = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        per_slice = [
+            SSHankelSolver(blocks, _config("bicg-batched")).solve(e)
+            for e in energies
+        ]
+        t_slice = min(t_slice, time.perf_counter() - t0)
 
-    t0 = time.perf_counter()
-    grid = SSHankelSolver(
-        blocks, _config("bicg-batched-grid")
-    ).solve_grid(energies)
-    t_grid = time.perf_counter() - t0
+    t_grid = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        grid = SSHankelSolver(
+            blocks, _config("bicg-batched-grid")
+        ).solve_grid(energies)
+        t_grid = min(t_grid, time.perf_counter() - t0)
 
     deviation = 0.0
     for ref, got in zip(per_slice, grid):

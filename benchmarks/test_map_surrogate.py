@@ -1,0 +1,139 @@
+"""Adaptive (E, k∥) map surrogate vs solving every pixel.
+
+The ``"map"`` engine solves a coarse subset of a dense (E, k∥) grid,
+refines where neighboring pixels disagree, and fills the rest by
+certified band interpolation (see ``docs/maps.rst``).  The acceptance
+contract on the bench grid — a periodic twisted ladder whose cosine
+bands curve gently away from the E ≈ 0.95 band edge:
+
+* the surrogate solves at most 35% of the pixels (bench scale; the
+  tiny grid CI runs carries a fixed probe overhead that a small grid
+  cannot amortize, so its bar is 60%);
+* every interpolated pixel's TRUE error — mode_distance against the
+  full solve of the same grid — stays within the 1e-3 tolerance the
+  job asked for, and within the per-pixel certificate's promise.
+
+Runs at ``REPRO_BENCH_SCALE=tiny`` in the CI tier-2 job, which uploads
+``bench_results/map_surrogate.{json,csv}`` as artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import register_report
+from _common import SCALE, save_records
+
+from repro.api import CBSJob, compute
+from repro.api.spec import KParSpec, MapSpec
+from repro.io.results import ExperimentRecord
+from repro.io.tables import ascii_table
+from repro.maps import mode_distance
+
+N_ENERGIES = 120 if SCALE == "tiny" else 144
+N_KPAR = 9 if SCALE == "tiny" else 17
+COARSE_K = 4 if SCALE == "tiny" else 8
+TOLERANCE = 1e-3
+SOLVED_BUDGET = 0.60 if SCALE == "tiny" else 0.35
+
+
+def _base_job():
+    return dict(
+        system={"name": "ladder", "params": {"width": 3, "periodic_rung": True}},
+        scan={
+            "window": [-0.6, 0.85, N_ENERGIES],
+            "n_mm": 4,
+            "n_rh": 6,
+            "seed": 1,
+            "linear_solver": "direct",
+        },
+        ring={"n_int": 16},
+        kpar=KParSpec(values=tuple(np.linspace(0.3, 1.1, N_KPAR))),
+    )
+
+
+def test_map_surrogate_benchmark():
+    spec = MapSpec(
+        coarse_e=6, coarse_k=COARSE_K, tolerance=TOLERANCE, safety=2.0
+    )
+
+    t0 = time.perf_counter()
+    surrogate = compute(CBSJob(**_base_job(), map=spec))
+    t_map = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    full = compute(CBSJob(**_base_job()))
+    t_full = time.perf_counter() - t0
+
+    reference = {(s.k_par, s.energy): s for s in full.slices}
+    worst_true = 0.0
+    worst_cert = 0.0
+    violations = 0
+    for pixel in surrogate.slices:
+        ref = reference[(pixel.k_par, pixel.energy)]
+        if pixel.solved:
+            continue
+        err = mode_distance(pixel.modes, ref.modes, full.cell_length)
+        worst_true = max(worst_true, err)
+        worst_cert = max(worst_cert, pixel.error_estimate)
+        if err > TOLERANCE:
+            violations += 1
+
+    solved_fraction = surrogate.solved_fraction
+    speedup = t_full / t_map
+    counters = surrogate.provenance["map_report"]
+
+    rows = [
+        ["full solve", f"{t_full:.3f}", "1.00x", f"{len(full.slices)}", "-"],
+        ["map surrogate", f"{t_map:.3f}", f"{speedup:.2f}x",
+         f"{counters['solved_pixels']}", f"{worst_true:.1e}"],
+    ]
+    table = ascii_table(
+        ["engine", "wall [s]", "speedup", "pixels solved", "worst true err"],
+        rows,
+        title=(
+            f"Adaptive (E, k∥) map surrogate — twisted ladder, "
+            f"{N_ENERGIES}x{N_KPAR} grid, tol={TOLERANCE:g}\n"
+            f"(acceptance: <= {SOLVED_BUDGET:.0%} pixels solved, "
+            f"true interp error <= tol)"
+        ),
+    )
+    register_report("Adaptive (E, k∥) map surrogate", table)
+
+    save_records("map_surrogate", [
+        ExperimentRecord(
+            "map_surrogate", f"ladder-{N_ENERGIES}x{N_KPAR}", name,
+            metrics={
+                "wall_seconds": t,
+                "solved_fraction": solved_fraction,
+                "worst_true_error": worst_true,
+                "worst_certificate": worst_cert,
+                "speedup": speedup,
+                **{k: float(v) for k, v in counters.items()},
+            },
+            parameters={
+                "scale": SCALE,
+                "n_energies": N_ENERGIES,
+                "n_kpar": N_KPAR,
+                "coarse_e": spec.coarse_e,
+                "coarse_k": spec.coarse_k,
+                "tolerance": spec.tolerance,
+                "safety": spec.safety,
+            },
+        )
+        for name, t in (("full", t_full), ("surrogate", t_map))
+    ])
+
+    assert violations == 0, (
+        f"{violations} interpolated pixel(s) exceed the {TOLERANCE:g} "
+        f"tolerance (worst {worst_true:.2e})"
+    )
+    assert worst_cert <= TOLERANCE, (
+        f"certificate budget overrun: {worst_cert:.2e}"
+    )
+    assert solved_fraction <= SOLVED_BUDGET, (
+        f"surrogate solved {solved_fraction:.1%} of pixels "
+        f"(budget {SOLVED_BUDGET:.0%})"
+    )

@@ -173,7 +173,7 @@ def test_orchestrator_scan_benchmark(tmp_path):
     ).scan(coarse)
     n_refined = len(refined.report.refined_energies)
     assert n_refined > 0
-    edge_dist = min(abs(e - 1.5) for e in refined.report.refined_energies)
+    edge_dist = min(abs(e - 1.5) for e, _ in refined.report.refined_energies)
     assert edge_dist < 0.1
 
     # -- 4. persistent slice cache ----------------------------------------

@@ -32,6 +32,13 @@ One request/response shape for every workload in the paper::
   modes), result slices carry the k∥ axis, and a transport job's
   k∥-weighted sum is the Brillouin-zone transmission
   (:meth:`TransportResult.total_transmissions`).
+* Attaching a :class:`MapSpec` on top of a :class:`KParSpec` turns the
+  product grid into an adaptive dense map: the
+  :class:`repro.maps.MapSurrogate` engine solves a coarse pixel
+  subset, refines across both grid axes where neighbors disagree, and
+  interpolates the rest with per-pixel error certificates — returned
+  as a :class:`repro.maps.MapResult` whose pixels say whether they
+  were solved and how far off they may be.
 
 The legacy entry points (``SSHankelSolver.solve``,
 ``CBSCalculator.scan``, ``ScanOrchestrator``) remain as the internal
@@ -49,6 +56,7 @@ from repro.api.spec import (
     CBSJob,
     ExecutionSpec,
     KParSpec,
+    MapSpec,
     RingSpec,
     ScanSpec,
     SystemSpec,
@@ -78,6 +86,7 @@ __all__ = [
     "ExecutionSpec",
     "JOB_SPEC_VERSION",
     "KParSpec",
+    "MapSpec",
     "ProgressFn",
     "RefinePolicy",
     "RingSpec",

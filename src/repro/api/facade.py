@@ -39,8 +39,10 @@ from repro.cbs.orchestrator import (
     CancelFn,
     OrchestratorConfig,
     ProgressFn,
+    RefinePolicy,
     ScanOrchestrator,
     ScanReport,
+    TuningPolicy,
     iter_warm_chain,
 )
 from repro.cbs.scan import CBSCalculator, CBSResult, EnergySlice
@@ -128,6 +130,74 @@ def _make_orchestrator(job: CBSJob, blocks) -> ScanOrchestrator:
         orch=orch,
         cache_context=job.cache_context(),
         _internal=True,
+    )
+
+
+def _make_map_orchestrator(job: CBSJob, blocks) -> ScanOrchestrator:
+    """The orchestrator behind the ``"map"`` engine.
+
+    Tuning and refinement are forced off regardless of the execution
+    spec: the surrogate does its own (2D) refinement, and solved map
+    pixels are cached under the plain scan context — which for the map
+    engine keys on the *disabled* tuning policy
+    (:meth:`CBSJob.cache_context` folds the engine-effective value), so
+    a tuned solve here would poison entries shared with plain scans.
+    """
+    ex = job.execution
+    orch = OrchestratorConfig(
+        executor=ex.executor_spec(),
+        n_shards=ex.n_shards,
+        warm_start=True,
+        tuning=TuningPolicy(enabled=False),
+        refine=RefinePolicy(enabled=False),
+        cache_dir=ex.cache_dir,
+    )
+    return ScanOrchestrator(
+        blocks,
+        job.ss_config(),
+        propagating_tol=job.scan.propagating_tol,
+        warm_start=ex.warm_start,
+        orch=orch,
+        cache_context=job.cache_context(),
+        _internal=True,
+    )
+
+
+def _iter_map_engine(
+    job: CBSJob,
+    columns,
+    report,
+    progress: Optional[ProgressFn],
+    should_cancel: Optional[CancelFn],
+):
+    """The map-surrogate route: solve a sparse pixel subset, stream the
+    dense (E, k∥) map.
+
+    Solved pixels go through the ordinary shard/cache machinery under
+    the per-momentum contexts (``job.cache_context(k_par=k)``), so they
+    are shared with plain scans of the same physics; interpolated
+    pixels are predictions and are never written into those namespaces.
+    """
+    from repro.maps import MapSurrogate
+
+    ex = job.execution
+    orc = _make_map_orchestrator(job, columns[0][2])
+    contexts = (
+        [job.cache_context(k_par=k) for k, _w, _b in columns]
+        if ex.cache_dir is not None
+        else None
+    )
+    surrogate = MapSurrogate(
+        orc,
+        list(job.energies()),
+        columns,
+        job.map,
+        cache_contexts=contexts,
+    )
+    return surrogate.iter_pixels(
+        report=report,
+        progress=progress,
+        should_cancel=should_cancel,
     )
 
 
@@ -348,6 +418,9 @@ def _iter_kpar_engine(
     weight), and ``progress(done, total)`` counts over the full
     product grid.
     """
+    if engine == "map":
+        return _iter_map_engine(job, columns, report, progress, should_cancel)
+
     ex = job.execution
     energies = list(job.energies())
     total = len(energies) * len(columns)
@@ -532,12 +605,17 @@ def compute(
     """
     job = _as_job(job)
     engine = job.engine()
-    report = (
-        ScanReport()
-        if engine == "orchestrator"
-        or (engine == "transport" and job.execution.mode != "serial")
-        else None
-    )
+    if engine == "map":
+        from repro.maps import MapReport
+
+        report = MapReport()
+    else:
+        report = (
+            ScanReport()
+            if engine == "orchestrator"
+            or (engine == "transport" and job.execution.mode != "serial")
+            else None
+        )
 
     if job.kpar is not None:
         columns = _kpar_columns(job)
@@ -559,9 +637,20 @@ def compute(
         result: Union[CBSResult, TransportResult] = TransportResult(
             slices, cell_length
         )
+        result.provenance = _provenance(job, engine, report)
+    elif engine == "map":
+        from repro.maps import MapResult
+
+        result = MapResult(slices, cell_length)
+        # The inner scan telemetry rides in the usual "report" slot;
+        # the surrogate's pixel accounting gets its own block.
+        result.provenance = _provenance(job, engine, report.scan)
+        map_counters = asdict(report)
+        map_counters.pop("scan", None)
+        result.provenance["map_report"] = _jsonify(map_counters)
     else:
         result = CBSResult(slices, cell_length)
-    result.provenance = _provenance(job, engine, report)
+        result.provenance = _provenance(job, engine, report)
     return result
 
 

@@ -642,6 +642,105 @@ class KParSpec:
 
 
 @dataclass(frozen=True)
+class MapSpec:
+    """The dense-map surrogate over a ``ScanSpec × KParSpec`` grid.
+
+    Attaching a ``MapSpec`` to a :class:`CBSJob` (which must also carry
+    a :class:`KParSpec`) routes it to the ``"map"`` engine
+    (:class:`repro.maps.MapSurrogate`): instead of solving every
+    (E, k∥) pixel of the product grid, a coarse subset is solved, the
+    grid is adaptively refined in 2D where neighboring pixels disagree
+    (mode-count / ``min |Im k|`` discontinuities — band edges), and the
+    remaining pixels are filled by band interpolation between solved
+    neighbors with a per-pixel error certificate.  Pixels whose
+    certificate exceeds ``tolerance`` are solved for real instead.
+
+    Parameters
+    ----------
+    coarse_e : int, optional
+        Stride of the initial coarse sampling along the energy axis
+        (every ``coarse_e``-th grid energy is solved; boundary rows
+        always are).  ``1`` solves the full axis.
+    coarse_k : int, optional
+        Stride along the k∥ axis (boundary columns always solved).
+    tolerance : float, optional
+        Per-pixel error budget on mode positions (max matched
+        ``|Δk|``); an interpolated pixel whose certificate exceeds it
+        is solved for real.
+    safety : float, optional
+        Multiplier applied to measured probe errors when forming the
+        certificate — a probe samples the segment's true error at one
+        point, so the certificate is ``safety ×`` the probe error.
+    max_rounds : int, optional
+        Cap on 2D bisection refinement rounds (the min-interval floor
+        is grid adjacency; this bounds the rounds on genuinely
+        discontinuous edges).
+    max_refine_pixels : int, optional
+        Cap on total pixels inserted by 2D refinement.
+
+    Notes
+    -----
+    A ``MapSpec`` never changes what a *solved* pixel is — solved
+    pixels share :class:`repro.io.slice_cache.SliceCache` entries (and
+    :meth:`CBSJob.cache_context` keys) with plain scans.  It does
+    determine the *interpolated* pixels, so it is folded into the
+    cache context only for those
+    (:meth:`CBSJob.cache_context` with ``interpolated=True``) — the
+    "folded in only when it changes physics output" rule.
+    """
+
+    coarse_e: int = 4
+    coarse_k: int = 2
+    tolerance: float = 1e-3
+    safety: float = 4.0
+    max_rounds: int = 6
+    max_refine_pixels: int = 512
+
+    def __post_init__(self) -> None:
+        if int(self.coarse_e) < 1 or int(self.coarse_k) < 1:
+            raise ConfigurationError(
+                f"MapSpec coarse strides must be >= 1, got "
+                f"coarse_e={self.coarse_e}, coarse_k={self.coarse_k}"
+            )
+        object.__setattr__(self, "coarse_e", int(self.coarse_e))
+        object.__setattr__(self, "coarse_k", int(self.coarse_k))
+        if not (math.isfinite(self.tolerance) and self.tolerance > 0):
+            raise ConfigurationError(
+                f"MapSpec.tolerance must be a positive finite float, "
+                f"got {self.tolerance!r}"
+            )
+        if not (math.isfinite(self.safety) and self.safety >= 1.0):
+            raise ConfigurationError(
+                f"MapSpec.safety must be >= 1, got {self.safety!r}"
+            )
+        if int(self.max_rounds) < 0 or int(self.max_refine_pixels) < 0:
+            raise ConfigurationError(
+                f"MapSpec.max_rounds/max_refine_pixels must be >= 0, got "
+                f"{self.max_rounds}/{self.max_refine_pixels}"
+            )
+        object.__setattr__(self, "max_rounds", int(self.max_rounds))
+        object.__setattr__(
+            self, "max_refine_pixels", int(self.max_refine_pixels)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "coarse_e": self.coarse_e,
+            "coarse_k": self.coarse_k,
+            "tolerance": float(self.tolerance),
+            "safety": float(self.safety),
+            "max_rounds": self.max_rounds,
+            "max_refine_pixels": self.max_refine_pixels,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "MapSpec":
+        allowed = [f.name for f in fields(cls)]
+        _check_keys(d, allowed, "MapSpec")
+        return cls(**dict(d))
+
+
+@dataclass(frozen=True)
 class TransportSpec:
     """The transport workload: electrode self-energies + transmission.
 
@@ -810,6 +909,14 @@ class CBSJob:
         (see :class:`KParSpec`).  Composes with ``transport``:
         a transport job with a ``kpar`` computes the k∥-resolved and
         Brillouin-zone-summed transmission.
+    map : MapSpec or mapping, optional
+        When present (requires ``kpar``; incompatible with
+        ``transport``), the (E, k∥) product grid is served by the
+        adaptive map surrogate instead of being solved densely: a
+        coarse pixel subset is solved, band edges are refined in 2D,
+        and the rest is interpolated with per-pixel error certificates
+        (see :class:`MapSpec`).  :func:`repro.api.compute` returns a
+        :class:`repro.maps.MapResult`.
 
     Examples
     --------
@@ -829,6 +936,7 @@ class CBSJob:
     execution: ExecutionSpec = ExecutionSpec()
     transport: Optional[TransportSpec] = None
     kpar: Optional[KParSpec] = None
+    map: Optional[MapSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -859,6 +967,25 @@ class CBSJob:
                 "kpar",
                 _coerce(self.kpar, KParSpec, "CBSJob.kpar"),
             )
+        if self.map is not None and not isinstance(self.map, MapSpec):
+            object.__setattr__(
+                self,
+                "map",
+                _coerce(self.map, MapSpec, "CBSJob.map"),
+            )
+        if self.map is not None:
+            if self.kpar is None:
+                raise ConfigurationError(
+                    "CBSJob.map needs a KParSpec: the map surrogate "
+                    "interpolates over the (E, k∥) product grid, which "
+                    "only exists when the job carries a kpar axis"
+                )
+            if self.transport is not None:
+                raise ConfigurationError(
+                    "CBSJob.map is incompatible with transport: the "
+                    "surrogate interpolates CBS mode positions, not "
+                    "self-energies/transmissions"
+                )
         self.ss_config()  # eager validation of the numerical parameters
         if self.kpar is not None and self.kpar.param in self.system.params:
             raise ConfigurationError(
@@ -901,9 +1028,13 @@ class CBSJob:
         (:class:`CBSCalculator`), ``"orchestrator"``
         (:class:`ScanOrchestrator`), or ``"transport"``
         (:class:`repro.transport.TransportCalculator` /
-        :class:`~repro.transport.TransportScanner`)."""
+        :class:`~repro.transport.TransportScanner`), or ``"map"``
+        (:class:`repro.maps.MapSurrogate` — jobs carrying a
+        :class:`MapSpec`)."""
         if self.transport is not None:
             return "transport"
+        if self.map is not None:
+            return "map"
         if self.execution.mode in ("processes", "pool", "orchestrated"):
             return "orchestrator"
         if (
@@ -922,10 +1053,10 @@ class CBSJob:
         """A pure-JSON-types dict (lists, not tuples) round-tripping
         through :meth:`from_dict`.
 
-        The ``"transport"``/``"kpar"`` keys appear only when the job
-        carries the corresponding spec, so plain CBS jobs keep the
-        exact dict layout (and hashes) they had before those subsystems
-        existed.
+        The ``"transport"``/``"kpar"``/``"map"`` keys appear only when
+        the job carries the corresponding spec, so plain CBS jobs keep
+        the exact dict layout (and hashes) they had before those
+        subsystems existed.
         """
         d = {
             "spec_version": JOB_SPEC_VERSION,
@@ -938,6 +1069,8 @@ class CBSJob:
             d["transport"] = self.transport.to_dict()
         if self.kpar is not None:
             d["kpar"] = self.kpar.to_dict()
+        if self.map is not None:
+            d["map"] = self.map.to_dict()
         return d
 
     @classmethod
@@ -945,7 +1078,7 @@ class CBSJob:
         _check_keys(
             d,
             ("spec_version", "system", "ring", "scan", "execution",
-             "transport", "kpar"),
+             "transport", "kpar", "map"),
             "CBSJob",
         )
         version = d.get("spec_version", JOB_SPEC_VERSION)
@@ -960,6 +1093,7 @@ class CBSJob:
             )
         transport = d.get("transport")
         kpar = d.get("kpar")
+        map_spec = d.get("map")
         return cls(
             system=SystemSpec.from_dict(d["system"]),
             scan=ScanSpec.from_dict(d["scan"]),
@@ -972,6 +1106,11 @@ class CBSJob:
             ),
             kpar=(
                 KParSpec.from_dict(kpar) if kpar is not None else None
+            ),
+            map=(
+                MapSpec.from_dict(map_spec)
+                if map_spec is not None
+                else None
             ),
         )
 
@@ -992,7 +1131,9 @@ class CBSJob:
         h.update(self.to_json().encode("utf-8"))
         return h.hexdigest()[:24]
 
-    def cache_context(self, k_par: Optional[float] = None) -> str:
+    def cache_context(
+        self, k_par: Optional[float] = None, interpolated: bool = False
+    ) -> str:
         """Slice-cache context: a hash of only the answer-determining
         parts of the job.
 
@@ -1002,6 +1143,15 @@ class CBSJob:
         never share entries).  ``cache_context()`` with no argument is
         the plain-job context and is byte-for-byte what it was before
         the k∥ axis existed.
+
+        ``interpolated=True`` is the **map-surrogate** namespace: pixels
+        the surrogate *predicted* rather than solved.  Their values
+        depend on the :class:`MapSpec` (coarse strides, tolerance,
+        safety factor), so the spec is folded into the payload — two
+        maps with different settings never share predictions, and a
+        plain scan (which never passes ``interpolated=True``) can never
+        read a predicted pixel as a real solve.  Solved map pixels use
+        the ordinary context and are shared with plain scans.
 
         Execution details (mode, workers, shards, warm starts, the cache
         directory itself) change how fast slices arrive, never what they
@@ -1071,6 +1221,8 @@ class CBSJob:
             payload["backend"] = self.execution.backend
         if k_par is not None:
             payload["k_par"] = float(k_par)
+        if interpolated and self.map is not None:
+            payload["map"] = self.map.to_dict()
         h = hashlib.sha256()
         h.update(b"cbs-job-cache-v%d:" % JOB_SPEC_VERSION)
         h.update(
@@ -1089,5 +1241,6 @@ __all__: List[str] = [
     "ExecutionSpec",
     "TransportSpec",
     "KParSpec",
+    "MapSpec",
     "CBSJob",
 ]

@@ -228,7 +228,12 @@ class ScanReport:
     #: exactly once — see :class:`ShardStats.solve_seconds`).
     solve_seconds: float = 0.0
     refine_rounds: int = 0
-    refined_energies: List[float] = field(default_factory=list)
+    #: Every bisection insertion as an ``(energy, k_par)`` pair —
+    #: ``k_par`` is ``None`` on plain scans, so refinements from
+    #: different k∥ columns stay distinguishable in telemetry.
+    refined_energies: List[Tuple[float, Optional[float]]] = field(
+        default_factory=list
+    )
     shards: List[ShardStats] = field(default_factory=list)
 
     @property
@@ -248,12 +253,18 @@ class ScanReport:
         tuned = {
             (s.final_n_int, s.final_n_mm, s.final_n_rh) for s in self.shards
         }
+        # Scalar scans keep the historical rendering; k∥ scans say how
+        # many momentum columns the refinements came from.
+        kpar_cols = {kp for _, kp in self.refined_energies if kp is not None}
+        refined = f"{len(self.refined_energies)} refined slice(s)"
+        if kpar_cols:
+            refined += f" across {len(kpar_cols)} k∥ column(s)"
         return (
             f"{self.n_shards} shard(s), {self.solves} solve(s) "
             f"({self.retunes} retune re-solves), cache "
             f"{self.cache_hits}/{self.cache_hits + self.cache_misses} hits "
             f"({100.0 * self.cache_hit_rate:.0f}%), "
-            f"{len(self.refined_energies)} refined slice(s) in "
+            f"{refined} in "
             f"{self.refine_rounds} round(s), tuned (N_int,N_mm,N_rh) "
             f"∈ {sorted(tuned)}, wall {self.wall_seconds:.2f}s"
         )
@@ -1025,7 +1036,7 @@ class ScanOrchestrator:
                     # solves are still in the slice cache).
                     return
             solved.update(mids)
-            report.refined_energies.extend(mids)
+            report.refined_energies.extend((m, k_par) for m in mids)
             report.refine_rounds += 1
             slices.extend(round_slices)
             slices.sort(key=lambda s: s.energy)

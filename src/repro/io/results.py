@@ -47,6 +47,52 @@ def _result_paths(path_base: PathLike) -> Tuple[str, str]:
     return base + ".json", base + ".npz"
 
 
+def _encode_kpar_axis(k_pars: Sequence) -> np.ndarray:
+    """Encode the per-slice k∥ axis.
+
+    Scalar/absent momenta keep the historical flat float64 array with
+    NaN for "no transverse momentum" — files written for those results
+    are byte-identical to what older readers expect.  Any vector
+    momentum (e.g. ``(θx, θy)``) switches the axis to shape ``(n, d)``
+    where an all-NaN row encodes "no momentum".  Mixing widths within
+    one result is a configuration error, not a silent truncation.
+    """
+    widths = set()
+    for kp in k_pars:
+        if kp is None:
+            continue
+        widths.add(0 if np.ndim(kp) == 0 else int(np.shape(kp)[0]))
+    if len(widths) > 1:
+        raise ConfigurationError(
+            f"cannot save result: slices carry k_par values of "
+            f"mismatched widths {sorted(widths)} (0 = scalar); a single "
+            f"result must use one transverse-momentum dimensionality"
+        )
+    if not widths or widths == {0}:
+        # NaN encodes "no transverse momentum" (plain 1D slices).
+        return np.array(
+            [np.nan if kp is None else kp for kp in k_pars],
+            dtype=np.float64,
+        )
+    d = widths.pop()
+    out = np.full((len(k_pars), d), np.nan, dtype=np.float64)
+    for i, kp in enumerate(k_pars):
+        if kp is not None:
+            out[i] = np.asarray(kp, dtype=np.float64)
+    return out
+
+
+def _decode_kpar_entry(k_par: np.ndarray, i: int):
+    """Decode one slice's k∥ from the (flat or ``(n, d)``) axis."""
+    if k_par.ndim == 1:
+        kp = float(k_par[i])
+        return None if np.isnan(kp) else kp
+    row = np.asarray(k_par[i], dtype=np.float64)
+    if np.all(np.isnan(row)):
+        return None
+    return tuple(float(x) for x in row)
+
+
 def save_result(path_base: PathLike, result) -> Tuple[str, str]:
     """Persist a result as a JSON header + NPZ arrays pair.
 
@@ -78,10 +124,12 @@ def save_result(path_base: PathLike, result) -> Tuple[str, str]:
     mid-save never leaves a valid-looking header pointing at missing
     or stale arrays.
     """
+    from repro.maps.surrogate import MapResult
     from repro.transport.scan import TransportResult
 
     if isinstance(result, TransportResult):
         return _save_transport_result(path_base, result)
+    is_map = isinstance(result, MapResult)
     json_path, npz_path = _result_paths(path_base)
     os.makedirs(os.path.dirname(json_path) or ".", exist_ok=True)
 
@@ -91,11 +139,7 @@ def save_result(path_base: PathLike, result) -> Tuple[str, str]:
         schema_version=np.int64(result.schema_version),
         cell_length=np.float64(result.cell_length),
         energy=np.array([s.energy for s in slices], dtype=np.float64),
-        # NaN encodes "no transverse momentum" (plain 1D slices).
-        k_par=np.array(
-            [np.nan if s.k_par is None else s.k_par for s in slices],
-            dtype=np.float64,
-        ),
+        k_par=_encode_kpar_axis([s.k_par for s in slices]),
         total_iterations=np.array(
             [s.total_iterations for s in slices], dtype=np.int64
         ),
@@ -121,8 +165,21 @@ def save_result(path_base: PathLike, result) -> Tuple[str, str]:
             [m.residual for s in slices for m in s.modes], dtype=np.float64
         ),
     )
+    if is_map:
+        # Dense-map extension: which pixels were genuinely solved, and
+        # the per-pixel error certificate on the interpolated ones.
+        # Plain CBS results carry neither array, keeping their files
+        # byte-identical to the pre-map layout.
+        arrays["solved"] = np.array(
+            [bool(getattr(s, "solved", True)) for s in slices],
+            dtype=np.int8,
+        )
+        arrays["error_estimate"] = np.array(
+            [float(getattr(s, "error_estimate", 0.0)) for s in slices],
+            dtype=np.float64,
+        )
     header = {
-        "kind": "cbs",
+        "kind": "map" if is_map else "cbs",
         "schema_version": int(result.schema_version),
         "cell_length": float(result.cell_length),
         "n_slices": len(slices),
@@ -152,10 +209,7 @@ def _save_transport_result(path_base: PathLike, result) -> Tuple[str, str]:
         schema_version=np.int64(result.schema_version),
         cell_length=np.float64(result.cell_length),
         energy=np.array([s.energy for s in slices], dtype=np.float64),
-        k_par=np.array(
-            [np.nan if s.k_par is None else s.k_par for s in slices],
-            dtype=np.float64,
-        ),
+        k_par=_encode_kpar_axis([s.k_par for s in slices]),
         k_weight=np.array(
             [s.k_weight for s in slices], dtype=np.float64
         ),
@@ -248,7 +302,7 @@ def load_result(path_base: PathLike):
     kind = header.get("kind", "cbs")
     if kind == "transport":
         return _load_transport_result(json_path, npz_path, header)
-    if kind != "cbs":
+    if kind not in ("cbs", "map"):
         raise ConfigurationError(
             f"cannot load {json_path!r}: unknown result kind {kind!r}"
         )
@@ -281,6 +335,9 @@ def load_result(path_base: PathLike):
         mode_type = npz["mode_type"]
         decay_length = npz["decay_length"]
         residual = npz["residual"]
+        if kind == "map":
+            solved = npz["solved"]
+            error_estimate = npz["error_estimate"]
     if int(header.get("n_slices", -1)) != int(energy.shape[0]):
         raise ConfigurationError(
             f"cannot load {json_path!r}: header says "
@@ -294,6 +351,9 @@ def load_result(path_base: PathLike):
         "total_iterations": total_iterations,
         "solve_seconds": solve_seconds,
     }
+    if kind == "map":
+        per_slice["solved"] = solved
+        per_slice["error_estimate"] = error_estimate
     for name, arr in per_slice.items():
         if int(arr.shape[0]) != n_slices:
             raise ConfigurationError(
@@ -319,6 +379,9 @@ def load_result(path_base: PathLike):
                 f"entries (truncated or inconsistent file)"
             )
 
+    if kind == "map":
+        from repro.maps.surrogate import MapPixel, MapResult
+
     slices = []
     offset = 0
     for i in range(energy.shape[0]):
@@ -336,17 +399,24 @@ def load_result(path_base: PathLike):
             for j in range(n_modes)
         ]
         offset += n_modes
-        kp = float(k_par[i])
-        slices.append(
-            EnergySlice(
-                e,
-                modes,
-                total_iterations=int(total_iterations[i]),
-                solve_seconds=float(solve_seconds[i]),
-                k_par=None if np.isnan(kp) else kp,
-            )
+        common = dict(
+            total_iterations=int(total_iterations[i]),
+            solve_seconds=float(solve_seconds[i]),
+            k_par=_decode_kpar_entry(k_par, i),
         )
-    return CBSResult(
+        if kind == "map":
+            slices.append(
+                MapPixel(
+                    e, modes,
+                    solved=bool(solved[i]),
+                    error_estimate=float(error_estimate[i]),
+                    **common,
+                )
+            )
+        else:
+            slices.append(EnergySlice(e, modes, **common))
+    cls = MapResult if kind == "map" else CBSResult
+    return cls(
         slices,
         cell_length,
         schema_version=int(version),
@@ -434,9 +504,7 @@ def _load_transport_result(json_path: str, npz_path: str, header):
             n_channels=int(n_channels[i]),
             total_iterations=int(total_iterations[i]),
             solve_seconds=float(solve_seconds[i]),
-            k_par=(
-                None if np.isnan(float(k_par[i])) else float(k_par[i])
-            ),
+            k_par=_decode_kpar_entry(k_par, i),
             k_weight=float(k_weight[i]),
         )
         for i in range(n_slices)

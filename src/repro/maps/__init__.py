@@ -1,0 +1,37 @@
+"""Adaptive (E, k∥) map surrogates: solve few pixels, interpolate the rest.
+
+A dense complex-band-structure map over a ``ScanSpec × KParSpec``
+product grid solves the ring QEP at every (E, k∥) pixel — yet away from
+band edges the eigenvalues ``λ(E, k∥)`` vary smoothly along bands, so
+most pixels are predictable from their neighbors.  This package
+exploits that: :class:`MapSurrogate` solves a coarse subset of pixels
+through the ordinary orchestrator paths, adaptively refines in **both**
+grid directions where neighboring pixels disagree (mode count changes,
+the dominant decay rate jumps — the same predicate as the 1D energy
+refinement), and fills the remaining pixels by band interpolation with
+a per-pixel error certificate, falling back to real solves wherever the
+certificate exceeds the user tolerance.
+
+Jobs opt in by carrying a :class:`repro.api.MapSpec`;
+:func:`repro.api.compute` then routes them to the ``"map"`` engine and
+returns a :class:`MapResult` whose :class:`MapPixel` slices say which
+pixels were solved and how far off the interpolated ones may be.
+"""
+
+from repro.maps.surrogate import (
+    MapPixel,
+    MapReport,
+    MapResult,
+    MapSurrogate,
+    interpolate_modes,
+    mode_distance,
+)
+
+__all__ = [
+    "MapPixel",
+    "MapReport",
+    "MapResult",
+    "MapSurrogate",
+    "interpolate_modes",
+    "mode_distance",
+]

@@ -1,0 +1,734 @@
+"""The adaptive (E, k∥) map surrogate.
+
+The surrogate builds a **dense** map over the job's full product grid
+while *solving* only a small, adaptively chosen subset of pixels:
+
+1. **Coarse anchors** — every ``coarse_k``-th momentum column is solved
+   on every ``coarse_e``-th energy row (plus both grid borders), through
+   the same shard specs, slice cache, and executor as a plain
+   orchestrated scan, so solved map pixels share cache entries with
+   ordinary scans of the same physics.
+2. **2D refinement** — wherever two nearest solved neighbors (along
+   either grid axis) disagree under the scan refinement predicate
+   (mode-count change, evanescent spectrum appearing/disappearing, a
+   ``min |Im k|`` jump), the index midpoint between them is solved.
+   This generalizes the orchestrator's 1D energy bisection to both map
+   directions; it stops on adjacency, agreement, ``max_rounds``, or the
+   ``max_refine_pixels`` budget.
+3. **Certified interpolation** — remaining pixels are predicted by
+   linear band interpolation between solved brackets: modes are paired
+   by λ proximity (Hungarian assignment), their wave numbers
+   branch-aligned and linearly mixed, and the pixel rebuilt through
+   :func:`repro.cbs.classify.classify_modes`.  Every unsolved stretch
+   is *certified* by solving its midpoint and measuring the prediction
+   error there (:func:`mode_distance`) — the midpoint is where a
+   smooth band's linear-interpolation error peaks, so the stretch's
+   pixels inherit ``safety × error`` as their ``error_estimate``.  A
+   stretch whose certificate exceeds ``tolerance`` is **bisected**, not
+   solved wholesale: the probe is already a solved bracket, so both
+   halves re-certify against twice-closer brackets, and the recursion
+   bottoms out (worst case) at solving every pixel of a stretch that
+   genuinely cannot be interpolated.  The same recursion runs along
+   the momentum axis: a column span whose interpolation probes fail
+   promotes only its *middle* column to a full (energy-certified)
+   anchor and re-certifies both halves.
+
+Every produced pixel is a :class:`MapPixel` carrying ``solved`` and
+``error_estimate``, so downstream consumers (persistence, the job
+service, plotting) can always tell certified predictions from real
+solves.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.cbs.classify import CBSMode, classify_modes
+from repro.cbs.orchestrator import (
+    CancelFn,
+    ProgressFn,
+    RefinePolicy,
+    ScanOrchestrator,
+    ScanReport,
+    _slices_disagree,
+)
+from repro.cbs.scan import CBSResult, EnergySlice
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MapPixel",
+    "MapReport",
+    "MapResult",
+    "MapSurrogate",
+    "interpolate_modes",
+    "mode_distance",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+#: Grid coordinate: (energy row index, momentum column index).
+_Pix = Tuple[int, int]
+
+
+@dataclass
+class MapPixel(EnergySlice):
+    """One map pixel: an :class:`EnergySlice` that knows its origin.
+
+    ``solved`` pixels went through the real solver (``error_estimate``
+    is 0); interpolated pixels carry the certificate of the stretch
+    they were predicted in — an upper estimate of the worst matched
+    ``|Δk|`` against the true (unsolved) answer.
+    """
+
+    solved: bool = True
+    error_estimate: float = 0.0
+
+
+class MapResult(CBSResult):
+    """A dense map: a :class:`repro.cbs.CBSResult` of :class:`MapPixel`
+    slices over the full (E, k∥) product grid.
+
+    Adds the surrogate bookkeeping views; everything else (energy/k∥
+    selection, band point sets, persistence through
+    :mod:`repro.io.results`) is inherited.
+    """
+
+    def solved_mask(self) -> np.ndarray:
+        """Per-slice boolean: ``True`` where the pixel was solved."""
+        return np.array(
+            [bool(getattr(s, "solved", True)) for s in self.slices],
+            dtype=bool,
+        )
+
+    def error_estimates(self) -> np.ndarray:
+        """Per-slice interpolation certificates (0 for solved pixels)."""
+        return np.array(
+            [float(getattr(s, "error_estimate", 0.0)) for s in self.slices],
+            dtype=np.float64,
+        )
+
+    @property
+    def solved_fraction(self) -> float:
+        """Fraction of pixels that went through the real solver."""
+        if not self.slices:
+            return 0.0
+        return float(self.solved_mask().mean())
+
+    def max_error_estimate(self) -> float:
+        """Worst interpolation certificate in the map (0 if none)."""
+        est = self.error_estimates()
+        return float(est.max()) if est.size else 0.0
+
+
+@dataclass
+class MapReport:
+    """Telemetry of one surrogate map build.
+
+    ``scan`` aggregates the underlying shard statistics (cache hits,
+    solves, solver wall time) exactly as an orchestrated scan would
+    report them; the pixel counters classify where each grid pixel came
+    from: ``solved_pixels`` is the total through the solver, split into
+    coarse anchors, ``refine_pixels`` (2D bisection), ``probe_pixels``
+    (certificate measurements — including failed certificates, whose
+    probes become brackets of the re-certified halves), and
+    ``fallback_pixels`` (pixels solved because their brackets carry a
+    genuine discontinuity or mode-count mismatch).
+    """
+
+    n_energies: int = 0
+    n_kpar: int = 0
+    solved_pixels: int = 0
+    interpolated_pixels: int = 0
+    refine_pixels: int = 0
+    probe_pixels: int = 0
+    fallback_pixels: int = 0
+    promoted_columns: int = 0
+    refine_rounds: int = 0
+    scan: ScanReport = field(default_factory=ScanReport)
+
+    @property
+    def n_pixels(self) -> int:
+        return self.n_energies * self.n_kpar
+
+    @property
+    def solved_fraction(self) -> float:
+        return self.solved_pixels / self.n_pixels if self.n_pixels else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_energies}×{self.n_kpar} map: "
+            f"{self.solved_pixels} solved "
+            f"({100.0 * self.solved_fraction:.0f}%), "
+            f"{self.interpolated_pixels} interpolated, "
+            f"{self.refine_pixels} refined in {self.refine_rounds} "
+            f"round(s), {self.probe_pixels} probe(s), "
+            f"{self.fallback_pixels} fallback(s), "
+            f"{self.promoted_columns} promoted column(s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# band interpolation
+# ----------------------------------------------------------------------
+
+
+def _branch_align(k_ref: complex, k: complex, cell_length: float) -> complex:
+    """Shift ``k`` by whole reciprocal periods so its real part lands
+    next to ``k_ref`` — the principal branch of ``-i ln λ / a`` wraps at
+    ±π/a, and interpolating across the wrap without unwrapping would
+    drag the midpoint through the zone interior."""
+    period = _TWO_PI / cell_length
+    return k + period * round((k_ref.real - k.real) / period)
+
+
+def interpolate_modes(
+    a: Sequence[CBSMode],
+    b: Sequence[CBSMode],
+    t: float,
+    energy: float,
+    cell_length: float,
+    *,
+    propagating_tol: float = 1e-6,
+) -> Optional[List[CBSMode]]:
+    """Linearly interpolate two same-count mode sets at fraction ``t``.
+
+    Modes are paired by λ proximity (Hungarian assignment on
+    ``|λ_a − λ_b|``), each pair's wave numbers branch-aligned and mixed
+    as ``k = (1−t)·k_a + t·k_b``, and the set reclassified at
+    ``λ = exp(i k a)``.  Returns ``None`` when the counts differ — a
+    band appears or dies in between, so no continuous correspondence
+    exists and the caller must solve instead.
+    """
+    if len(a) != len(b):
+        return None
+    if not a:
+        return []
+    la = np.array([m.lam for m in a], dtype=np.complex128)
+    lb = np.array([m.lam for m in b], dtype=np.complex128)
+    ra, rb = linear_sum_assignment(np.abs(la[:, None] - lb[None, :]))
+    lams = np.empty(len(ra), dtype=np.complex128)
+    residuals = np.empty(len(ra), dtype=np.float64)
+    for idx, (ia, ib) in enumerate(zip(ra, rb)):
+        ka = a[ia].k
+        kb = _branch_align(ka, b[ib].k, cell_length)
+        k_mid = (1.0 - t) * ka + t * kb
+        lams[idx] = np.exp(1j * k_mid * cell_length)
+        residuals[idx] = max(a[ia].residual, b[ib].residual)
+    return classify_modes(
+        energy, lams, residuals, cell_length,
+        propagating_tol=propagating_tol,
+    )
+
+
+def mode_distance(
+    predicted: Optional[Sequence[CBSMode]],
+    actual: Sequence[CBSMode],
+    cell_length: float,
+) -> float:
+    """Worst matched ``|Δk|`` between a predicted and a true mode set.
+
+    ``inf`` when the counts differ (or the prediction failed outright);
+    0 for two empty sets.  The matching is a Hungarian assignment on the
+    branch-aligned distance (each true ``k`` may shift by one reciprocal
+    period either way), so the metric is insensitive to the principal
+    branch cut at the zone boundary.
+    """
+    if predicted is None or len(predicted) != len(actual):
+        return math.inf
+    if not predicted:
+        return 0.0
+    period = _TWO_PI / cell_length
+    kp = np.array([m.k for m in predicted], dtype=np.complex128)
+    ka = np.array([m.k for m in actual], dtype=np.complex128)
+    diffs = np.abs(kp[:, None] - ka[None, :])
+    for shift in (-period, period):
+        diffs = np.minimum(diffs, np.abs(kp[:, None] - (ka[None, :] + shift)))
+    ri, ci = linear_sum_assignment(diffs)
+    return float(diffs[ri, ci].max())
+
+
+# ----------------------------------------------------------------------
+# the surrogate
+# ----------------------------------------------------------------------
+
+
+class MapSurrogate:
+    """Build a dense (E, k∥) map from a sparse set of real solves.
+
+    Parameters
+    ----------
+    orchestrator:
+        The :class:`repro.cbs.orchestrator.ScanOrchestrator` whose shard
+        machinery (executor, slice cache, warm chains) solves the chosen
+        pixels.  Its tuning and refinement policies should be disabled —
+        solved map pixels are cached under the plain-scan context, so
+        tuned solves would poison entries shared with untuned scans
+        (:func:`repro.api.compute` constructs it that way).
+    energies:
+        The energy rows of the product grid (sorted, deduplicated).
+    columns:
+        ``[(k_par, weight, blocks), ...]`` in ascending momentum order —
+        the resolved k∥ columns (one system build per momentum).
+    spec:
+        The :class:`repro.api.MapSpec` driving coarseness, tolerance,
+        and budgets.
+    cache_contexts:
+        Optional per-column slice-cache contexts
+        (``job.cache_context(k_par=k)``); ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        orchestrator: ScanOrchestrator,
+        energies: Sequence[float],
+        columns: Sequence[Tuple[float, float, object]],
+        spec,
+        *,
+        cache_contexts: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        if not columns:
+            raise ConfigurationError("MapSurrogate needs at least one k∥ column")
+        self.orch = orchestrator
+        self.energies = sorted({float(e) for e in energies})
+        if not self.energies:
+            raise ConfigurationError("MapSurrogate needs at least one energy")
+        self.columns = list(columns)
+        self.spec = spec
+        if cache_contexts is not None and len(cache_contexts) != len(self.columns):
+            raise ConfigurationError(
+                f"MapSurrogate got {len(cache_contexts)} cache contexts for "
+                f"{len(self.columns)} k∥ columns"
+            )
+        self.cache_contexts = (
+            list(cache_contexts) if cache_contexts is not None else None
+        )
+        self.cell_length = self.columns[0][2].cell_length
+        self.propagating_tol = orchestrator.propagating_tol
+        #: Disagreement predicate of the 2D refinement (the scan
+        #: defaults; count changes and decay-rate jumps trigger it).
+        self.refine = RefinePolicy()
+
+    # ------------------------------------------------------------------
+
+    def _solve_batch(
+        self, pixels: Sequence[_Pix], report: MapReport
+    ) -> List[Tuple[int, int, MapPixel]]:
+        """Solve a set of grid pixels through the orchestrator's shard
+        machinery — one tile per momentum column, streamed through the
+        executor — and return ``(row, col, pixel)`` triples."""
+        todo = sorted(set(pixels))
+        if not todo:
+            return []
+        by_col: Dict[int, List[int]] = defaultdict(list)
+        for i, j in todo:
+            by_col[j].append(i)
+        specs, order = [], []
+        for j in sorted(by_col):
+            rows = sorted(by_col[j])
+            k, _w, blocks = self.columns[j]
+            ctx = (
+                self.cache_contexts[j]
+                if self.cache_contexts is not None
+                else None
+            )
+            specs.append(
+                self.orch._tile_spec(
+                    blocks, [self.energies[i] for i in rows], k, ctx
+                )
+            )
+            order.append((j, rows))
+        report.scan.n_shards += len(specs)
+        out: List[Tuple[int, int, MapPixel]] = []
+        for (j, rows), (slices, stats) in zip(
+            order, self.orch._imap_shards(specs)
+        ):
+            report.scan.absorb(stats)
+            k = self.columns[j][0]
+            for i, sl in zip(rows, sorted(slices, key=lambda s: s.energy)):
+                out.append((
+                    i,
+                    j,
+                    MapPixel(
+                        energy=sl.energy,
+                        modes=sl.modes,
+                        total_iterations=sl.total_iterations,
+                        solve_seconds=sl.solve_seconds,
+                        k_par=k,
+                        solved=True,
+                        error_estimate=0.0,
+                    ),
+                ))
+        return out
+
+    def _interp(
+        self, a: MapPixel, b: MapPixel, t: float, energy: float
+    ) -> Optional[List[CBSMode]]:
+        return interpolate_modes(
+            a.modes, b.modes, t, energy, self.cell_length,
+            propagating_tol=self.propagating_tol,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _iter_fill_column(
+        self, j: int, grid: Dict[_Pix, MapPixel], report: MapReport
+    ) -> Iterator[MapPixel]:
+        """Certified energy-axis fill of a column whose border rows (at
+        least) are solved.
+
+        Breadth-first over unsolved stretches: each round solves every
+        live stretch's midpoint in one batch (a single ascending warm
+        chain per column), then either fills the stretch — brackets
+        agree and the probe certificate ``safety × error`` is within
+        the axis budget — or splits it at the now-solved probe and
+        re-certifies both halves against the twice-closer brackets.  Stretches whose
+        brackets disagree (a mode appears/dies, the decay rate jumps)
+        bisect unconditionally: their midpoint solves are real feature
+        hunting, counted as ``fallback_pixels``.
+        """
+        spec, pol = self.spec, self.refine
+        budget = self._axis_budget()
+        solved_rows = sorted(i for (i, jj) in grid if jj == j)
+        stretches = [
+            (lo, hi)
+            for lo, hi in zip(solved_rows, solved_rows[1:])
+            if hi - lo > 1
+        ]
+        while stretches:
+            mids = {(lo, hi): (lo + hi) // 2 for lo, hi in stretches}
+            agree = {}
+            batch = []
+            for (lo, hi), m in mids.items():
+                a, b = grid[(lo, j)], grid[(hi, j)]
+                agree[(lo, hi)] = (
+                    a.count == b.count and not _slices_disagree(a, b, pol)
+                )
+                batch.append((m, j))
+            solved = {
+                i: px for i, _jj, px in self._solve_batch(batch, report)
+            }
+            for (lo, hi), m in mids.items():
+                grid[(m, j)] = solved[m]
+                report.solved_pixels += 1
+                if agree[(lo, hi)]:
+                    report.probe_pixels += 1
+                else:
+                    report.fallback_pixels += 1
+                yield solved[m]
+
+            next_stretches = []
+            for (lo, hi) in stretches:
+                m = mids[(lo, hi)]
+                a, b = grid[(lo, j)], grid[(hi, j)]
+                filled = False
+                if agree[(lo, hi)]:
+                    e_lo, e_hi = self.energies[lo], self.energies[hi]
+                    t_m = (self.energies[m] - e_lo) / (e_hi - e_lo)
+                    pred = self._interp(a, b, t_m, self.energies[m])
+                    cert = spec.safety * mode_distance(
+                        pred, grid[(m, j)].modes, self.cell_length
+                    )
+                    if math.isfinite(cert) and cert <= budget:
+                        k = self.columns[j][0]
+                        for i in range(lo + 1, hi):
+                            if i == m:
+                                continue
+                            t = (self.energies[i] - e_lo) / (e_hi - e_lo)
+                            px = MapPixel(
+                                energy=self.energies[i],
+                                modes=self._interp(
+                                    a, b, t, self.energies[i]
+                                ),
+                                k_par=k,
+                                solved=False,
+                                error_estimate=cert,
+                            )
+                            grid[(i, j)] = px
+                            report.interpolated_pixels += 1
+                            yield px
+                        filled = True
+                if not filled:
+                    if m - lo > 1:
+                        next_stretches.append((lo, m))
+                    if hi - m > 1:
+                        next_stretches.append((m, hi))
+            stretches = next_stretches
+
+    # ------------------------------------------------------------------
+
+    def _axis_budget(self) -> float:
+        """Per-axis certificate budget.
+
+        Momentum-filled pixels compound an energy-axis estimate (their
+        bracket columns are energy-filled) with a momentum certificate,
+        so on a genuinely 2D map each axis certifies to half the
+        tolerance — the compound then still fits it.  A single-column
+        map has no momentum axis and spends the whole budget on energy.
+        """
+        return self.spec.tolerance * (0.5 if len(self.columns) > 1 else 1.0)
+
+    def _certify_column(
+        self,
+        j: int,
+        jl: int,
+        jr: int,
+        grid: Dict[_Pix, MapPixel],
+    ) -> float:
+        """Worst probe error of predicting column ``j`` by momentum
+        interpolation between the (fully populated) bracket columns
+        ``jl`` and ``jr`` — measured at every row of ``j`` already
+        solved (refinement leftovers plus the segment probes)."""
+        k_l, k_r = self.columns[jl][0], self.columns[jr][0]
+        t_j = (self.columns[j][0] - k_l) / (k_r - k_l)
+        err = 0.0
+        for i in sorted(i for (i, jj) in grid if jj == j):
+            if not grid[(i, j)].solved:
+                continue
+            pred = self._interp(
+                grid[(i, jl)], grid[(i, jr)], t_j, self.energies[i]
+            )
+            err = max(
+                err,
+                mode_distance(pred, grid[(i, j)].modes, self.cell_length),
+            )
+        return err
+
+    def _iter_fill_kpar_segment(
+        self,
+        jl: int,
+        jr: int,
+        coarse_rows: Sequence[int],
+        grid: Dict[_Pix, MapPixel],
+        report: MapReport,
+    ) -> Iterator[MapPixel]:
+        """Certified momentum-axis fill of the columns between two fully
+        populated brackets.
+
+        Each interior column is probed (its quartile energy rows, plus
+        any rows the 2D refinement already solved there) and certified
+        against momentum interpolation between the brackets — several
+        probe rows because the momentum-interpolation error varies along
+        the energy axis, and a single-row certificate would not bound
+        rows far from it.  A segment
+        with a failing column does not solve everything: it *promotes*
+        only its middle column — solving the coarse rows and running the
+        energy-axis certified fill — and re-certifies both halves
+        against the now-closer brackets, recursively.
+        """
+        spec = self.spec
+        n_e = len(self.energies)
+        probe_rows = {n_e // 4, n_e // 2, (3 * n_e) // 4}
+        segments = [(jl, jr)] if jr - jl > 1 else []
+        probed = False
+        while segments:
+            if not probed:
+                # One probe batch for every live segment's interior
+                # columns (probes survive bisection — never re-solved).
+                probes = [
+                    (i, j)
+                    for sl, sr in segments
+                    for j in range(sl + 1, sr)
+                    for i in sorted(
+                        {i for (i, jj) in grid if jj == j} | probe_rows
+                    )
+                    if (i, j) not in grid
+                ]
+                for i, j, px in self._solve_batch(probes, report):
+                    grid[(i, j)] = px
+                    report.solved_pixels += 1
+                    report.probe_pixels += 1
+                    yield px
+                probed = True
+            budget = self._axis_budget()
+            next_segments = []
+            for sl, sr in segments:
+                interior = range(sl + 1, sr)
+                errs = {
+                    j: self._certify_column(j, sl, sr, grid)
+                    for j in interior
+                }
+                certs = {j: spec.safety * e for j, e in errs.items()}
+                if all(
+                    math.isfinite(c) and c <= budget
+                    for c in certs.values()
+                ):
+                    for j in interior:
+                        yield from self._iter_fill_column_from_brackets(
+                            j, sl, sr, certs[j], grid, report
+                        )
+                    continue
+                # Promote the middle column: solve its coarse rows, fill
+                # it along the energy axis, then re-certify the halves.
+                jm = (sl + sr) // 2
+                report.promoted_columns += 1
+                promote = [
+                    (i, jm) for i in coarse_rows if (i, jm) not in grid
+                ]
+                for i, jj, px in self._solve_batch(promote, report):
+                    grid[(i, jj)] = px
+                    report.solved_pixels += 1
+                    report.fallback_pixels += 1
+                    yield px
+                yield from self._iter_fill_column(jm, grid, report)
+                if jm - sl > 1:
+                    next_segments.append((sl, jm))
+                if sr - jm > 1:
+                    next_segments.append((jm, sr))
+            segments = next_segments
+
+    def _iter_fill_column_from_brackets(
+        self,
+        j: int,
+        jl: int,
+        jr: int,
+        cert: float,
+        grid: Dict[_Pix, MapPixel],
+        report: MapReport,
+    ) -> Iterator[MapPixel]:
+        """Fill every remaining pixel of column ``j`` by momentum
+        interpolation between the bracket columns, solving the rows
+        whose brackets carry different mode counts (no continuous band
+        correspondence exists there)."""
+        spec = self.spec
+        k_l, k_r = self.columns[jl][0], self.columns[jr][0]
+        k_j = self.columns[j][0]
+        t_j = (k_j - k_l) / (k_r - k_l)
+        solve_rows: List[_Pix] = []
+        fill_rows: List[Tuple[int, float]] = []
+        for i in range(len(self.energies)):
+            if (i, j) in grid:
+                continue
+            a, b = grid[(i, jl)], grid[(i, jr)]
+            # Compound: the momentum certificate on top of whatever the
+            # brackets already carry (a bracket may itself be a filled
+            # column).  Rows whose compound estimate busts the tolerance
+            # — or whose brackets carry different mode counts, so no
+            # continuous band correspondence exists — are solved.
+            estimate = cert + max(a.error_estimate, b.error_estimate)
+            if a.count != b.count or estimate > spec.tolerance:
+                solve_rows.append((i, j))
+            else:
+                fill_rows.append((i, estimate))
+        for i, jj, px in self._solve_batch(solve_rows, report):
+            grid[(i, jj)] = px
+            report.solved_pixels += 1
+            report.fallback_pixels += 1
+            yield px
+        for i, estimate in fill_rows:
+            a, b = grid[(i, jl)], grid[(i, jr)]
+            px = MapPixel(
+                energy=self.energies[i],
+                modes=self._interp(a, b, t_j, self.energies[i]),
+                k_par=k_j,
+                solved=False,
+                error_estimate=estimate,
+            )
+            grid[(i, j)] = px
+            report.interpolated_pixels += 1
+            yield px
+
+    # ------------------------------------------------------------------
+
+    def iter_pixels(
+        self,
+        *,
+        report: Optional[MapReport] = None,
+        progress: Optional[ProgressFn] = None,
+        should_cancel: Optional[CancelFn] = None,
+    ) -> Iterator[MapPixel]:
+        """Stream the dense map pixel by pixel as it is built.
+
+        Solved pixels arrive as their batches complete (coarse anchors,
+        then refinement rounds, then probes column by column);
+        interpolated pixels follow their stretch's certificate.
+        ``progress(done, total)`` counts over the full product grid;
+        ``should_cancel()`` is polled between batches — cancelling ends
+        the stream early with every already-yielded pixel valid.
+        Telemetry accumulates into ``report`` (one is created and
+        discarded when not supplied).
+        """
+        report = MapReport() if report is None else report
+        spec, pol = self.spec, self.refine
+        n_e, n_k = len(self.energies), len(self.columns)
+        report.n_energies, report.n_kpar = n_e, n_k
+        total = n_e * n_k
+        done = 0
+        grid: Dict[_Pix, MapPixel] = {}
+
+        def _cancelled() -> bool:
+            return should_cancel is not None and should_cancel()
+
+        def _emit(px: MapPixel) -> MapPixel:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(done, total)
+            return px
+
+        # -- phase A: coarse anchors --------------------------------------
+        coarse_rows = sorted(set(range(0, n_e, spec.coarse_e)) | {n_e - 1})
+        anchor_cols = sorted(set(range(0, n_k, spec.coarse_k)) | {n_k - 1})
+        batch = [(i, j) for j in anchor_cols for i in coarse_rows]
+        for i, j, px in self._solve_batch(batch, report):
+            grid[(i, j)] = px
+            report.solved_pixels += 1
+            yield _emit(px)
+        if _cancelled():
+            return
+
+        # -- phase B: 2D bisection between disagreeing neighbors ----------
+        for _ in range(spec.max_rounds):
+            by_col: Dict[int, List[int]] = defaultdict(list)
+            by_row: Dict[int, List[int]] = defaultdict(list)
+            for i, j in grid:
+                by_col[j].append(i)
+                by_row[i].append(j)
+            mids = set()
+            for j, ilist in by_col.items():
+                ilist = sorted(ilist)
+                for lo, hi in zip(ilist, ilist[1:]):
+                    if hi - lo > 1 and _slices_disagree(
+                        grid[(lo, j)], grid[(hi, j)], pol
+                    ):
+                        mids.add(((lo + hi) // 2, j))
+            for i, jlist in by_row.items():
+                jlist = sorted(jlist)
+                for lo, hi in zip(jlist, jlist[1:]):
+                    if hi - lo > 1 and _slices_disagree(
+                        grid[(i, lo)], grid[(i, hi)], pol
+                    ):
+                        mids.add((i, (lo + hi) // 2))
+            todo = sorted(m for m in mids if m not in grid)
+            todo = todo[: max(0, spec.max_refine_pixels - report.refine_pixels)]
+            if not todo:
+                break
+            report.refine_rounds += 1
+            for i, j, px in self._solve_batch(todo, report):
+                grid[(i, j)] = px
+                report.solved_pixels += 1
+                report.refine_pixels += 1
+                yield _emit(px)
+            if _cancelled():
+                return
+
+        # -- phase C1: certified energy-axis fill of the anchor columns ---
+        for j in anchor_cols:
+            for px in self._iter_fill_column(j, grid, report):
+                yield _emit(px)
+            if _cancelled():
+                return
+
+        # -- phase C2: certified momentum fill between anchors ------------
+        for jl, jr in zip(anchor_cols, anchor_cols[1:]):
+            for px in self._iter_fill_kpar_segment(
+                jl, jr, coarse_rows, grid, report
+            ):
+                yield _emit(px)
+            if _cancelled():
+                return

@@ -138,6 +138,23 @@ def _matrix_from_wire(d) -> np.ndarray:
     return re + 1j * im
 
 
+def _kpar_to_wire(kp):
+    """Scalar k∥ as a float, vector k∥ as a list, absent as ``null``."""
+    if kp is None:
+        return None
+    if np.ndim(kp) == 0:
+        return float(kp)
+    return [float(x) for x in kp]
+
+
+def _kpar_from_wire(v):
+    if v is None:
+        return None
+    if isinstance(v, (list, tuple)):
+        return tuple(float(x) for x in v)
+    return float(v)
+
+
 # ---------------------------------------------------------------------------
 # slices
 # ---------------------------------------------------------------------------
@@ -171,16 +188,24 @@ def slice_to_wire(
             "n_channels": int(sl.n_channels),
             "total_iterations": int(sl.total_iterations),
             "solve_seconds": float(sl.solve_seconds),
-            "k_par": None if sl.k_par is None else float(sl.k_par),
+            "k_par": _kpar_to_wire(sl.k_par),
             "k_weight": float(sl.k_weight),
         }
-    return {
+    from repro.maps.surrogate import MapPixel
+
+    wire: Dict[str, Any] = {
         "kind": "cbs",
         "energy": float(sl.energy),
         "total_iterations": int(sl.total_iterations),
         "solve_seconds": float(sl.solve_seconds),
-        "k_par": None if sl.k_par is None else float(sl.k_par),
-        "modes": [
+        "k_par": _kpar_to_wire(sl.k_par),
+    }
+    if isinstance(sl, MapPixel):
+        # Map pixels add the surrogate annotations; plain CBS slices
+        # keep the historical layout byte-for-byte.
+        wire["solved"] = bool(sl.solved)
+        wire["error_estimate"] = float(sl.error_estimate)
+    wire["modes"] = [
             {
                 "lam": _c2w(m.lam),
                 "k": _c2w(m.k),
@@ -189,8 +214,8 @@ def slice_to_wire(
                 "residual": float(m.residual),
             }
             for m in sl.modes
-        ],
-    }
+        ]
+    return wire
 
 
 def slice_from_wire(d: Dict[str, Any]) -> Union[EnergySlice, TransportSlice]:
@@ -220,7 +245,7 @@ def slice_from_wire(d: Dict[str, Any]) -> Union[EnergySlice, TransportSlice]:
             n_channels=int(d["n_channels"]),
             total_iterations=int(d["total_iterations"]),
             solve_seconds=float(d["solve_seconds"]),
-            k_par=None if d["k_par"] is None else float(d["k_par"]),
+            k_par=_kpar_from_wire(d["k_par"]),
             k_weight=float(d["k_weight"]),
         )
     if kind == "cbs":
@@ -236,13 +261,22 @@ def slice_from_wire(d: Dict[str, Any]) -> Union[EnergySlice, TransportSlice]:
             )
             for m in d["modes"]
         ]
-        return EnergySlice(
-            energy,
-            modes,
+        common = dict(
             total_iterations=int(d["total_iterations"]),
             solve_seconds=float(d["solve_seconds"]),
-            k_par=None if d["k_par"] is None else float(d["k_par"]),
+            k_par=_kpar_from_wire(d["k_par"]),
         )
+        if "solved" in d:
+            from repro.maps.surrogate import MapPixel
+
+            return MapPixel(
+                energy,
+                modes,
+                solved=bool(d["solved"]),
+                error_estimate=float(d.get("error_estimate", 0.0)),
+                **common,
+            )
+        return EnergySlice(energy, modes, **common)
     raise ServiceRejected(
         "invalid-payload", f"unknown slice kind {kind!r}"
     )
@@ -274,7 +308,14 @@ def result_to_wire(
         JSON-safe payload round-tripping through
         :func:`result_from_wire`.
     """
-    kind = "transport" if isinstance(result, TransportResult) else "cbs"
+    from repro.maps.surrogate import MapResult
+
+    if isinstance(result, TransportResult):
+        kind = "transport"
+    elif isinstance(result, MapResult):
+        kind = "map"
+    else:
+        kind = "cbs"
     return {
         "protocol_version": PROTOCOL_VERSION,
         "kind": kind,
@@ -317,6 +358,11 @@ def result_from_wire(
     if kind == "cbs":
         expected = CBS_RESULT_SCHEMA_VERSION
         cls: Any = CBSResult
+    elif kind == "map":
+        from repro.maps.surrogate import MapResult
+
+        expected = CBS_RESULT_SCHEMA_VERSION
+        cls = MapResult
     elif kind == "transport":
         expected = TRANSPORT_RESULT_SCHEMA_VERSION
         cls = TransportResult

@@ -303,15 +303,38 @@ class JobService:
         manifest = self.store.get_manifest(job_id)
         if manifest is None:
             return None
-        transport = manifest.get("kind") == "transport"
+        kind = manifest.get("kind", "cbs")
+        transport = kind == "transport"
         slices = []
-        for context, energy in manifest.get("entries", []):
+        for entry in manifest.get("entries", []):
+            context, energy = entry[0], entry[1]
             sl = self.store.get(context, float(energy), transport=transport)
             if sl is None:
                 return None
+            if len(entry) >= 4:
+                # Map-job entry: the store holds a plain slice; the
+                # manifest carries the surrogate annotations.
+                from repro.maps.surrogate import MapPixel
+
+                sl = MapPixel(
+                    sl.energy,
+                    sl.modes,
+                    total_iterations=sl.total_iterations,
+                    solve_seconds=sl.solve_seconds,
+                    k_par=sl.k_par,
+                    solved=bool(entry[2]),
+                    error_estimate=float(entry[3]),
+                )
             slices.append(sl)
         slices = _sorted_slices(slices)
-        cls = TransportResult if transport else CBSResult
+        if transport:
+            cls: Any = TransportResult
+        elif kind == "map":
+            from repro.maps.surrogate import MapResult
+
+            cls = MapResult
+        else:
+            cls = CBSResult
         result = cls(slices, float(manifest["cell_length"]))
         result.provenance = dict(manifest.get("provenance") or {})
         return _JobRecord(
@@ -351,14 +374,30 @@ class JobService:
             stream = compute_iter(
                 job, should_cancel=rec.cancel_event.is_set
             )
+            is_map = job.map is not None
             for sl in stream:
+                # Interpolated map pixels are predictions, not solver
+                # output: they live in a map-spec-keyed namespace so a
+                # plain scan can never mistake one for a real solve.
+                # Genuinely solved pixels share the plain-scan contexts.
+                interpolated = is_map and not getattr(sl, "solved", True)
                 context = (
-                    job.cache_context(k_par=sl.k_par)
+                    job.cache_context(
+                        k_par=sl.k_par, interpolated=interpolated
+                    )
                     if job.kpar is not None
                     else job.cache_context()
                 )
                 self.store.put(context, sl, transport=rec.transport)
-                entries.append([context, float(sl.energy)])
+                if is_map:
+                    entries.append([
+                        context,
+                        float(sl.energy),
+                        bool(getattr(sl, "solved", True)),
+                        float(getattr(sl, "error_estimate", 0.0)),
+                    ])
+                else:
+                    entries.append([context, float(sl.energy)])
                 solved.append(sl)
                 loop.call_soon_threadsafe(self._publish, rec, sl)
             if rec.cancel_event.is_set():
@@ -377,15 +416,26 @@ class JobService:
         job = rec.job
         slices = _sorted_slices(solved)
         cell_length = job.system.build().cell_length
+        engine = job.engine()
         if rec.transport:
             result: Any = TransportResult(slices, cell_length)
+        elif engine == "map":
+            from repro.maps.surrogate import MapResult
+
+            result = MapResult(slices, cell_length)
         else:
             result = CBSResult(slices, cell_length)
-        result.provenance = _provenance(job, job.engine())
+        result.provenance = _provenance(job, engine)
+        if rec.transport:
+            kind = "transport"
+        elif engine == "map":
+            kind = "map"
+        else:
+            kind = "cbs"
         self.store.put_manifest(
             rec.job_id,
             {
-                "kind": "transport" if rec.transport else "cbs",
+                "kind": kind,
                 "cell_length": float(cell_length),
                 "provenance": result.provenance,
                 "entries": entries,

@@ -44,9 +44,11 @@ __all__ = ["ResultStore"]
 _MANIFEST_DIR = "_manifests"
 
 
-def _entry_files(directory: str) -> List[Tuple[str, float, int]]:
-    """``(path, mtime, size)`` of every slice/transport entry in one
-    namespace directory (missing/raced files skipped)."""
+def _entry_files(directory: str) -> List[Tuple[str, int, int]]:
+    """``(path, mtime_ns, size)`` of every slice/transport entry in one
+    namespace directory (missing/raced files skipped).  Nanosecond
+    mtimes keep LRU ordering meaningful on filesystems whose float
+    ``st_mtime`` rounds distinct writes to the same second."""
     out = []
     try:
         names = os.listdir(directory)
@@ -62,7 +64,7 @@ def _entry_files(directory: str) -> List[Tuple[str, float, int]]:
             st = os.stat(path)
         except OSError:
             continue
-        out.append((path, st.st_mtime, st.st_size))
+        out.append((path, st.st_mtime_ns, st.st_size))
     return out
 
 
@@ -183,8 +185,12 @@ class ResultStore:
                 )
                 try:
                     os.utime(path)
+                except FileNotFoundError:
+                    pass  # an evictor won the race between read and
+                    # touch — the already-loaded slice is still a hit
                 except OSError:
-                    pass  # evicted/raced between read and touch — still a hit
+                    pass  # permissions/IO oddity — recency refresh is
+                    # best-effort, never a reason to fail the read
             return sl
 
     @contextmanager
@@ -251,7 +257,10 @@ class ResultStore:
         if total <= self.max_bytes:
             return 0
         removed = 0
-        entries.sort(key=lambda e: e[1])  # oldest last-hit first
+        # Oldest last-hit first; ties (coarse-mtime filesystems, or
+        # entries written within one timestamp granule) break
+        # deterministically by path instead of listdir order.
+        entries.sort(key=lambda e: (e[1], e[0]))
         for path, _mtime, size in entries:
             if total <= self.max_bytes:
                 break

@@ -22,6 +22,7 @@ EXPECTED_API_ALL = [
     "ExecutionSpec",
     "JOB_SPEC_VERSION",
     "KParSpec",
+    "MapSpec",
     "ProgressFn",
     "RefinePolicy",
     "RingSpec",

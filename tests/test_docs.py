@@ -73,6 +73,7 @@ def test_reference_pages_cover_required_packages():
             "repro.service.http",
             "repro.service.protocol",
         ],
+        "maps.rst": ["repro.maps", "repro.maps.surrogate"],
     }.items():
         text = _read("reference", page)
         for module in modules:
@@ -124,6 +125,7 @@ PINNED_SYMBOLS = [
     api.ScanSpec,
     api.ExecutionSpec,
     api.TransportSpec,
+    api.MapSpec,
     api.compute,
     api.compute_iter,
     api.save_result,

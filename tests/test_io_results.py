@@ -151,3 +151,78 @@ def test_negative_mode_counts_rejected(scanned_result, tmp_path):
 def test_missing_file_raises_oserror(tmp_path):
     with pytest.raises(OSError):
         load_result(tmp_path / "nope")
+
+
+# ----------------------------------------------------------------------
+# the k∥ axis encoding (scalar, vector, absent, and mixes)
+# ----------------------------------------------------------------------
+
+
+def _mode(energy):
+    from repro.cbs.classify import CBSMode, ModeType
+
+    return CBSMode(energy, 0.7 + 0.1j, 0.14 + 0.35j,
+                   ModeType.EVANESCENT_DECAYING, 2.86, 1e-9)
+
+
+def _kpar_result(k_pars):
+    from repro.cbs.scan import EnergySlice
+
+    slices = [
+        EnergySlice(0.1 * i, [_mode(0.1 * i)], total_iterations=3,
+                    solve_seconds=0.0, k_par=kp)
+        for i, kp in enumerate(k_pars)
+    ]
+    return CBSResult(slices, 1.0, provenance={})
+
+
+def test_scalar_and_absent_kpar_keep_flat_axis_bytes(tmp_path):
+    """Scalar/absent momenta pin the historical on-disk layout: a FLAT
+    float64 array with NaN for "no momentum", and the exact header key
+    set — the vector-k∥ fix must not move old files' bytes."""
+    _, npz_path = save_result(
+        tmp_path / "r", _kpar_result([0.25, None, -1.5])
+    )
+    with np.load(npz_path) as npz:
+        axis = npz["k_par"]
+    assert axis.dtype == np.float64 and axis.ndim == 1
+    expected = np.array([0.25, np.nan, -1.5], dtype=np.float64)
+    assert axis.tobytes() == expected.tobytes()
+    header = json.loads(open(str(tmp_path / "r") + ".json").read())
+    assert sorted(header) == [
+        "cell_length", "kind", "n_slices", "npz", "provenance",
+        "schema_version",
+    ]
+    assert header["kind"] == "cbs"
+    back = load_result(tmp_path / "r")
+    assert [s.k_par for s in back.slices] == [0.25, None, -1.5]
+
+
+def test_vector_kpar_round_trips_bit_for_bit(tmp_path):
+    """2D momenta persist as an (n, d) axis; values survive exactly."""
+    kps = [(0.1, 0.2), (-0.3, 1.0 / 3.0)]
+    save_result(tmp_path / "r", _kpar_result(kps))
+    with np.load(str(tmp_path / "r") + ".npz") as npz:
+        axis = npz["k_par"]
+    assert axis.shape == (2, 2) and axis.dtype == np.float64
+    back = load_result(tmp_path / "r")
+    assert [s.k_par for s in back.slices] == kps  # bit-for-bit floats
+
+
+def test_mixed_vector_and_absent_kpar_round_trips(tmp_path):
+    """An all-NaN row encodes "no momentum" next to vector rows."""
+    kps = [(0.1, 0.2), None, (0.5, -0.5)]
+    save_result(tmp_path / "r", _kpar_result(kps))
+    back = load_result(tmp_path / "r")
+    assert [s.k_par for s in back.slices] == kps
+
+
+def test_mismatched_kpar_widths_rejected(tmp_path):
+    """A scalar and a vector momentum in one result is a configuration
+    error — never a silent truncation to the narrower width."""
+    with pytest.raises(ConfigurationError, match="mismatched widths"):
+        save_result(tmp_path / "r", _kpar_result([0.25, (0.1, 0.2)]))
+    with pytest.raises(ConfigurationError, match="mismatched widths"):
+        save_result(
+            tmp_path / "r2", _kpar_result([(0.1,), (0.1, 0.2)])
+        )

@@ -1,0 +1,439 @@
+"""The adaptive (E, k∥) map surrogate: spec, engine, certificates.
+
+The acceptance pins of the ``"map"`` engine:
+
+* attaching a :class:`MapSpec` routes a k∥ job to the surrogate and
+  returns a dense :class:`MapResult` — every product-grid pixel exactly
+  once, solved pixels **identical** to a full solve of the same grid;
+* every interpolated pixel carries an ``error_estimate`` within the
+  requested tolerance, and the TRUE error (``mode_distance`` against
+  the full solve) stays within it too;
+* 2D refinement at a band edge terminates under ``max_rounds`` /
+  ``max_refine_pixels`` and can be disabled outright;
+* solved pixels share cache namespaces with plain scans (a later plain
+  column scan is served from the map's cache entries);
+* a completed map job resubmitted through the service performs zero
+  solves, with the pixel annotations intact;
+* map results round-trip through ``save_result``/``load_result`` (kind
+  ``"map"``) and the service wire protocol.
+"""
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CBSJob,
+    ExecutionSpec,
+    KParSpec,
+    MapSpec,
+    RefinePolicy,
+    TuningPolicy,
+    compute,
+    compute_iter,
+    load_result,
+    save_result,
+)
+from repro.cbs.classify import CBSMode, ModeType
+from repro.errors import ConfigurationError
+from repro.maps import (
+    MapPixel,
+    MapResult,
+    MapSurrogate,
+    interpolate_modes,
+    mode_distance,
+)
+
+TOL = 1e-3
+
+#: A smooth slab window (away from the E ≈ -0.5 feature): the surrogate
+#: interpolates a real share of the pixels here.
+SMOOTH = dict(
+    system={"name": "square-slab", "params": {"width": 2}},
+    scan={"window": [-0.95, -0.65, 24], "n_mm": 4, "n_rh": 4, "seed": 1,
+          "linear_solver": "direct"},
+    ring={"n_int": 16},
+    kpar=KParSpec(values=tuple(np.linspace(0.3, 0.5, 5))),
+)
+
+#: A window straddling the slab's band feature: neighbors disagree along
+#: both axes, so the 2D refinement actually fires.
+EDGE = dict(
+    system={"name": "square-slab", "params": {"width": 2}},
+    scan={"window": [-0.8, -0.2, 16], "n_mm": 4, "n_rh": 4, "seed": 1,
+          "linear_solver": "direct"},
+    ring={"n_int": 16},
+    kpar=KParSpec(values=tuple(np.linspace(0.3, 0.9, 5))),
+)
+
+SMOOTH_MAP = MapSpec(coarse_e=6, coarse_k=2, tolerance=TOL, safety=2.0)
+
+
+@pytest.fixture(scope="module")
+def smooth_map_result():
+    return compute(CBSJob(**SMOOTH, map=SMOOTH_MAP))
+
+
+@pytest.fixture(scope="module")
+def smooth_full_result():
+    return compute(CBSJob(**SMOOTH))
+
+
+# ----------------------------------------------------------------------
+# MapSpec: validation, round-trip, hash discipline
+# ----------------------------------------------------------------------
+
+
+def test_mapspec_validation():
+    with pytest.raises(ConfigurationError, match="coarse"):
+        MapSpec(coarse_e=0)
+    with pytest.raises(ConfigurationError, match="coarse"):
+        MapSpec(coarse_k=0)
+    with pytest.raises(ConfigurationError, match="tolerance"):
+        MapSpec(tolerance=0.0)
+    with pytest.raises(ConfigurationError, match="tolerance"):
+        MapSpec(tolerance=math.inf)
+    with pytest.raises(ConfigurationError, match="safety"):
+        MapSpec(safety=0.5)
+    with pytest.raises(ConfigurationError, match="max_rounds"):
+        MapSpec(max_rounds=-1)
+
+
+def test_mapspec_round_trip_and_unknown_keys():
+    spec = MapSpec(coarse_e=3, coarse_k=5, tolerance=2e-3, safety=1.5,
+                   max_rounds=2, max_refine_pixels=10)
+    assert MapSpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(ConfigurationError):
+        MapSpec.from_dict({**spec.to_dict(), "bogus": 1})
+
+
+def test_map_requires_kpar_and_excludes_transport():
+    plain = {k: v for k, v in SMOOTH.items() if k != "kpar"}
+    with pytest.raises(ConfigurationError, match="kpar"):
+        CBSJob(**plain, map=MapSpec())
+    with pytest.raises(ConfigurationError, match="transport"):
+        CBSJob(**SMOOTH, transport={"eta": 1e-6}, map=MapSpec())
+
+
+def test_map_job_routing_and_hash_discipline():
+    job = CBSJob(**SMOOTH, map=SMOOTH_MAP)
+    plain = CBSJob(**SMOOTH)
+    assert job.engine() == "map"
+    assert plain.engine() != "map"
+    # the map key exists exactly when a spec is attached, so every
+    # pre-map job hash (and cache context) is untouched
+    assert "map" in job.to_dict() and "map" not in plain.to_dict()
+    assert job.job_hash() != plain.job_hash()
+    back = CBSJob.from_dict(job.to_dict())
+    assert back.map == job.map and back.job_hash() == job.job_hash()
+
+
+def test_cache_context_interpolated_namespace():
+    job = CBSJob(**SMOOTH, map=SMOOTH_MAP)
+    plain = CBSJob(**SMOOTH)
+    # solved pixels share namespaces with plain scans of the column ...
+    assert job.cache_context(k_par=0.3) == plain.cache_context(k_par=0.3)
+    # ... interpolated pixels never do (they are predictions)
+    interp = job.cache_context(k_par=0.3, interpolated=True)
+    assert interp != job.cache_context(k_par=0.3)
+    # and a map-less job ignores the flag entirely
+    assert plain.cache_context(k_par=0.3, interpolated=True) == \
+        plain.cache_context(k_par=0.3)
+
+
+# ----------------------------------------------------------------------
+# mode interpolation primitives
+# ----------------------------------------------------------------------
+
+
+def _mode(energy, k, L=1.0):
+    lam = complex(np.exp(1j * k * L))
+    mt = (
+        ModeType.PROPAGATING
+        if abs(abs(lam) - 1.0) <= 1e-6
+        else (
+            ModeType.EVANESCENT_DECAYING
+            if k.imag > 0
+            else ModeType.EVANESCENT_GROWING
+        )
+    )
+    return CBSMode(energy, lam, k, mt, math.inf if k.imag == 0
+                   else 1.0 / abs(k.imag), 1e-12)
+
+
+def test_interpolate_modes_midpoint_of_linear_band_is_exact():
+    a = [_mode(0.0, 0.30 + 0.0j), _mode(0.0, 1.10 + 0.40j)]
+    b = [_mode(0.2, 0.50 + 0.0j), _mode(0.2, 1.30 + 0.60j)]
+    mid = interpolate_modes(a, b, 0.5, 0.1, 1.0)
+    assert mid is not None and len(mid) == 2
+    ks = sorted(m.k.real for m in mid)
+    assert ks == pytest.approx([0.40, 1.20], abs=1e-12)
+    assert max(m.k.imag for m in mid) == pytest.approx(0.50, abs=1e-12)
+
+
+def test_interpolate_modes_none_on_count_mismatch():
+    a = [_mode(0.0, 0.3 + 0.0j)]
+    b = [_mode(0.2, 0.5 + 0.0j), _mode(0.2, 1.0 + 0.2j)]
+    assert interpolate_modes(a, b, 0.5, 0.1, 1.0) is None
+
+
+def test_mode_distance_basics():
+    a = [_mode(0.0, 0.30 + 0.0j), _mode(0.0, 1.10 + 0.40j)]
+    assert mode_distance(a, list(a), 1.0) == 0.0
+    shifted = [_mode(0.0, 0.31 + 0.0j), _mode(0.0, 1.10 + 0.45j)]
+    assert mode_distance(a, shifted, 1.0) == pytest.approx(0.05, abs=1e-9)
+    assert mode_distance(a, a[:1], 1.0) == math.inf
+    assert mode_distance(None, a, 1.0) == math.inf
+    assert mode_distance([], [], 1.0) == 0.0
+    # branch equivalence: k and k + 2π/L are the same Bloch mode
+    wrapped = [_mode(0.0, 0.30 + 2.0 * math.pi + 0.0j), a[1]]
+    assert mode_distance(a, wrapped, 1.0) == pytest.approx(0.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# the surrogate end to end
+# ----------------------------------------------------------------------
+
+
+def test_map_result_covers_grid_and_solved_pixels_match_full_solve(
+    smooth_map_result, smooth_full_result
+):
+    res, full = smooth_map_result, smooth_full_result
+    assert isinstance(res, MapResult)
+    assert all(isinstance(s, MapPixel) for s in res.slices)
+    # every product-grid pixel exactly once
+    grid = {(s.k_par, s.energy) for s in full.slices}
+    got = [(s.k_par, s.energy) for s in res.slices]
+    assert len(got) == len(full.slices) and set(got) == grid
+    # solved pixels are REAL solves: identical mode sets
+    ref = {(s.k_par, s.energy): s for s in full.slices}
+    n_solved = 0
+    for s in res.slices:
+        if not s.solved:
+            continue
+        n_solved += 1
+        assert s.error_estimate == 0.0
+        assert s.modes == ref[(s.k_par, s.energy)].modes
+    assert 0 < n_solved < len(res.slices), "expected a solved/interp mix"
+    assert res.solved_fraction == pytest.approx(n_solved / len(res.slices))
+
+
+def test_interpolated_pixels_certified_within_tolerance(
+    smooth_map_result, smooth_full_result
+):
+    res, full = smooth_map_result, smooth_full_result
+    ref = {(s.k_par, s.energy): s for s in full.slices}
+    interp = [s for s in res.slices if not s.solved]
+    assert interp, "expected interpolated pixels on the smooth window"
+    for s in interp:
+        assert 0.0 <= s.error_estimate <= TOL  # the certificate's promise
+        true_err = mode_distance(
+            s.modes, ref[(s.k_par, s.energy)].modes, full.cell_length
+        )
+        assert true_err <= TOL, (
+            f"interp pixel (E={s.energy:.4f}, k={s.k_par}) off by "
+            f"{true_err:.2e} (cert {s.error_estimate:.2e})"
+        )
+    assert res.max_error_estimate() <= TOL
+
+
+def test_map_report_counters_in_provenance(smooth_map_result):
+    mr = smooth_map_result.provenance["map_report"]
+    n = mr["n_energies"] * mr["n_kpar"]
+    assert (mr["n_energies"], mr["n_kpar"]) == (24, 5)
+    assert mr["solved_pixels"] + mr["interpolated_pixels"] == n
+    assert mr["solved_pixels"] >= mr["probe_pixels"] + mr["fallback_pixels"]
+    # and the ordinary scan report rides along
+    assert smooth_map_result.provenance["report"]["solves"] > 0
+
+
+def test_streaming_progress_and_cancel():
+    job = CBSJob(**SMOOTH, map=SMOOTH_MAP)
+    ticks = []
+    pixels = list(compute_iter(
+        job, progress=lambda done, total: ticks.append((done, total))
+    ))
+    n = 24 * 5
+    assert len(pixels) == n
+    assert all(isinstance(p, MapPixel) for p in pixels)
+    assert ticks[-1] == (n, n)
+    assert [d for d, _ in ticks] == list(range(1, n + 1))
+
+    seen = 0
+
+    def cancel():
+        return seen >= 10
+
+    got = []
+    for px in compute_iter(job, should_cancel=cancel):
+        seen += 1
+        got.append(px)
+    assert 10 <= len(got) < n, "cancel must end the stream early"
+    assert all(p.solved for p in got)  # nothing interpolated yet
+
+
+# ----------------------------------------------------------------------
+# 2D refinement termination at a band edge (satellite: termination pins)
+# ----------------------------------------------------------------------
+
+
+def test_2d_refinement_fires_and_terminates_at_band_edge():
+    spec = MapSpec(coarse_e=5, coarse_k=2, tolerance=TOL, safety=2.0,
+                   max_rounds=6)
+    res = compute(CBSJob(**EDGE, map=spec))
+    mr = res.provenance["map_report"]
+    assert mr["refine_pixels"] > 0, "band edge must trigger 2D bisection"
+    assert mr["refine_rounds"] <= spec.max_rounds
+    # adjacency is the floor: refinement can at most solve every pixel
+    assert mr["solved_pixels"] <= mr["n_energies"] * mr["n_kpar"]
+
+
+def test_2d_refinement_respects_pixel_budget_and_disable():
+    capped = compute(CBSJob(**EDGE, map=MapSpec(
+        coarse_e=5, coarse_k=2, tolerance=TOL, safety=2.0,
+        max_rounds=6, max_refine_pixels=3,
+    ))).provenance["map_report"]
+    assert 0 < capped["refine_pixels"] <= 3
+
+    off = compute(CBSJob(**EDGE, map=MapSpec(
+        coarse_e=5, coarse_k=2, tolerance=TOL, safety=2.0, max_rounds=0,
+    ))).provenance["map_report"]
+    assert off["refine_rounds"] == 0 and off["refine_pixels"] == 0
+
+
+# ----------------------------------------------------------------------
+# cache sharing with plain scans
+# ----------------------------------------------------------------------
+
+
+def test_solved_map_pixels_serve_a_later_plain_column_scan(tmp_path):
+    cache = dict(
+        execution=ExecutionSpec(
+            mode="orchestrated", workers=1, cache_dir=str(tmp_path),
+            tuning=TuningPolicy(enabled=False),
+            refine=RefinePolicy(enabled=False),
+        ),
+    )
+    map_res = compute(CBSJob(**SMOOTH, **cache, map=SMOOTH_MAP))
+    solved_in_col = sum(
+        1 for s in map_res.slices if s.k_par == 0.3 and s.solved
+    )
+    assert 0 < solved_in_col < 24
+    # a plain scan of the anchor column is served the map's solves and
+    # pays only for the rows the map interpolated — interpolated pixels
+    # are namespaced away and can never be mistaken for solver output
+    one_col = {**SMOOTH, "kpar": KParSpec(values=(0.3,))}
+    plain = compute(CBSJob(**one_col, **cache))
+    report = plain.provenance["report"]
+    assert report["cache_hits"] == solved_in_col, report
+    assert report["solves"] == 24 - solved_in_col
+
+
+# ----------------------------------------------------------------------
+# persistence + wire protocol
+# ----------------------------------------------------------------------
+
+
+def test_map_result_save_load_round_trip(smooth_map_result, tmp_path):
+    import json
+
+    json_path, _ = save_result(tmp_path / "m", smooth_map_result)
+    assert json.load(open(json_path))["kind"] == "map"
+    back = load_result(tmp_path / "m")
+    assert isinstance(back, MapResult)
+    assert all(isinstance(s, MapPixel) for s in back.slices)
+    for a, b in zip(back.slices, smooth_map_result.slices):
+        assert (a.energy, a.k_par) == (b.energy, b.k_par)
+        assert (a.solved, a.error_estimate) == (b.solved, b.error_estimate)
+        assert a.modes == b.modes
+    assert back.provenance == smooth_map_result.provenance
+
+
+def test_map_result_wire_round_trip(smooth_map_result):
+    from repro.service import result_from_wire, result_to_wire
+
+    wire = result_to_wire(smooth_map_result)
+    assert wire["kind"] == "map"
+    back = result_from_wire(wire)
+    assert isinstance(back, MapResult)
+    assert all(isinstance(s, MapPixel) for s in back.slices)
+    assert [s.solved for s in back.slices] == \
+        [s.solved for s in smooth_map_result.slices]
+    assert [s.error_estimate for s in back.slices] == \
+        [s.error_estimate for s in smooth_map_result.slices]
+    assert all(a.modes == b.modes
+               for a, b in zip(back.slices, smooth_map_result.slices))
+
+
+# ----------------------------------------------------------------------
+# service: warm map resubmit performs zero solves
+# ----------------------------------------------------------------------
+
+
+def test_warm_map_resubmit_through_service_is_zero_solves(tmp_path):
+    from repro.service import JobService, ResultStore, result_from_wire
+
+    payload = CBSJob(**SMOOTH, map=SMOOTH_MAP).to_dict()
+
+    async def _wait_done(svc, job_id):
+        while (await svc.status(job_id))["state"] not in ("done", "failed"):
+            await asyncio.sleep(0.02)
+        assert (await svc.status(job_id))["state"] == "done"
+
+    async def first():
+        svc = JobService(ResultStore(str(tmp_path)))
+        t = await svc.submit(payload)
+        await _wait_done(svc, t.job_id)
+        res = result_from_wire(await svc.result(t.job_id))
+        await svc.aclose()
+        return t.job_id, res
+
+    async def second(job_id, ref):
+        svc = JobService(ResultStore(str(tmp_path)))
+        t = await svc.submit(payload)
+        assert t.job_id == job_id
+        assert t.from_store and t.state == "done"
+        assert svc.metrics_counters["solves_started"] == 0
+        res = result_from_wire(await svc.result(job_id))
+        assert isinstance(res, MapResult)
+        assert [
+            (s.energy, s.k_par, s.solved, s.error_estimate)
+            for s in res.slices
+        ] == [
+            (s.energy, s.k_par, s.solved, s.error_estimate)
+            for s in ref.slices
+        ]
+        assert all(a.modes == b.modes
+                   for a, b in zip(res.slices, ref.slices))
+        await svc.aclose()
+
+    job_id, ref = asyncio.run(first())
+    assert isinstance(ref, MapResult)
+    assert not all(s.solved for s in ref.slices)
+    asyncio.run(second(job_id, ref))
+
+
+# ----------------------------------------------------------------------
+# direct surrogate construction guards
+# ----------------------------------------------------------------------
+
+
+def test_surrogate_rejects_empty_axes_and_context_mismatch():
+    """The constructor validates its axes before ever touching the
+    orchestrator, so a stub suffices."""
+    from repro.models import SquareLatticeSlab
+
+    blocks = SquareLatticeSlab(width=2, k_par=0.3).blocks()
+    column = (0.3, 1.0, blocks)
+    stub = object()
+    with pytest.raises(ConfigurationError, match="energy"):
+        MapSurrogate(stub, [], [column], MapSpec())
+    with pytest.raises(ConfigurationError, match="column"):
+        MapSurrogate(stub, [0.0], [], MapSpec())
+    with pytest.raises(ConfigurationError, match="contexts"):
+        MapSurrogate(
+            stub, [0.0], [column], MapSpec(),
+            cache_contexts=["a", "b"],
+        )

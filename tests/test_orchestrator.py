@@ -182,7 +182,8 @@ def test_refinement_inserts_slices_at_band_edge():
     ).scan(grid)
     refined = scan.report.refined_energies
     assert refined, "expected band-edge refinement to trigger"
-    assert min(abs(e - 1.5) for e in refined) < 0.1
+    assert all(kp is None for _, kp in refined)  # scalar scan
+    assert min(abs(e - 1.5) for e, _ in refined) < 0.1
     energies = [s.energy for s in scan.result.slices]
     assert energies == sorted(energies)
     assert set(grid) < set(energies)
@@ -200,6 +201,37 @@ def test_refinement_quiet_on_featureless_window():
     ).scan(np.linspace(-0.4, 0.4, 5))
     assert scan.report.refined_energies == []
     assert scan.report.refine_rounds == 0
+
+
+def test_refinement_terminates_at_depth_bound_and_interval_floor():
+    """At a genuine discontinuity (the band edge at E = 1.5) bisection
+    can never reconcile the bracketing slices, so the ONLY terminators
+    are the round bound (``max_depth``) and the interval floor
+    (``min_de``).  Pin both: a shallow depth stops early, and a huge
+    depth with a coarse floor still terminates with every remaining
+    interval above the floor."""
+    lad = TransverseLadder(width=2)
+    cfg = SSConfig(n_int=16, n_mm=3, n_rh=3, seed=7, linear_solver="direct")
+    grid = [1.1, 1.74]
+
+    shallow = ScanOrchestrator(
+        lad.blocks(), cfg,
+        orch=_plain(refine=RefinePolicy(min_de=1e-9, max_depth=2)),
+    ).scan(grid)
+    assert shallow.report.refine_rounds <= 2
+    # each round bisects each disagreeing interval at most once
+    assert len(shallow.report.refined_energies) <= 2 ** 2 - 1
+
+    floor = ScanOrchestrator(
+        lad.blocks(), cfg,
+        orch=_plain(refine=RefinePolicy(min_de=0.1, max_depth=64)),
+    ).scan(grid)
+    assert floor.report.refine_rounds < 64  # the floor ended it
+    energies = [s.energy for s in floor.result.slices]
+    assert energies == sorted(energies)
+    # intervals at or below min_de are never split, so no gap can
+    # shrink beneath half the floor
+    assert np.diff(energies).min() > 0.1 / 2
 
 
 # -- slice cache ---------------------------------------------------------------
@@ -397,7 +429,7 @@ def test_cancel_mid_refinement_drops_partial_round():
     )
     assert [s.energy for s in slices] == [1.1, 1.74, 1.42]
     assert report.refine_rounds == 1
-    assert report.refined_energies == [1.42]
+    assert report.refined_energies == [(1.42, None)]
     # Round 2's shard was solved before the poll, then dropped whole.
     assert report.solves == 4
 

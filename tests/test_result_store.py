@@ -120,6 +120,32 @@ def test_active_reader_is_never_evicted(tmp_path):
     assert not os.path.exists(pa)
 
 
+def test_frozen_mtime_eviction_order_is_deterministic_by_path(tmp_path):
+    """Entries whose mtimes are identical (a frozen or coarse clock)
+    evict in lexicographic path order — the tie-break is pinned, so two
+    store instances under the same pressure evict the same entry."""
+    store = ResultStore(str(tmp_path))
+    paths = {
+        e: store.put("ctx", _slice(e)) for e in (0.3, 0.1, 0.2)
+    }
+    frozen = time.time() - 100
+    for p in paths.values():
+        os.utime(p, (frozen, frozen))  # every entry ties on mtime
+    size = os.path.getsize(paths[0.1])
+    store.max_bytes = int(2.5 * size)  # room for two of the three
+    store._evict_over_budget()
+    survivors = {e for e, p in paths.items() if os.path.exists(p)}
+    victim = min(paths.values())  # lexicographically first path goes
+    assert not os.path.exists(victim)
+    assert len(survivors) == 2
+    # a fresh instance rebuilding its view from disk agrees on order
+    store2 = ResultStore(str(tmp_path))
+    store2.max_bytes = int(1.5 * size)
+    store2._evict_over_budget()
+    remaining = [p for p in paths.values() if os.path.exists(p)]
+    assert remaining == [max(paths.values())]
+
+
 def test_zero_budget_keeps_nothing_unpinned(tmp_path):
     store = ResultStore(str(tmp_path), max_bytes=0)
     pa = store.put("ctx", _slice(0.1))
